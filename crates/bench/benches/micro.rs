@@ -1,0 +1,195 @@
+//! Criterion micro-benchmarks of the substrate hot paths and StackTrack
+//! primitives, including the Ablation 1 comparison (linear vs hashed
+//! SCAN_AND_FREE) from DESIGN.md.
+//!
+//! These measure *host* nanoseconds of the simulator itself (how fast the
+//! reproduction runs), complementing the virtual-cycle results in
+//! `st-bench` (what the simulated machine measures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
+use st_simheap::{Heap, HeapConfig};
+use st_simhtm::{util::U64Set, HtmConfig, HtmEngine};
+use st_structures::list::{self, ListShape};
+use stacktrack::{predictor::SplitPredictor, ScanMode, StConfig, StRuntime, Step};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn make_cpu(thread: usize) -> Cpu {
+    let topo = Topology::haswell();
+    Cpu::new(
+        thread,
+        HwContext::new(&topo, topo.place(thread)),
+        Arc::new(CostModel::default()),
+        Arc::new(ActivityBoard::new(topo.hw_contexts())),
+        42,
+    )
+}
+
+fn bench_heap_ops(c: &mut Criterion) {
+    let heap = Heap::new(HeapConfig::default());
+    let mut cpu = make_cpu(0);
+    let addr = heap.alloc_untimed(8).unwrap();
+
+    c.bench_function("heap/load", |b| {
+        b.iter(|| black_box(heap.load(&mut cpu, addr, 0)))
+    });
+    c.bench_function("heap/store", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            heap.store(&mut cpu, addr, 1, v);
+        })
+    });
+    c.bench_function("heap/alloc_free", |b| {
+        b.iter(|| {
+            let a = heap.alloc(&mut cpu, 2).unwrap();
+            heap.free(&mut cpu, a);
+        })
+    });
+}
+
+fn bench_htm_segment(c: &mut Criterion) {
+    let heap = Arc::new(Heap::new(HeapConfig::default()));
+    let engine = HtmEngine::new(heap.clone(), HtmConfig::default(), 1);
+    let mut cpu = make_cpu(0);
+    let arr = heap.alloc_untimed(1024).unwrap();
+
+    let mut group = c.benchmark_group("htm/segment");
+    for reads in [4u64, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(reads), &reads, |b, &reads| {
+            b.iter(|| {
+                // Best-effort HTM: retry on (probabilistic capacity) aborts,
+                // exactly as client code must.
+                'attempt: loop {
+                    let mut tx = engine.begin(&mut cpu);
+                    for i in 0..reads {
+                        if engine.tx_read(&mut cpu, &mut tx, arr, i * 8).is_err() {
+                            continue 'attempt;
+                        }
+                    }
+                    if engine.tx_write(&mut cpu, &mut tx, arr, 0, reads).is_err() {
+                        continue 'attempt;
+                    }
+                    if engine.commit(&mut cpu, &mut tx).is_ok() {
+                        break;
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_u64set(c: &mut Criterion) {
+    c.bench_function("util/u64set_insert_64", |b| {
+        let mut set = U64Set::with_capacity(64);
+        b.iter(|| {
+            set.clear();
+            for i in 0..64u64 {
+                set.insert(black_box(i * 64));
+            }
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("predictor/commit_abort_cycle", |b| {
+        let mut p = SplitPredictor::new(50, 1, 200, 5, 5);
+        b.iter(|| {
+            for split in 0..8usize {
+                p.on_abort(0, split);
+                p.on_commit(0, split);
+                black_box(p.limit(0, split));
+            }
+        })
+    });
+}
+
+fn bench_list_op(c: &mut Criterion) {
+    // One full StackTrack-protected list operation (search of a 1K list).
+    let heap = Arc::new(Heap::new(HeapConfig {
+        capacity_words: 1 << 20,
+        ..HeapConfig::default()
+    }));
+    let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
+    let rt = StRuntime::new(engine, StConfig::default(), 1);
+    let mut th = rt.register_thread(0);
+    let mut cpu = rt.test_cpu(0);
+    let shape = ListShape::new_untimed(&heap);
+    for k in 1..=1000u64 {
+        shape.insert_untimed(&heap, k * 2);
+    }
+
+    c.bench_function("stacktrack/list_contains_1k", |b| {
+        let mut key = 1u64;
+        b.iter(|| {
+            key = key % 2000 + 1;
+            let mut body = list::contains_body(shape, key);
+            use st_reclaim::SchemeThread;
+            black_box(SchemeThread::run_op(
+                &mut th,
+                &mut cpu,
+                0,
+                list::LIST_SLOTS,
+                &mut body,
+            ))
+        })
+    });
+}
+
+fn bench_scan_modes(c: &mut Criterion) {
+    // Ablation 1: linear (Algorithm 1 as printed) vs hashed scan, with 8
+    // registered threads to inspect and a batch of 16 candidates.
+    let mut group = c.benchmark_group("stacktrack/scan");
+    for (name, mode) in [("linear", ScanMode::Linear), ("hashed", ScanMode::Hashed)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let heap = Arc::new(Heap::new(HeapConfig {
+                        capacity_words: 1 << 20,
+                        ..HeapConfig::default()
+                    }));
+                    let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 8));
+                    let rt = StRuntime::new(
+                        engine,
+                        StConfig {
+                            scan_mode: mode,
+                            max_free: 64, // collect, then force one scan
+                            ..StConfig::default()
+                        },
+                        8,
+                    );
+                    let mut threads: Vec<_> = (0..8).map(|t| rt.register_thread(t)).collect();
+                    let mut cpu = rt.test_cpu(0);
+                    // 16 retired nodes in thread 0's free set.
+                    for _ in 0..16 {
+                        threads[0].run_op(&mut cpu, 0, 1, &mut |m, cpu| {
+                            let n = m.alloc(cpu, 2);
+                            m.retire(cpu, n)?;
+                            Ok(Step::Done(0))
+                        });
+                    }
+                    (threads, cpu)
+                },
+                |(mut threads, mut cpu)| {
+                    threads[0].force_full_scan(&mut cpu);
+                    black_box(threads[0].stats().scans)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heap_ops,
+    bench_htm_segment,
+    bench_u64set,
+    bench_predictor,
+    bench_list_op,
+    bench_scan_modes
+);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! One benchmark run: build the machine, populate the structure, simulate,
+//! and collect every statistic the figures need.
+
+use crate::workload::{BenchWorker, StructureInstance, WorkloadSpec};
+use serde::Serialize;
+use st_machine::{SimConfig, Simulator, CYCLES_PER_SECOND};
+use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory};
+use st_simheap::{Heap, HeapConfig};
+use st_simhtm::{HtmConfig, HtmEngine, HtmStats};
+use stacktrack::{StConfig, StThreadStats};
+use std::sync::Arc;
+
+/// Everything one run needs.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The workload.
+    pub spec: WorkloadSpec,
+    /// The reclamation scheme.
+    pub scheme: Scheme,
+    /// Software threads.
+    pub threads: usize,
+    /// Virtual run length, in milliseconds.
+    pub duration_ms: u64,
+    /// Unmeasured warm-up before the run, in milliseconds (lets the split
+    /// predictor converge, as the paper's 10-second runs implicitly do).
+    pub warmup_ms: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// StackTrack tuning (ignored by other schemes).
+    pub st_config: StConfig,
+    /// Baseline-scheme tuning.
+    pub reclaim_config: ReclaimConfig,
+}
+
+impl RunConfig {
+    /// A run with default tuning.
+    pub fn new(spec: WorkloadSpec, scheme: Scheme, threads: usize, duration_ms: u64) -> Self {
+        let mut reclaim_config = ReclaimConfig::default();
+        // Guard budget for the deepest structure (skip list).
+        reclaim_config.hazard_slots = 2 * st_structures::skiplist::MAX_LEVEL + 2;
+        Self {
+            spec,
+            scheme,
+            threads,
+            duration_ms,
+            warmup_ms: 0,
+            seed: 0x57ac_c001,
+            st_config: StConfig::default(),
+            reclaim_config,
+        }
+    }
+}
+
+/// Results of one run (serializable for the report generator).
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Scheme display name.
+    pub scheme: String,
+    /// Structure display name.
+    pub structure: String,
+    /// Software threads.
+    pub threads: usize,
+    /// Virtual run length (ms).
+    pub duration_ms: u64,
+    /// Operations completed.
+    pub total_ops: u64,
+    /// Operations per virtual second.
+    pub ops_per_sec: f64,
+    /// Transactions begun / committed.
+    pub tx_begun: u64,
+    /// Committed transactions.
+    pub tx_committed: u64,
+    /// Conflict aborts.
+    pub aborts_conflict: u64,
+    /// Capacity aborts.
+    pub aborts_capacity: u64,
+    /// Explicit + spurious aborts.
+    pub aborts_other: u64,
+    /// Memory fences issued.
+    pub fences: u64,
+    /// Plain loads issued.
+    pub loads: u64,
+    /// Plain stores issued.
+    pub stores: u64,
+    /// Transactional loads issued.
+    pub tx_loads: u64,
+    /// Transactional stores issued.
+    pub tx_stores: u64,
+    /// Atomic RMW operations issued.
+    pub cas_ops: u64,
+    /// Context switches suffered.
+    pub context_switches: u64,
+    /// Average committed segments per operation (StackTrack).
+    pub avg_splits_per_op: f64,
+    /// Average committed segment length in checkpoints (StackTrack).
+    pub avg_split_length: f64,
+    /// Operations that used the slow path (StackTrack).
+    pub slow_ops: u64,
+    /// `SCAN_AND_FREE` invocations (StackTrack).
+    pub scans: u64,
+    /// Words inspected per scan, on average (StackTrack).
+    pub avg_scan_depth: f64,
+    /// Inspection restarts from the consistency protocol (StackTrack).
+    pub scan_retries: u64,
+    /// Share of busy cycles spent scanning, in percent (StackTrack).
+    pub scan_penalty_pct: f64,
+    /// Retired-but-unfreed nodes at the deadline (before teardown).
+    pub garbage: u64,
+    /// Live heap words at the end (leak visibility).
+    pub live_words: u64,
+}
+
+/// Executes one run.
+pub fn run(config: &RunConfig) -> RunResult {
+    let heap = Arc::new(Heap::new(HeapConfig {
+        capacity_words: config.spec.heap_words(config.duration_ms),
+        ..HeapConfig::default()
+    }));
+    let engine = Arc::new(HtmEngine::new(
+        heap.clone(),
+        HtmConfig::default(),
+        config.threads,
+    ));
+    let factory = SchemeFactory::new(
+        config.scheme,
+        engine.clone(),
+        config.threads,
+        config.reclaim_config.clone(),
+        config.st_config.clone(),
+    );
+    let instance = Arc::new(StructureInstance::build(&config.spec, &heap, config.seed));
+
+    let workers: Vec<BenchWorker> = (0..config.threads)
+        .map(|t| BenchWorker::new(factory.thread(t), config.spec.clone(), instance.clone()))
+        .collect();
+
+    let workers = if config.warmup_ms > 0 {
+        let warm = Simulator::new(SimConfig::haswell_ms(config.warmup_ms, config.seed));
+        let (_, mut workers) = warm.run(workers);
+        engine.reset_stats();
+        for w in &mut workers {
+            w.reset_stats();
+        }
+        workers
+    } else {
+        workers
+    };
+    let sim = Simulator::new(SimConfig::haswell_ms(
+        config.duration_ms,
+        config.seed.wrapping_add(1),
+    ));
+    let (report, workers) = sim.run(workers);
+
+    // Aggregate scheme statistics.
+    let mut st_total = StThreadStats::default();
+    let mut garbage = 0;
+    for w in &workers {
+        if let Some(s) = w.executor().st_stats() {
+            st_total = st_total.merged(&s);
+        }
+        garbage += w.executor().outstanding_garbage();
+    }
+    let htm: HtmStats = engine.total_stats();
+    let busy_cycles: u64 = report.threads.iter().map(|t| t.final_time).sum();
+    let scan_penalty_pct = if busy_cycles > 0 {
+        100.0 * st_total.scan_cycles as f64 / busy_cycles as f64
+    } else {
+        0.0
+    };
+
+    RunResult {
+        scheme: config.scheme.name().to_string(),
+        structure: config.spec.structure.name().to_string(),
+        threads: config.threads,
+        duration_ms: config.duration_ms,
+        total_ops: report.total_ops(),
+        ops_per_sec: report.ops_per_second(),
+        tx_begun: htm.begun,
+        tx_committed: htm.committed,
+        aborts_conflict: htm.aborts_conflict,
+        aborts_capacity: htm.aborts_capacity,
+        aborts_other: htm.aborts_explicit + htm.aborts_other,
+        fences: report.sum_counter(|c| c.fences),
+        loads: report.sum_counter(|c| c.loads),
+        stores: report.sum_counter(|c| c.stores),
+        tx_loads: report.sum_counter(|c| c.tx_loads),
+        tx_stores: report.sum_counter(|c| c.tx_stores),
+        cas_ops: report.sum_counter(|c| c.cas_ops),
+        context_switches: report.sum_counter(|c| c.context_switches),
+        avg_splits_per_op: st_total.avg_splits_per_op(),
+        avg_split_length: st_total.avg_segment_length(),
+        slow_ops: st_total.slow_ops,
+        scans: st_total.scans,
+        avg_scan_depth: st_total.avg_scan_depth(),
+        scan_retries: st_total.scan_retries,
+        scan_penalty_pct,
+        garbage,
+        live_words: heap.stats().alloc.live_words,
+    }
+}
+
+/// Virtual milliseconds to cycles (used by tests and the criterion benches).
+#[allow(dead_code)]
+pub fn ms_to_cycles(ms: u64) -> u64 {
+    ms * (CYCLES_PER_SECOND / 1000)
+}

@@ -1,0 +1,517 @@
+//! Drivers that regenerate every figure and table of the paper's
+//! evaluation (section 6), plus the ablations called out in DESIGN.md.
+
+use crate::experiment::{run, RunConfig, RunResult};
+use crate::report::{fmt_f, fmt_ops, persist, Table};
+use crate::workload::WorkloadSpec;
+use st_reclaim::Scheme;
+use stacktrack::{ScanMode, StConfig};
+use std::path::PathBuf;
+
+/// Shared driver options.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Virtual run length per configuration, in milliseconds.
+    pub duration_ms: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Workload shrink factor (1 = the paper's sizes).
+    pub scale: u64,
+    /// Output directory for JSON + markdown results.
+    pub out: PathBuf,
+    /// Largest thread count in sweeps.
+    pub max_threads: usize,
+    /// Unmeasured warm-up per configuration, in milliseconds.
+    pub warmup_ms: u64,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            duration_ms: 2,
+            seed: 0x57ac_c001,
+            scale: 1,
+            out: PathBuf::from("results"),
+            max_threads: 16,
+            warmup_ms: 0,
+        }
+    }
+}
+
+impl BenchOpts {
+    fn spec(&self, base: WorkloadSpec) -> WorkloadSpec {
+        if self.scale > 1 {
+            base.shrunk(self.scale)
+        } else {
+            base
+        }
+    }
+
+    fn config(&self, spec: WorkloadSpec, scheme: Scheme, threads: usize) -> RunConfig {
+        let mut c = RunConfig::new(spec, scheme, threads, self.duration_ms);
+        c.seed = self.seed;
+        c.warmup_ms = self.warmup_ms;
+        c
+    }
+
+    fn sweep(&self) -> Vec<usize> {
+        (1..=self.max_threads).collect()
+    }
+}
+
+/// A throughput-vs-threads sweep for a set of schemes (Figures 1 and 2).
+fn throughput_figure(
+    opts: &BenchOpts,
+    name: &str,
+    title: &str,
+    spec: WorkloadSpec,
+    schemes: &[Scheme],
+) -> Vec<RunResult> {
+    let mut results = Vec::new();
+    let mut columns = vec!["threads".to_string()];
+    columns.extend(schemes.iter().map(|s| s.name().to_string()));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &col_refs);
+
+    for threads in opts.sweep() {
+        let mut row = vec![threads.to_string()];
+        for &scheme in schemes {
+            let r = run(&opts.config(spec.clone(), scheme, threads));
+            row.push(fmt_ops(r.ops_per_sec));
+            results.push(r);
+        }
+        table.row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    table.print();
+    persist(&opts.out, name, &results, &[table]);
+    results
+}
+
+/// Figure 1a: list throughput (5 K nodes, 20 % mutations).
+pub fn fig1_list(opts: &BenchOpts) -> Vec<RunResult> {
+    throughput_figure(
+        opts,
+        "fig1_list",
+        "Figure 1a — List: 5K nodes, 20% mutations (ops/s vs threads)",
+        opts.spec(WorkloadSpec::paper_list()),
+        &[
+            Scheme::None,
+            Scheme::Hazard,
+            Scheme::Epoch,
+            Scheme::StackTrack,
+            Scheme::Dta,
+        ],
+    )
+}
+
+/// Figure 1b: skip-list throughput (100 K nodes, 20 % mutations).
+pub fn fig1_skiplist(opts: &BenchOpts) -> Vec<RunResult> {
+    throughput_figure(
+        opts,
+        "fig1_skiplist",
+        "Figure 1b — SkipList: 100K nodes, 20% mutations (ops/s vs threads)",
+        opts.spec(WorkloadSpec::paper_skiplist()),
+        &[
+            Scheme::None,
+            Scheme::Hazard,
+            Scheme::Epoch,
+            Scheme::StackTrack,
+        ],
+    )
+}
+
+/// Figure 2a: queue throughput (20 % mutations).
+pub fn fig2_queue(opts: &BenchOpts) -> Vec<RunResult> {
+    throughput_figure(
+        opts,
+        "fig2_queue",
+        "Figure 2a — Queue: 20% mutations (ops/s vs threads)",
+        opts.spec(WorkloadSpec::paper_queue()),
+        &[
+            Scheme::None,
+            Scheme::Hazard,
+            Scheme::Epoch,
+            Scheme::StackTrack,
+        ],
+    )
+}
+
+/// Figure 2b: hash-table throughput (10 K nodes, 20 % mutations).
+pub fn fig2_hash(opts: &BenchOpts) -> Vec<RunResult> {
+    throughput_figure(
+        opts,
+        "fig2_hash",
+        "Figure 2b — Hash: 10K nodes, 20% mutations (ops/s vs threads)",
+        opts.spec(WorkloadSpec::paper_hash()),
+        &[
+            Scheme::None,
+            Scheme::Hazard,
+            Scheme::Epoch,
+            Scheme::StackTrack,
+        ],
+    )
+}
+
+/// Figures 3 and 4: StackTrack's HTM behaviour on the list — abort
+/// taxonomy per segment, splits per operation, split lengths.
+pub fn fig3_fig4(opts: &BenchOpts) -> Vec<RunResult> {
+    let spec = opts.spec(WorkloadSpec::paper_list());
+    let mut results = Vec::new();
+
+    let mut aborts = Table::new(
+        "Figure 3 — List: HTM aborts (StackTrack)",
+        &[
+            "threads",
+            "contention",
+            "capacity",
+            "contention/seg",
+            "capacity/seg",
+        ],
+    );
+    let mut splits = Table::new(
+        "Figure 4 — List: splits per op and split lengths (StackTrack)",
+        &["threads", "avg splits/op", "avg split length"],
+    );
+
+    for threads in opts.sweep() {
+        let r = run(&opts.config(spec.clone(), Scheme::StackTrack, threads));
+        let segs = r.tx_committed.max(1) as f64;
+        aborts.row(vec![
+            threads.to_string(),
+            r.aborts_conflict.to_string(),
+            r.aborts_capacity.to_string(),
+            fmt_f(r.aborts_conflict as f64 / segs),
+            fmt_f(r.aborts_capacity as f64 / segs),
+        ]);
+        splits.row(vec![
+            threads.to_string(),
+            fmt_f(r.avg_splits_per_op),
+            fmt_f(r.avg_split_length),
+        ]);
+        results.push(r);
+        eprint!(".");
+    }
+    eprintln!();
+    aborts.print();
+    splits.print();
+    persist(&opts.out, "fig3_fig4", &results, &[aborts, splits]);
+    results
+}
+
+/// Figure 5: slow-path fallback cost on the skip list (0/10/50/100 %
+/// forced slow-path operations, relative to 0 %).
+pub fn fig5_slowpath(opts: &BenchOpts) -> Vec<RunResult> {
+    let spec = opts.spec(WorkloadSpec::paper_skiplist());
+    let fractions = [0.0, 0.1, 0.5, 1.0];
+    let threads_list: Vec<usize> = [1, 2, 3, 4, 6, 8, 10, 12, 14]
+        .into_iter()
+        .filter(|&t| t <= opts.max_threads)
+        .collect();
+
+    let mut results = Vec::new();
+    let mut table = Table::new(
+        "Figure 5 — SkipList: forced slow-path fraction (relative throughput, Slow-0 = 100%)",
+        &["threads", "Slow-0", "Slow-10", "Slow-50", "Slow-100"],
+    );
+
+    for &threads in &threads_list {
+        let mut row = vec![threads.to_string()];
+        let mut baseline = None;
+        for &frac in &fractions {
+            let mut config = opts.config(spec.clone(), Scheme::StackTrack, threads);
+            config.st_config = StConfig {
+                forced_slow_prob: frac,
+                ..StConfig::default()
+            };
+            let r = run(&config);
+            let rel = match baseline {
+                None => {
+                    baseline = Some(r.ops_per_sec.max(1.0));
+                    100.0
+                }
+                Some(base) => 100.0 * r.ops_per_sec / base,
+            };
+            row.push(format!("{rel:.1}%"));
+            results.push(r);
+        }
+        table.row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    table.print();
+    persist(&opts.out, "fig5_slowpath", &results, &[table]);
+    results
+}
+
+/// The section 6 "Scan behavior" table: scan frequency (every free vs
+/// every 10 frees), inspected depth, retries, and scan penalty.
+pub fn scan_overhead(opts: &BenchOpts) -> Vec<RunResult> {
+    let spec = opts.spec(WorkloadSpec::paper_skiplist());
+    let mut results = Vec::new();
+    let mut tables = Vec::new();
+
+    for max_free in [1usize, 10] {
+        let mut table = Table::new(
+            format!("Scan behaviour — SkipList, scan per {max_free} free call(s)"),
+            &[
+                "threads",
+                "ops/s",
+                "#scans",
+                "avg depth (words)",
+                "retries",
+                "penalty %",
+            ],
+        );
+        for threads in opts.sweep() {
+            let mut config = opts.config(spec.clone(), Scheme::StackTrack, threads);
+            config.st_config = StConfig {
+                max_free: max_free - 1, // scan when free set exceeds this
+                // One stack walk per scan batch (the paper's measured
+                // amortization implies this shape; see section 5.2's
+                // "free procedure optimization").
+                scan_mode: ScanMode::Hashed,
+                ..StConfig::default()
+            };
+            let r = run(&config);
+            table.row(vec![
+                threads.to_string(),
+                fmt_ops(r.ops_per_sec),
+                r.scans.to_string(),
+                fmt_f(r.avg_scan_depth),
+                r.scan_retries.to_string(),
+                fmt_f(r.scan_penalty_pct),
+            ]);
+            results.push(r);
+            eprint!(".");
+        }
+        tables.push(table);
+    }
+    eprintln!();
+    for t in &tables {
+        t.print();
+    }
+    persist(&opts.out, "scan_overhead", &results, &tables);
+    results
+}
+
+/// Ablation 2 (DESIGN.md): adaptive split predictor vs fixed lengths.
+pub fn ablation_predictor(opts: &BenchOpts) -> Vec<RunResult> {
+    let spec = opts.spec(WorkloadSpec::paper_list());
+    let variants: [(&str, StConfig); 4] = [
+        ("adaptive", StConfig::default()),
+        ("fixed-1", fixed_split(1)),
+        ("fixed-10", fixed_split(10)),
+        ("fixed-50", fixed_split(50)),
+    ];
+    let mut results = Vec::new();
+    let mut table = Table::new(
+        "Ablation — split-length predictor (List, StackTrack, ops/s)",
+        &["threads", "adaptive", "fixed-1", "fixed-10", "fixed-50"],
+    );
+    for threads in [1usize, 2, 4, 8, 12, 16] {
+        if threads > opts.max_threads {
+            continue;
+        }
+        let mut row = vec![threads.to_string()];
+        for (_, st) in &variants {
+            let mut config = opts.config(spec.clone(), Scheme::StackTrack, threads);
+            config.st_config = st.clone();
+            let r = run(&config);
+            row.push(fmt_ops(r.ops_per_sec));
+            results.push(r);
+        }
+        table.row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    table.print();
+    persist(&opts.out, "ablation_predictor", &results, &[table]);
+    results
+}
+
+fn fixed_split(len: u32) -> StConfig {
+    StConfig {
+        initial_split_length: len,
+        min_split_length: len.max(1),
+        max_split_length: len.max(1),
+        // Streaks never trip: limits stay fixed.
+        abort_streak: u32::MAX,
+        commit_streak: u32::MAX,
+        ..StConfig::default()
+    }
+}
+
+/// Ablation 3 (DESIGN.md): register-file exposure on/off.
+pub fn ablation_regfile(opts: &BenchOpts) -> Vec<RunResult> {
+    let spec = opts.spec(WorkloadSpec::paper_list());
+    let mut results = Vec::new();
+    let mut table = Table::new(
+        "Ablation — register-file exposure (List, StackTrack, ops/s)",
+        &["threads", "exposed", "suppressed"],
+    );
+    for threads in [1usize, 2, 4, 8, 16] {
+        if threads > opts.max_threads {
+            continue;
+        }
+        let mut row = vec![threads.to_string()];
+        for expose in [true, false] {
+            let mut config = opts.config(spec.clone(), Scheme::StackTrack, threads);
+            config.st_config = StConfig {
+                expose_registers: expose,
+                ..StConfig::default()
+            };
+            let r = run(&config);
+            row.push(fmt_ops(r.ops_per_sec));
+            results.push(r);
+        }
+        table.row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    table.print();
+    persist(&opts.out, "ablation_regfile", &results, &[table]);
+    results
+}
+
+/// Ablation 1 (DESIGN.md): linear vs hashed `SCAN_AND_FREE`.
+pub fn ablation_scanmode(opts: &BenchOpts) -> Vec<RunResult> {
+    let spec = opts.spec(WorkloadSpec::paper_list());
+    let mut results = Vec::new();
+    let mut table = Table::new(
+        "Ablation — scan strategy (List, StackTrack, ops/s)",
+        &["threads", "linear", "hashed"],
+    );
+    for threads in [1usize, 2, 4, 8, 16] {
+        if threads > opts.max_threads {
+            continue;
+        }
+        let mut row = vec![threads.to_string()];
+        for mode in [ScanMode::Linear, ScanMode::Hashed] {
+            let mut config = opts.config(spec.clone(), Scheme::StackTrack, threads);
+            config.st_config = StConfig {
+                scan_mode: mode,
+                // Scan often so the strategies actually differ.
+                max_free: 1,
+                ..StConfig::default()
+            };
+            let r = run(&config);
+            row.push(fmt_ops(r.ops_per_sec));
+            results.push(r);
+        }
+        table.row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    table.print();
+    persist(&opts.out, "ablation_scanmode", &results, &[table]);
+    results
+}
+
+/// Extra comparator: reference counting vs hazard pointers (the paper's
+/// "upper bound" claim).
+pub fn ablation_refcount(opts: &BenchOpts) -> Vec<RunResult> {
+    let spec = opts.spec(WorkloadSpec::paper_list());
+    let mut results = Vec::new();
+    let mut table = Table::new(
+        "Ablation — RefCount vs Hazards vs Original (List, ops/s)",
+        &["threads", "Original", "Hazards", "RefCount"],
+    );
+    for threads in [1usize, 2, 4, 8] {
+        if threads > opts.max_threads {
+            continue;
+        }
+        let mut row = vec![threads.to_string()];
+        for scheme in [Scheme::None, Scheme::Hazard, Scheme::RefCount] {
+            let r = run(&opts.config(spec.clone(), scheme, threads));
+            row.push(fmt_ops(r.ops_per_sec));
+            results.push(r);
+        }
+        table.row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    table.print();
+    persist(&opts.out, "ablation_refcount", &results, &[table]);
+    results
+}
+
+/// Extra ablation: Drop-the-Anchor's anchor period `K` — the fence
+/// amortization that makes DTA fast, against the reclamation lag (and
+/// garbage) that longer windows cost.
+pub fn ablation_dta_k(opts: &BenchOpts) -> Vec<RunResult> {
+    let spec = opts.spec(WorkloadSpec::paper_list());
+    let ks = [4u32, 10, 20, 50];
+    let mut results = Vec::new();
+    let mut table = Table::new(
+        "Ablation — DTA anchor period K (List, ops/s | garbage nodes)",
+        &["threads", "K=4", "K=10", "K=20", "K=50"],
+    );
+    for threads in [1usize, 2, 4, 8, 16] {
+        if threads > opts.max_threads {
+            continue;
+        }
+        let mut row = vec![threads.to_string()];
+        for &k in &ks {
+            let mut config = opts.config(spec.clone(), Scheme::Dta, threads);
+            config.reclaim_config.dta_k = k;
+            let r = run(&config);
+            row.push(format!("{} | {}", fmt_ops(r.ops_per_sec), r.garbage));
+            results.push(r);
+        }
+        table.row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    table.print();
+    persist(&opts.out, "ablation_dta_k", &results, &[table]);
+    results
+}
+
+/// Extra workload beyond the paper's figures: the Algorithm 3 red-black
+/// tree under a read-dominated mix.
+pub fn extra_rbtree(opts: &BenchOpts) -> Vec<RunResult> {
+    throughput_figure(
+        opts,
+        "extra_rbtree",
+        "Extra — RbTree: 10K keys, 10% mutations (ops/s vs threads)",
+        opts.spec(WorkloadSpec::extra_rbtree()),
+        &[
+            Scheme::None,
+            Scheme::Hazard,
+            Scheme::Epoch,
+            Scheme::StackTrack,
+        ],
+    )
+}
+
+/// Runs every figure and ablation.
+pub fn all(opts: &BenchOpts) {
+    eprintln!("fig1-list");
+    fig1_list(opts);
+    eprintln!("fig1-skiplist");
+    fig1_skiplist(opts);
+    eprintln!("fig2-queue");
+    fig2_queue(opts);
+    eprintln!("fig2-hash");
+    fig2_hash(opts);
+    eprintln!("fig3+fig4");
+    fig3_fig4(opts);
+    eprintln!("fig5-slowpath");
+    fig5_slowpath(opts);
+    eprintln!("scan-overhead");
+    scan_overhead(opts);
+    eprintln!("ablation-predictor");
+    ablation_predictor(opts);
+    eprintln!("ablation-regfile");
+    ablation_regfile(opts);
+    eprintln!("ablation-scanmode");
+    ablation_scanmode(opts);
+    eprintln!("ablation-refcount");
+    ablation_refcount(opts);
+    eprintln!("ablation-dta-k");
+    ablation_dta_k(opts);
+    eprintln!("extra-rbtree");
+    extra_rbtree(opts);
+}

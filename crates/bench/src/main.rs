@@ -1,0 +1,103 @@
+//! `st-bench`: regenerates the StackTrack evaluation.
+//!
+//! ```text
+//! st-bench <subcommand> [--ms N] [--warmup N] [--seed N] [--scale N] [--threads N] [--out DIR]
+//!
+//! Subcommands:
+//!   fig1-list fig1-skiplist fig2-queue fig2-hash
+//!   fig3-aborts fig4-splits fig5-slowpath scan-overhead
+//!   ablation-predictor ablation-regfile ablation-scanmode ablation-refcount
+//!   extra-rbtree all
+//! ```
+//!
+//! Every subcommand prints its table(s) and writes JSON + markdown under
+//! `--out` (default `results/`). See EXPERIMENTS.md for the mapping to the
+//! paper's figures.
+
+mod experiment;
+mod figures;
+mod report;
+mod workload;
+
+use figures::BenchOpts;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: st-bench <fig1-list|fig1-skiplist|fig2-queue|fig2-hash|fig3-aborts|fig4-splits|\
+         fig5-slowpath|scan-overhead|ablation-predictor|ablation-regfile|ablation-scanmode|\
+         ablation-refcount|extra-rbtree|all> [--ms N] [--seed N] [--scale N] [--threads N] [--out DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        return usage();
+    };
+
+    let mut opts = BenchOpts::default();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        fn parse_int(flag: &str, value: &str) -> Result<u64, ExitCode> {
+            value.parse().map_err(|_| {
+                eprintln!("{flag} takes an integer, got {value:?}");
+                usage()
+            })
+        }
+        match flag {
+            "--ms" => match parse_int(flag, value) {
+                Ok(v) => opts.duration_ms = v,
+                Err(code) => return code,
+            },
+            "--seed" => match parse_int(flag, value) {
+                Ok(v) => opts.seed = v,
+                Err(code) => return code,
+            },
+            "--scale" => match parse_int(flag, value) {
+                Ok(v) => opts.scale = v,
+                Err(code) => return code,
+            },
+            "--threads" => match parse_int(flag, value) {
+                Ok(v) => opts.max_threads = v as usize,
+                Err(code) => return code,
+            },
+            "--warmup" => match parse_int(flag, value) {
+                Ok(v) => opts.warmup_ms = v,
+                Err(code) => return code,
+            },
+            "--out" => opts.out = PathBuf::from(value),
+            other => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+        }
+        i += 2;
+    }
+
+    match cmd.as_str() {
+        "fig1-list" => drop(figures::fig1_list(&opts)),
+        "fig1-skiplist" => drop(figures::fig1_skiplist(&opts)),
+        "fig2-queue" => drop(figures::fig2_queue(&opts)),
+        "fig2-hash" => drop(figures::fig2_hash(&opts)),
+        "fig3-aborts" | "fig4-splits" | "fig3-fig4" => drop(figures::fig3_fig4(&opts)),
+        "fig5-slowpath" => drop(figures::fig5_slowpath(&opts)),
+        "scan-overhead" => drop(figures::scan_overhead(&opts)),
+        "ablation-predictor" => drop(figures::ablation_predictor(&opts)),
+        "ablation-regfile" => drop(figures::ablation_regfile(&opts)),
+        "ablation-scanmode" => drop(figures::ablation_scanmode(&opts)),
+        "ablation-refcount" => drop(figures::ablation_refcount(&opts)),
+        "ablation-dta-k" => drop(figures::ablation_dta_k(&opts)),
+        "extra-rbtree" => drop(figures::extra_rbtree(&opts)),
+        "all" => figures::all(&opts),
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

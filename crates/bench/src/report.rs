@@ -1,0 +1,134 @@
+//! Table rendering and result persistence.
+
+use crate::experiment::RunResult;
+use std::fs;
+use std::path::Path;
+
+/// A printable/markdown-able table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Prints an aligned text table to stdout.
+    pub fn print(&self) {
+        println!("\n## {}\n", self.title);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        println!("{}", header.join("  "));
+        println!("{}", "-".repeat(header.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+    }
+
+    /// Renders the table as GitHub markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Formats a throughput in ops/s with engineering notation.
+pub fn fmt_ops(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Formats a float with two decimals.
+pub fn fmt_f(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Persists raw results as JSON lines under `out_dir/name.json` and the
+/// rendered table as markdown under `out_dir/name.md`.
+pub fn persist(out_dir: &Path, name: &str, results: &[RunResult], tables: &[Table]) {
+    fs::create_dir_all(out_dir).expect("create results directory");
+    let json: Vec<String> = results
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("serialize result"))
+        .collect();
+    fs::write(out_dir.join(format!("{name}.json")), json.join("\n") + "\n")
+        .expect("write results json");
+    let md: String = tables.iter().map(Table::to_markdown).collect();
+    fs::write(out_dir.join(format!("{name}.md")), md).expect("write results markdown");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn ops_formatting() {
+        assert_eq!(fmt_ops(12.0), "12");
+        assert_eq!(fmt_ops(1_500.0), "1.5K");
+        assert_eq!(fmt_ops(2_300_000.0), "2.30M");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

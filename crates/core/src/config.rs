@@ -1,0 +1,85 @@
+//! StackTrack configuration knobs.
+
+/// How `SCAN_AND_FREE` inspects thread contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Algorithm 1 as printed: for every free candidate, walk every
+    /// thread's stack and registers.
+    Linear,
+    /// The section 5.2 optimization: walk every thread once, hashing all
+    /// scanned words, then probe each candidate against the hash set.
+    Hashed,
+}
+
+/// Tunable parameters of the StackTrack runtime.
+///
+/// Defaults follow the paper: initial split length 50 basic blocks,
+/// limits adjusted by one after 5 consecutive aborts/commits, scans
+/// amortized over batches of frees ("the cost of the global scan becomes
+/// negligible ... when it executes once per every 10 free memory calls").
+#[derive(Debug, Clone)]
+pub struct StConfig {
+    /// Initial segment length, in basic blocks (paper: 50).
+    pub initial_split_length: u32,
+    /// Lower bound on segment length.
+    pub min_split_length: u32,
+    /// Upper bound on segment length.
+    pub max_split_length: u32,
+    /// Consecutive aborts of one segment before its limit shrinks by 1.
+    pub abort_streak: u32,
+    /// Consecutive commits of one segment before its limit grows by 1.
+    pub commit_streak: u32,
+    /// Free-set size that triggers `SCAN_AND_FREE` (paper's `max_free`).
+    pub max_free: usize,
+    /// Consecutive failures of a length-1 segment before the operation
+    /// falls back to the software slow path.
+    pub slow_fail_threshold: u32,
+    /// Probability that an operation is forced onto the slow path at start
+    /// (the Figure 5 experiment; 0.0 in normal operation).
+    pub forced_slow_prob: f64,
+    /// Scan strategy.
+    pub scan_mode: ScanMode,
+    /// Resolve interior pointers during scans via heap range queries
+    /// (section 5.5). Costs a range query per scanned word.
+    pub interior_pointers: bool,
+    /// Expose the register file at segment commits. Disabling this is an
+    /// ablation; safety is carried by the shadow stack slots.
+    pub expose_registers: bool,
+    /// Words inspected per scheduler step during a scan (scan
+    /// interruptibility granularity).
+    pub scan_chunk_words: u64,
+}
+
+impl Default for StConfig {
+    fn default() -> Self {
+        Self {
+            initial_split_length: 50,
+            min_split_length: 1,
+            max_split_length: 200,
+            abort_streak: 5,
+            commit_streak: 5,
+            max_free: 10,
+            slow_fail_threshold: 3,
+            forced_slow_prob: 0.0,
+            scan_mode: ScanMode::Linear,
+            interior_pointers: false,
+            expose_registers: true,
+            scan_chunk_words: 24,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = StConfig::default();
+        assert_eq!(c.initial_split_length, 50);
+        assert_eq!(c.abort_streak, 5);
+        assert_eq!(c.commit_streak, 5);
+        assert_eq!(c.min_split_length, 1);
+        assert_eq!(c.forced_slow_prob, 0.0);
+    }
+}

@@ -1,0 +1,518 @@
+//! `SCAN_AND_FREE`: the stack/register scanning reclaimer (Algorithm 1).
+//!
+//! A `ScanJob` inspects every registered thread's exposed state for
+//! references to a batch of free candidates, then frees the unreferenced
+//! ones through [`st_simhtm::HtmEngine::free_object`] (which dooms any
+//! in-flight transaction still holding the node in its data set).
+//!
+//! The job is a resumable state machine: each `ScanJob::advance` call
+//! inspects a bounded number of words, so scans interleave with other
+//! threads in the discrete-event simulator exactly like the paper's
+//! non-transactional `FREE` interleaves with running threads. That is what
+//! makes the split-counter consistency protocol observable: if the
+//! inspected thread commits a segment between two chunks of its
+//! inspection, `splits` moves and the inspection restarts (unless
+//! `oper_counter` moved too, in which case the operation finished and the
+//! thread holds no protected references).
+//!
+//! Word comparison strips the low three tag bits (lock-free structures
+//! store Harris marks there), and optionally resolves interior pointers
+//! through the heap's allocation-table range query (section 5.5).
+
+use crate::config::ScanMode;
+use crate::layout::{
+    OFF_ACTIVE, OFF_OPER_COUNTER, OFF_REFSET, OFF_REFSET_COUNT, OFF_REGISTERS, OFF_SPLITS,
+    OFF_STACK, OFF_STACK_DEPTH, REG_SLOTS,
+};
+use crate::runtime::StRuntime;
+use crate::stats::StThreadStats;
+use st_machine::Cpu;
+use st_simheap::tagged::TAG_MASK;
+use st_simheap::{Addr, Word};
+use std::collections::HashSet;
+
+/// One thread inspection in progress.
+#[derive(Debug)]
+struct Inspection {
+    ctx: Addr,
+    oper_pre: Word,
+    htm_pre: Word,
+    depth: u64,
+    refset_len: u64,
+    cursor: u64,
+    found: bool,
+}
+
+impl Inspection {
+    fn total_words(&self) -> u64 {
+        self.depth + REG_SLOTS as u64 + self.refset_len
+    }
+
+    fn word_offset(&self, i: u64) -> u64 {
+        if i < self.depth {
+            OFF_STACK + i
+        } else if i < self.depth + REG_SLOTS as u64 {
+            OFF_REGISTERS + (i - self.depth)
+        } else {
+            OFF_REFSET + (i - self.depth - REG_SLOTS as u64)
+        }
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    /// Algorithm 1: per candidate, walk all threads.
+    Linear {
+        cand: usize,
+        thread: usize,
+        insp: Option<Inspection>,
+        found: bool,
+    },
+    /// Section 5.2 optimization, phase 1: hash every thread's words once.
+    HashedCollect {
+        thread: usize,
+        insp: Option<Inspection>,
+    },
+    /// Section 5.2 optimization, phase 2: probe candidates.
+    HashedJudge {
+        cand: usize,
+    },
+    Finished,
+}
+
+/// A resumable `SCAN_AND_FREE` over a batch of candidates.
+#[derive(Debug)]
+pub(crate) struct ScanJob {
+    candidates: Vec<Addr>,
+    state: State,
+    slow_active: bool,
+    interior: bool,
+    chunk: u64,
+    table: HashSet<Word>,
+    survivors: Vec<Addr>,
+}
+
+impl ScanJob {
+    /// Builds a job over `candidates` (all already unlinked).
+    pub(crate) fn new(rt: &StRuntime, cpu: &mut Cpu, candidates: Vec<Addr>) -> Self {
+        debug_assert!(!candidates.is_empty());
+        // Check the global slow-path counter once, up front (paper 5.4).
+        let slow_active = rt.heap().load(cpu, rt.slow_count, 0) != 0;
+        let state = match rt.config.scan_mode {
+            ScanMode::Linear => State::Linear {
+                cand: 0,
+                thread: 0,
+                insp: None,
+                found: false,
+            },
+            ScanMode::Hashed => State::HashedCollect {
+                thread: 0,
+                insp: None,
+            },
+        };
+        Self {
+            candidates,
+            state,
+            slow_active,
+            interior: rt.config.interior_pointers,
+            chunk: rt.config.scan_chunk_words.max(1),
+            table: HashSet::new(),
+            survivors: Vec::new(),
+        }
+    }
+
+    /// Runs one bounded chunk of the scan; returns `true` when the job is
+    /// complete and [`ScanJob::take_survivors`] may be called.
+    pub(crate) fn advance(
+        &mut self,
+        rt: &StRuntime,
+        cpu: &mut Cpu,
+        stats: &mut StThreadStats,
+    ) -> bool {
+        let started = cpu.now();
+        let done = self.advance_inner(rt, cpu, stats);
+        stats.scan_cycles += cpu.now() - started;
+        done
+    }
+
+    fn advance_inner(&mut self, rt: &StRuntime, cpu: &mut Cpu, stats: &mut StThreadStats) -> bool {
+        match &mut self.state {
+            State::Linear {
+                cand,
+                thread,
+                insp,
+                found,
+            } => {
+                let Some(&target) = self.candidates.get(*cand) else {
+                    self.state = State::Finished;
+                    return true;
+                };
+                if *found || *thread >= rt.max_threads() {
+                    // Verdict for this candidate.
+                    if *found {
+                        self.survivors.push(target);
+                        stats.survivors += 1;
+                    } else {
+                        rt.engine.free_object(cpu, target);
+                        stats.frees_completed += 1;
+                    }
+                    *cand += 1;
+                    *thread = 0;
+                    *found = false;
+                    *insp = None;
+                    return false;
+                }
+                let interior = self.interior;
+                match step_inspection(
+                    rt,
+                    cpu,
+                    stats,
+                    insp,
+                    *thread,
+                    self.slow_active,
+                    self.chunk,
+                    &mut |rt, cpu, word| matches_candidate(rt, cpu, interior, target, word),
+                ) {
+                    InspectStep::Skip | InspectStep::ThreadDone { hit: false } => {
+                        *thread += 1;
+                        *insp = None;
+                    }
+                    InspectStep::ThreadDone { hit: true } => {
+                        *found = true;
+                        *insp = None;
+                    }
+                    InspectStep::InProgress => {}
+                }
+                false
+            }
+            State::HashedCollect { thread, insp } => {
+                if *thread >= rt.max_threads() {
+                    self.state = State::HashedJudge { cand: 0 };
+                    return false;
+                }
+                let interior = self.interior;
+                let table = &mut self.table;
+                match step_inspection(
+                    rt,
+                    cpu,
+                    stats,
+                    insp,
+                    *thread,
+                    self.slow_active,
+                    self.chunk,
+                    &mut |rt, cpu, word| {
+                        let stripped = word & !TAG_MASK;
+                        table.insert(stripped);
+                        if interior {
+                            if let Some(base) = resolve_base(rt, cpu, stripped) {
+                                table.insert(base.raw());
+                            }
+                        }
+                        false // collection never "hits"
+                    },
+                ) {
+                    InspectStep::Skip | InspectStep::ThreadDone { .. } => {
+                        *thread += 1;
+                        *insp = None;
+                    }
+                    InspectStep::InProgress => {}
+                }
+                false
+            }
+            State::HashedJudge { cand } => {
+                let Some(&target) = self.candidates.get(*cand) else {
+                    self.state = State::Finished;
+                    return true;
+                };
+                if self.table.contains(&target.raw()) {
+                    self.survivors.push(target);
+                    stats.survivors += 1;
+                } else {
+                    rt.engine.free_object(cpu, target);
+                    stats.frees_completed += 1;
+                }
+                *cand += 1;
+                false
+            }
+            State::Finished => true,
+        }
+    }
+
+    /// Candidates that survived (a reference was found); the caller puts
+    /// them back in its free set.
+    pub(crate) fn take_survivors(&mut self) -> Vec<Addr> {
+        debug_assert!(matches!(self.state, State::Finished));
+        std::mem::take(&mut self.survivors)
+    }
+}
+
+enum InspectStep {
+    /// Thread slot empty or idle; move on.
+    Skip,
+    /// Inspection completed consistently; `hit` is the match verdict.
+    ThreadDone { hit: bool },
+    /// Chunk budget exhausted; call again.
+    InProgress,
+}
+
+/// Advances the inspection of one thread by one chunk, applying the
+/// Algorithm 1 consistency protocol.
+#[allow(clippy::too_many_arguments)]
+fn step_inspection(
+    rt: &StRuntime,
+    cpu: &mut Cpu,
+    stats: &mut StThreadStats,
+    insp: &mut Option<Inspection>,
+    thread: usize,
+    slow_active: bool,
+    chunk: u64,
+    visit: &mut dyn FnMut(&StRuntime, &mut Cpu, Word) -> bool,
+) -> InspectStep {
+    let heap = rt.heap();
+    let current = match insp {
+        Some(i) => i,
+        None => {
+            let Some(ctx) = rt.ctx_of(thread) else {
+                return InspectStep::Skip;
+            };
+            // Idle threads hold no protected references and are skipped
+            // ("a scan does not always need to consider all threads").
+            if heap.load(cpu, ctx, OFF_ACTIVE) == 0 {
+                return InspectStep::Skip;
+            }
+            let oper_pre = heap.load(cpu, ctx, OFF_OPER_COUNTER);
+            let htm_pre = heap.load(cpu, ctx, OFF_SPLITS);
+            let depth = heap.load(cpu, ctx, OFF_STACK_DEPTH);
+            let refset_len = if slow_active {
+                heap.load(cpu, ctx, OFF_REFSET_COUNT)
+            } else {
+                0
+            };
+            stats.threads_inspected += 1;
+            insp.insert(Inspection {
+                ctx,
+                oper_pre,
+                htm_pre,
+                depth,
+                refset_len,
+                cursor: 0,
+                found: false,
+            })
+        }
+    };
+
+    let total = current.total_words();
+    let end = (current.cursor + chunk).min(total);
+    while current.cursor < end {
+        let off = current.word_offset(current.cursor);
+        let word = heap.load(cpu, current.ctx, off);
+        stats.scan_words += 1;
+        current.cursor += 1;
+        if visit(rt, cpu, word) {
+            current.found = true;
+            // A hit is conservative regardless of concurrent commits; no
+            // need to finish or revalidate this thread.
+            return InspectStep::ThreadDone { hit: true };
+        }
+    }
+    if current.cursor < total {
+        return InspectStep::InProgress;
+    }
+
+    // Consistency check (Algorithm 1, lines 23-29): if the thread committed
+    // another segment while we scanned — and is still in the same
+    // operation — the snapshot may be torn; restart the inspection.
+    let htm_post = heap.load(cpu, current.ctx, OFF_SPLITS);
+    let oper_post = heap.load(cpu, current.ctx, OFF_OPER_COUNTER);
+    if current.oper_pre == oper_post && current.htm_pre != htm_post {
+        stats.scan_retries += 1;
+        *insp = None;
+        return InspectStep::InProgress;
+    }
+    InspectStep::ThreadDone { hit: false }
+}
+
+/// Whether `word` references `target`, stripping tag bits and optionally
+/// resolving interior pointers.
+fn matches_candidate(
+    rt: &StRuntime,
+    cpu: &mut Cpu,
+    interior: bool,
+    target: Addr,
+    word: Word,
+) -> bool {
+    let stripped = word & !TAG_MASK;
+    if stripped == target.raw() {
+        return true;
+    }
+    if interior {
+        if let Some(base) = resolve_base(rt, cpu, stripped) {
+            return base == target;
+        }
+    }
+    false
+}
+
+/// Range query against the allocation table (the paper's `malloc` hook),
+/// charged as a couple of dependent loads.
+fn resolve_base(rt: &StRuntime, cpu: &mut Cpu, stripped: Word) -> Option<Addr> {
+    cpu.charge(cpu.costs.load * 2);
+    rt.heap().object_base(stripped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StConfig;
+    use crate::layout::{OFF_ACTIVE, OFF_STACK, OFF_STACK_DEPTH};
+    use crate::runtime::StRuntime;
+    use st_simheap::{Heap, HeapConfig};
+    use st_simhtm::{HtmConfig, HtmEngine};
+    use std::sync::Arc;
+
+    fn runtime(mode: ScanMode, interior: bool, chunk: u64) -> Arc<StRuntime> {
+        let heap = Arc::new(Heap::new(HeapConfig {
+            capacity_words: 1 << 18,
+            ..HeapConfig::default()
+        }));
+        let engine = Arc::new(HtmEngine::new(heap, HtmConfig::default(), 4));
+        StRuntime::new(
+            engine,
+            StConfig {
+                scan_mode: mode,
+                interior_pointers: interior,
+                scan_chunk_words: chunk,
+                ..StConfig::default()
+            },
+            4,
+        )
+    }
+
+    /// Registers a thread and plants `refs` in its committed shadow stack.
+    fn plant(rt: &Arc<StRuntime>, slot: usize, refs: &[u64]) -> Addr {
+        let th = rt.register_thread(slot);
+        let ctx = th.ctx_addr();
+        let heap = rt.heap();
+        heap.poke(ctx, OFF_ACTIVE, 1);
+        heap.poke(ctx, OFF_STACK_DEPTH, refs.len() as u64);
+        for (i, &r) in refs.iter().enumerate() {
+            heap.poke(ctx, OFF_STACK + i as u64, r);
+        }
+        std::mem::forget(th); // keep the registration alive for the test
+        ctx
+    }
+
+    fn drive(rt: &Arc<StRuntime>, candidates: Vec<Addr>) -> Vec<Addr> {
+        let mut cpu = rt.test_cpu(3);
+        let mut job = ScanJob::new(rt, &mut cpu, candidates);
+        let mut stats = StThreadStats::default();
+        let mut rounds = 0;
+        while !job.advance(rt, &mut cpu, &mut stats) {
+            rounds += 1;
+            assert!(rounds < 100_000, "scan must terminate");
+        }
+        job.take_survivors()
+    }
+
+    #[test]
+    fn unreferenced_candidates_are_freed_referenced_survive() {
+        for mode in [ScanMode::Linear, ScanMode::Hashed] {
+            let rt = runtime(mode, false, 4);
+            let heap = rt.heap().clone();
+            let held = heap.alloc_untimed(2).unwrap();
+            let loose = heap.alloc_untimed(2).unwrap();
+            plant(&rt, 0, &[held.raw()]);
+
+            let survivors = drive(&rt, vec![held, loose]);
+            assert_eq!(survivors, vec![held], "{mode:?}");
+            assert!(heap.is_live(held), "{mode:?}");
+            assert!(!heap.is_live(loose), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn tagged_references_protect_their_base() {
+        let rt = runtime(ScanMode::Linear, false, 8);
+        let heap = rt.heap().clone();
+        let node = heap.alloc_untimed(2).unwrap();
+        plant(&rt, 0, &[node.raw() | 1]); // Harris-marked pointer
+
+        let survivors = drive(&rt, vec![node]);
+        assert_eq!(survivors, vec![node]);
+    }
+
+    #[test]
+    fn inactive_threads_are_skipped() {
+        let rt = runtime(ScanMode::Linear, false, 8);
+        let heap = rt.heap().clone();
+        let node = heap.alloc_untimed(2).unwrap();
+        let ctx = plant(&rt, 0, &[node.raw()]);
+        heap.poke(ctx, OFF_ACTIVE, 0); // idle: its stale slot is ignored
+
+        let survivors = drive(&rt, vec![node]);
+        assert!(survivors.is_empty());
+        assert!(!heap.is_live(node));
+    }
+
+    #[test]
+    fn interior_pointers_need_the_range_query() {
+        for (interior, expect_live) in [(true, true), (false, false)] {
+            let rt = runtime(ScanMode::Linear, interior, 8);
+            let heap = rt.heap().clone();
+            let arr = heap.alloc_untimed(16).unwrap();
+            plant(&rt, 0, &[arr.offset(7).raw()]);
+
+            let survivors = drive(&rt, vec![arr]);
+            assert_eq!(survivors.len(), usize::from(expect_live), "{interior}");
+            assert_eq!(heap.is_live(arr), expect_live, "{interior}");
+        }
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_the_verdict() {
+        // The scan is resumable at any chunk granularity; the outcome is
+        // identical (single-threaded: no concurrent commits).
+        let mut baseline = None;
+        for chunk in [1u64, 3, 7, 64] {
+            let rt = runtime(ScanMode::Linear, false, chunk);
+            let heap = rt.heap().clone();
+            let a = heap.alloc_untimed(2).unwrap();
+            let b = heap.alloc_untimed(2).unwrap();
+            let c = heap.alloc_untimed(2).unwrap();
+            plant(&rt, 0, &[a.raw(), 0, 0, c.raw()]);
+            plant(&rt, 1, &[]);
+
+            let mut survivors = drive(&rt, vec![a, b, c]);
+            survivors.sort();
+            let fingerprint = survivors.len();
+            assert_eq!(survivors, vec![a, c], "chunk {chunk}");
+            match baseline {
+                None => baseline = Some(fingerprint),
+                Some(f) => assert_eq!(f, fingerprint, "chunk {chunk}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_mode_collects_once_for_many_candidates() {
+        // With N candidates, hashed mode's inspected word count stays flat
+        // while linear mode's grows with N.
+        let count_words = |mode: ScanMode, n: u64| {
+            let rt = runtime(mode, false, 64);
+            let heap = rt.heap().clone();
+            plant(&rt, 0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+            let candidates: Vec<Addr> = (0..n).map(|_| heap.alloc_untimed(2).unwrap()).collect();
+            let mut cpu = rt.test_cpu(3);
+            let mut job = ScanJob::new(&rt, &mut cpu, candidates);
+            let mut stats = StThreadStats::default();
+            while !job.advance(&rt, &mut cpu, &mut stats) {}
+            stats.scan_words
+        };
+        let linear_1 = count_words(ScanMode::Linear, 1);
+        let linear_8 = count_words(ScanMode::Linear, 8);
+        let hashed_1 = count_words(ScanMode::Hashed, 1);
+        let hashed_8 = count_words(ScanMode::Hashed, 8);
+        assert!(linear_8 >= 8 * linear_1, "linear scales with candidates");
+        assert_eq!(hashed_8, hashed_1, "hashed walks the stacks once");
+    }
+}

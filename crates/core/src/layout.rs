@@ -1,0 +1,86 @@
+//! Shared-memory layout of per-thread contexts.
+//!
+//! Each registered thread owns a context block in the simulated heap — the
+//! analog of the paper's `ctx` structure plus the thread's scannable state:
+//! exposed registers, shadow stack frame, staged retires, and the
+//! slow-path reference set. Reclaimers find contexts through the global
+//! *activity array* (one word per thread slot holding the context address).
+//!
+//! All words a scanner reads live here; all words only the owner touches
+//! are Rust-side mirrors in [`crate::thread::StThread`].
+
+/// Exposed register file size, in words.
+pub const REG_SLOTS: usize = 8;
+
+/// Shadow stack frame capacity, in words (the deepest operation in this
+/// repository — the skip list — uses two pointer arrays of
+/// `MAX_LEVEL` each plus scratch).
+pub const STACK_SLOTS: usize = 48;
+
+/// Staged-retire buffer capacity (retires force a segment commit, so at
+/// most a handful accumulate per segment).
+pub const STAGED_CAP: usize = 8;
+
+/// Slow-path reference set capacity, in words. The slow path records every
+/// *distinct* value it reads during one operation (it is a set, as in the
+/// paper's Algorithm 5); sized for a full walk of the longest benchmark
+/// structure.
+pub const REFSET_CAP: usize = 16384;
+
+/// Offset of the "inside an operation" flag.
+pub const OFF_ACTIVE: u64 = 0;
+/// Offset of the current operation id.
+pub const OFF_OP_ID: u64 = 1;
+/// Offset of the completed-operations counter (Algorithm 1's
+/// `oper_counter`).
+pub const OFF_OPER_COUNTER: u64 = 2;
+/// Offset of the committed-segments counter (Algorithm 1's `splits`).
+pub const OFF_SPLITS: u64 = 3;
+/// Offset of the current shadow stack depth, in words.
+pub const OFF_STACK_DEPTH: u64 = 4;
+/// Offset of the "on the slow path" flag.
+pub const OFF_SLOW_FLAG: u64 = 5;
+/// Offset of the slow-path reference set length.
+pub const OFF_REFSET_COUNT: u64 = 6;
+/// Offset of the staged-retire count.
+pub const OFF_STAGED_COUNT: u64 = 7;
+/// Offset of the exposed register file.
+pub const OFF_REGISTERS: u64 = 8;
+/// Offset of the shadow stack frame.
+pub const OFF_STACK: u64 = OFF_REGISTERS + REG_SLOTS as u64;
+/// Offset of the staged-retire buffer.
+pub const OFF_STAGED: u64 = OFF_STACK + STACK_SLOTS as u64;
+/// Offset of the slow-path reference set.
+pub const OFF_REFSET: u64 = OFF_STAGED + STAGED_CAP as u64;
+/// Total context block size, in words.
+pub const CTX_WORDS: usize = OFF_REFSET as usize + REFSET_CAP;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        assert_eq!(OFF_REGISTERS, 8);
+        assert_eq!(OFF_STACK, OFF_REGISTERS + REG_SLOTS as u64);
+        assert_eq!(OFF_STAGED, OFF_STACK + STACK_SLOTS as u64);
+        assert_eq!(OFF_REFSET, OFF_STAGED + STAGED_CAP as u64);
+        assert_eq!(CTX_WORDS as u64, OFF_REFSET + REFSET_CAP as u64);
+    }
+
+    #[test]
+    fn header_fits_before_registers() {
+        for off in [
+            OFF_ACTIVE,
+            OFF_OP_ID,
+            OFF_OPER_COUNTER,
+            OFF_SPLITS,
+            OFF_STACK_DEPTH,
+            OFF_SLOW_FLAG,
+            OFF_REFSET_COUNT,
+            OFF_STAGED_COUNT,
+        ] {
+            assert!(off < OFF_REGISTERS);
+        }
+    }
+}

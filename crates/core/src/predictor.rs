@@ -1,0 +1,193 @@
+//! Dynamic split-length predictor (paper section 5.3).
+//!
+//! Every *segment* — identified by (operation id, split index) — has its own
+//! length limit, in basic blocks. Limits start high (50), shrink by one
+//! after a streak of consecutive aborts, and grow by one after a streak of
+//! consecutive commits, converging to "a segment length that matches the
+//! capacity of the hardware and the conflict level of the software".
+
+/// Per-segment predictor entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    limit: u32,
+    abort_streak: u32,
+    commit_streak: u32,
+}
+
+/// The per-thread table of segment length limits.
+///
+/// # Examples
+///
+/// ```
+/// use stacktrack::predictor::SplitPredictor;
+///
+/// let mut p = SplitPredictor::new(50, 1, 200, 5, 5);
+/// assert_eq!(p.limit(0, 0), 50);
+/// for _ in 0..5 {
+///     p.on_abort(0, 0);
+/// }
+/// assert_eq!(p.limit(0, 0), 49);
+/// ```
+#[derive(Debug)]
+pub struct SplitPredictor {
+    initial: u32,
+    min: u32,
+    max: u32,
+    abort_streak: u32,
+    commit_streak: u32,
+    table: Vec<Vec<Entry>>,
+}
+
+impl SplitPredictor {
+    /// Creates a predictor with the given initial limit, bounds, and streak
+    /// thresholds.
+    pub fn new(initial: u32, min: u32, max: u32, abort_streak: u32, commit_streak: u32) -> Self {
+        assert!(min >= 1 && initial >= min && initial <= max);
+        assert!(abort_streak >= 1 && commit_streak >= 1);
+        Self {
+            initial,
+            min,
+            max,
+            abort_streak,
+            commit_streak,
+            table: Vec::new(),
+        }
+    }
+
+    fn entry(&mut self, op: usize, split: usize) -> &mut Entry {
+        if self.table.len() <= op {
+            self.table.resize_with(op + 1, Vec::new);
+        }
+        let row = &mut self.table[op];
+        if row.len() <= split {
+            row.resize_with(split + 1, || Entry {
+                limit: self.initial,
+                abort_streak: 0,
+                commit_streak: 0,
+            });
+        }
+        &mut row[split]
+    }
+
+    /// Current length limit of segment (`op`, `split`), in basic blocks.
+    pub fn limit(&mut self, op: usize, split: usize) -> u32 {
+        self.entry(op, split).limit
+    }
+
+    /// Records an abort of segment (`op`, `split`); after
+    /// `abort_streak` consecutive aborts the limit shrinks by one.
+    pub fn on_abort(&mut self, op: usize, split: usize) {
+        let (min, streak) = (self.min, self.abort_streak);
+        let e = self.entry(op, split);
+        e.commit_streak = 0;
+        e.abort_streak += 1;
+        if e.abort_streak >= streak {
+            e.abort_streak = 0;
+            e.limit = e.limit.saturating_sub(1).max(min);
+        }
+    }
+
+    /// Records a commit of segment (`op`, `split`); after
+    /// `commit_streak` consecutive commits the limit grows by one.
+    pub fn on_commit(&mut self, op: usize, split: usize) {
+        let (max, streak) = (self.max, self.commit_streak);
+        let e = self.entry(op, split);
+        e.abort_streak = 0;
+        e.commit_streak += 1;
+        if e.commit_streak >= streak {
+            e.commit_streak = 0;
+            e.limit = (e.limit + 1).min(max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred() -> SplitPredictor {
+        SplitPredictor::new(50, 1, 200, 5, 5)
+    }
+
+    #[test]
+    fn initial_limit_everywhere() {
+        let mut p = pred();
+        assert_eq!(p.limit(0, 0), 50);
+        assert_eq!(p.limit(3, 17), 50);
+    }
+
+    #[test]
+    fn five_consecutive_aborts_shrink() {
+        let mut p = pred();
+        for i in 0..4 {
+            p.on_abort(0, 0);
+            assert_eq!(p.limit(0, 0), 50, "after {} aborts", i + 1);
+        }
+        p.on_abort(0, 0);
+        assert_eq!(p.limit(0, 0), 49);
+    }
+
+    #[test]
+    fn commit_resets_abort_streak() {
+        let mut p = pred();
+        for _ in 0..4 {
+            p.on_abort(0, 0);
+        }
+        p.on_commit(0, 0);
+        p.on_abort(0, 0);
+        assert_eq!(p.limit(0, 0), 50, "streak must have been reset");
+    }
+
+    #[test]
+    fn five_consecutive_commits_grow() {
+        let mut p = pred();
+        for _ in 0..5 {
+            p.on_commit(0, 0);
+        }
+        assert_eq!(p.limit(0, 0), 51);
+    }
+
+    #[test]
+    fn limits_respect_bounds() {
+        let mut p = SplitPredictor::new(2, 1, 3, 1, 1);
+        p.on_abort(0, 0);
+        assert_eq!(p.limit(0, 0), 1);
+        p.on_abort(0, 0);
+        assert_eq!(p.limit(0, 0), 1, "never below min");
+        for _ in 0..10 {
+            p.on_commit(0, 0);
+        }
+        assert_eq!(p.limit(0, 0), 3, "never above max");
+    }
+
+    #[test]
+    fn segments_are_independent() {
+        let mut p = SplitPredictor::new(10, 1, 20, 1, 1);
+        p.on_abort(0, 0);
+        p.on_commit(0, 1);
+        p.on_abort(1, 0);
+        assert_eq!(p.limit(0, 0), 9);
+        assert_eq!(p.limit(0, 1), 11);
+        assert_eq!(p.limit(1, 0), 9);
+        assert_eq!(p.limit(1, 1), 10);
+    }
+
+    #[test]
+    fn converges_under_alternating_load() {
+        // A segment that aborts whenever its limit exceeds 7 must settle
+        // at 7 (the "capacity of the hardware").
+        let mut p = SplitPredictor::new(50, 1, 200, 5, 5);
+        for _ in 0..3000 {
+            if p.limit(0, 0) > 7 {
+                p.on_abort(0, 0);
+            } else {
+                p.on_commit(0, 0);
+            }
+        }
+        assert!(
+            (6..=8).contains(&p.limit(0, 0)),
+            "converged to {}",
+            p.limit(0, 0)
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-thread StackTrack statistics (Figures 4-5 and the scan table).
+
+use st_machine::Cycles;
+
+/// Counters a [`crate::StThread`] accumulates while executing operations.
+#[derive(Debug, Default, Clone)]
+pub struct StThreadStats {
+    /// Operations completed.
+    pub ops: u64,
+    /// Operations that ran (at least partly) on the slow path.
+    pub slow_ops: u64,
+    /// Operations forced onto the slow path at start (Figure 5 mode).
+    pub forced_slow_ops: u64,
+    /// Segments committed.
+    pub committed_segments: u64,
+    /// Sum of committed segment lengths, in basic blocks.
+    pub sum_segment_lengths: u64,
+    /// Sum over operations of segments committed in that operation.
+    pub sum_splits_per_op: u64,
+    /// Segment aborts observed by the split engine.
+    pub segment_aborts: u64,
+    /// Calls to `FREE` (retires reaching the free set).
+    pub free_calls: u64,
+    /// `SCAN_AND_FREE` invocations.
+    pub scans: u64,
+    /// Words inspected across all scans.
+    pub scan_words: u64,
+    /// Thread inspections restarted by the split-counter protocol.
+    pub scan_retries: u64,
+    /// Objects actually freed.
+    pub frees_completed: u64,
+    /// Candidates kept alive by a found reference (returned to the set).
+    pub survivors: u64,
+    /// Virtual cycles spent inside scans.
+    pub scan_cycles: Cycles,
+    /// Thread inspections performed.
+    pub threads_inspected: u64,
+}
+
+impl StThreadStats {
+    /// Average committed segment length, in basic blocks.
+    pub fn avg_segment_length(&self) -> f64 {
+        ratio(self.sum_segment_lengths, self.committed_segments)
+    }
+
+    /// Average committed segments ("splits") per operation.
+    pub fn avg_splits_per_op(&self) -> f64 {
+        ratio(self.sum_splits_per_op, self.ops)
+    }
+
+    /// Average words inspected per scan (the paper's "average stack depth
+    /// inspected").
+    pub fn avg_scan_depth(&self) -> f64 {
+        ratio(self.scan_words, self.scans)
+    }
+
+    /// Element-wise sum.
+    pub fn merged(&self, o: &StThreadStats) -> StThreadStats {
+        StThreadStats {
+            ops: self.ops + o.ops,
+            slow_ops: self.slow_ops + o.slow_ops,
+            forced_slow_ops: self.forced_slow_ops + o.forced_slow_ops,
+            committed_segments: self.committed_segments + o.committed_segments,
+            sum_segment_lengths: self.sum_segment_lengths + o.sum_segment_lengths,
+            sum_splits_per_op: self.sum_splits_per_op + o.sum_splits_per_op,
+            segment_aborts: self.segment_aborts + o.segment_aborts,
+            free_calls: self.free_calls + o.free_calls,
+            scans: self.scans + o.scans,
+            scan_words: self.scan_words + o.scan_words,
+            scan_retries: self.scan_retries + o.scan_retries,
+            frees_completed: self.frees_completed + o.frees_completed,
+            survivors: self.survivors + o.survivors,
+            scan_cycles: self.scan_cycles + o.scan_cycles,
+            threads_inspected: self.threads_inspected + o.threads_inspected,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_guard_division_by_zero() {
+        let s = StThreadStats::default();
+        assert_eq!(s.avg_segment_length(), 0.0);
+        assert_eq!(s.avg_splits_per_op(), 0.0);
+        assert_eq!(s.avg_scan_depth(), 0.0);
+    }
+
+    #[test]
+    fn averages_compute() {
+        let s = StThreadStats {
+            ops: 2,
+            committed_segments: 4,
+            sum_segment_lengths: 40,
+            sum_splits_per_op: 4,
+            scans: 2,
+            scan_words: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.avg_segment_length(), 10.0);
+        assert_eq!(s.avg_splits_per_op(), 2.0);
+        assert_eq!(s.avg_scan_depth(), 50.0);
+    }
+
+    #[test]
+    fn merged_sums() {
+        let a = StThreadStats {
+            ops: 1,
+            scans: 2,
+            ..Default::default()
+        };
+        let b = StThreadStats {
+            ops: 3,
+            scan_retries: 1,
+            ..Default::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.ops, 4);
+        assert_eq!(m.scans, 2);
+        assert_eq!(m.scan_retries, 1);
+    }
+}

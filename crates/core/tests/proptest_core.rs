@@ -1,0 +1,100 @@
+//! Property tests for the StackTrack core: predictor bounds and
+//! convergence, and executor robustness under arbitrary abort patterns.
+
+use proptest::prelude::*;
+use st_simheap::{Heap, HeapConfig};
+use st_simhtm::{HtmConfig, HtmEngine};
+use stacktrack::predictor::SplitPredictor;
+use stacktrack::{StConfig, StRuntime, Step};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Limits stay within [min, max] under any commit/abort sequence.
+    #[test]
+    fn predictor_limits_stay_bounded(
+        initial in 1u32..100,
+        span in 1u32..100,
+        events in prop::collection::vec((0usize..4, 0usize..8, any::<bool>()), 0..500),
+    ) {
+        let min = initial;
+        let max = initial + span;
+        let mut p = SplitPredictor::new(initial, min, max, 5, 5);
+        for (op, split, abort) in events {
+            if abort {
+                p.on_abort(op, split);
+            } else {
+                p.on_commit(op, split);
+            }
+            let l = p.limit(op, split);
+            prop_assert!(l >= min && l <= max, "limit {l} outside [{min}, {max}]");
+        }
+    }
+
+    /// A segment that deterministically aborts above a threshold and
+    /// commits at or below it converges to the threshold.
+    #[test]
+    fn predictor_converges_to_the_capacity(threshold in 2u32..40) {
+        let mut p = SplitPredictor::new(50, 1, 200, 5, 5);
+        for _ in 0..6000 {
+            if p.limit(0, 0) > threshold {
+                p.on_abort(0, 0);
+            } else {
+                p.on_commit(0, 0);
+            }
+        }
+        let l = p.limit(0, 0);
+        prop_assert!(
+            l >= threshold.saturating_sub(1) && l <= threshold + 1,
+            "converged to {l}, expected ~{threshold}"
+        );
+    }
+
+    /// Operations complete and reclaim correctly under any spurious-abort
+    /// probability (the executor's retry/fallback machinery must never
+    /// wedge or leak).
+    #[test]
+    fn executor_survives_arbitrary_abort_rates(
+        abort_prob in 0.0f64..0.9,
+        ops in 1usize..20,
+    ) {
+        let heap = Arc::new(Heap::new(HeapConfig {
+            capacity_words: 1 << 18,
+            ..HeapConfig::default()
+        }));
+        let engine = Arc::new(HtmEngine::new(
+            heap.clone(),
+            HtmConfig {
+                spurious_abort_per_access: abort_prob,
+                ..HtmConfig::default()
+            },
+            1,
+        ));
+        let rt = StRuntime::new(
+            engine,
+            StConfig {
+                initial_split_length: 4,
+                ..StConfig::default()
+            },
+            1,
+        );
+        let mut th = rt.register_thread(0);
+        let mut cpu = rt.test_cpu(0);
+        let before = heap.stats().alloc.live_objects;
+
+        for i in 0..ops {
+            let v = th.run_op(&mut cpu, 0, 1, &mut |m, cpu| {
+                let n = m.alloc(cpu, 2);
+                m.store(cpu, n, 0, i as u64)?;
+                m.set_local(cpu, 0, n.raw());
+                m.retire(cpu, n)?;
+                Ok(Step::Done(1))
+            });
+            prop_assert_eq!(v, 1);
+        }
+        th.force_full_scan(&mut cpu);
+        prop_assert_eq!(heap.stats().alloc.live_objects, before, "no leak");
+        prop_assert_eq!(rt.slow_path_count(), 0, "slow counter balanced");
+    }
+}

@@ -1,0 +1,43 @@
+//! Deterministic simulated multicore machine.
+//!
+//! The StackTrack paper evaluates on an 8-way Intel Haswell (4 cores, 2
+//! hyperthreads each) with best-effort HTM. Neither that HTM nor a real
+//! multicore is available to this reproduction, so every experiment runs on a
+//! *virtual* machine instead: simulated threads are deterministic state
+//! machines stepped by a discrete-event scheduler, and every memory/HTM
+//! event charges *virtual cycles* from a [`CostModel`]. Reported throughput
+//! is committed operations per virtual second.
+//!
+//! The model regenerates the three hardware mechanisms the paper's results
+//! hinge on:
+//!
+//! 1. **Parallelism** up to `cores * smt_per_core` hardware contexts.
+//! 2. **SMT co-tenancy**: two contexts of one core share an L1 budget; the
+//!    HTM layer queries [`Cpu::smt_pressure`] to shrink transaction capacity
+//!    (the paper's capacity-abort explosion at 5-8 threads).
+//! 3. **Preemption**: with more threads than hardware contexts, threads
+//!    time-share a context in round-robin quanta with a context-switch cost
+//!    (the paper's epoch-reclamation collapse at 9-16 threads).
+//!
+//! Everything is deterministic given [`SimConfig::seed`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod cpu;
+pub mod rng;
+pub mod sched;
+pub mod topology;
+
+pub use cost::CostModel;
+pub use cpu::{Cpu, EventCounters};
+pub use rng::Pcg32;
+pub use sched::{SimConfig, SimReport, Simulator, StepOutcome, ThreadReport, Worker};
+pub use topology::{HwContext, Topology};
+
+/// Virtual time, in CPU cycles of the simulated machine.
+pub type Cycles = u64;
+
+/// Cycles per simulated second (a 2 GHz part; only ratios matter).
+pub const CYCLES_PER_SECOND: Cycles = 2_000_000_000;

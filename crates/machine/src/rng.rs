@@ -1,0 +1,156 @@
+//! Small deterministic PRNG for simulation hot paths.
+//!
+//! The simulator must be bit-for-bit reproducible from a seed and must not
+//! pull a heavyweight dependency into every memory access, so it carries its
+//! own PCG-XSH-RR 32 generator (O'Neill, 2014). Benchmark workloads that do
+//! not sit on the hot path use the `rand` crate instead.
+
+/// A PCG-XSH-RR 32-bit pseudo-random generator with 64-bit state.
+///
+/// # Examples
+///
+/// ```
+/// use st_machine::Pcg32;
+///
+/// let mut a = Pcg32::new(42);
+/// let mut b = Pcg32::new(42);
+/// assert_eq!(a.next_u32(), b.next_u32());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Creates a generator from a seed, with the default stream.
+    pub fn new(seed: u64) -> Self {
+        Self::new_stream(seed, 0xda3e39cb94b95bdb)
+    }
+
+    /// Creates a generator from a seed on a specific stream.
+    ///
+    /// Distinct streams yield independent sequences even for equal seeds;
+    /// the simulator gives every simulated thread its own stream.
+    pub fn new_stream(seed: u64, stream: u64) -> Self {
+        let mut rng = Self {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Returns the next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Returns a uniform value in `0..bound` (`0` when `bound == 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Lemire's multiply-shift rejection method on 64 bits.
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = u128::from(x) * u128::from(bound);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+        }
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Pcg32::new(7);
+        let mut b = Pcg32::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = Pcg32::new(1);
+        let mut b = Pcg32::new(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "distinct seeds should diverge, {same} collisions");
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = Pcg32::new_stream(9, 1);
+        let mut b = Pcg32::new_stream(9, 2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = Pcg32::new(3);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX / 2] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn below_hits_every_residue() {
+        let mut rng = Pcg32::new(4);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut rng = Pcg32::new(5);
+        for _ in 0..1000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_statistics() {
+        let mut rng = Pcg32::new(6);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+}

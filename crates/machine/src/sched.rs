@@ -1,0 +1,412 @@
+//! Deterministic discrete-event scheduler.
+//!
+//! Simulated threads are state machines ([`Worker`]); one call to
+//! [`Worker::step`] executes roughly one basic block of the simulated
+//! program (the same granularity at which StackTrack injects split
+//! checkpoints). The scheduler always steps the runnable thread with the
+//! smallest virtual clock, so shared-memory interleavings are ordered by
+//! virtual time and every run is reproducible from the seed.
+//!
+//! Threads are pinned to hardware contexts ([`Topology::place`]); when a
+//! context hosts more than one thread, they round-robin with a quantum and a
+//! context-switch charge — this is how the paper's above-8-threads
+//! preemption regime (and the resulting epoch-reclamation collapse) is
+//! regenerated.
+
+use crate::cpu::ActivityBoard;
+use crate::{CostModel, Cpu, Cycles, EventCounters, HwContext, Topology, CYCLES_PER_SECOND};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// What a worker accomplished in one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Made progress inside an operation.
+    Progress,
+    /// Completed one data-structure operation (counted for throughput).
+    OpDone,
+    /// Spun without logical progress (waiting on other threads).
+    Idle,
+    /// No more work; do not step this worker again.
+    Finished,
+}
+
+/// A simulated thread body.
+///
+/// `step` must charge the virtual cycles of whatever it simulated through
+/// `cpu`; the scheduler guarantees forward progress by charging one cycle
+/// itself if a step leaves the clock untouched.
+pub trait Worker {
+    /// Executes roughly one basic block of simulated work.
+    fn step(&mut self, cpu: &mut Cpu) -> StepOutcome;
+
+    /// Called once when the simulation ends (deadline or all finished),
+    /// while the worker's `cpu` is still available.
+    fn finish(&mut self, _cpu: &mut Cpu) {}
+}
+
+impl<W: Worker + ?Sized> Worker for Box<W> {
+    fn step(&mut self, cpu: &mut Cpu) -> StepOutcome {
+        (**self).step(cpu)
+    }
+
+    fn finish(&mut self, cpu: &mut Cpu) {
+        (**self).finish(cpu)
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Machine shape.
+    pub topology: Topology,
+    /// Event costs.
+    pub costs: CostModel,
+    /// Master seed; thread PRNG streams derive from it.
+    pub seed: u64,
+    /// Virtual run length in cycles (threads stop once they pass it).
+    pub duration: Cycles,
+    /// Optional hard cap on total scheduler steps (`None` = unlimited).
+    /// When hit, the report is marked truncated instead of looping forever.
+    pub step_limit: Option<u64>,
+}
+
+impl SimConfig {
+    /// The paper's setup: Haswell topology, default costs, `duration`
+    /// virtual milliseconds.
+    pub fn haswell_ms(duration_ms: u64, seed: u64) -> Self {
+        Self {
+            topology: Topology::haswell(),
+            costs: CostModel::default(),
+            seed,
+            duration: duration_ms * (CYCLES_PER_SECOND / 1000),
+            step_limit: None,
+        }
+    }
+}
+
+/// Per-thread results.
+#[derive(Debug, Clone)]
+pub struct ThreadReport {
+    /// Operations completed before the deadline.
+    pub ops: u64,
+    /// Final virtual clock of the thread.
+    pub final_time: Cycles,
+    /// Machine event counters.
+    pub counters: EventCounters,
+}
+
+/// Whole-run results.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-thread results, indexed by thread id.
+    pub threads: Vec<ThreadReport>,
+    /// Virtual run length (cycles).
+    pub duration: Cycles,
+    /// True if the step limit cut the run short.
+    pub truncated: bool,
+}
+
+impl SimReport {
+    /// Total operations completed across all threads.
+    pub fn total_ops(&self) -> u64 {
+        self.threads.iter().map(|t| t.ops).sum()
+    }
+
+    /// Throughput in operations per virtual second.
+    pub fn ops_per_second(&self) -> f64 {
+        self.total_ops() as f64 * CYCLES_PER_SECOND as f64 / self.duration as f64
+    }
+
+    /// Sums one counter across threads via an accessor.
+    pub fn sum_counter(&self, f: impl Fn(&EventCounters) -> u64) -> u64 {
+        self.threads.iter().map(|t| f(&t.counters)).sum()
+    }
+}
+
+struct ThreadState<W> {
+    cpu: Cpu,
+    worker: W,
+    ops: u64,
+    finished: bool,
+    /// Virtual time at which this thread was last scheduled in.
+    sched_in: Cycles,
+}
+
+struct ContextState {
+    /// Run queue of indices into the thread table; front is running.
+    queue: VecDeque<usize>,
+    /// Wall clock of this hardware context.
+    wall: Cycles,
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs `workers` to the virtual deadline and returns the report plus
+    /// the workers (so callers can extract scheme-specific statistics).
+    ///
+    /// Thread `i` is pinned to hardware context `topology.place(i)`.
+    pub fn run<W: Worker>(&self, workers: Vec<W>) -> (SimReport, Vec<W>) {
+        let topo = self.config.topology;
+        let costs = Arc::new(self.config.costs.clone());
+        let board = Arc::new(ActivityBoard::new(topo.hw_contexts()));
+        let n = workers.len();
+
+        let mut threads: Vec<ThreadState<W>> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, worker)| {
+                let hw = HwContext::new(&topo, topo.place(i));
+                ThreadState {
+                    cpu: Cpu::new(i, hw, costs.clone(), board.clone(), self.config.seed),
+                    worker,
+                    ops: 0,
+                    finished: false,
+                    sched_in: 0,
+                }
+            })
+            .collect();
+
+        let mut contexts: Vec<ContextState> = (0..topo.hw_contexts())
+            .map(|_| ContextState {
+                queue: VecDeque::new(),
+                wall: 0,
+            })
+            .collect();
+        for i in 0..n {
+            contexts[topo.place(i)].queue.push_back(i);
+        }
+        for (c, ctx) in contexts.iter().enumerate() {
+            board.set_running(c, !ctx.queue.is_empty());
+        }
+
+        let deadline = self.config.duration;
+        let mut steps: u64 = 0;
+        let mut truncated = false;
+
+        loop {
+            // Pick the context whose running thread has the smallest clock
+            // and still has work before the deadline.
+            let mut best: Option<(usize, Cycles)> = None;
+            for (c, ctx) in contexts.iter().enumerate() {
+                let Some(&t) = ctx.queue.front() else {
+                    continue;
+                };
+                let now = threads[t].cpu.now();
+                if now >= deadline {
+                    continue;
+                }
+                if best.map_or(true, |(_, bt)| now < bt) {
+                    best = Some((c, now));
+                }
+            }
+            let Some((c, _)) = best else {
+                break;
+            };
+
+            if let Some(limit) = self.config.step_limit {
+                if steps >= limit {
+                    truncated = true;
+                    break;
+                }
+            }
+            steps += 1;
+
+            let t = *contexts[c].queue.front().expect("picked nonempty queue");
+            let before = threads[t].cpu.now();
+            let th = &mut threads[t];
+            let outcome = th.worker.step(&mut th.cpu);
+            if th.cpu.now() == before {
+                // Forward-progress backstop: a step always consumes time.
+                th.cpu.charge(1);
+            }
+            match outcome {
+                StepOutcome::OpDone => th.ops += 1,
+                StepOutcome::Finished => th.finished = true,
+                StepOutcome::Progress | StepOutcome::Idle => {}
+            }
+            contexts[c].wall = threads[t].cpu.now();
+
+            let done = threads[t].finished || threads[t].cpu.now() >= deadline;
+            let quantum_up = contexts[c].queue.len() > 1
+                && threads[t].cpu.now() - threads[t].sched_in >= costs.quantum;
+
+            if done {
+                contexts[c].queue.pop_front();
+                if let Some(&next) = contexts[c].queue.front() {
+                    let resume = contexts[c].wall + costs.context_switch;
+                    threads[next].cpu.advance_to(resume);
+                    threads[next].sched_in = threads[next].cpu.now();
+                    threads[next].cpu.counters.context_switches += 1;
+                } else {
+                    board.set_running(c, false);
+                }
+            } else if quantum_up {
+                contexts[c].queue.rotate_left(1);
+                let &next = contexts[c].queue.front().expect("rotated nonempty queue");
+                let resume = contexts[c].wall + costs.context_switch;
+                threads[next].cpu.advance_to(resume);
+                threads[next].sched_in = threads[next].cpu.now();
+                threads[next].cpu.counters.context_switches += 1;
+            }
+        }
+
+        let mut report_threads = Vec::with_capacity(n);
+        let mut workers_out = Vec::with_capacity(n);
+        for mut th in threads {
+            th.worker.finish(&mut th.cpu);
+            report_threads.push(ThreadReport {
+                ops: th.ops,
+                final_time: th.cpu.now(),
+                counters: th.cpu.counters.clone(),
+            });
+            workers_out.push(th.worker);
+        }
+        (
+            SimReport {
+                threads: report_threads,
+                duration: deadline,
+                truncated,
+            },
+            workers_out,
+        )
+    }
+
+    /// Convenience wrapper: builds `n` workers from a factory and runs them.
+    pub fn run_with(
+        &self,
+        n: usize,
+        mut factory: impl FnMut(usize) -> Box<dyn Worker>,
+    ) -> SimReport {
+        let workers = (0..n).map(&mut factory).collect();
+        self.run(workers).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Worker that completes an op every `per_op` charged cycles.
+    struct Clockwork {
+        per_op: Cycles,
+    }
+
+    impl Worker for Clockwork {
+        fn step(&mut self, cpu: &mut Cpu) -> StepOutcome {
+            cpu.charge(self.per_op);
+            StepOutcome::OpDone
+        }
+    }
+
+    fn config(duration: Cycles) -> SimConfig {
+        SimConfig {
+            topology: Topology::haswell(),
+            costs: CostModel::default(),
+            seed: 42,
+            duration,
+            step_limit: None,
+        }
+    }
+
+    #[test]
+    fn single_thread_throughput_is_exact() {
+        let sim = Simulator::new(config(1_000_000));
+        let report = sim.run_with(1, |_| Box::new(Clockwork { per_op: 1000 }));
+        assert_eq!(report.threads[0].ops, 1000);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn scaling_up_to_physical_contexts() {
+        // 8 independent threads on 8 contexts: 8x the single-thread total.
+        let sim = Simulator::new(config(1_000_000));
+        let r1 = sim.run_with(1, |_| Box::new(Clockwork { per_op: 1000 }));
+        let r8 = sim.run_with(8, |_| Box::new(Clockwork { per_op: 1000 }));
+        assert_eq!(r8.total_ops(), 8 * r1.total_ops());
+    }
+
+    #[test]
+    fn oversubscription_time_shares() {
+        // 16 threads on 8 contexts cannot do more total work than 8.
+        let sim = Simulator::new(config(10_000_000));
+        let r8 = sim.run_with(8, |_| Box::new(Clockwork { per_op: 1000 }));
+        let r16 = sim.run_with(16, |_| Box::new(Clockwork { per_op: 1000 }));
+        assert!(r16.total_ops() <= r8.total_ops());
+        // But both co-tenant threads must have run (round-robin fairness).
+        let ops: Vec<_> = r16.threads.iter().map(|t| t.ops).collect();
+        assert!(ops.iter().all(|&o| o > 0), "starved thread: {ops:?}");
+        // And context switches must have been charged.
+        assert!(r16.sum_counter(|c| c.context_switches) > 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let sim = Simulator::new(config(5_000_000));
+        let a = sim.run_with(6, |_| Box::new(Clockwork { per_op: 777 }));
+        let b = sim.run_with(6, |_| Box::new(Clockwork { per_op: 777 }));
+        let ops_a: Vec<_> = a.threads.iter().map(|t| t.ops).collect();
+        let ops_b: Vec<_> = b.threads.iter().map(|t| t.ops).collect();
+        assert_eq!(ops_a, ops_b);
+    }
+
+    #[test]
+    fn finished_workers_stop() {
+        struct OneShot {
+            left: u32,
+        }
+        impl Worker for OneShot {
+            fn step(&mut self, cpu: &mut Cpu) -> StepOutcome {
+                cpu.charge(10);
+                if self.left == 0 {
+                    return StepOutcome::Finished;
+                }
+                self.left -= 1;
+                StepOutcome::OpDone
+            }
+        }
+        let sim = Simulator::new(config(Cycles::MAX / 2));
+        let report = sim.run_with(3, |_| Box::new(OneShot { left: 5 }));
+        assert_eq!(report.total_ops(), 15);
+    }
+
+    #[test]
+    fn step_limit_truncates() {
+        let mut cfg = config(Cycles::MAX / 2);
+        cfg.step_limit = Some(100);
+        let sim = Simulator::new(cfg);
+        let report = sim.run_with(2, |_| Box::new(Clockwork { per_op: 1 }));
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn zero_charge_steps_still_make_progress() {
+        struct Lazy;
+        impl Worker for Lazy {
+            fn step(&mut self, _cpu: &mut Cpu) -> StepOutcome {
+                StepOutcome::Idle
+            }
+        }
+        let sim = Simulator::new(config(1_000));
+        // Must terminate: scheduler charges 1 cycle for idle steps.
+        let report = sim.run_with(1, |_| Box::new(Lazy));
+        assert_eq!(report.total_ops(), 0);
+    }
+
+    #[test]
+    fn ops_per_second_matches_hand_math() {
+        let sim = Simulator::new(config(CYCLES_PER_SECOND / 100)); // 10 ms
+        let report = sim.run_with(1, |_| Box::new(Clockwork { per_op: 20_000 }));
+        let expect = report.total_ops() as f64 * 100.0;
+        assert!((report.ops_per_second() - expect).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,149 @@
+//! Machine topology: cores, SMT contexts, and thread placement.
+
+/// Hardware topology of the simulated machine.
+///
+/// The paper's testbed is 4 cores with 2 hyperthreads each; that is the
+/// default. Threads are placed on hardware contexts the way Linux numbers
+/// sibling threads: context `c` lives on core `c % cores`, so contexts
+/// `0..cores` occupy distinct cores before SMT siblings start doubling up.
+///
+/// # Examples
+///
+/// ```
+/// use st_machine::Topology;
+///
+/// let t = Topology::haswell();
+/// assert_eq!(t.hw_contexts(), 8);
+/// assert_eq!(t.core_of(0), t.core_of(4)); // SMT siblings
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of physical cores.
+    pub cores: usize,
+    /// Hardware threads per core.
+    pub smt_per_core: usize,
+}
+
+impl Topology {
+    /// The paper's testbed: 4 cores x 2 hyperthreads.
+    pub fn haswell() -> Self {
+        Self {
+            cores: 4,
+            smt_per_core: 2,
+        }
+    }
+
+    /// A single-core machine (useful in tests).
+    pub fn unicore() -> Self {
+        Self {
+            cores: 1,
+            smt_per_core: 1,
+        }
+    }
+
+    /// Total hardware contexts (`cores * smt_per_core`).
+    pub fn hw_contexts(&self) -> usize {
+        self.cores * self.smt_per_core
+    }
+
+    /// The core a hardware context belongs to.
+    pub fn core_of(&self, ctx: usize) -> usize {
+        ctx % self.cores
+    }
+
+    /// The SMT sibling context of `ctx`, if the core has exactly two
+    /// hardware threads.
+    pub fn sibling_of(&self, ctx: usize) -> Option<usize> {
+        if self.smt_per_core != 2 {
+            return None;
+        }
+        let half = self.cores;
+        Some(if ctx < half { ctx + half } else { ctx - half })
+    }
+
+    /// The hardware context a software thread is pinned to.
+    ///
+    /// Threads fill distinct cores first, then SMT siblings, then start
+    /// time-sharing (`thread % hw_contexts`), matching how the paper's 1-16
+    /// thread sweeps behave on an 8-way machine.
+    pub fn place(&self, thread: usize) -> usize {
+        thread % self.hw_contexts()
+    }
+}
+
+/// A hardware context identifier together with its placement facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwContext {
+    /// Index of the context in `0..topology.hw_contexts()`.
+    pub id: usize,
+    /// Core the context lives on.
+    pub core: usize,
+    /// SMT sibling context, if any.
+    pub sibling: Option<usize>,
+}
+
+impl HwContext {
+    /// Resolves placement facts for context `id` under `topo`.
+    pub fn new(topo: &Topology, id: usize) -> Self {
+        Self {
+            id,
+            core: topo.core_of(id),
+            sibling: topo.sibling_of(id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_shape() {
+        let t = Topology::haswell();
+        assert_eq!(t.cores, 4);
+        assert_eq!(t.hw_contexts(), 8);
+    }
+
+    #[test]
+    fn distinct_cores_first() {
+        let t = Topology::haswell();
+        let cores: Vec<_> = (0..4).map(|th| t.core_of(t.place(th))).collect();
+        let mut sorted = cores.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "threads 0-3 must use 4 distinct cores");
+    }
+
+    #[test]
+    fn siblings_share_core() {
+        let t = Topology::haswell();
+        for ctx in 0..t.hw_contexts() {
+            let sib = t.sibling_of(ctx).unwrap();
+            assert_ne!(ctx, sib);
+            assert_eq!(t.core_of(ctx), t.core_of(sib));
+            assert_eq!(t.sibling_of(sib), Some(ctx));
+        }
+    }
+
+    #[test]
+    fn oversubscription_wraps() {
+        let t = Topology::haswell();
+        assert_eq!(t.place(8), t.place(0));
+        assert_eq!(t.place(15), t.place(7));
+    }
+
+    #[test]
+    fn unicore_has_no_sibling() {
+        let t = Topology::unicore();
+        assert_eq!(t.sibling_of(0), None);
+        assert_eq!(t.hw_contexts(), 1);
+    }
+
+    #[test]
+    fn hw_context_resolution() {
+        let t = Topology::haswell();
+        let c = HwContext::new(&t, 5);
+        assert_eq!(c.core, 1);
+        assert_eq!(c.sibling, Some(1));
+    }
+}

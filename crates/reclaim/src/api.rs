@@ -1,0 +1,70 @@
+//! The scheme-neutral executor interface.
+
+use st_machine::Cpu;
+use st_simheap::Word;
+use stacktrack::{OpBody, Step};
+
+/// A per-thread executor for one reclamation scheme.
+///
+/// Mirrors [`stacktrack::StThread`]'s step-driven surface so data
+/// structures and benchmarks drive every scheme identically: one
+/// [`SchemeThread::step_op`] call executes one basic block of the
+/// operation body.
+pub trait SchemeThread {
+    /// Starts an operation. `op_id` names the operation kind; `slots` is
+    /// the number of traced locals it uses.
+    fn begin_op(&mut self, cpu: &mut Cpu, op_id: u32, slots: usize);
+
+    /// Executes one basic block; `Some(result)` when the operation is done.
+    fn step_op(&mut self, cpu: &mut Cpu, body: &mut OpBody<'_>) -> Option<Word>;
+
+    /// Whether deferred reclamation work must run before the next
+    /// operation (StackTrack scans, epoch waits).
+    fn idle_work_pending(&self) -> bool {
+        false
+    }
+
+    /// Advances deferred reclamation work by one step.
+    fn step_idle(&mut self, _cpu: &mut Cpu) {}
+
+    /// Runs one operation to completion, draining idle work first.
+    fn run_op(&mut self, cpu: &mut Cpu, op_id: u32, slots: usize, body: &mut OpBody<'_>) -> Word {
+        while self.idle_work_pending() {
+            self.step_idle(cpu);
+        }
+        self.begin_op(cpu, op_id, slots);
+        loop {
+            if let Some(v) = self.step_op(cpu, body) {
+                return v;
+            }
+        }
+    }
+
+    /// Retired nodes not yet returned to the allocator.
+    fn outstanding_garbage(&self) -> u64;
+
+    /// StackTrack-specific statistics, when the executor is StackTrack.
+    fn st_stats(&self) -> Option<stacktrack::StThreadStats> {
+        None
+    }
+
+    /// Zeroes measurement statistics, keeping learned/reclamation state
+    /// (benchmark warm-up support).
+    fn reset_stats(&mut self) {}
+
+    /// Best-effort drain of deferred frees at teardown (every other thread
+    /// must be outside an operation for this to fully drain).
+    fn teardown(&mut self, cpu: &mut Cpu);
+
+    /// Scheme display name.
+    fn scheme_name(&self) -> &'static str;
+}
+
+/// Convenience used by baseline executors: run the body once and panic on
+/// an abort (baselines have no transactions to abort).
+pub(crate) fn expect_step(result: Result<Step, st_simhtm::Abort>) -> Step {
+    match result {
+        Ok(step) => step,
+        Err(abort) => unreachable!("abort without transactions: {abort}"),
+    }
+}

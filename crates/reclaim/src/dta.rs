@@ -1,0 +1,359 @@
+//! Drop-the-Anchor (Braginsky, Kogan, Petrank; SPAA 2013), simplified.
+//!
+//! DTA elides hazard pointers: a thread publishes an *anchor* (with the
+//! fence that makes it visible) only once every `K` pointer hops, plus one
+//! at operation start. Between anchors the thread may hold references only
+//! to nodes loaded since its previous anchor — true for linked-list
+//! traversals, whose locals lag the head of the traversal by at most two
+//! hops (the paper, like the original, applies DTA **to the linked list
+//! only**).
+//!
+//! The reclamation rule: a node retired at era `T` may be freed once every
+//! thread currently inside an operation has published **two** anchors after
+//! `T` (so even references loaded just before its latest anchor postdate
+//! the unlink), or is idle. Retires advance the era clock; anchors read it,
+//! so "after `T`" is "observed era >= T". With Harris-style physical unlinking this
+//! implies no live reference to the node can exist (see the safety sketch
+//! in DESIGN.md).
+//!
+//! Substitution note: the original recovers from *crashed* threads with a
+//! freezing protocol that rebuilds part of the list. The evaluation never
+//! kills threads, so freezing is replaced by conservative deferral — a
+//! stalled thread delays frees (and a dead one would block them), which is
+//! the same fast-path behaviour at far lower complexity.
+
+use crate::api::{expect_step, SchemeThread};
+use st_machine::Cpu;
+use st_simheap::{Addr, Heap, Word};
+use st_simhtm::Abort;
+use stacktrack::layout::STACK_SLOTS;
+use stacktrack::{OpBody, OpMem, Step};
+use std::sync::Arc;
+
+/// Words per thread in the shared DTA region.
+const SLOT_WORDS: u64 = 8;
+const OFF_ACTIVE: u64 = 0;
+const OFF_LAST_TS: u64 = 1;
+const OFF_PREV_TS: u64 = 2;
+const OFF_ANCHOR_VAL: u64 = 3;
+
+/// Shared DTA state: per-thread anchor records and the era clock.
+#[derive(Debug)]
+pub struct DtaGlobals {
+    region: Addr,
+    era: Addr,
+    max_threads: usize,
+}
+
+impl DtaGlobals {
+    /// Allocates anchor records for `max_threads` threads.
+    pub fn new(heap: &Arc<Heap>, max_threads: usize) -> Self {
+        let region = heap
+            .alloc_untimed((max_threads as u64 * SLOT_WORDS).max(1) as usize)
+            .expect("heap too small for DTA anchors");
+        let era = heap
+            .alloc_untimed(1)
+            .expect("heap too small for the DTA era clock");
+        // Eras start at 1 so "never anchored" (0) is distinguishable.
+        heap.poke(era, 0, 1);
+        Self {
+            region,
+            era,
+            max_threads,
+        }
+    }
+
+    fn slot(&self, thread: usize, off: u64) -> u64 {
+        thread as u64 * SLOT_WORDS + off
+    }
+}
+
+/// Per-thread DTA executor.
+pub struct DtaThread {
+    globals: Arc<DtaGlobals>,
+    heap: Arc<Heap>,
+    thread_id: usize,
+    k: u32,
+    batch: usize,
+    hops: u32,
+    locals: [Word; STACK_SLOTS],
+    slots: usize,
+    active: bool,
+    limbo: Vec<(Addr, Word)>,
+    /// Anchors published (statistics).
+    pub anchors: u64,
+}
+
+impl DtaThread {
+    /// Creates the executor for thread slot `thread_id`, anchoring every
+    /// `k` pointer hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 4`: the safety argument needs the anchor period to
+    /// exceed the traversal's local-variable lag.
+    pub fn new(
+        globals: Arc<DtaGlobals>,
+        heap: Arc<Heap>,
+        thread_id: usize,
+        k: u32,
+        batch: usize,
+    ) -> Self {
+        assert!(k >= 4, "anchor period must exceed the traversal lag");
+        Self {
+            globals,
+            heap,
+            thread_id,
+            k,
+            batch,
+            hops: 0,
+            locals: [0; STACK_SLOTS],
+            slots: 0,
+            active: false,
+            limbo: Vec::new(),
+            anchors: 0,
+        }
+    }
+
+    /// Publishes an anchor: rotate the timestamps, expose the value, fence.
+    ///
+    /// Anchors only *read* the era clock (a shared read of a rarely
+    /// written line); retires advance it. A global fetch-add per anchor
+    /// would manufacture contention the real scheme does not have.
+    fn post_anchor(&mut self, cpu: &mut Cpu, value: Word) {
+        self.anchors += 1;
+        let g = &self.globals;
+        let last = self
+            .heap
+            .load(cpu, g.region, g.slot(self.thread_id, OFF_LAST_TS));
+        let now = self.heap.load(cpu, g.era, 0);
+        self.heap
+            .store(cpu, g.region, g.slot(self.thread_id, OFF_PREV_TS), last);
+        self.heap
+            .store(cpu, g.region, g.slot(self.thread_id, OFF_LAST_TS), now);
+        self.heap
+            .store(cpu, g.region, g.slot(self.thread_id, OFF_ANCHOR_VAL), value);
+        self.heap.fence(cpu);
+    }
+
+    /// Frees every limbo node that all in-operation threads have anchored
+    /// twice past; keeps the rest.
+    fn sweep(&mut self, cpu: &mut Cpu) {
+        let g = self.globals.clone();
+        // The horizon: the oldest prev-anchor among active threads.
+        let mut horizon = Word::MAX;
+        for t in 0..g.max_threads {
+            if self.heap.load(cpu, g.region, g.slot(t, OFF_ACTIVE)) == 0 {
+                continue;
+            }
+            let prev = self.heap.load(cpu, g.region, g.slot(t, OFF_PREV_TS));
+            horizon = horizon.min(prev);
+        }
+        let limbo = std::mem::take(&mut self.limbo);
+        for (node, retired_at) in limbo {
+            // An anchor ordered after retire(T) observed era >= T.
+            if retired_at <= horizon {
+                self.heap.free(cpu, node);
+            } else {
+                self.limbo.push((node, retired_at));
+            }
+        }
+    }
+}
+
+impl OpMem for DtaThread {
+    fn load(&mut self, cpu: &mut Cpu, addr: Addr, off: u64) -> Result<Word, Abort> {
+        Ok(self.heap.load(cpu, addr, off))
+    }
+
+    fn load_ptr(
+        &mut self,
+        cpu: &mut Cpu,
+        addr: Addr,
+        off: u64,
+        _guard: usize,
+    ) -> Result<Word, Abort> {
+        let v = self.heap.load(cpu, addr, off);
+        self.hops += 1;
+        if self.hops % self.k == 0 {
+            self.post_anchor(cpu, v);
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, cpu: &mut Cpu, addr: Addr, off: u64, value: Word) -> Result<(), Abort> {
+        self.heap.store(cpu, addr, off, value);
+        Ok(())
+    }
+
+    fn cas(
+        &mut self,
+        cpu: &mut Cpu,
+        addr: Addr,
+        off: u64,
+        expected: Word,
+        new: Word,
+    ) -> Result<Result<Word, Word>, Abort> {
+        Ok(self.heap.cas(cpu, addr, off, expected, new))
+    }
+
+    fn alloc(&mut self, cpu: &mut Cpu, words: usize) -> Addr {
+        self.heap
+            .alloc(cpu, words)
+            .expect("simulated heap exhausted; enlarge HeapConfig::capacity_words")
+    }
+
+    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+        // Stamp with the *new* era: an anchor ordered after this retire
+        // reads at least this value.
+        let stamp = self.heap.fetch_add(cpu, self.globals.era, 0, 1) + 1;
+        self.limbo.push((addr, stamp));
+        if self.limbo.len() > self.batch {
+            self.sweep(cpu);
+        }
+        Ok(())
+    }
+
+    fn get_local(&mut self, _cpu: &mut Cpu, slot: usize) -> Word {
+        assert!(slot < self.slots, "undeclared local slot {slot}");
+        self.locals[slot]
+    }
+
+    fn set_local(&mut self, _cpu: &mut Cpu, slot: usize, value: Word) {
+        assert!(slot < self.slots, "undeclared local slot {slot}");
+        self.locals[slot] = value;
+    }
+}
+
+impl SchemeThread for DtaThread {
+    fn begin_op(&mut self, cpu: &mut Cpu, _op_id: u32, slots: usize) {
+        assert!(!self.active, "operation already active");
+        assert!(slots <= STACK_SLOTS);
+        self.slots = slots;
+        self.locals[..slots].fill(0);
+        self.active = true;
+        self.hops = 0;
+        let g = self.globals.clone();
+        self.heap
+            .store(cpu, g.region, g.slot(self.thread_id, OFF_ACTIVE), 1);
+        // The operation-start anchor keeps short operations from pinning
+        // the horizon.
+        self.post_anchor(cpu, 0);
+    }
+
+    fn step_op(&mut self, cpu: &mut Cpu, body: &mut OpBody<'_>) -> Option<Word> {
+        assert!(self.active, "step_op without an active operation");
+        match expect_step(body(self, cpu)) {
+            Step::Continue => None,
+            Step::Done(v) => {
+                let g = self.globals.clone();
+                self.heap
+                    .store(cpu, g.region, g.slot(self.thread_id, OFF_ACTIVE), 0);
+                self.heap.fence(cpu);
+                self.active = false;
+                Some(v)
+            }
+        }
+    }
+
+    fn outstanding_garbage(&self) -> u64 {
+        self.limbo.len() as u64
+    }
+
+    fn teardown(&mut self, cpu: &mut Cpu) {
+        self.sweep(cpu);
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "DTA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{test_cpu, test_env};
+
+    fn setup(threads: usize) -> (Arc<DtaGlobals>, Arc<Heap>) {
+        let (heap, _) = test_env();
+        let globals = Arc::new(DtaGlobals::new(&heap, threads));
+        (globals, heap)
+    }
+
+    #[test]
+    fn anchors_post_every_k_hops() {
+        let (globals, heap) = setup(1);
+        let mut th = DtaThread::new(globals, heap.clone(), 0, 4, 100);
+        let mut cpu = test_cpu(0);
+        let cell = heap.alloc_untimed(1).unwrap();
+
+        th.run_op(&mut cpu, 0, 1, &mut |m, cpu| {
+            let i = m.get_local(cpu, 0);
+            if i < 12 {
+                let _ = m.load_ptr(cpu, cell, 0, 0)?;
+                m.set_local(cpu, 0, i + 1);
+                return Ok(Step::Continue);
+            }
+            Ok(Step::Done(0))
+        });
+        // One at op start + one per 4 of the 12 hops.
+        assert_eq!(th.anchors, 1 + 3);
+    }
+
+    #[test]
+    fn idle_threads_do_not_pin_the_horizon() {
+        let (globals, heap) = setup(2);
+        let mut a = DtaThread::new(globals.clone(), heap.clone(), 0, 4, 0);
+        let _b = DtaThread::new(globals, heap.clone(), 1, 4, 0);
+        let mut cpu = test_cpu(0);
+        let node = heap.alloc_untimed(2).unwrap();
+
+        // Thread 1 never runs an op (inactive): only A's own anchors
+        // matter. Retire, then anchor twice via two more ops.
+        a.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
+            m.retire(cpu, node)?;
+            Ok(Step::Done(0))
+        });
+        assert!(heap.is_live(node), "own anchors too old at retire time");
+        for _ in 0..2 {
+            a.run_op(&mut cpu, 0, 0, &mut |_, _| Ok(Step::Done(0)));
+        }
+        a.teardown(&mut cpu);
+        assert!(!heap.is_live(node));
+    }
+
+    #[test]
+    fn active_thread_with_stale_anchors_blocks_frees() {
+        let (globals, heap) = setup(2);
+        let mut a = DtaThread::new(globals.clone(), heap.clone(), 0, 4, 0);
+        let mut b = DtaThread::new(globals, heap.clone(), 1, 4, 0);
+        let mut cpu_a = test_cpu(0);
+        let mut cpu_b = test_cpu(1);
+        let node = heap.alloc_untimed(2).unwrap();
+
+        // B parks inside an operation with anchors from before the retire.
+        b.begin_op(&mut cpu_b, 0, 0);
+
+        a.run_op(&mut cpu_a, 0, 0, &mut |m, cpu| {
+            m.retire(cpu, node)?;
+            Ok(Step::Done(0))
+        });
+        for _ in 0..3 {
+            a.run_op(&mut cpu_a, 0, 0, &mut |_, _| Ok(Step::Done(0)));
+        }
+        a.teardown(&mut cpu_a);
+        assert!(heap.is_live(node), "B's stale anchors must block the free");
+
+        // B re-anchors twice (two hops cycles of K) and finishes.
+        let cell = heap.alloc_untimed(1).unwrap();
+        let mut hop = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            for _ in 0..8 {
+                let _ = m.load_ptr(cpu, cell, 0, 0)?;
+            }
+            Ok(Step::Continue)
+        };
+        b.step_op(&mut cpu_b, &mut hop);
+        a.teardown(&mut cpu_a);
+        assert!(!heap.is_live(node), "two post-retire anchors clear B");
+    }
+}

@@ -1,0 +1,380 @@
+//! Quiescence/epoch-based reclamation (the paper's "Epoch" comparator).
+//!
+//! "Every thread has a local timestamp, which it updates with every
+//! operation start and finish. Before reclaiming a node, the free procedure
+//! checks that all of the threads made progress, by taking a snapshot of
+//! these timestamps and waiting for their progress (or change)."
+//!
+//! Concretely: timestamps live in shared memory, odd while the thread is
+//! inside an operation and even while it is quiescent. A reclaimer snapshots
+//! all timestamps after its own operation completes (so waiters never wait
+//! on each other) and frees its limbo list once every snapshot entry has
+//! either moved or is even. The wait is the scheme's Achilles heel: one
+//! preempted in-operation thread freezes *every* reclaimer, which is
+//! exactly the >8-threads collapse in Figures 1 and 2.
+
+use crate::api::{expect_step, SchemeThread};
+use st_machine::Cpu;
+use st_simheap::{Addr, Heap, Word};
+use st_simhtm::Abort;
+use stacktrack::layout::STACK_SLOTS;
+use stacktrack::{OpBody, OpMem, Step};
+use std::sync::Arc;
+
+/// Words between per-thread timestamps (one cache line each, as real
+/// implementations pad to avoid false sharing).
+const TS_STRIDE: u64 = 8;
+
+/// Shared epoch state: the timestamp array.
+#[derive(Debug)]
+pub struct EpochGlobals {
+    timestamps: Addr,
+    max_threads: usize,
+}
+
+impl EpochGlobals {
+    /// Allocates the timestamp array for `max_threads` threads.
+    pub fn new(heap: &Arc<Heap>, max_threads: usize) -> Self {
+        let timestamps = heap
+            .alloc_untimed((max_threads.max(1)) * TS_STRIDE as usize)
+            .expect("heap too small for epoch timestamps");
+        Self {
+            timestamps,
+            max_threads,
+        }
+    }
+}
+
+/// A pending quiescence wait.
+#[derive(Debug)]
+struct Wait {
+    snapshot: Vec<Word>,
+    cleared: Vec<bool>,
+}
+
+/// Per-thread epoch executor.
+pub struct EpochThread {
+    globals: Arc<EpochGlobals>,
+    heap: Arc<Heap>,
+    thread_id: usize,
+    batch: usize,
+    timestamp: Word,
+    locals: [Word; STACK_SLOTS],
+    slots: usize,
+    active: bool,
+    limbo: Vec<Addr>,
+    wait: Option<Wait>,
+}
+
+impl EpochThread {
+    /// Creates the executor for thread slot `thread_id`.
+    pub fn new(
+        globals: Arc<EpochGlobals>,
+        heap: Arc<Heap>,
+        thread_id: usize,
+        batch: usize,
+    ) -> Self {
+        Self {
+            globals,
+            heap,
+            thread_id,
+            batch,
+            timestamp: 0,
+            locals: [0; STACK_SLOTS],
+            slots: 0,
+            active: false,
+            limbo: Vec::new(),
+            wait: None,
+        }
+    }
+
+    fn bump_timestamp(&mut self, cpu: &mut Cpu) {
+        self.timestamp += 1;
+        self.heap.store(
+            cpu,
+            self.globals.timestamps,
+            self.thread_id as u64 * TS_STRIDE,
+            self.timestamp,
+        );
+        self.heap.fence(cpu);
+    }
+
+    /// One round of the quiescence wait; returns `true` when finished.
+    fn wait_round(&mut self, cpu: &mut Cpu) -> bool {
+        let Some(wait) = &mut self.wait else {
+            return true;
+        };
+        let mut all_clear = true;
+        for t in 0..self.globals.max_threads {
+            if wait.cleared[t] {
+                continue;
+            }
+            let now = self
+                .heap
+                .load(cpu, self.globals.timestamps, t as u64 * TS_STRIDE);
+            // Progress, or quiescent (even), clears the thread.
+            if now != wait.snapshot[t] || now % 2 == 0 {
+                wait.cleared[t] = true;
+            } else {
+                all_clear = false;
+            }
+        }
+        if all_clear {
+            self.wait = None;
+            for node in std::mem::take(&mut self.limbo) {
+                self.heap.free(cpu, node);
+            }
+        }
+        all_clear
+    }
+
+    fn maybe_start_wait(&mut self, cpu: &mut Cpu) {
+        if self.wait.is_none() && self.limbo.len() > self.batch {
+            let snapshot: Vec<Word> = (0..self.globals.max_threads)
+                .map(|t| {
+                    self.heap
+                        .load(cpu, self.globals.timestamps, t as u64 * TS_STRIDE)
+                })
+                .collect();
+            let cleared = snapshot
+                .iter()
+                .enumerate()
+                .map(|(t, &ts)| t == self.thread_id || ts % 2 == 0)
+                .collect();
+            self.wait = Some(Wait { snapshot, cleared });
+        }
+    }
+}
+
+impl OpMem for EpochThread {
+    fn load(&mut self, cpu: &mut Cpu, addr: Addr, off: u64) -> Result<Word, Abort> {
+        Ok(self.heap.load(cpu, addr, off))
+    }
+
+    fn load_ptr(
+        &mut self,
+        cpu: &mut Cpu,
+        addr: Addr,
+        off: u64,
+        _guard: usize,
+    ) -> Result<Word, Abort> {
+        Ok(self.heap.load(cpu, addr, off))
+    }
+
+    fn store(&mut self, cpu: &mut Cpu, addr: Addr, off: u64, value: Word) -> Result<(), Abort> {
+        self.heap.store(cpu, addr, off, value);
+        Ok(())
+    }
+
+    fn cas(
+        &mut self,
+        cpu: &mut Cpu,
+        addr: Addr,
+        off: u64,
+        expected: Word,
+        new: Word,
+    ) -> Result<Result<Word, Word>, Abort> {
+        Ok(self.heap.cas(cpu, addr, off, expected, new))
+    }
+
+    fn alloc(&mut self, cpu: &mut Cpu, words: usize) -> Addr {
+        self.heap
+            .alloc(cpu, words)
+            .expect("simulated heap exhausted; enlarge HeapConfig::capacity_words")
+    }
+
+    fn retire(&mut self, _cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+        self.limbo.push(addr);
+        Ok(())
+    }
+
+    fn get_local(&mut self, _cpu: &mut Cpu, slot: usize) -> Word {
+        assert!(slot < self.slots, "undeclared local slot {slot}");
+        self.locals[slot]
+    }
+
+    fn set_local(&mut self, _cpu: &mut Cpu, slot: usize, value: Word) {
+        assert!(slot < self.slots, "undeclared local slot {slot}");
+        self.locals[slot] = value;
+    }
+}
+
+impl SchemeThread for EpochThread {
+    fn begin_op(&mut self, cpu: &mut Cpu, _op_id: u32, slots: usize) {
+        assert!(!self.active, "operation already active");
+        assert!(self.wait.is_none(), "begin_op during a quiescence wait");
+        assert!(slots <= STACK_SLOTS);
+        self.slots = slots;
+        self.locals[..slots].fill(0);
+        self.active = true;
+        self.bump_timestamp(cpu); // odd: in operation
+        debug_assert_eq!(self.timestamp % 2, 1);
+    }
+
+    fn step_op(&mut self, cpu: &mut Cpu, body: &mut OpBody<'_>) -> Option<Word> {
+        assert!(self.active, "step_op without an active operation");
+        match expect_step(body(self, cpu)) {
+            Step::Continue => None,
+            Step::Done(v) => {
+                self.active = false;
+                self.bump_timestamp(cpu); // even: quiescent
+                self.maybe_start_wait(cpu);
+                Some(v)
+            }
+        }
+    }
+
+    fn idle_work_pending(&self) -> bool {
+        self.wait.is_some()
+    }
+
+    fn step_idle(&mut self, cpu: &mut Cpu) {
+        self.wait_round(cpu);
+    }
+
+    fn outstanding_garbage(&self) -> u64 {
+        self.limbo.len() as u64
+    }
+
+    fn teardown(&mut self, cpu: &mut Cpu) {
+        if !self.limbo.is_empty() {
+            self.maybe_start_wait(cpu);
+            if self.wait.is_none() {
+                // Below the batch threshold: force a snapshot anyway.
+                let snapshot: Vec<Word> = (0..self.globals.max_threads)
+                    .map(|t| {
+                        self.heap
+                            .load(cpu, self.globals.timestamps, t as u64 * TS_STRIDE)
+                    })
+                    .collect();
+                let cleared = snapshot
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &ts)| t == self.thread_id || ts % 2 == 0)
+                    .collect();
+                self.wait = Some(Wait { snapshot, cleared });
+            }
+            // Bounded drain: if some thread never quiesces, garbage stays —
+            // that is the scheme's documented failure mode.
+            for _ in 0..1_000 {
+                if self.wait_round(cpu) {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "Epoch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{test_cpu, test_env};
+
+    fn setup(threads: usize) -> (Arc<EpochGlobals>, Arc<Heap>) {
+        let (heap, _) = test_env();
+        let globals = Arc::new(EpochGlobals::new(&heap, threads));
+        (globals, heap)
+    }
+
+    #[test]
+    fn frees_after_quiescence() {
+        let (globals, heap) = setup(2);
+        let mut a = EpochThread::new(globals.clone(), heap.clone(), 0, 0);
+        let mut b = EpochThread::new(globals, heap.clone(), 1, 0);
+        let mut cpu_a = test_cpu(0);
+        let mut cpu_b = test_cpu(1);
+
+        // B runs one full op so its timestamp is even (quiescent).
+        b.run_op(&mut cpu_b, 0, 0, &mut |_, _| Ok(Step::Done(0)));
+
+        // A retires a node; batch 0 triggers the wait at op end.
+        let node = heap.alloc_untimed(2).unwrap();
+        a.run_op(&mut cpu_a, 0, 0, &mut |m, cpu| {
+            m.retire(cpu, node)?;
+            Ok(Step::Done(0))
+        });
+        assert!(a.idle_work_pending());
+        a.step_idle(&mut cpu_a);
+        assert!(!a.idle_work_pending(), "all threads quiescent: done");
+        assert!(!heap.is_live(node));
+    }
+
+    #[test]
+    fn in_operation_thread_stalls_the_wait() {
+        let (globals, heap) = setup(2);
+        let mut a = EpochThread::new(globals.clone(), heap.clone(), 0, 0);
+        let mut b = EpochThread::new(globals, heap.clone(), 1, 0);
+        let mut cpu_a = test_cpu(0);
+        let mut cpu_b = test_cpu(1);
+
+        // B parks inside an operation (odd timestamp, never progresses).
+        b.begin_op(&mut cpu_b, 0, 0);
+
+        let node = heap.alloc_untimed(2).unwrap();
+        a.run_op(&mut cpu_a, 0, 0, &mut |m, cpu| {
+            m.retire(cpu, node)?;
+            Ok(Step::Done(0))
+        });
+        for _ in 0..50 {
+            a.step_idle(&mut cpu_a);
+        }
+        assert!(a.idle_work_pending(), "stalled by B");
+        assert!(heap.is_live(node), "cannot free while B may hold it");
+
+        // B completes: one more round clears the wait.
+        let mut fin = |_: &mut dyn OpMem, _: &mut Cpu| Ok(Step::Done(0));
+        b.step_op(&mut cpu_b, &mut fin);
+        a.step_idle(&mut cpu_a);
+        assert!(!a.idle_work_pending());
+        assert!(!heap.is_live(node));
+    }
+
+    #[test]
+    fn reclaimers_do_not_deadlock_each_other() {
+        let (globals, heap) = setup(2);
+        let mut a = EpochThread::new(globals.clone(), heap.clone(), 0, 0);
+        let mut b = EpochThread::new(globals, heap.clone(), 1, 0);
+        let mut cpu_a = test_cpu(0);
+        let mut cpu_b = test_cpu(1);
+
+        let na = heap.alloc_untimed(2).unwrap();
+        let nb = heap.alloc_untimed(2).unwrap();
+        let mut retire_a = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            m.retire(cpu, na)?;
+            Ok(Step::Done(0))
+        };
+        let mut retire_b = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            m.retire(cpu, nb)?;
+            Ok(Step::Done(0))
+        };
+        a.run_op(&mut cpu_a, 0, 0, &mut retire_a);
+        b.run_op(&mut cpu_b, 0, 0, &mut retire_b);
+        // Both wait; both are quiescent; both clear.
+        a.step_idle(&mut cpu_a);
+        b.step_idle(&mut cpu_b);
+        assert!(!a.idle_work_pending());
+        assert!(!b.idle_work_pending());
+        assert!(!heap.is_live(na));
+        assert!(!heap.is_live(nb));
+    }
+
+    #[test]
+    fn teardown_drains_when_everyone_is_idle() {
+        let (globals, heap) = setup(1);
+        let mut a = EpochThread::new(globals, heap.clone(), 0, 100);
+        let mut cpu = test_cpu(0);
+        let node = heap.alloc_untimed(2).unwrap();
+        a.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
+            m.retire(cpu, node)?;
+            Ok(Step::Done(0))
+        });
+        assert_eq!(a.outstanding_garbage(), 1, "below batch: still in limbo");
+        a.teardown(&mut cpu);
+        assert_eq!(a.outstanding_garbage(), 0);
+        assert!(!heap.is_live(node));
+    }
+}

@@ -1,0 +1,360 @@
+//! Hazard pointers (Michael 2004), the paper's main non-automatic
+//! comparator.
+//!
+//! Every pointer dereference publishes the target in a per-thread hazard
+//! slot, issues a full fence, and revalidates the source — "these
+//! additional fence instructions ... induce significant overhead, as can
+//! be seen in our experiments". Retired nodes collect in a per-thread
+//! list; when it exceeds the scan threshold, the thread snapshots all
+//! hazard slots and frees the unprotected nodes.
+
+use crate::api::{expect_step, SchemeThread};
+use st_machine::Cpu;
+use st_simheap::tagged::TAG_MASK;
+use st_simheap::{Addr, Heap, Word};
+use st_simhtm::Abort;
+use stacktrack::layout::STACK_SLOTS;
+use stacktrack::{OpBody, OpMem, Step};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Shared hazard state: the hazard-slot matrix.
+#[derive(Debug)]
+pub struct HazardGlobals {
+    slots: Addr,
+    max_threads: usize,
+    slots_per_thread: usize,
+    stride: usize,
+}
+
+impl HazardGlobals {
+    /// Allocates `max_threads * slots_per_thread` hazard words, padding
+    /// each thread's block to a cache-line multiple (as Michael's
+    /// implementation does, avoiding false sharing between publishers).
+    pub fn new(heap: &Arc<Heap>, max_threads: usize, slots_per_thread: usize) -> Self {
+        let stride = slots_per_thread.next_multiple_of(8);
+        let slots = heap
+            .alloc_untimed((max_threads * stride).max(1))
+            .expect("heap too small for hazard slots");
+        Self {
+            slots,
+            max_threads,
+            slots_per_thread,
+            stride,
+        }
+    }
+
+    /// Michael's scan threshold: comfortably above the total hazard count
+    /// so each scan amortizes over many retires.
+    pub fn scan_threshold(&self) -> usize {
+        2 * self.max_threads * self.slots_per_thread
+    }
+}
+
+/// Per-thread hazard-pointer executor.
+pub struct HazardThread {
+    globals: Arc<HazardGlobals>,
+    heap: Arc<Heap>,
+    thread_id: usize,
+    locals: [Word; STACK_SLOTS],
+    slots: usize,
+    active: bool,
+    used_guards: u64,
+    rlist: Vec<Addr>,
+    /// Scans performed (statistics).
+    pub scans: u64,
+}
+
+impl HazardThread {
+    /// Creates the executor for thread slot `thread_id`.
+    pub fn new(globals: Arc<HazardGlobals>, heap: Arc<Heap>, thread_id: usize) -> Self {
+        Self {
+            globals,
+            heap,
+            thread_id,
+            locals: [0; STACK_SLOTS],
+            slots: 0,
+            active: false,
+            used_guards: 0,
+            rlist: Vec::new(),
+            scans: 0,
+        }
+    }
+
+    fn guard_index(&self, guard: usize) -> u64 {
+        assert!(
+            guard < self.globals.slots_per_thread,
+            "hazard guard {guard} out of range"
+        );
+        (self.thread_id * self.globals.stride + guard) as u64
+    }
+
+    /// Scans all hazard slots and frees unprotected retired nodes.
+    fn scan(&mut self, cpu: &mut Cpu) {
+        self.scans += 1;
+        let mut protected: HashSet<Word> =
+            HashSet::with_capacity(self.globals.max_threads * self.globals.slots_per_thread);
+        for t in 0..self.globals.max_threads {
+            for g in 0..self.globals.slots_per_thread {
+                let i = (t * self.globals.stride + g) as u64;
+                let h = self.heap.load(cpu, self.globals.slots, i);
+                if h != 0 {
+                    protected.insert(h);
+                }
+            }
+        }
+        let retired = std::mem::take(&mut self.rlist);
+        for node in retired {
+            if protected.contains(&node.raw()) {
+                self.rlist.push(node);
+            } else {
+                self.heap.free(cpu, node);
+            }
+        }
+    }
+}
+
+impl OpMem for HazardThread {
+    fn load(&mut self, cpu: &mut Cpu, addr: Addr, off: u64) -> Result<Word, Abort> {
+        Ok(self.heap.load(cpu, addr, off))
+    }
+
+    /// The hazard protocol: publish, fence, revalidate (and retry until
+    /// the source is stable).
+    fn load_ptr(
+        &mut self,
+        cpu: &mut Cpu,
+        addr: Addr,
+        off: u64,
+        guard: usize,
+    ) -> Result<Word, Abort> {
+        let slot = self.guard_index(guard);
+        loop {
+            let v = self.heap.load(cpu, addr, off);
+            if v & !TAG_MASK == 0 {
+                return Ok(v);
+            }
+            self.heap
+                .store(cpu, self.globals.slots, slot, v & !TAG_MASK);
+            self.used_guards |= 1 << guard;
+            self.heap.fence(cpu);
+            if self.heap.load(cpu, addr, off) == v {
+                return Ok(v);
+            }
+            // The source moved: the hazard may protect a stale node; retry.
+        }
+    }
+
+    fn store(&mut self, cpu: &mut Cpu, addr: Addr, off: u64, value: Word) -> Result<(), Abort> {
+        self.heap.store(cpu, addr, off, value);
+        Ok(())
+    }
+
+    fn cas(
+        &mut self,
+        cpu: &mut Cpu,
+        addr: Addr,
+        off: u64,
+        expected: Word,
+        new: Word,
+    ) -> Result<Result<Word, Word>, Abort> {
+        Ok(self.heap.cas(cpu, addr, off, expected, new))
+    }
+
+    fn alloc(&mut self, cpu: &mut Cpu, words: usize) -> Addr {
+        self.heap
+            .alloc(cpu, words)
+            .expect("simulated heap exhausted; enlarge HeapConfig::capacity_words")
+    }
+
+    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+        self.rlist.push(addr);
+        if self.rlist.len() >= self.globals.scan_threshold() {
+            self.scan(cpu);
+        }
+        Ok(())
+    }
+
+    /// Copies an already-protected pointer into another hazard slot; no
+    /// fence needed (see the trait docs).
+    fn protect(&mut self, cpu: &mut Cpu, guard: usize, value: Word) {
+        let slot = self.guard_index(guard);
+        self.heap
+            .store(cpu, self.globals.slots, slot, value & !TAG_MASK);
+        self.used_guards |= 1 << guard;
+    }
+
+    fn get_local(&mut self, _cpu: &mut Cpu, slot: usize) -> Word {
+        assert!(slot < self.slots, "undeclared local slot {slot}");
+        self.locals[slot]
+    }
+
+    fn set_local(&mut self, _cpu: &mut Cpu, slot: usize, value: Word) {
+        assert!(slot < self.slots, "undeclared local slot {slot}");
+        self.locals[slot] = value;
+    }
+}
+
+impl SchemeThread for HazardThread {
+    fn begin_op(&mut self, _cpu: &mut Cpu, _op_id: u32, slots: usize) {
+        assert!(!self.active, "operation already active");
+        assert!(slots <= STACK_SLOTS);
+        self.slots = slots;
+        self.locals[..slots].fill(0);
+        self.active = true;
+        self.used_guards = 0;
+    }
+
+    fn step_op(&mut self, cpu: &mut Cpu, body: &mut OpBody<'_>) -> Option<Word> {
+        assert!(self.active, "step_op without an active operation");
+        match expect_step(body(self, cpu)) {
+            Step::Continue => None,
+            Step::Done(v) => {
+                // Release the guards this operation touched.
+                let mut used = self.used_guards;
+                while used != 0 {
+                    let g = used.trailing_zeros() as usize;
+                    used &= used - 1;
+                    let slot = self.guard_index(g);
+                    self.heap.store(cpu, self.globals.slots, slot, 0);
+                }
+                self.active = false;
+                Some(v)
+            }
+        }
+    }
+
+    fn outstanding_garbage(&self) -> u64 {
+        self.rlist.len() as u64
+    }
+
+    fn teardown(&mut self, cpu: &mut Cpu) {
+        if !self.rlist.is_empty() {
+            self.scan(cpu);
+        }
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "Hazards"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{test_cpu, test_env};
+
+    fn setup(threads: usize) -> (Arc<HazardGlobals>, Arc<Heap>) {
+        let (heap, _) = test_env();
+        let globals = Arc::new(HazardGlobals::new(&heap, threads, 4));
+        (globals, heap)
+    }
+
+    #[test]
+    fn protected_load_publishes_hazard_and_fences() {
+        let (globals, heap) = setup(1);
+        let mut th = HazardThread::new(globals.clone(), heap.clone(), 0);
+        let mut cpu = test_cpu(0);
+        let cell = heap.alloc_untimed(1).unwrap();
+        let x = heap.alloc_untimed(2).unwrap();
+        heap.poke(cell, 0, x.raw() | 1); // marked pointer
+
+        th.begin_op(&mut cpu, 0, 0);
+        let fences_before = cpu.counters.fences;
+        let mut body = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            let v = m.load_ptr(cpu, cell, 0, 2)?;
+            Ok(Step::Done(v))
+        };
+        let v = th.step_op(&mut cpu, &mut body).unwrap();
+        assert_eq!(v, x.raw() | 1, "tag bits pass through");
+        assert!(cpu.counters.fences > fences_before, "hazard costs a fence");
+        // Slot cleared at op end.
+        assert_eq!(heap.peek(globals.slots, 2), 0);
+    }
+
+    #[test]
+    fn hazarded_node_survives_scan() {
+        let (globals, heap) = setup(2);
+        let mut holder = HazardThread::new(globals.clone(), heap.clone(), 0);
+        let mut reclaimer = HazardThread::new(globals.clone(), heap.clone(), 1);
+        let mut cpu_h = test_cpu(0);
+        let mut cpu_r = test_cpu(1);
+
+        let cell = heap.alloc_untimed(1).unwrap();
+        let x = heap.alloc_untimed(2).unwrap();
+        heap.poke(cell, 0, x.raw());
+
+        // Holder publishes a hazard on X and stays inside its operation.
+        holder.begin_op(&mut cpu_h, 0, 1);
+        let mut hold = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            let v = m.load_ptr(cpu, cell, 0, 0)?;
+            m.set_local(cpu, 0, v);
+            Ok(Step::Continue)
+        };
+        holder.step_op(&mut cpu_h, &mut hold);
+
+        // Reclaimer retires X and scans explicitly.
+        reclaimer.rlist.push(x);
+        reclaimer.scan(&mut cpu_r);
+        assert!(heap.is_live(x), "hazard must protect X");
+        assert_eq!(reclaimer.outstanding_garbage(), 1);
+
+        // Holder finishes; the next scan frees X.
+        let mut finish = |_: &mut dyn OpMem, _: &mut Cpu| Ok(Step::Done(0));
+        holder.step_op(&mut cpu_h, &mut finish);
+        reclaimer.scan(&mut cpu_r);
+        assert!(!heap.is_live(x));
+        assert_eq!(reclaimer.outstanding_garbage(), 0);
+    }
+
+    #[test]
+    fn scan_triggers_at_threshold() {
+        let (globals, heap) = setup(1);
+        let threshold = globals.scan_threshold();
+        let mut th = HazardThread::new(globals, heap.clone(), 0);
+        let mut cpu = test_cpu(0);
+
+        for i in 0..threshold {
+            th.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
+                let n = m.alloc(cpu, 2);
+                m.retire(cpu, n)?;
+                Ok(Step::Done(0))
+            });
+            if i < threshold - 1 {
+                assert_eq!(th.scans, 0);
+            }
+        }
+        assert_eq!(th.scans, 1, "scan exactly at the threshold");
+        assert_eq!(th.outstanding_garbage(), 0);
+    }
+
+    #[test]
+    fn teardown_frees_everything() {
+        let (globals, heap) = setup(1);
+        let mut th = HazardThread::new(globals, heap.clone(), 0);
+        let mut cpu = test_cpu(0);
+        let n = heap.alloc_untimed(2).unwrap();
+        th.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
+            m.retire(cpu, n)?;
+            Ok(Step::Done(0))
+        });
+        th.teardown(&mut cpu);
+        assert!(!heap.is_live(n));
+    }
+
+    #[test]
+    fn null_loads_skip_the_protocol() {
+        let (globals, heap) = setup(1);
+        let mut th = HazardThread::new(globals, heap.clone(), 0);
+        let mut cpu = test_cpu(0);
+        let cell = heap.alloc_untimed(1).unwrap();
+        th.begin_op(&mut cpu, 0, 0);
+        let fences = cpu.counters.fences;
+        let mut body = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            let v = m.load_ptr(cpu, cell, 0, 0)?;
+            Ok(Step::Done(v))
+        };
+        assert_eq!(th.step_op(&mut cpu, &mut body), Some(0));
+        assert_eq!(cpu.counters.fences, fences, "null needs no hazard");
+    }
+}

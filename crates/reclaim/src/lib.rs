@@ -1,0 +1,235 @@
+//! Concurrent memory reclamation schemes behind one interface.
+//!
+//! The paper's evaluation (section 6) compares StackTrack against four
+//! comparators; all are implemented here, each as a per-thread executor
+//! that drives the same scheme-neutral operation bodies
+//! ([`stacktrack::OpMem`]):
+//!
+//! - [`none`]: the *Original* baseline — no reclamation at all (retired
+//!   nodes leak). The performance ceiling.
+//! - [`epoch`]: quiescence/epoch-based reclamation. A per-thread timestamp
+//!   is bumped (with a fence) at operation start and finish; a reclaimer
+//!   waits until every in-operation thread has moved before freeing.
+//!   Lightweight, but a preempted thread stalls everyone's frees.
+//! - [`hazard`]: Michael's hazard pointers. Every pointer dereference
+//!   publishes a hazard, fences, and revalidates — the per-hop fence is
+//!   the scheme's famous cost.
+//! - [`dta`]: Drop-the-Anchor (Braginsky, Kogan, Petrank), the
+//!   hazard-eliding scheme the paper benchmarks on the linked list: an
+//!   anchor is published (fence included) only every `K` hops, and a
+//!   retired node is freed once every concurrently active thread has
+//!   re-anchored twice past the retirement point. The original's *freezing*
+//!   crash-recovery is substituted by conservative deferral (see
+//!   DESIGN.md).
+//! - [`refcount`]: lock-free reference counting (Valois-style), included
+//!   as the ablation the paper argues about ("hazard pointers can be seen
+//!   as an upper bound on the performance of reference-counting
+//!   techniques") — a fetch-add per pointer hop.
+//! - [`stacktrack_impl`]: the adapter that lets
+//!   [`stacktrack::StThread`] be driven through the same trait.
+//!
+//! Pick a scheme with [`Scheme`] and build per-thread executors with
+//! [`SchemeFactory`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod dta;
+pub mod epoch;
+pub mod hazard;
+pub mod none;
+pub mod refcount;
+pub mod stacktrack_impl;
+
+pub use api::SchemeThread;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
+    use st_simheap::{Heap, HeapConfig};
+    use std::sync::Arc;
+
+    /// A small heap plus a standalone CPU for scheme unit tests.
+    pub(crate) fn test_env() -> (Arc<Heap>, Cpu) {
+        (Arc::new(Heap::new(HeapConfig::small())), test_cpu(0))
+    }
+
+    /// A standalone CPU on thread slot `id`.
+    pub(crate) fn test_cpu(id: usize) -> Cpu {
+        let topo = Topology::haswell();
+        Cpu::new(
+            id,
+            HwContext::new(&topo, topo.place(id)),
+            Arc::new(CostModel::default()),
+            Arc::new(ActivityBoard::new(topo.hw_contexts())),
+            0xbeef + id as u64,
+        )
+    }
+}
+
+use st_simhtm::HtmEngine;
+use stacktrack::{StConfig, StRuntime};
+use std::sync::Arc;
+
+/// The reclamation schemes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No reclamation (the paper's "Original").
+    None,
+    /// Quiescence/epoch-based reclamation.
+    Epoch,
+    /// Hazard pointers.
+    Hazard,
+    /// Drop-the-Anchor.
+    Dta,
+    /// Reference counting (ablation extra).
+    RefCount,
+    /// StackTrack.
+    StackTrack,
+}
+
+impl Scheme {
+    /// Display name used in benchmark tables (matches the paper's legend).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::None => "Original",
+            Scheme::Epoch => "Epoch",
+            Scheme::Hazard => "Hazards",
+            Scheme::Dta => "DTA",
+            Scheme::RefCount => "RefCount",
+            Scheme::StackTrack => "StackTrack",
+        }
+    }
+
+    /// All schemes, in the paper's plotting order.
+    pub fn all() -> [Scheme; 6] {
+        [
+            Scheme::None,
+            Scheme::Hazard,
+            Scheme::Epoch,
+            Scheme::StackTrack,
+            Scheme::Dta,
+            Scheme::RefCount,
+        ]
+    }
+}
+
+/// Baseline-scheme tunables.
+#[derive(Debug, Clone)]
+pub struct ReclaimConfig {
+    /// Limbo-list size that triggers an epoch wait / DTA sweep / hazard
+    /// scan (comparable to StackTrack's `max_free`).
+    pub retire_batch: usize,
+    /// Hazard slots per thread.
+    pub hazard_slots: usize,
+    /// DTA: hops between anchor publications.
+    pub dta_k: u32,
+}
+
+impl Default for ReclaimConfig {
+    fn default() -> Self {
+        Self {
+            retire_batch: 0,
+            hazard_slots: 8,
+            dta_k: 20,
+        }
+    }
+}
+
+/// Builds per-thread executors for one scheme over one engine/heap.
+pub struct SchemeFactory {
+    scheme: Scheme,
+    engine: Arc<HtmEngine>,
+    config: ReclaimConfig,
+    st_runtime: Option<Arc<StRuntime>>,
+    epoch: Option<Arc<epoch::EpochGlobals>>,
+    hazard: Option<Arc<hazard::HazardGlobals>>,
+    dta: Option<Arc<dta::DtaGlobals>>,
+    refcount: Option<Arc<refcount::RcGlobals>>,
+}
+
+impl SchemeFactory {
+    /// Creates a factory. `st_config` only matters for
+    /// [`Scheme::StackTrack`].
+    pub fn new(
+        scheme: Scheme,
+        engine: Arc<HtmEngine>,
+        max_threads: usize,
+        config: ReclaimConfig,
+        st_config: StConfig,
+    ) -> Self {
+        let st_runtime = (scheme == Scheme::StackTrack)
+            .then(|| StRuntime::new(engine.clone(), st_config, max_threads));
+        let epoch = (scheme == Scheme::Epoch)
+            .then(|| Arc::new(epoch::EpochGlobals::new(engine.heap(), max_threads)));
+        let hazard = (scheme == Scheme::Hazard).then(|| {
+            Arc::new(hazard::HazardGlobals::new(
+                engine.heap(),
+                max_threads,
+                config.hazard_slots,
+            ))
+        });
+        let dta = (scheme == Scheme::Dta)
+            .then(|| Arc::new(dta::DtaGlobals::new(engine.heap(), max_threads)));
+        let refcount =
+            (scheme == Scheme::RefCount).then(|| Arc::new(refcount::RcGlobals::new(engine.heap())));
+        Self {
+            scheme,
+            engine,
+            config,
+            st_runtime,
+            epoch,
+            hazard,
+            dta,
+            refcount,
+        }
+    }
+
+    /// The scheme this factory builds.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The StackTrack runtime, when the scheme is StackTrack (for
+    /// statistics extraction).
+    pub fn st_runtime(&self) -> Option<&Arc<StRuntime>> {
+        self.st_runtime.as_ref()
+    }
+
+    /// Builds the executor for thread slot `thread_id`.
+    pub fn thread(&self, thread_id: usize) -> Box<dyn SchemeThread> {
+        match self.scheme {
+            Scheme::None => Box::new(none::NoReclaimThread::new(self.engine.heap().clone())),
+            Scheme::Epoch => Box::new(epoch::EpochThread::new(
+                self.epoch.clone().expect("epoch globals"),
+                self.engine.heap().clone(),
+                thread_id,
+                self.config.retire_batch,
+            )),
+            Scheme::Hazard => Box::new(hazard::HazardThread::new(
+                self.hazard.clone().expect("hazard globals"),
+                self.engine.heap().clone(),
+                thread_id,
+            )),
+            Scheme::Dta => Box::new(dta::DtaThread::new(
+                self.dta.clone().expect("dta globals"),
+                self.engine.heap().clone(),
+                thread_id,
+                self.config.dta_k,
+                self.config.retire_batch,
+            )),
+            Scheme::RefCount => Box::new(refcount::RcThread::new(
+                self.refcount.clone().expect("rc globals"),
+                self.engine.heap().clone(),
+                self.config.hazard_slots,
+            )),
+            Scheme::StackTrack => Box::new(
+                self.st_runtime
+                    .as_ref()
+                    .expect("st runtime")
+                    .register_thread(thread_id),
+            ),
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The "Original" baseline: no memory reclamation.
+//!
+//! Retired nodes are counted and leaked. This is the performance ceiling
+//! every figure in the paper plots against — and the scheme whose leak the
+//! integration tests demonstrate.
+
+use crate::api::{expect_step, SchemeThread};
+use st_machine::Cpu;
+use st_simheap::{Addr, Heap, Word};
+use st_simhtm::Abort;
+use stacktrack::layout::STACK_SLOTS;
+use stacktrack::{OpBody, OpMem, Step};
+use std::sync::Arc;
+
+/// Executor that never frees.
+pub struct NoReclaimThread {
+    heap: Arc<Heap>,
+    locals: [Word; STACK_SLOTS],
+    slots: usize,
+    active: bool,
+    leaked: u64,
+}
+
+impl NoReclaimThread {
+    /// Creates an executor over `heap`.
+    pub fn new(heap: Arc<Heap>) -> Self {
+        Self {
+            heap,
+            locals: [0; STACK_SLOTS],
+            slots: 0,
+            active: false,
+            leaked: 0,
+        }
+    }
+}
+
+impl OpMem for NoReclaimThread {
+    fn load(&mut self, cpu: &mut Cpu, addr: Addr, off: u64) -> Result<Word, Abort> {
+        Ok(self.heap.load(cpu, addr, off))
+    }
+
+    fn load_ptr(
+        &mut self,
+        cpu: &mut Cpu,
+        addr: Addr,
+        off: u64,
+        _guard: usize,
+    ) -> Result<Word, Abort> {
+        Ok(self.heap.load(cpu, addr, off))
+    }
+
+    fn store(&mut self, cpu: &mut Cpu, addr: Addr, off: u64, value: Word) -> Result<(), Abort> {
+        self.heap.store(cpu, addr, off, value);
+        Ok(())
+    }
+
+    fn cas(
+        &mut self,
+        cpu: &mut Cpu,
+        addr: Addr,
+        off: u64,
+        expected: Word,
+        new: Word,
+    ) -> Result<Result<Word, Word>, Abort> {
+        Ok(self.heap.cas(cpu, addr, off, expected, new))
+    }
+
+    fn alloc(&mut self, cpu: &mut Cpu, words: usize) -> Addr {
+        self.heap.alloc(cpu, words).expect(
+            "simulated heap exhausted (NoReclaim leaks by design; size the heap for the run)",
+        )
+    }
+
+    fn retire(&mut self, _cpu: &mut Cpu, _addr: Addr) -> Result<(), Abort> {
+        self.leaked += 1;
+        Ok(())
+    }
+
+    fn get_local(&mut self, _cpu: &mut Cpu, slot: usize) -> Word {
+        assert!(slot < self.slots, "undeclared local slot {slot}");
+        self.locals[slot]
+    }
+
+    fn set_local(&mut self, _cpu: &mut Cpu, slot: usize, value: Word) {
+        assert!(slot < self.slots, "undeclared local slot {slot}");
+        self.locals[slot] = value;
+    }
+}
+
+impl SchemeThread for NoReclaimThread {
+    fn begin_op(&mut self, _cpu: &mut Cpu, _op_id: u32, slots: usize) {
+        assert!(!self.active, "operation already active");
+        assert!(slots <= STACK_SLOTS);
+        self.slots = slots;
+        self.locals[..slots].fill(0);
+        self.active = true;
+    }
+
+    fn step_op(&mut self, cpu: &mut Cpu, body: &mut OpBody<'_>) -> Option<Word> {
+        assert!(self.active, "step_op without an active operation");
+        match expect_step(body(self, cpu)) {
+            Step::Continue => None,
+            Step::Done(v) => {
+                self.active = false;
+                Some(v)
+            }
+        }
+    }
+
+    fn outstanding_garbage(&self) -> u64 {
+        self.leaked
+    }
+
+    fn teardown(&mut self, _cpu: &mut Cpu) {}
+
+    fn scheme_name(&self) -> &'static str {
+        "Original"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::test_env;
+
+    #[test]
+    fn ops_run_and_retires_leak() {
+        let (heap, mut cpu) = test_env();
+        let mut th = NoReclaimThread::new(heap.clone());
+        let v = th.run_op(&mut cpu, 0, 1, &mut |m, cpu| {
+            let n = m.alloc(cpu, 2);
+            m.store(cpu, n, 0, 5)?;
+            m.set_local(cpu, 0, n.raw());
+            m.retire(cpu, n)?;
+            let n2 = m.get_local(cpu, 0);
+            m.load(cpu, Addr::from_raw(n2), 0).map(Step::Done)
+        });
+        assert_eq!(v, 5);
+        assert_eq!(th.outstanding_garbage(), 1);
+        // The node is still allocated: a leak, not a free.
+        assert_eq!(heap.stats().alloc.live_objects, 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! [`SchemeThread`] adapter for [`stacktrack::StThread`].
+
+use crate::api::SchemeThread;
+use st_machine::Cpu;
+use st_simheap::Word;
+use stacktrack::{OpBody, StThread};
+
+impl SchemeThread for StThread {
+    fn begin_op(&mut self, cpu: &mut Cpu, op_id: u32, slots: usize) {
+        StThread::begin_op(self, cpu, op_id, slots);
+    }
+
+    fn step_op(&mut self, cpu: &mut Cpu, body: &mut OpBody<'_>) -> Option<Word> {
+        StThread::step_op(self, cpu, body)
+    }
+
+    fn idle_work_pending(&self) -> bool {
+        StThread::idle_work_pending(self)
+    }
+
+    fn step_idle(&mut self, cpu: &mut Cpu) {
+        StThread::step_idle(self, cpu);
+    }
+
+    fn outstanding_garbage(&self) -> u64 {
+        self.free_set_len() as u64
+    }
+
+    fn st_stats(&self) -> Option<stacktrack::StThreadStats> {
+        Some(self.stats().clone())
+    }
+
+    fn reset_stats(&mut self) {
+        StThread::reset_stats(self);
+    }
+
+    fn teardown(&mut self, cpu: &mut Cpu) {
+        // A worker cut off mid-operation by the simulation deadline keeps
+        // its free set; scans require a quiescent executor.
+        if !self.op_active() {
+            self.force_full_scan(cpu);
+        }
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "StackTrack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_simheap::{Heap, HeapConfig};
+    use st_simhtm::{HtmConfig, HtmEngine};
+    use stacktrack::{StConfig, StRuntime, Step};
+    use std::sync::Arc;
+
+    #[test]
+    fn adapter_drives_stacktrack_through_the_trait() {
+        let heap = Arc::new(Heap::new(HeapConfig {
+            capacity_words: 1 << 18,
+            ..HeapConfig::small()
+        }));
+        let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
+        let rt = StRuntime::new(engine, StConfig::default(), 1);
+        let mut th: Box<dyn SchemeThread> = Box::new(rt.register_thread(0));
+        let mut cpu = rt.test_cpu(0);
+
+        // Runtime metadata (activity array, slow counter, thread context)
+        // stays allocated; only the retired node must come and go.
+        let metadata_objects = heap.stats().alloc.live_objects;
+        let v = th.run_op(&mut cpu, 0, 1, &mut |m, cpu| {
+            let n = m.alloc(cpu, 2);
+            m.store(cpu, n, 0, 3)?;
+            m.retire(cpu, n)?;
+            Ok(Step::Done(9))
+        });
+        assert_eq!(v, 9);
+        assert_eq!(th.scheme_name(), "StackTrack");
+        assert_eq!(th.outstanding_garbage(), 1);
+        th.teardown(&mut cpu);
+        assert_eq!(th.outstanding_garbage(), 0);
+        assert_eq!(heap.stats().alloc.live_objects, metadata_objects);
+    }
+}

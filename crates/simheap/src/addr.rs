@@ -1,0 +1,119 @@
+//! Simulated addresses.
+
+/// One 64-bit word of simulated memory.
+pub type Word = u64;
+
+/// The null address.
+pub const NULL: Addr = Addr(0);
+
+/// An address into the simulated heap.
+///
+/// Addresses are byte-style but always 8-aligned (they denote whole words),
+/// so the low 3 bits of a stored pointer word are available as mark/tag bits
+/// (see [`crate::tagged`]). `Addr(0)` is null; the word at index 0 is
+/// reserved and never handed out by the allocator.
+///
+/// # Examples
+///
+/// ```
+/// use st_simheap::Addr;
+///
+/// let a = Addr::from_index(5);
+/// assert_eq!(a.raw(), 40);
+/// assert_eq!(a.index(), 5);
+/// assert!(!a.is_null());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Builds an address from a word index.
+    pub fn from_index(index: u64) -> Self {
+        Addr(index << 3)
+    }
+
+    /// Reinterprets a raw word as an address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not 8-aligned; raw scan candidates should be
+    /// filtered with [`Addr::try_from_raw`] instead.
+    pub fn from_raw(raw: u64) -> Self {
+        assert_eq!(raw & 7, 0, "unaligned address {raw:#x}");
+        Addr(raw)
+    }
+
+    /// Reinterprets a raw word as an address if it is 8-aligned.
+    pub fn try_from_raw(raw: u64) -> Option<Self> {
+        (raw & 7 == 0).then_some(Addr(raw))
+    }
+
+    /// The raw numeric value stored in memory for this address.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The word index this address denotes.
+    pub fn index(self) -> u64 {
+        self.0 >> 3
+    }
+
+    /// Whether this is the null address.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The address `words` whole words past this one.
+    pub fn offset(self, words: u64) -> Self {
+        Addr(self.0 + (words << 3))
+    }
+
+    /// The 64-byte cache line this address falls in.
+    pub fn line(self) -> u64 {
+        self.0 >> 6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_raw_roundtrip() {
+        for i in [0u64, 1, 7, 8, 1000, 1 << 40] {
+            assert_eq!(Addr::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn null_is_index_zero() {
+        assert!(NULL.is_null());
+        assert_eq!(Addr::from_index(0), NULL);
+        assert!(!Addr::from_index(1).is_null());
+    }
+
+    #[test]
+    fn offset_moves_whole_words() {
+        let a = Addr::from_index(10);
+        assert_eq!(a.offset(3).index(), 13);
+        assert_eq!(a.offset(0), a);
+    }
+
+    #[test]
+    fn line_groups_eight_words() {
+        assert_eq!(Addr::from_index(0).line(), Addr::from_index(7).line());
+        assert_ne!(Addr::from_index(7).line(), Addr::from_index(8).line());
+    }
+
+    #[test]
+    fn try_from_raw_filters_unaligned() {
+        assert_eq!(Addr::try_from_raw(16), Some(Addr(16)));
+        assert_eq!(Addr::try_from_raw(17), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn from_raw_panics_on_unaligned() {
+        let _ = Addr::from_raw(9);
+    }
+}

@@ -1,0 +1,406 @@
+//! The heap façade: words + allocator + traffic + poison.
+
+use crate::addr::{Addr, Word};
+use crate::alloc::{AllocError, AllocStats, Allocator};
+use crate::traffic::Traffic;
+use parking_lot::Mutex;
+use st_machine::Cpu;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pattern written to freed words; reading it back from a committed
+/// operation is a use-after-free and fails tests loudly.
+pub const POISON: Word = 0xDEAD_BEEF_DEAD_BEE8;
+
+/// Heap sizing and behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct HeapConfig {
+    /// Total heap capacity in 64-bit words.
+    pub capacity_words: u64,
+    /// Whether `free` fills the block with [`POISON`].
+    pub poison_on_free: bool,
+    /// Slots in the cache-line traffic table.
+    pub traffic_slots: usize,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        Self {
+            capacity_words: 1 << 22,
+            poison_on_free: true,
+            traffic_slots: 1 << 14,
+        }
+    }
+}
+
+impl HeapConfig {
+    /// A small heap for unit tests.
+    pub fn small() -> Self {
+        Self {
+            capacity_words: 1 << 14,
+            ..Self::default()
+        }
+    }
+}
+
+/// Snapshot of heap statistics.
+#[derive(Debug, Clone, Default)]
+pub struct HeapStats {
+    /// Allocator statistics.
+    pub alloc: AllocStats,
+}
+
+/// The simulated heap.
+///
+/// Word storage is a fixed slab of `AtomicU64`; atomics make the heap
+/// `Sync` so it can also be exercised by real OS threads in stress tests,
+/// even though the discrete-event simulator only ever runs one at a time.
+/// All orderings are `Relaxed` on purpose: *simulated* memory-model effects
+/// (fences, coherence misses) are charged as virtual cycles by the cost
+/// model, not delegated to the host's memory model.
+#[derive(Debug)]
+pub struct Heap {
+    words: Box<[AtomicU64]>,
+    allocator: Mutex<Allocator>,
+    traffic: Traffic,
+    config: HeapConfig,
+}
+
+impl Heap {
+    /// Creates a heap per `config`.
+    pub fn new(config: HeapConfig) -> Self {
+        let words = (0..config.capacity_words)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            words,
+            allocator: Mutex::new(Allocator::new(config.capacity_words)),
+            traffic: Traffic::new(config.traffic_slots),
+            config,
+        }
+    }
+
+    /// Creates a heap with default configuration.
+    pub fn default_sized() -> Self {
+        Self::new(HeapConfig::default())
+    }
+
+    fn cell(&self, addr: Addr, off: u64) -> &AtomicU64 {
+        let idx = addr.index() + off;
+        assert!(
+            idx > 0 && idx < self.config.capacity_words,
+            "address {addr:?}+{off} outside the heap"
+        );
+        &self.words[idx as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Timed accessors: charge virtual cycles to the running thread.
+    // ------------------------------------------------------------------
+
+    /// Plain load of `addr + off` (charges load cost + coherence traffic).
+    pub fn load(&self, cpu: &mut Cpu, addr: Addr, off: u64) -> Word {
+        let line = addr.offset(off).line();
+        cpu.charge_mem(line);
+        let extra = self.traffic.on_read(&cpu.costs, line, cpu.hw.id, cpu.now());
+        cpu.charge(cpu.costs.load + extra);
+        cpu.counters.loads += 1;
+        self.cell(addr, off).load(Ordering::Relaxed)
+    }
+
+    /// Plain store to `addr + off` (charges store cost + coherence traffic).
+    pub fn store(&self, cpu: &mut Cpu, addr: Addr, off: u64, value: Word) {
+        let line = addr.offset(off).line();
+        cpu.charge_mem(line);
+        let extra = self
+            .traffic
+            .on_write(&cpu.costs, line, cpu.hw.id, cpu.now());
+        cpu.charge(cpu.costs.store + extra);
+        cpu.counters.stores += 1;
+        self.cell(addr, off).store(value, Ordering::Relaxed);
+    }
+
+    /// Compare-and-swap on `addr + off`; returns the previous value on
+    /// success, or `Err(actual)` on failure. Contended lines cost more.
+    pub fn cas(
+        &self,
+        cpu: &mut Cpu,
+        addr: Addr,
+        off: u64,
+        expected: Word,
+        new: Word,
+    ) -> Result<Word, Word> {
+        let line = addr.offset(off).line();
+        cpu.charge_mem(line);
+        let extra = self
+            .traffic
+            .on_write(&cpu.costs, line, cpu.hw.id, cpu.now());
+        cpu.charge(cpu.costs.cas + extra);
+        cpu.counters.cas_ops += 1;
+        self.cell(addr, off)
+            .compare_exchange(expected, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+
+    /// A full memory fence: charges fence cost only (ordering is free in a
+    /// serialized simulation).
+    pub fn fence(&self, cpu: &mut Cpu) {
+        cpu.charge(cpu.costs.fence);
+        cpu.counters.fences += 1;
+    }
+
+    /// Atomic fetch-and-add on `addr + off`; returns the previous value.
+    ///
+    /// Charged like a CAS (it is one on most hardware).
+    pub fn fetch_add(&self, cpu: &mut Cpu, addr: Addr, off: u64, delta: Word) -> Word {
+        let line = addr.offset(off).line();
+        cpu.charge_mem(line);
+        let extra = self
+            .traffic
+            .on_write(&cpu.costs, line, cpu.hw.id, cpu.now());
+        cpu.charge(cpu.costs.cas + extra);
+        cpu.counters.cas_ops += 1;
+        self.cell(addr, off).fetch_add(delta, Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Untimed accessors: for scanners and assertions that account their
+    // costs in bulk, and for tests.
+    // ------------------------------------------------------------------
+
+    /// Reads a word without charging time.
+    pub fn peek(&self, addr: Addr, off: u64) -> Word {
+        self.cell(addr, off).load(Ordering::Relaxed)
+    }
+
+    /// Writes a word without charging time (test/bootstrap use).
+    pub fn poke(&self, addr: Addr, off: u64, value: Word) {
+        self.cell(addr, off).store(value, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation.
+    // ------------------------------------------------------------------
+
+    /// Allocates `words` zeroed words.
+    pub fn alloc(&self, cpu: &mut Cpu, words: usize) -> Result<Addr, AllocError> {
+        cpu.charge(cpu.costs.alloc);
+        cpu.counters.allocs += 1;
+        let addr = self.allocator.lock().alloc(words)?;
+        let block = {
+            let a = self.allocator.lock();
+            a.block_len(addr).expect("just allocated")
+        };
+        for off in 0..block {
+            self.cell(addr, off).store(0, Ordering::Relaxed);
+        }
+        Ok(addr)
+    }
+
+    /// Allocates `words` zeroed words without charging virtual time.
+    ///
+    /// For bootstrap only (building thread contexts and initial data
+    /// structure population before the measured run starts).
+    pub fn alloc_untimed(&self, words: usize) -> Result<Addr, AllocError> {
+        let addr = self.allocator.lock().alloc(words)?;
+        let block = {
+            let a = self.allocator.lock();
+            a.block_len(addr).expect("just allocated")
+        };
+        for off in 0..block {
+            self.cell(addr, off).store(0, Ordering::Relaxed);
+        }
+        Ok(addr)
+    }
+
+    /// Frees the block based at `addr`, poisoning it first if configured.
+    ///
+    /// Callers that interact with transactional readers must poison through
+    /// the HTM engine (`privatize`) *before* calling this, so that in-flight
+    /// transactions observing the block are doomed; this raw free is the
+    /// allocator-level step.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free or on a never-allocated address.
+    pub fn free(&self, cpu: &mut Cpu, addr: Addr) {
+        cpu.charge(cpu.costs.free);
+        cpu.counters.frees += 1;
+        let block = {
+            let a = self.allocator.lock();
+            a.block_len(addr)
+                .unwrap_or_else(|| panic!("free of unknown address {addr:?}"))
+        };
+        if self.config.poison_on_free {
+            for off in 0..block {
+                self.cell(addr, off).store(POISON, Ordering::Relaxed);
+            }
+        }
+        self.allocator.lock().free(addr);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (the paper's malloc-hook range queries, plus test
+    // support).
+    // ------------------------------------------------------------------
+
+    /// Resolves a raw scanned word to the base of the live object it points
+    /// into, if any (section 5.5 interior-pointer support).
+    pub fn object_base(&self, raw: Word) -> Option<Addr> {
+        let a = self.allocator.lock();
+        a.object_at(raw)
+            .and_then(|(base, info)| info.live.then_some(base))
+    }
+
+    /// Whether `addr` is the base of a live object.
+    pub fn is_live(&self, addr: Addr) -> bool {
+        self.allocator.lock().is_live(addr)
+    }
+
+    /// Block length in words of the object at `addr`, if it was ever
+    /// allocated.
+    pub fn block_len(&self, addr: Addr) -> Option<u64> {
+        self.allocator.lock().block_len(addr)
+    }
+
+    /// Whether the word at `addr + off` currently holds poison.
+    pub fn is_poisoned(&self, addr: Addr, off: u64) -> bool {
+        self.peek(addr, off) == POISON
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> HeapStats {
+        HeapStats {
+            alloc: self.allocator.lock().stats(),
+        }
+    }
+
+    /// Heap capacity in words.
+    pub fn capacity_words(&self) -> u64 {
+        self.config.capacity_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_machine::{cpu::ActivityBoard, CostModel, HwContext, Topology};
+    use std::sync::Arc;
+
+    fn cpu() -> Cpu {
+        let topo = Topology::haswell();
+        Cpu::new(
+            0,
+            HwContext::new(&topo, 0),
+            Arc::new(CostModel::default()),
+            Arc::new(ActivityBoard::new(topo.hw_contexts())),
+            7,
+        )
+    }
+
+    #[test]
+    fn fresh_allocations_are_zeroed() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        let a = heap.alloc(&mut c, 4).unwrap();
+        for off in 0..4 {
+            assert_eq!(heap.load(&mut c, a, off), 0);
+        }
+    }
+
+    #[test]
+    fn recycled_allocations_are_zeroed() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        let a = heap.alloc(&mut c, 4).unwrap();
+        heap.store(&mut c, a, 0, 99);
+        heap.free(&mut c, a);
+        let b = heap.alloc(&mut c, 4).unwrap();
+        assert_eq!(b, a, "type-stable recycle");
+        assert_eq!(heap.load(&mut c, b, 0), 0, "recycled memory must be zeroed");
+    }
+
+    #[test]
+    fn store_load_roundtrip_charges_time() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        let a = heap.alloc(&mut c, 2).unwrap();
+        let before = c.now();
+        heap.store(&mut c, a, 1, 0xABCD);
+        assert_eq!(heap.load(&mut c, a, 1), 0xABCD);
+        assert!(c.now() > before);
+        assert_eq!(c.counters.stores, 1);
+        assert_eq!(c.counters.loads, 1);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        let a = heap.alloc(&mut c, 1).unwrap();
+        heap.store(&mut c, a, 0, 5);
+        assert_eq!(heap.cas(&mut c, a, 0, 5, 6), Ok(5));
+        assert_eq!(heap.cas(&mut c, a, 0, 5, 7), Err(6));
+        assert_eq!(heap.peek(a, 0), 6);
+    }
+
+    #[test]
+    fn free_poisons() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        let a = heap.alloc(&mut c, 3).unwrap();
+        heap.store(&mut c, a, 0, 1);
+        heap.free(&mut c, a);
+        assert!(heap.is_poisoned(a, 0));
+        assert!(
+            heap.is_poisoned(a, 3),
+            "whole block (class-rounded) poisoned"
+        );
+        assert!(!heap.is_live(a));
+    }
+
+    #[test]
+    fn object_base_only_for_live_objects() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        let a = heap.alloc(&mut c, 6).unwrap();
+        assert_eq!(heap.object_base(a.offset(4).raw()), Some(a));
+        heap.free(&mut c, a);
+        assert_eq!(heap.object_base(a.offset(4).raw()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the heap")]
+    fn out_of_bounds_access_panics() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        let top = heap.capacity_words();
+        heap.load(&mut c, Addr::from_index(top), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the heap")]
+    fn null_access_panics() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        heap.load(&mut c, Addr::from_index(0), 0);
+    }
+
+    #[test]
+    fn coherence_miss_charged_on_foreign_line() {
+        let heap = Heap::new(HeapConfig::small());
+        let topo = Topology::haswell();
+        let board = Arc::new(ActivityBoard::new(topo.hw_contexts()));
+        let costs = Arc::new(CostModel::default());
+        let mut c0 = Cpu::new(0, HwContext::new(&topo, 0), costs.clone(), board.clone(), 7);
+        let mut c1 = Cpu::new(1, HwContext::new(&topo, 1), costs.clone(), board, 7);
+        let a = heap.alloc(&mut c0, 1).unwrap();
+        heap.store(&mut c0, a, 0, 1);
+        c1.advance_to(c0.now()); // make the write "recent" for c1
+        let before = c1.now();
+        heap.load(&mut c1, a, 0);
+        assert!(
+            c1.now() - before >= costs.load + costs.coherence_miss,
+            "foreign read of a hot line must cost a miss"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulated word-addressable heap.
+//!
+//! All shared memory in this reproduction lives in one simulated heap of
+//! 64-bit words. This is the substitute for the raw process memory the C
+//! implementation of StackTrack operates on; putting it behind an API gives
+//! the reproduction three things the paper got from hardware or libc:
+//!
+//! - **Type-stable, scannable memory**: the reclaimer can walk any thread's
+//!   exposed stack words and compare raw values against a candidate pointer,
+//!   exactly like the paper's word-by-word stack scan.
+//! - **Allocation metadata with range queries** ([`Heap::object_base`]),
+//!   the equivalent of the paper's `malloc` hook used to resolve interior
+//!   pointers (section 5.5).
+//! - **Poison-on-free plus liveness tracking**, which turns any
+//!   use-after-free in a scheme or data structure into a deterministic test
+//!   failure instead of silent corruption.
+//!
+//! Addresses ([`Addr`]) are byte-style and 8-aligned, so the low 3 bits of a
+//! stored pointer are free for the mark bits lock-free structures need
+//! ([`tagged`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod alloc;
+pub mod heap;
+pub mod tagged;
+pub mod traffic;
+
+pub use addr::{Addr, Word, NULL};
+pub use heap::{Heap, HeapConfig, HeapStats};
+pub use tagged::TaggedPtr;

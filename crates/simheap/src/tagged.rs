@@ -1,0 +1,116 @@
+//! Tagged (marked) pointer codec.
+//!
+//! Lock-free structures in the Harris family store a *mark* in the low bits
+//! of next-pointers to flag logically deleted nodes. Since simulated
+//! addresses are 8-aligned, the low 3 bits of any pointer word are free.
+
+use crate::addr::Addr;
+
+/// A pointer word carrying up to 3 tag bits.
+///
+/// # Examples
+///
+/// ```
+/// use st_simheap::{Addr, TaggedPtr};
+///
+/// let p = TaggedPtr::new(Addr::from_index(9), 0);
+/// let marked = p.with_mark(true);
+/// assert!(marked.marked());
+/// assert_eq!(marked.addr(), p.addr());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaggedPtr(pub u64);
+
+/// The deletion-mark bit used by Harris-style lists.
+pub const MARK_BIT: u64 = 1;
+
+/// Mask of all tag bits.
+pub const TAG_MASK: u64 = 7;
+
+impl TaggedPtr {
+    /// Packs an address and tag bits into one word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` uses bits outside [`TAG_MASK`].
+    pub fn new(addr: Addr, tag: u64) -> Self {
+        assert_eq!(tag & !TAG_MASK, 0, "tag {tag:#x} out of range");
+        TaggedPtr(addr.raw() | tag)
+    }
+
+    /// Interprets a raw memory word as a tagged pointer.
+    pub fn from_word(word: u64) -> Self {
+        TaggedPtr(word)
+    }
+
+    /// The raw word to store in memory.
+    pub fn word(self) -> u64 {
+        self.0
+    }
+
+    /// The address with tag bits stripped.
+    pub fn addr(self) -> Addr {
+        Addr(self.0 & !TAG_MASK)
+    }
+
+    /// The tag bits.
+    pub fn tag(self) -> u64 {
+        self.0 & TAG_MASK
+    }
+
+    /// Whether the Harris deletion mark is set.
+    pub fn marked(self) -> bool {
+        self.0 & MARK_BIT != 0
+    }
+
+    /// This pointer with the deletion mark set or cleared.
+    pub fn with_mark(self, mark: bool) -> Self {
+        if mark {
+            TaggedPtr(self.0 | MARK_BIT)
+        } else {
+            TaggedPtr(self.0 & !MARK_BIT)
+        }
+    }
+
+    /// Whether the address part is null.
+    pub fn is_null(self) -> bool {
+        self.addr().is_null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::NULL;
+
+    #[test]
+    fn pack_unpack() {
+        let a = Addr::from_index(1234);
+        for tag in 0..8 {
+            let p = TaggedPtr::new(a, tag);
+            assert_eq!(p.addr(), a);
+            assert_eq!(p.tag(), tag);
+        }
+    }
+
+    #[test]
+    fn mark_toggles_only_mark_bit() {
+        let p = TaggedPtr::new(Addr::from_index(5), 0b100);
+        let m = p.with_mark(true);
+        assert!(m.marked());
+        assert_eq!(m.tag(), 0b101);
+        assert_eq!(m.with_mark(false), p);
+    }
+
+    #[test]
+    fn null_detection_ignores_tags() {
+        assert!(TaggedPtr::new(NULL, 1).is_null());
+        assert!(!TaggedPtr::new(Addr::from_index(1), 1).is_null());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_tag_rejected() {
+        let _ = TaggedPtr::new(Addr::from_index(1), 8);
+    }
+}

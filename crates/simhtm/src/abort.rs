@@ -1,0 +1,59 @@
+//! Abort taxonomy, mirroring Intel TSX abort status.
+
+/// Why a hardware transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortCode {
+    /// Data conflict with another thread (transactional or not).
+    Conflict,
+    /// The data set outgrew the (simulated) L1 budget.
+    Capacity,
+    /// The program requested the abort (XABORT).
+    Explicit,
+    /// Spurious hardware abort (interrupts, unsupported instructions, ...).
+    Other,
+}
+
+/// An aborted transaction, propagated as an error.
+///
+/// In C, an HTM abort longjmps back to the `XBEGIN` fallback; the idiomatic
+/// Rust rendering is an error that unwinds the segment body via `?`, after
+/// which the split engine restarts the segment from its last committed
+/// state — the same control flow the hardware provides by restoring the
+/// register checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort(pub AbortCode);
+
+impl Abort {
+    /// The abort reason.
+    pub fn code(self) -> AbortCode {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Abort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transaction aborted: {:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_code() {
+        assert!(Abort(AbortCode::Capacity).to_string().contains("Capacity"));
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for code in [
+            AbortCode::Conflict,
+            AbortCode::Capacity,
+            AbortCode::Explicit,
+            AbortCode::Other,
+        ] {
+            assert_eq!(Abort(code).code(), code);
+        }
+    }
+}

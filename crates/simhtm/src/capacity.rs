@@ -1,0 +1,150 @@
+//! L1 capacity model for best-effort transactions.
+//!
+//! TSX tracks a transaction's data set in the L1 cache; overflowing it (or
+//! losing a tracked line to eviction) raises a *capacity abort*. Two facts
+//! from the paper's section 6 drive this model:
+//!
+//! - Transactions abort well before the nominal 32 KiB / 64 B = 512-line
+//!   budget, because the L1 is 8-way set-associative and co-resident data
+//!   evicts tracked lines probabilistically.
+//! - Once HyperThreading kicks in (threads > cores), the sibling context
+//!   shares the same L1 and "the number of capacity aborts increases by
+//!   orders of magnitude" (Figure 3).
+//!
+//! The model therefore combines a hard budget (halved under SMT) with a
+//! per-new-line eviction probability that grows quadratically with
+//! occupancy and linearly with the sibling's transactional footprint.
+
+use st_machine::Cpu;
+
+/// Capacity-model parameters.
+#[derive(Debug, Clone)]
+pub struct CapacityModel {
+    /// Nominal private L1 budget, in cache lines.
+    pub l1_lines: u64,
+    /// Budget divisor while the SMT sibling is active.
+    pub smt_divisor: u64,
+    /// Scale of the occupancy-driven eviction probability (at 100 %
+    /// occupancy of the effective budget, each new line faces this chance).
+    pub evict_at_full: f64,
+    /// Extra eviction probability per new line, scaled by the sibling's
+    /// footprint fraction of the L1.
+    pub smt_evict_scale: f64,
+}
+
+impl Default for CapacityModel {
+    fn default() -> Self {
+        Self {
+            l1_lines: 448,
+            smt_divisor: 2,
+            evict_at_full: 0.5,
+            smt_evict_scale: 0.8,
+        }
+    }
+}
+
+impl CapacityModel {
+    /// Effective line budget for `cpu` right now.
+    pub fn budget(&self, cpu: &Cpu) -> u64 {
+        if cpu.smt_pressure() > 0.0 {
+            (self.l1_lines / self.smt_divisor).max(1)
+        } else {
+            self.l1_lines
+        }
+    }
+
+    /// Decides whether admitting one more distinct line (bringing the
+    /// footprint to `lines`) overflows or suffers an eviction.
+    ///
+    /// Deterministic given the thread's PRNG stream.
+    pub fn admits(&self, cpu: &mut Cpu, lines: u64) -> bool {
+        let budget = self.budget(cpu);
+        if lines > budget {
+            return false;
+        }
+        let occupancy = lines as f64 / budget as f64;
+        let mut p = self.evict_at_full * occupancy * occupancy * occupancy;
+        let sibling = cpu.sibling_footprint() as f64 / self.l1_lines as f64;
+        p += self.smt_evict_scale * sibling * cpu.smt_pressure() * occupancy;
+        !cpu.rng.chance(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_machine::{cpu::ActivityBoard, CostModel, HwContext, Topology};
+    use std::sync::Arc;
+
+    fn cpu_with_board() -> (Cpu, Arc<ActivityBoard>) {
+        let topo = Topology::haswell();
+        let board = Arc::new(ActivityBoard::new(topo.hw_contexts()));
+        let cpu = Cpu::new(
+            0,
+            HwContext::new(&topo, 0),
+            Arc::new(CostModel::default()),
+            board.clone(),
+            11,
+        );
+        (cpu, board)
+    }
+
+    #[test]
+    fn hard_budget_enforced() {
+        let (mut cpu, _) = cpu_with_board();
+        let m = CapacityModel::default();
+        assert!(!m.admits(&mut cpu, m.l1_lines + 1));
+    }
+
+    #[test]
+    fn tiny_footprints_always_admitted() {
+        let (mut cpu, _) = cpu_with_board();
+        let m = CapacityModel::default();
+        for _ in 0..1000 {
+            assert!(m.admits(&mut cpu, 4));
+        }
+    }
+
+    #[test]
+    fn smt_halves_the_budget() {
+        let (cpu, board) = cpu_with_board();
+        let m = CapacityModel::default();
+        assert_eq!(m.budget(&cpu), m.l1_lines);
+        board.set_running(cpu.hw.sibling.unwrap(), true);
+        assert_eq!(m.budget(&cpu), m.l1_lines / 2);
+    }
+
+    #[test]
+    fn smt_pressure_raises_eviction_rate() {
+        let m = CapacityModel::default();
+        let lines = 100;
+
+        let (mut solo, _) = cpu_with_board();
+        let solo_evictions = (0..20_000).filter(|_| !m.admits(&mut solo, lines)).count();
+
+        let (mut shared, board) = cpu_with_board();
+        let sib = shared.hw.sibling.unwrap();
+        board.set_running(sib, true);
+        board.set_footprint(sib, 200);
+        let shared_evictions = (0..20_000)
+            .filter(|_| !m.admits(&mut shared, lines))
+            .count();
+
+        assert!(
+            shared_evictions > solo_evictions * 5,
+            "SMT must multiply capacity aborts (solo {solo_evictions}, shared {shared_evictions})"
+        );
+    }
+
+    #[test]
+    fn occupancy_raises_eviction_rate() {
+        let m = CapacityModel::default();
+        let (mut cpu, _) = cpu_with_board();
+        let low = (0..20_000).filter(|_| !m.admits(&mut cpu, 50)).count();
+        let high = (0..20_000).filter(|_| !m.admits(&mut cpu, 400)).count();
+        assert!(
+            high > low,
+            "fuller transactions must abort more (low {low}, high {high})"
+        );
+    }
+}

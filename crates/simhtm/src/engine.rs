@@ -1,0 +1,672 @@
+//! The TL2-style best-effort transaction engine.
+
+use crate::abort::{Abort, AbortCode};
+use crate::capacity::CapacityModel;
+use crate::stats::{HtmStats, HtmThreadStats};
+use crate::stripes::StripeTable;
+use crate::tx::Tx;
+use st_machine::Cpu;
+use st_simheap::{Addr, Heap, Word};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Engine parameters.
+#[derive(Debug, Clone)]
+pub struct HtmConfig {
+    /// Stripes in the version-lock table.
+    pub stripes: usize,
+    /// Capacity model.
+    pub capacity: CapacityModel,
+    /// Probability that any single transactional access aborts spuriously
+    /// (`AbortCode::Other`) — interrupts, unsupported instructions. The
+    /// paper treats these as rare; default 0 keeps unit tests exact.
+    pub spurious_abort_per_access: f64,
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        Self {
+            stripes: 1 << 16,
+            capacity: CapacityModel::default(),
+            spurious_abort_per_access: 0.0,
+        }
+    }
+}
+
+/// The best-effort HTM engine.
+///
+/// One engine guards one [`Heap`]. Transactions ([`Tx`]) are driven through
+/// the `tx_*` methods; non-transactional code interacts with transactional
+/// state through [`HtmEngine::nontx_write`] / [`HtmEngine::free_object`],
+/// which advance stripe versions and thereby doom every in-flight
+/// transaction that read those lines — the property StackTrack's safety
+/// argument rests on.
+#[derive(Debug)]
+pub struct HtmEngine {
+    heap: Arc<Heap>,
+    stripes: StripeTable,
+    clock: AtomicU64,
+    config: HtmConfig,
+    stats: Vec<HtmThreadStats>,
+}
+
+impl HtmEngine {
+    /// Creates an engine over `heap` supporting up to `max_threads`
+    /// simulated threads.
+    pub fn new(heap: Arc<Heap>, config: HtmConfig, max_threads: usize) -> Self {
+        Self {
+            heap,
+            stripes: StripeTable::new(config.stripes),
+            clock: AtomicU64::new(0),
+            stats: (0..max_threads)
+                .map(|_| HtmThreadStats::default())
+                .collect(),
+            config,
+        }
+    }
+
+    /// The heap this engine guards.
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// Snapshot of one thread's transaction statistics.
+    pub fn thread_stats(&self, thread_id: usize) -> HtmStats {
+        self.stats[thread_id].snapshot()
+    }
+
+    /// Clears all per-thread statistics (benchmark warm-up support).
+    pub fn reset_stats(&self) {
+        for s in &self.stats {
+            s.reset();
+        }
+    }
+
+    /// Sum of all threads' transaction statistics.
+    pub fn total_stats(&self) -> HtmStats {
+        self.stats
+            .iter()
+            .map(HtmThreadStats::snapshot)
+            .fold(HtmStats::default(), HtmStats::merged)
+    }
+
+    // ------------------------------------------------------------------
+    // Transactional interface.
+    // ------------------------------------------------------------------
+
+    /// Starts a transaction (XBEGIN).
+    pub fn begin(&self, cpu: &mut Cpu) -> Tx {
+        cpu.charge(cpu.costs.htm_begin);
+        cpu.counters.tx_begun += 1;
+        self.stats[cpu.thread_id].on_begin();
+        Tx::new(self.clock.load(Ordering::Relaxed))
+    }
+
+    /// Starts a transaction, recycling a previous descriptor's buffers
+    /// (the common path for split segments, which begin thousands of
+    /// transactions per operation).
+    pub fn begin_reuse(&self, cpu: &mut Cpu, tx: &mut Tx) {
+        cpu.charge(cpu.costs.htm_begin);
+        cpu.counters.tx_begun += 1;
+        self.stats[cpu.thread_id].on_begin();
+        tx.reset(self.clock.load(Ordering::Relaxed));
+    }
+
+    fn fail(&self, cpu: &mut Cpu, tx: &mut Tx, code: AbortCode) -> Abort {
+        debug_assert!(!tx.dead, "aborting a dead transaction");
+        tx.dead = true;
+        cpu.charge(cpu.costs.htm_abort);
+        cpu.counters.tx_aborted += 1;
+        cpu.publish_footprint(0);
+        self.stats[cpu.thread_id].on_abort(code);
+        Abort(code)
+    }
+
+    /// Explicitly aborts the transaction (XABORT).
+    pub fn tx_abort(&self, cpu: &mut Cpu, tx: &mut Tx) -> Abort {
+        self.fail(cpu, tx, AbortCode::Explicit)
+    }
+
+    fn admit_line(&self, cpu: &mut Cpu, tx: &mut Tx, addr: Addr, off: u64) -> Result<(), Abort> {
+        let line = addr.offset(off).line();
+        if tx.lines.insert(line) {
+            let lines = tx.footprint_lines();
+            if !self.config.capacity.admits(cpu, lines) {
+                return Err(self.fail(cpu, tx, AbortCode::Capacity));
+            }
+            cpu.publish_footprint(lines);
+        }
+        Ok(())
+    }
+
+    fn maybe_spurious(&self, cpu: &mut Cpu, tx: &mut Tx) -> Result<(), Abort> {
+        let p = self.config.spurious_abort_per_access;
+        if p > 0.0 && cpu.rng.chance(p) {
+            return Err(self.fail(cpu, tx, AbortCode::Other));
+        }
+        Ok(())
+    }
+
+    /// Transactional load of `addr + off`.
+    ///
+    /// Validated eagerly (TL2): the stripe must be unlocked and no newer
+    /// than the transaction's read version, and must not change across the
+    /// data read — so a transaction never observes an inconsistent snapshot
+    /// (opacity), just like cache-coherence-based HTM.
+    pub fn tx_read(&self, cpu: &mut Cpu, tx: &mut Tx, addr: Addr, off: u64) -> Result<Word, Abort> {
+        debug_assert!(!tx.dead, "read on dead transaction");
+        cpu.charge_mem(addr.offset(off).line());
+        cpu.charge(cpu.costs.tx_load);
+        cpu.counters.tx_loads += 1;
+        self.maybe_spurious(cpu, tx)?;
+
+        let word_idx = addr.index() + off;
+        if let Some(v) = tx.buffered(word_idx) {
+            return Ok(v);
+        }
+
+        let stripe = self.stripes.index_of(addr, off);
+        let s1 = self.stripes.read(stripe);
+        if s1.locked() || s1.version() > tx.rv {
+            return Err(self.fail(cpu, tx, AbortCode::Conflict));
+        }
+        let value = self.heap.peek(addr, off);
+        let s2 = self.stripes.read(stripe);
+        if s2 != s1 {
+            return Err(self.fail(cpu, tx, AbortCode::Conflict));
+        }
+        tx.record_read_stripe(stripe);
+        self.admit_line(cpu, tx, addr, off)?;
+        Ok(value)
+    }
+
+    /// Transactional store to `addr + off` (buffered until commit).
+    pub fn tx_write(
+        &self,
+        cpu: &mut Cpu,
+        tx: &mut Tx,
+        addr: Addr,
+        off: u64,
+        value: Word,
+    ) -> Result<(), Abort> {
+        debug_assert!(!tx.dead, "write on dead transaction");
+        cpu.charge_mem(addr.offset(off).line());
+        cpu.charge(cpu.costs.tx_store);
+        cpu.counters.tx_stores += 1;
+        self.maybe_spurious(cpu, tx)?;
+        tx.buffer_write(addr, off, value);
+        self.admit_line(cpu, tx, addr, off)
+    }
+
+    /// Transactional compare-and-swap: reads `addr + off` and, if it equals
+    /// `expected`, buffers `new`. Returns `Ok(previous)` on success,
+    /// `Err(actual)` on mismatch (outer `Err` is an abort).
+    ///
+    /// Inside a transaction a CAS needs no hardware atomicity of its own —
+    /// the transaction provides it.
+    pub fn tx_cas(
+        &self,
+        cpu: &mut Cpu,
+        tx: &mut Tx,
+        addr: Addr,
+        off: u64,
+        expected: Word,
+        new: Word,
+    ) -> Result<Result<Word, Word>, Abort> {
+        let current = self.tx_read(cpu, tx, addr, off)?;
+        if current != expected {
+            return Ok(Err(current));
+        }
+        self.tx_write(cpu, tx, addr, off, new)?;
+        Ok(Ok(current))
+    }
+
+    /// Commits the transaction (XEND).
+    ///
+    /// On success the descriptor is left dead (reset it with
+    /// [`HtmEngine::begin_reuse`] to start the next segment); on failure it
+    /// is dead too, with the abort accounted.
+    pub fn commit(&self, cpu: &mut Cpu, tx: &mut Tx) -> Result<(), Abort> {
+        debug_assert!(!tx.dead, "commit on dead transaction");
+        cpu.charge(cpu.costs.htm_commit);
+
+        if tx.is_read_only() {
+            // Eagerly validated reads serialize the transaction at its read
+            // version; nothing to publish.
+            self.finish_commit(cpu, tx);
+            return Ok(());
+        }
+
+        // Lock the write stripes in sorted order (livelock-free for the
+        // real-thread stress tests; in the discrete-event simulator a
+        // commit is atomic and these locks are never observed).
+        let mut write_stripes: Vec<u32> = tx
+            .writes
+            .iter()
+            .map(|&(addr, off, _)| self.stripes.index_of(addr, off))
+            .collect();
+        write_stripes.sort_unstable();
+        write_stripes.dedup();
+
+        let mut locked: Vec<u32> = Vec::with_capacity(write_stripes.len());
+        for &s in &write_stripes {
+            // A blind write to a stripe whose version advanced is still
+            // serializable; only a *locked* stripe is a conflict. Writes to
+            // lines the transaction also read are covered by read-set
+            // validation below.
+            let seen = self.stripes.read(s);
+            if seen.locked() || !self.stripes.try_lock(s, seen) {
+                for &l in &locked {
+                    let v = self.stripes.read(l).version();
+                    self.stripes.release(l, v);
+                }
+                return Err(self.fail(cpu, tx, AbortCode::Conflict));
+            }
+            locked.push(s);
+        }
+
+        let wv = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+
+        // Validate the read set unless nobody committed since we began.
+        if wv != tx.rv + 1 {
+            for &s in &tx.read_stripes {
+                let v = self.stripes.read(s);
+                let own = locked.binary_search(&s).is_ok();
+                if (v.locked() && !own) || v.version() > tx.rv {
+                    for &l in &locked {
+                        let ver = self.stripes.read(l).version();
+                        self.stripes.release(l, ver);
+                    }
+                    return Err(self.fail(cpu, tx, AbortCode::Conflict));
+                }
+            }
+        }
+
+        // Publish the write buffer; these are real stores with real
+        // coherence traffic.
+        let writes: Vec<_> = tx.writes.drain(..).collect();
+        for (addr, off, value) in writes {
+            self.heap.store(cpu, addr, off, value);
+        }
+        for &s in &locked {
+            self.stripes.release(s, wv);
+        }
+        self.finish_commit(cpu, tx);
+        Ok(())
+    }
+
+    fn finish_commit(&self, cpu: &mut Cpu, tx: &mut Tx) {
+        tx.dead = true;
+        cpu.counters.tx_committed += 1;
+        cpu.publish_footprint(0);
+        self.stats[cpu.thread_id]
+            .on_commit(tx.read_stripes.len() as u64, tx.write_map.len() as u64);
+    }
+
+    // ------------------------------------------------------------------
+    // Non-transactional interface.
+    // ------------------------------------------------------------------
+
+    /// Plain load; never conflicts (reads committed state).
+    pub fn nontx_read(&self, cpu: &mut Cpu, addr: Addr, off: u64) -> Word {
+        self.heap.load(cpu, addr, off)
+    }
+
+    /// Non-transactional store that **dooms** every in-flight transaction
+    /// holding the line in its read set (advances the stripe version).
+    pub fn nontx_write(&self, cpu: &mut Cpu, addr: Addr, off: u64, value: Word) {
+        let stripe = self.stripes.index_of(addr, off);
+        loop {
+            let seen = self.stripes.read(stripe);
+            if !seen.locked() && self.stripes.try_lock(stripe, seen) {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        self.heap.store(cpu, addr, off, value);
+        let wv = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stripes.release(stripe, wv);
+    }
+
+    /// Non-transactional compare-and-swap that dooms transactional readers
+    /// of the line on success (the slow path's CAS; see `SLOW_WRITE` in the
+    /// paper's Algorithm 5, which funnels writes through the reference-set
+    /// protocol and still conflicts with speculative readers).
+    pub fn nontx_cas(
+        &self,
+        cpu: &mut Cpu,
+        addr: Addr,
+        off: u64,
+        expected: Word,
+        new: Word,
+    ) -> Result<Word, Word> {
+        let stripe = self.stripes.index_of(addr, off);
+        loop {
+            let seen = self.stripes.read(stripe);
+            if !seen.locked() && self.stripes.try_lock(stripe, seen) {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        let result = self.heap.cas(cpu, addr, off, expected, new);
+        if result.is_ok() {
+            let wv = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            self.stripes.release(stripe, wv);
+        } else {
+            let v = self.stripes.read(stripe).version();
+            self.stripes.release(stripe, v);
+        }
+        result
+    }
+
+    /// Frees the object based at `addr`: advances the versions of all its
+    /// stripes (dooming transactional readers), then poisons and returns
+    /// the block to the allocator.
+    ///
+    /// This is the reclaimer-side primitive behind StackTrack's `FREE`; the
+    /// paper's safety argument ("if the node is still accessed inside an
+    /// uncommitted transaction, a data conflict will force that transaction
+    /// to abort") is exactly this version bump.
+    pub fn free_object(&self, cpu: &mut Cpu, addr: Addr) {
+        let block = self
+            .heap
+            .block_len(addr)
+            .unwrap_or_else(|| panic!("free_object of unknown address {addr:?}"));
+        let mut stripes: Vec<u32> = (0..block)
+            .map(|off| self.stripes.index_of(addr, off))
+            .collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        for &s in &stripes {
+            loop {
+                let seen = self.stripes.read(s);
+                if !seen.locked() && self.stripes.try_lock(s, seen) {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        self.heap.free(cpu, addr);
+        let wv = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        for &s in &stripes {
+            self.stripes.release(s, wv);
+        }
+    }
+
+    /// Issues a full fence (cost only; ordering is virtual).
+    pub fn fence(&self, cpu: &mut Cpu) {
+        self.heap.fence(cpu);
+    }
+
+    /// Current global version clock (diagnostics).
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_machine::{cpu::ActivityBoard, CostModel, HwContext, Topology};
+    use st_simheap::HeapConfig;
+
+    fn setup() -> (Arc<HtmEngine>, Vec<Cpu>) {
+        let heap = Arc::new(Heap::new(HeapConfig::small()));
+        let engine = Arc::new(HtmEngine::new(heap, HtmConfig::default(), 4));
+        let topo = Topology::haswell();
+        let board = Arc::new(ActivityBoard::new(topo.hw_contexts()));
+        let costs = Arc::new(CostModel::default());
+        let cpus = (0..4)
+            .map(|i| {
+                Cpu::new(
+                    i,
+                    HwContext::new(&topo, topo.place(i)),
+                    costs.clone(),
+                    board.clone(),
+                    99,
+                )
+            })
+            .collect();
+        (engine, cpus)
+    }
+
+    #[test]
+    fn committed_writes_become_visible() {
+        let (e, mut cpus) = setup();
+        let c = &mut cpus[0];
+        let a = e.heap().alloc(c, 2).unwrap();
+        let mut tx = e.begin(c);
+        e.tx_write(c, &mut tx, a, 0, 7).unwrap();
+        e.tx_write(c, &mut tx, a, 1, 8).unwrap();
+        assert_eq!(e.heap().peek(a, 0), 0, "buffered until commit");
+        e.commit(c, &mut tx).unwrap();
+        assert_eq!(e.heap().peek(a, 0), 7);
+        assert_eq!(e.heap().peek(a, 1), 8);
+    }
+
+    #[test]
+    fn reads_see_own_writes() {
+        let (e, mut cpus) = setup();
+        let c = &mut cpus[0];
+        let a = e.heap().alloc(c, 1).unwrap();
+        let mut tx = e.begin(c);
+        e.tx_write(c, &mut tx, a, 0, 41).unwrap();
+        assert_eq!(e.tx_read(c, &mut tx, a, 0).unwrap(), 41);
+        e.commit(c, &mut tx).unwrap();
+    }
+
+    #[test]
+    fn conflicting_commit_dooms_reader() {
+        let (e, mut cpus) = setup();
+        let a = {
+            let c = &mut cpus[0];
+            let a = e.heap().alloc(c, 1).unwrap();
+            e.heap().poke(a, 0, 1);
+            a
+        };
+        // Reader starts and reads.
+        let mut rtx = {
+            let c = &mut cpus[0];
+            let mut tx = e.begin(c);
+            assert_eq!(e.tx_read(c, &mut tx, a, 0).unwrap(), 1);
+            tx
+        };
+        // Writer commits an update to the same line.
+        {
+            let c = &mut cpus[1];
+            let mut tx = e.begin(c);
+            e.tx_write(c, &mut tx, a, 0, 2).unwrap();
+            e.commit(c, &mut tx).unwrap();
+        }
+        // Reader writes something (becomes a write tx) and must fail
+        // commit-time validation.
+        let c = &mut cpus[0];
+        let b = e.heap().alloc(c, 1).unwrap();
+        e.tx_write(c, &mut rtx, b, 0, 9).unwrap();
+        let err = e.commit(c, &mut rtx).unwrap_err();
+        assert_eq!(err.code(), AbortCode::Conflict);
+        assert_eq!(e.heap().peek(b, 0), 0, "aborted writes must not leak");
+    }
+
+    #[test]
+    fn eager_validation_gives_opacity() {
+        let (e, mut cpus) = setup();
+        let a = {
+            let c = &mut cpus[0];
+            let a = e.heap().alloc(c, 8).unwrap();
+            a
+        };
+        let mut rtx = {
+            let c = &mut cpus[0];
+            let mut tx = e.begin(c);
+            let _ = e.tx_read(c, &mut tx, a, 0).unwrap();
+            tx
+        };
+        {
+            let c = &mut cpus[1];
+            e.nontx_write(c, a, 7, 5);
+        }
+        // Reading any word whose stripe advanced past rv aborts immediately,
+        // before the stale mix is observable.
+        let c = &mut cpus[0];
+        let err = e.tx_read(c, &mut rtx, a, 7).unwrap_err();
+        assert_eq!(err.code(), AbortCode::Conflict);
+    }
+
+    #[test]
+    fn free_object_dooms_transactional_reader() {
+        let (e, mut cpus) = setup();
+        let a = {
+            let c = &mut cpus[0];
+            e.heap().alloc(c, 4).unwrap()
+        };
+        let mut rtx = {
+            let c = &mut cpus[1];
+            let mut tx = e.begin(c);
+            let _ = e.tx_read(c, &mut tx, a, 0).unwrap();
+            tx
+        };
+        {
+            let c = &mut cpus[0];
+            e.free_object(c, a);
+        }
+        let c = &mut cpus[1];
+        // Writing elsewhere then committing must fail read validation.
+        let b = e.heap().alloc(c, 1).unwrap();
+        e.tx_write(c, &mut rtx, b, 0, 1).unwrap();
+        assert_eq!(
+            e.commit(c, &mut rtx).unwrap_err().code(),
+            AbortCode::Conflict
+        );
+        assert!(!e.heap().is_live(a));
+    }
+
+    #[test]
+    fn capacity_abort_on_budget_overflow() {
+        let heap = Arc::new(Heap::new(HeapConfig {
+            capacity_words: 1 << 18,
+            ..HeapConfig::small()
+        }));
+        let mut config = HtmConfig::default();
+        config.capacity.l1_lines = 8;
+        config.capacity.evict_at_full = 0.0;
+        let e = HtmEngine::new(heap, config, 1);
+        let topo = Topology::haswell();
+        let mut c = Cpu::new(
+            0,
+            HwContext::new(&topo, 0),
+            Arc::new(CostModel::default()),
+            Arc::new(ActivityBoard::new(topo.hw_contexts())),
+            5,
+        );
+        let a = e.heap().alloc(&mut c, 128).unwrap(); // 16 lines
+        let mut tx = e.begin(&mut c);
+        let mut failed = None;
+        for off in (0..128).step_by(8) {
+            if let Err(ab) = e.tx_read(&mut c, &mut tx, a, off) {
+                failed = Some(ab);
+                break;
+            }
+        }
+        assert_eq!(failed.unwrap().code(), AbortCode::Capacity);
+    }
+
+    #[test]
+    fn explicit_abort_counts() {
+        let (e, mut cpus) = setup();
+        let c = &mut cpus[0];
+        let mut tx = e.begin(c);
+        let ab = e.tx_abort(c, &mut tx);
+        assert_eq!(ab.code(), AbortCode::Explicit);
+        assert_eq!(e.thread_stats(0).aborts_explicit, 1);
+    }
+
+    #[test]
+    fn cas_semantics_inside_tx() {
+        let (e, mut cpus) = setup();
+        let c = &mut cpus[0];
+        let a = e.heap().alloc(c, 1).unwrap();
+        e.heap().poke(a, 0, 10);
+        let mut tx = e.begin(c);
+        assert_eq!(e.tx_cas(c, &mut tx, a, 0, 10, 11).unwrap(), Ok(10));
+        assert_eq!(e.tx_cas(c, &mut tx, a, 0, 10, 12).unwrap(), Err(11));
+        e.commit(c, &mut tx).unwrap();
+        assert_eq!(e.heap().peek(a, 0), 11);
+    }
+
+    #[test]
+    fn stats_track_commits_and_aborts() {
+        let (e, mut cpus) = setup();
+        let c = &mut cpus[0];
+        let a = e.heap().alloc(c, 1).unwrap();
+        for i in 0..3 {
+            let mut tx = e.begin(c);
+            e.tx_write(c, &mut tx, a, 0, i).unwrap();
+            e.commit(c, &mut tx).unwrap();
+        }
+        let s = e.thread_stats(0);
+        assert_eq!(s.begun, 3);
+        assert_eq!(s.committed, 3);
+        assert_eq!(s.committed_writes, 3);
+        assert_eq!(s.total_aborts(), 0);
+        assert_eq!(e.total_stats().committed, 3);
+    }
+
+    #[test]
+    fn spurious_aborts_when_configured() {
+        let heap = Arc::new(Heap::new(HeapConfig::small()));
+        let e = HtmEngine::new(
+            heap,
+            HtmConfig {
+                spurious_abort_per_access: 1.0,
+                ..HtmConfig::default()
+            },
+            1,
+        );
+        let topo = Topology::haswell();
+        let mut c = Cpu::new(
+            0,
+            HwContext::new(&topo, 0),
+            Arc::new(CostModel::default()),
+            Arc::new(ActivityBoard::new(topo.hw_contexts())),
+            5,
+        );
+        let a = e.heap().alloc(&mut c, 1).unwrap();
+        let mut tx = e.begin(&mut c);
+        assert_eq!(
+            e.tx_read(&mut c, &mut tx, a, 0).unwrap_err().code(),
+            AbortCode::Other
+        );
+    }
+
+    #[test]
+    fn nontx_write_is_immediately_visible() {
+        let (e, mut cpus) = setup();
+        let c = &mut cpus[0];
+        let a = e.heap().alloc(c, 1).unwrap();
+        e.nontx_write(c, a, 0, 123);
+        assert_eq!(e.nontx_read(c, a, 0), 123);
+    }
+
+    #[test]
+    fn read_only_tx_commits_despite_later_writes() {
+        let (e, mut cpus) = setup();
+        let a = {
+            let c = &mut cpus[0];
+            e.heap().alloc(c, 1).unwrap()
+        };
+        let mut rtx = {
+            let c = &mut cpus[0];
+            let mut tx = e.begin(c);
+            let _ = e.tx_read(c, &mut tx, a, 0).unwrap();
+            tx
+        };
+        {
+            let c = &mut cpus[1];
+            e.nontx_write(c, a, 0, 9);
+        }
+        // Read-only: serializes at its read version, still commits.
+        let c = &mut cpus[0];
+        e.commit(c, &mut rtx).unwrap();
+    }
+}

@@ -1,0 +1,41 @@
+//! Best-effort hardware transactional memory, simulated.
+//!
+//! StackTrack's correctness and performance both rest on Intel TSX-style
+//! best-effort HTM, which is unavailable here (the `xbegin` intrinsics exist
+//! in `core::arch`, but TSX hardware does not). This crate substitutes a
+//! **TL2-style software transactional engine** over the simulated heap that
+//! preserves the two HTM properties the paper's argument uses:
+//!
+//! 1. **Atomic, opaque segments.** A transaction's writes (including the
+//!    thread's shadow-stack/register exposure) become visible all at once at
+//!    commit; reads are validated eagerly against per-cache-line stripe
+//!    versions, so a transaction never observes an inconsistent snapshot.
+//! 2. **Non-speculative writes doom conflicting transactions.** The
+//!    reclaimer's poison ([`HtmEngine::free_object`]) and the slow path's
+//!    stores ([`HtmEngine::nontx_write`]) bump stripe versions, so any
+//!    in-flight transaction that read those lines aborts before committing —
+//!    the paper's "HTM aborts immediately on conflict with non-speculative
+//!    code".
+//!
+//! On top of that sits an **abort taxonomy** matching TSX ([`AbortCode`]:
+//! conflict, capacity, explicit, other) and an **L1 capacity model** that
+//! shrinks the line budget and adds probabilistic evictions when the SMT
+//! sibling context is active — the mechanism behind the paper's
+//! capacity-abort explosion once threads outnumber cores (Figure 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abort;
+pub mod capacity;
+pub mod engine;
+pub mod stats;
+pub mod stripes;
+pub mod tx;
+pub mod util;
+
+pub use abort::{Abort, AbortCode};
+pub use capacity::CapacityModel;
+pub use engine::{HtmConfig, HtmEngine};
+pub use stats::HtmStats;
+pub use tx::Tx;

@@ -1,0 +1,148 @@
+//! Per-thread HTM statistics (the raw material of Figures 3 and 4).
+
+use crate::abort::AbortCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic per-thread transaction counters.
+#[derive(Debug, Default)]
+pub struct HtmThreadStats {
+    begun: AtomicU64,
+    committed: AtomicU64,
+    aborts_conflict: AtomicU64,
+    aborts_capacity: AtomicU64,
+    aborts_explicit: AtomicU64,
+    aborts_other: AtomicU64,
+    committed_reads: AtomicU64,
+    committed_writes: AtomicU64,
+}
+
+impl HtmThreadStats {
+    pub(crate) fn on_begin(&self) {
+        self.begun.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_commit(&self, reads: u64, writes: u64) {
+        self.committed.fetch_add(1, Ordering::Relaxed);
+        self.committed_reads.fetch_add(reads, Ordering::Relaxed);
+        self.committed_writes.fetch_add(writes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_abort(&self, code: AbortCode) {
+        let ctr = match code {
+            AbortCode::Conflict => &self.aborts_conflict,
+            AbortCode::Capacity => &self.aborts_capacity,
+            AbortCode::Explicit => &self.aborts_explicit,
+            AbortCode::Other => &self.aborts_other,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Zeroes the counters (benchmark warm-up support).
+    pub fn reset(&self) {
+        self.begun.store(0, Ordering::Relaxed);
+        self.committed.store(0, Ordering::Relaxed);
+        self.aborts_conflict.store(0, Ordering::Relaxed);
+        self.aborts_capacity.store(0, Ordering::Relaxed);
+        self.aborts_explicit.store(0, Ordering::Relaxed);
+        self.aborts_other.store(0, Ordering::Relaxed);
+        self.committed_reads.store(0, Ordering::Relaxed);
+        self.committed_writes.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshots the counters.
+    pub fn snapshot(&self) -> HtmStats {
+        HtmStats {
+            begun: self.begun.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            aborts_conflict: self.aborts_conflict.load(Ordering::Relaxed),
+            aborts_capacity: self.aborts_capacity.load(Ordering::Relaxed),
+            aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
+            aborts_other: self.aborts_other.load(Ordering::Relaxed),
+            committed_reads: self.committed_reads.load(Ordering::Relaxed),
+            committed_writes: self.committed_writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain snapshot of transaction counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HtmStats {
+    /// Transactions started.
+    pub begun: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Aborts due to data conflicts.
+    pub aborts_conflict: u64,
+    /// Aborts due to the capacity model.
+    pub aborts_capacity: u64,
+    /// Explicitly requested aborts.
+    pub aborts_explicit: u64,
+    /// Spurious aborts.
+    pub aborts_other: u64,
+    /// Transactional reads in committed transactions.
+    pub committed_reads: u64,
+    /// Transactional writes in committed transactions.
+    pub committed_writes: u64,
+}
+
+impl HtmStats {
+    /// Total aborts of all kinds.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_conflict + self.aborts_capacity + self.aborts_explicit + self.aborts_other
+    }
+
+    /// Element-wise sum (for whole-run aggregation).
+    pub fn merged(self, other: HtmStats) -> HtmStats {
+        HtmStats {
+            begun: self.begun + other.begun,
+            committed: self.committed + other.committed,
+            aborts_conflict: self.aborts_conflict + other.aborts_conflict,
+            aborts_capacity: self.aborts_capacity + other.aborts_capacity,
+            aborts_explicit: self.aborts_explicit + other.aborts_explicit,
+            aborts_other: self.aborts_other + other.aborts_other,
+            committed_reads: self.committed_reads + other.committed_reads,
+            committed_writes: self.committed_writes + other.committed_writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_events() {
+        let s = HtmThreadStats::default();
+        s.on_begin();
+        s.on_begin();
+        s.on_commit(10, 3);
+        s.on_abort(AbortCode::Capacity);
+        let snap = s.snapshot();
+        assert_eq!(snap.begun, 2);
+        assert_eq!(snap.committed, 1);
+        assert_eq!(snap.aborts_capacity, 1);
+        assert_eq!(snap.committed_reads, 10);
+        assert_eq!(snap.committed_writes, 3);
+        assert_eq!(snap.total_aborts(), 1);
+    }
+
+    #[test]
+    fn merged_adds_fields() {
+        let a = HtmStats {
+            begun: 1,
+            committed: 1,
+            aborts_conflict: 2,
+            ..Default::default()
+        };
+        let b = HtmStats {
+            begun: 3,
+            aborts_conflict: 1,
+            aborts_other: 5,
+            ..Default::default()
+        };
+        let m = a.merged(b);
+        assert_eq!(m.begun, 4);
+        assert_eq!(m.aborts_conflict, 3);
+        assert_eq!(m.total_aborts(), 8);
+    }
+}

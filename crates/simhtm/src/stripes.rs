@@ -1,0 +1,148 @@
+//! Versioned stripe locks (TL2's per-location metadata).
+//!
+//! Each 64-byte cache line of the simulated heap hashes to one *stripe*: an
+//! `AtomicU64` whose low bit is a write lock and whose upper 63 bits are a
+//! version stamp. Transactions validate reads against stripe versions;
+//! commits and non-transactional "doomed writes" advance them.
+
+use st_simheap::Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A stripe value: `version << 1 | locked`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeValue(pub u64);
+
+impl StripeValue {
+    /// Whether the stripe is write-locked.
+    pub fn locked(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// The version stamp.
+    pub fn version(self) -> u64 {
+        self.0 >> 1
+    }
+
+    /// An unlocked value with the given version.
+    pub fn unlocked(version: u64) -> Self {
+        StripeValue(version << 1)
+    }
+
+    /// The locked form of this value.
+    pub fn as_locked(self) -> Self {
+        StripeValue(self.0 | 1)
+    }
+}
+
+/// The global stripe table.
+#[derive(Debug)]
+pub struct StripeTable {
+    stripes: Vec<AtomicU64>,
+    mask: u64,
+}
+
+impl StripeTable {
+    /// Creates a table with `size` stripes (rounded up to a power of two).
+    pub fn new(size: usize) -> Self {
+        let size = size.next_power_of_two().max(64);
+        Self {
+            stripes: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            mask: size as u64 - 1,
+        }
+    }
+
+    /// Number of stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Whether the table is empty (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.stripes.is_empty()
+    }
+
+    /// The stripe index covering `addr + off`.
+    pub fn index_of(&self, addr: Addr, off: u64) -> u32 {
+        let line = addr.offset(off).line();
+        let h = line.wrapping_mul(0x9e3779b97f4a7c15);
+        ((h >> 32) & self.mask) as u32
+    }
+
+    /// Reads a stripe.
+    pub fn read(&self, idx: u32) -> StripeValue {
+        StripeValue(self.stripes[idx as usize].load(Ordering::Relaxed))
+    }
+
+    /// Attempts to lock a stripe whose current value is `seen`.
+    pub fn try_lock(&self, idx: u32, seen: StripeValue) -> bool {
+        !seen.locked()
+            && self.stripes[idx as usize]
+                .compare_exchange(
+                    seen.0,
+                    seen.as_locked().0,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+    }
+
+    /// Releases a locked stripe, setting its version to `version`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the stripe was locked.
+    pub fn release(&self, idx: u32, version: u64) {
+        debug_assert!(self.read(idx).locked(), "releasing an unlocked stripe");
+        self.stripes[idx as usize].store(StripeValue::unlocked(version).0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_packing() {
+        let v = StripeValue::unlocked(42);
+        assert!(!v.locked());
+        assert_eq!(v.version(), 42);
+        let l = v.as_locked();
+        assert!(l.locked());
+        assert_eq!(l.version(), 42);
+    }
+
+    #[test]
+    fn same_line_same_stripe() {
+        let t = StripeTable::new(1024);
+        let a = Addr::from_index(0 + 1);
+        // Words 1..8 share line 0.
+        for off in 0..6 {
+            assert_eq!(t.index_of(a, 0), t.index_of(a, off));
+        }
+    }
+
+    #[test]
+    fn lock_release_cycle() {
+        let t = StripeTable::new(64);
+        let idx = 3;
+        let seen = t.read(idx);
+        assert!(t.try_lock(idx, seen));
+        // Locked stripes refuse second lockers.
+        assert!(!t.try_lock(idx, t.read(idx)));
+        t.release(idx, 7);
+        let after = t.read(idx);
+        assert!(!after.locked());
+        assert_eq!(after.version(), 7);
+    }
+
+    #[test]
+    fn stale_witness_fails_to_lock() {
+        let t = StripeTable::new(64);
+        let idx = 5;
+        let stale = t.read(idx);
+        let fresh = t.read(idx);
+        assert!(t.try_lock(idx, fresh));
+        t.release(idx, 9);
+        assert!(!t.try_lock(idx, stale), "CAS must reject a stale witness");
+    }
+}

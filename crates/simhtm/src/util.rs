@@ -1,0 +1,285 @@
+//! Small open-addressed hash containers for the transaction hot path.
+//!
+//! A transaction performs a set-insert per read and a map-probe per access;
+//! with tens of millions of simulated accesses per benchmark run, the
+//! standard library's SipHash containers dominate the profile. These
+//! containers use Fibonacci hashing, linear probing, power-of-two capacity,
+//! support only the operations transactions need (insert / get / clear),
+//! and reuse their storage across segments.
+
+/// A set of `u64` keys (any value, including 0).
+#[derive(Debug)]
+pub struct U64Set {
+    /// Stored as `key + 1` so that 0 means "empty"; keys are word indices
+    /// or line numbers, far below `u64::MAX`, so the shift cannot wrap.
+    slots: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+#[inline]
+fn fib_hash(key: u64) -> u64 {
+    key.wrapping_mul(0x9e3779b97f4a7c15)
+}
+
+impl U64Set {
+    /// Creates a set with capacity for about `cap` keys.
+    pub fn with_capacity(cap: usize) -> Self {
+        let size = (cap * 2).next_power_of_two().max(16);
+        Self {
+            slots: vec![0; size],
+            mask: size - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all keys, keeping capacity.
+    pub fn clear(&mut self) {
+        if self.len > 0 {
+            self.slots.fill(0);
+            self.len = 0;
+        }
+    }
+
+    /// Inserts `key`; returns `true` if it was new.
+    pub fn insert(&mut self, key: u64) -> bool {
+        debug_assert!(key < u64::MAX, "key too large for sentinel encoding");
+        if (self.len + 1) * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let stored = key + 1;
+        let mut i = (fib_hash(key) >> 32) as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == 0 {
+                self.slots[i] = stored;
+                self.len += 1;
+                return true;
+            }
+            if s == stored {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        let stored = key + 1;
+        let mut i = (fib_hash(key) >> 32) as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == 0 {
+                return false;
+            }
+            if s == stored {
+                return true;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Iterates over the keys (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().filter(|&&s| s != 0).map(|&s| s - 1)
+    }
+
+    fn grow(&mut self) {
+        let new_size = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![0; new_size]);
+        self.mask = self.slots.len() - 1;
+        self.len = 0;
+        for s in old {
+            if s != 0 {
+                self.insert(s - 1);
+            }
+        }
+    }
+}
+
+/// A map from `u64` keys (any value) to `u32` values.
+#[derive(Debug)]
+pub struct U64Map {
+    keys: Vec<u64>,
+    values: Vec<u32>,
+    mask: usize,
+    len: usize,
+}
+
+impl U64Map {
+    /// Creates a map with capacity for about `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        let size = (cap * 2).next_power_of_two().max(16);
+        Self {
+            keys: vec![0; size],
+            values: vec![0; size],
+            mask: size - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all entries, keeping capacity.
+    pub fn clear(&mut self) {
+        if self.len > 0 {
+            self.keys.fill(0);
+            self.len = 0;
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<u32> {
+        let stored = key + 1;
+        let mut i = (fib_hash(key) >> 32) as usize & self.mask;
+        loop {
+            let s = self.keys[i];
+            if s == 0 {
+                return None;
+            }
+            if s == stored {
+                return Some(self.values[i]);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts or overwrites `key -> value`.
+    pub fn insert(&mut self, key: u64, value: u32) {
+        debug_assert!(key < u64::MAX, "key too large for sentinel encoding");
+        if (self.len + 1) * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let stored = key + 1;
+        let mut i = (fib_hash(key) >> 32) as usize & self.mask;
+        loop {
+            let s = self.keys[i];
+            if s == 0 {
+                self.keys[i] = stored;
+                self.values[i] = value;
+                self.len += 1;
+                return;
+            }
+            if s == stored {
+                self.values[i] = value;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_size = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_size]);
+        let old_values = std::mem::replace(&mut self.values, vec![0; new_size]);
+        self.mask = self.keys.len() - 1;
+        self.len = 0;
+        for (s, v) in old_keys.into_iter().zip(old_values) {
+            if s != 0 {
+                self.insert(s - 1, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_insert_contains() {
+        let mut s = U64Set::with_capacity(4);
+        assert!(s.insert(0));
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(0));
+        assert!(s.contains(7));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn set_grows_past_capacity() {
+        let mut s = U64Set::with_capacity(2);
+        for i in 0..1000u64 {
+            assert!(s.insert(i * 3));
+        }
+        assert_eq!(s.len(), 1000);
+        for i in 0..1000u64 {
+            assert!(s.contains(i * 3));
+            assert!(!s.contains(i * 3 + 1));
+        }
+    }
+
+    #[test]
+    fn set_clear_resets() {
+        let mut s = U64Set::with_capacity(8);
+        s.insert(5);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(5));
+        assert!(s.insert(5));
+    }
+
+    #[test]
+    fn set_iter_yields_all() {
+        let mut s = U64Set::with_capacity(8);
+        for k in [0u64, 9, 100] {
+            s.insert(k);
+        }
+        let mut got: Vec<u64> = s.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 9, 100]);
+    }
+
+    #[test]
+    fn map_insert_get_overwrite() {
+        let mut m = U64Map::with_capacity(4);
+        m.insert(0, 10);
+        m.insert(42, 11);
+        assert_eq!(m.get(0), Some(10));
+        assert_eq!(m.get(42), Some(11));
+        assert_eq!(m.get(1), None);
+        m.insert(42, 12);
+        assert_eq!(m.get(42), Some(12));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn map_grows() {
+        let mut m = U64Map::with_capacity(2);
+        for i in 0..500u64 {
+            m.insert(i, i as u32 + 1);
+        }
+        for i in 0..500u64 {
+            assert_eq!(m.get(i), Some(i as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn map_clear() {
+        let mut m = U64Map::with_capacity(4);
+        m.insert(3, 9);
+        m.clear();
+        assert_eq!(m.get(3), None);
+        assert!(m.is_empty());
+    }
+}

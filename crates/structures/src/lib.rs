@@ -1,0 +1,88 @@
+//! Lock-free data structures written once against [`stacktrack::OpMem`].
+//!
+//! The four structures of the paper's evaluation (section 6) plus its
+//! running example, each from the original papers:
+//!
+//! - [`list`]: the Harris lock-free linked list with Michael's
+//!   hazard-compatible `find` (help-unlink on traversal).
+//! - [`skiplist`]: the Fraser-Harris lock-free skip list.
+//! - [`queue`]: the Michael-Scott lock-free queue.
+//! - [`hash`]: a closed-bucket hash table over Harris lists.
+//! - [`rbtree`]: the red-black tree of the paper's Algorithm 3 —
+//!   transactional readers over a single-writer CLRS tree.
+//!
+//! Every operation is a *basic-block step closure* (see
+//! [`stacktrack::opmem`]): one closure call performs roughly one pointer
+//! hop, the granularity at which StackTrack injects split checkpoints. The
+//! same bodies run unchanged under every reclamation scheme in
+//! `st-reclaim`; scheme-specific protection happens inside
+//! `load_ptr`/`protect`/`retire`.
+//!
+//! # Conventions
+//!
+//! - Keys are `u64` in `1..u64::MAX` (0 and `u64::MAX` are the sentinel
+//!   keys).
+//! - Set operations return `1` for success ("was present" / "inserted" /
+//!   "removed") and `0` otherwise, as the operation's result word.
+//! - Pointer words carry the Harris deletion mark in bit 0
+//!   ([`st_simheap::TaggedPtr`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod list;
+pub mod queue;
+pub mod rbtree;
+pub mod skiplist;
+
+pub use hash::HashSet;
+pub use list::LockFreeList;
+pub use queue::MsQueue;
+pub use rbtree::RbTree;
+pub use skiplist::SkipList;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
+    use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory};
+    use st_simheap::{Heap, HeapConfig};
+    use st_simhtm::{HtmConfig, HtmEngine};
+    use stacktrack::StConfig;
+    use std::sync::Arc;
+
+    /// A test heap (no factory).
+    pub(crate) fn scheme_env() -> (Arc<Heap>, ()) {
+        let heap = Arc::new(Heap::new(HeapConfig {
+            capacity_words: 1 << 18,
+            ..HeapConfig::default()
+        }));
+        (heap, ())
+    }
+
+    /// A factory for `scheme` with `threads` slots, plus its heap.
+    pub(crate) fn all_scheme_factories(
+        scheme: Scheme,
+        threads: usize,
+    ) -> (SchemeFactory, Arc<Heap>) {
+        let (heap, ()) = scheme_env();
+        let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), threads));
+        let mut rc = ReclaimConfig::default();
+        // Enough guards for the deepest structure (skip list).
+        rc.hazard_slots = 2 * crate::skiplist::MAX_LEVEL + 2;
+        let factory = SchemeFactory::new(scheme, engine, threads, rc, StConfig::default());
+        (factory, heap)
+    }
+
+    /// A standalone CPU on thread slot `id`.
+    pub(crate) fn test_cpu(id: usize) -> Cpu {
+        let topo = Topology::haswell();
+        Cpu::new(
+            id,
+            HwContext::new(&topo, topo.place(id)),
+            Arc::new(CostModel::default()),
+            Arc::new(ActivityBoard::new(topo.hw_contexts())),
+            0xfeed + id as u64,
+        )
+    }
+}

@@ -1,0 +1,513 @@
+//! The Harris lock-free linked list (Harris, DISC 2001), with Michael's
+//! hazard-compatible `find` (PODC 2002): traversals physically unlink
+//! marked nodes they encounter, and the thread whose compare-and-swap
+//! performs the unlink is the unique retirer of the node.
+//!
+//! Node layout (2 words): `[key, next]`, with the deletion mark in bit 0
+//! of `next`. The list is bracketed by sentinels with keys `0` and
+//! `u64::MAX`.
+
+use st_machine::Cpu;
+use st_reclaim::SchemeThread;
+use st_simheap::{Addr, Heap, TaggedPtr, Word};
+use st_simhtm::Abort;
+use stacktrack::{OpMem, Step};
+use std::sync::Arc;
+
+/// Operation ids (index the split predictor).
+pub const OP_CONTAINS: u32 = 0;
+/// Insert operation id.
+pub const OP_INSERT: u32 = 1;
+/// Delete operation id.
+pub const OP_DELETE: u32 = 2;
+
+/// Key word offset within a node.
+pub const NODE_KEY: u64 = 0;
+/// Next-pointer word offset within a node.
+pub const NODE_NEXT: u64 = 1;
+/// Node size in words.
+pub const NODE_WORDS: usize = 2;
+
+/// Shadow-stack slots used by list operations.
+pub const LIST_SLOTS: usize = 7;
+/// Guard slots used by list operations.
+pub const LIST_GUARDS: usize = 3;
+
+// Local slot assignment.
+const PHASE: usize = 0;
+const PREV: usize = 1;
+const CUR: usize = 2;
+const NEXT: usize = 3;
+const NODE: usize = 4;
+const CKEY: usize = 5;
+const CONT: usize = 6;
+
+// Guard assignment (rotated with `protect`).
+const G_PREV: usize = 0;
+const G_CUR: usize = 1;
+const G_NEXT: usize = 2;
+
+// Phases.
+const P_FIND_START: Word = 0;
+const P_FIND_STEP: Word = 1;
+const P_INSERT: Word = 2;
+const P_DELETE_MARK: Word = 3;
+const P_DELETE_UNLINK: Word = 4;
+const P_DONE_OK: Word = 5;
+
+/// The shared shape of one Harris list: its sentinel addresses.
+///
+/// `Copy` so operation bodies can capture it by value and stay `'static`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListShape {
+    /// Head sentinel (key 0).
+    pub head: Addr,
+    /// Tail sentinel (key `u64::MAX`).
+    pub tail: Addr,
+}
+
+impl ListShape {
+    /// Allocates an empty list (untimed; structure setup).
+    pub fn new_untimed(heap: &Heap) -> Self {
+        let head = heap
+            .alloc_untimed(NODE_WORDS)
+            .expect("heap too small for list sentinels");
+        let tail = heap
+            .alloc_untimed(NODE_WORDS)
+            .expect("heap too small for list sentinels");
+        heap.poke(head, NODE_KEY, 0);
+        heap.poke(tail, NODE_KEY, u64::MAX);
+        heap.poke(head, NODE_NEXT, tail.raw());
+        heap.poke(tail, NODE_NEXT, 0);
+        Self { head, tail }
+    }
+
+    /// Inserts `key` directly, bypassing the concurrency protocol
+    /// (untimed; initial population before the measured run).
+    pub fn insert_untimed(&self, heap: &Heap, key: u64) -> bool {
+        assert!(key > 0 && key < u64::MAX, "key range");
+        let mut prev = self.head;
+        let mut cur = Addr::from_raw(heap.peek(prev, NODE_NEXT));
+        loop {
+            let ckey = heap.peek(cur, NODE_KEY);
+            if ckey == key {
+                return false;
+            }
+            if ckey > key {
+                let node = heap
+                    .alloc_untimed(NODE_WORDS)
+                    .expect("heap too small for initial population");
+                heap.poke(node, NODE_KEY, key);
+                heap.poke(node, NODE_NEXT, cur.raw());
+                heap.poke(prev, NODE_NEXT, node.raw());
+                return true;
+            }
+            prev = cur;
+            cur = Addr::from_raw(heap.peek(cur, NODE_NEXT));
+        }
+    }
+
+    /// Reads the current key set without charging time (tests/validation).
+    /// Marked (logically deleted) nodes are excluded.
+    pub fn collect_keys_untimed(&self, heap: &Heap) -> Vec<u64> {
+        let mut keys = Vec::new();
+        let mut cur = TaggedPtr::from_word(heap.peek(self.head, NODE_NEXT));
+        while !cur.is_null() {
+            let addr = cur.addr();
+            if addr == self.tail {
+                break;
+            }
+            let next = TaggedPtr::from_word(heap.peek(addr, NODE_NEXT));
+            if !next.marked() {
+                keys.push(heap.peek(addr, NODE_KEY));
+            }
+            cur = next;
+        }
+        keys
+    }
+
+    /// Checks structural invariants (strictly sorted, ends at the tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn check_invariants_untimed(&self, heap: &Heap) {
+        let mut last = 0;
+        let mut cur = TaggedPtr::from_word(heap.peek(self.head, NODE_NEXT));
+        loop {
+            assert!(!cur.is_null(), "chain must end at the tail sentinel");
+            let addr = cur.addr();
+            if addr == self.tail {
+                return;
+            }
+            assert!(heap.is_live(addr), "reachable node {addr:?} must be live");
+            let key = heap.peek(addr, NODE_KEY);
+            let next = TaggedPtr::from_word(heap.peek(addr, NODE_NEXT));
+            // Order holds across marked nodes too; equal keys only as a
+            // marked node followed by its unmarked replacement.
+            assert!(
+                key > last || (key == last && !next.marked()),
+                "key {key} out of order after {last}"
+            );
+            last = key;
+            cur = next;
+        }
+    }
+}
+
+/// One step of Michael's `find`: leaves `PREV`/`CUR`/`NEXT`/`CKEY` locals
+/// describing the first unmarked node with key >= `key`, then jumps to the
+/// continuation phase stored in `CONT`. Returns the `Step` for this block.
+fn find_step(shape: ListShape, key: u64, m: &mut dyn OpMem, cpu: &mut Cpu) -> Result<Step, Abort> {
+    let phase = m.get_local(cpu, PHASE);
+    if phase == P_FIND_START {
+        let head = shape.head;
+        let cur = m.load_ptr(cpu, head, NODE_NEXT, G_CUR)?;
+        // The head sentinel is never deleted, so its next is unmarked.
+        m.protect(cpu, G_PREV, head.raw());
+        m.set_local(cpu, PREV, head.raw());
+        m.set_local(cpu, CUR, cur);
+        m.set_local(cpu, PHASE, P_FIND_STEP);
+        return Ok(Step::Continue);
+    }
+    debug_assert_eq!(phase, P_FIND_STEP);
+
+    let prev = Addr::from_raw(m.get_local(cpu, PREV));
+    let cur = Addr::from_raw(m.get_local(cpu, CUR));
+    let ckey = m.load(cpu, cur, NODE_KEY)?;
+    let next = TaggedPtr::from_word(m.load_ptr(cpu, cur, NODE_NEXT, G_NEXT)?);
+
+    if next.marked() {
+        // `cur` is logically deleted: help unlink it. The winner of this
+        // CAS is the unique retirer.
+        match m.cas(cpu, prev, NODE_NEXT, cur.raw(), next.addr().raw())? {
+            Ok(_) => {
+                m.retire(cpu, cur)?;
+                m.protect(cpu, G_CUR, next.addr().raw());
+                m.set_local(cpu, CUR, next.addr().raw());
+            }
+            Err(_) => {
+                // prev moved under us: restart the search.
+                m.set_local(cpu, PHASE, P_FIND_START);
+            }
+        }
+        return Ok(Step::Continue);
+    }
+
+    if ckey >= key {
+        m.set_local(cpu, NEXT, next.word());
+        m.set_local(cpu, CKEY, ckey);
+        let cont = m.get_local(cpu, CONT);
+        m.set_local(cpu, PHASE, cont);
+        return Ok(Step::Continue);
+    }
+
+    // Advance: prev <- cur, cur <- next (guards rotate in the same order).
+    m.protect(cpu, G_PREV, cur.raw());
+    m.protect(cpu, G_CUR, next.addr().raw());
+    m.set_local(cpu, PREV, cur.raw());
+    m.set_local(cpu, CUR, next.addr().raw());
+    Ok(Step::Continue)
+}
+
+/// Body of `contains(key)`.
+///
+/// Uses the same helping `find` as mutators (Michael's variant), so every
+/// traversal is hazard-safe under every scheme.
+pub fn contains_body(
+    shape: ListShape,
+    key: u64,
+) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
+    assert!(key > 0 && key < u64::MAX, "key range");
+    move |m, cpu| {
+        let phase = m.get_local(cpu, PHASE);
+        match phase {
+            P_FIND_START | P_FIND_STEP => {
+                if phase == P_FIND_START {
+                    m.set_local(cpu, CONT, P_DONE_OK);
+                }
+                find_step(shape, key, m, cpu)
+            }
+            P_DONE_OK => {
+                let found = m.get_local(cpu, CKEY) == key;
+                Ok(Step::Done(u64::from(found)))
+            }
+            other => unreachable!("contains phase {other}"),
+        }
+    }
+}
+
+/// Body of `insert(key)`: returns 1 if the key was inserted, 0 if present.
+pub fn insert_body(
+    shape: ListShape,
+    key: u64,
+) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
+    assert!(key > 0 && key < u64::MAX, "key range");
+    move |m, cpu| {
+        let phase = m.get_local(cpu, PHASE);
+        match phase {
+            P_FIND_START | P_FIND_STEP => {
+                if phase == P_FIND_START {
+                    m.set_local(cpu, CONT, P_INSERT);
+                }
+                find_step(shape, key, m, cpu)
+            }
+            P_INSERT => {
+                if m.get_local(cpu, CKEY) == key {
+                    // Already present; release a node kept from a failed
+                    // attempt (never published, so retire is safe).
+                    let node = m.get_local(cpu, NODE);
+                    if node != 0 {
+                        m.retire(cpu, Addr::from_raw(node))?;
+                        m.set_local(cpu, NODE, 0);
+                    }
+                    return Ok(Step::Done(0));
+                }
+                let prev = Addr::from_raw(m.get_local(cpu, PREV));
+                let cur = m.get_local(cpu, CUR);
+                let node = match m.get_local(cpu, NODE) {
+                    0 => {
+                        let node = m.alloc(cpu, NODE_WORDS);
+                        m.store(cpu, node, NODE_KEY, key)?;
+                        m.set_local(cpu, NODE, node.raw());
+                        node
+                    }
+                    raw => Addr::from_raw(raw),
+                };
+                m.store(cpu, node, NODE_NEXT, cur)?;
+                match m.cas(cpu, prev, NODE_NEXT, cur, node.raw())? {
+                    Ok(_) => Ok(Step::Done(1)),
+                    Err(_) => {
+                        // Lost the race; search again, keeping the node.
+                        m.set_local(cpu, PHASE, P_FIND_START);
+                        Ok(Step::Continue)
+                    }
+                }
+            }
+            other => unreachable!("insert phase {other}"),
+        }
+    }
+}
+
+/// Body of `delete(key)`: returns 1 if this thread removed the key.
+pub fn delete_body(
+    shape: ListShape,
+    key: u64,
+) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
+    assert!(key > 0 && key < u64::MAX, "key range");
+    move |m, cpu| {
+        let phase = m.get_local(cpu, PHASE);
+        match phase {
+            P_FIND_START | P_FIND_STEP => {
+                if phase == P_FIND_START && m.get_local(cpu, CONT) == 0 {
+                    m.set_local(cpu, CONT, P_DELETE_MARK);
+                }
+                find_step(shape, key, m, cpu)
+            }
+            P_DELETE_MARK => {
+                if m.get_local(cpu, CKEY) != key {
+                    return Ok(Step::Done(0));
+                }
+                let cur = Addr::from_raw(m.get_local(cpu, CUR));
+                let next = TaggedPtr::from_word(m.get_local(cpu, NEXT));
+                debug_assert!(!next.marked());
+                match m.cas(
+                    cpu,
+                    cur,
+                    NODE_NEXT,
+                    next.word(),
+                    next.with_mark(true).word(),
+                )? {
+                    Ok(_) => {
+                        m.set_local(cpu, PHASE, P_DELETE_UNLINK);
+                        Ok(Step::Continue)
+                    }
+                    Err(_) => {
+                        // Someone moved `cur.next` (insert after cur, or a
+                        // competing delete): search again.
+                        m.set_local(cpu, PHASE, P_FIND_START);
+                        Ok(Step::Continue)
+                    }
+                }
+            }
+            P_DELETE_UNLINK => {
+                let prev = Addr::from_raw(m.get_local(cpu, PREV));
+                let cur = Addr::from_raw(m.get_local(cpu, CUR));
+                let next = TaggedPtr::from_word(m.get_local(cpu, NEXT));
+                match m.cas(cpu, prev, NODE_NEXT, cur.raw(), next.addr().raw())? {
+                    Ok(_) => {
+                        m.retire(cpu, cur)?;
+                        Ok(Step::Done(1))
+                    }
+                    Err(_) => {
+                        // Let the helping find unlink it; rerun the search
+                        // purely for physical cleanup, then report success.
+                        m.set_local(cpu, CONT, P_DONE_OK);
+                        m.set_local(cpu, PHASE, P_FIND_START);
+                        Ok(Step::Continue)
+                    }
+                }
+            }
+            P_DONE_OK => Ok(Step::Done(1)),
+            other => unreachable!("delete phase {other}"),
+        }
+    }
+}
+
+/// High-level handle bundling the shape with convenience methods.
+#[derive(Debug)]
+pub struct LockFreeList {
+    shape: ListShape,
+    heap: Arc<Heap>,
+}
+
+impl LockFreeList {
+    /// Creates an empty list on `heap`.
+    pub fn new(heap: Arc<Heap>) -> Self {
+        let shape = ListShape::new_untimed(&heap);
+        Self { shape, heap }
+    }
+
+    /// The copyable shape (for building `'static` operation bodies).
+    pub fn shape(&self) -> ListShape {
+        self.shape
+    }
+
+    /// The heap this list lives on.
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// Membership test through a scheme executor.
+    pub fn contains(&self, th: &mut dyn SchemeThread, cpu: &mut Cpu, key: u64) -> bool {
+        let mut body = contains_body(self.shape, key);
+        th.run_op(cpu, OP_CONTAINS, LIST_SLOTS, &mut body) == 1
+    }
+
+    /// Insert through a scheme executor.
+    pub fn insert(&self, th: &mut dyn SchemeThread, cpu: &mut Cpu, key: u64) -> bool {
+        let mut body = insert_body(self.shape, key);
+        th.run_op(cpu, OP_INSERT, LIST_SLOTS, &mut body) == 1
+    }
+
+    /// Delete through a scheme executor.
+    pub fn delete(&self, th: &mut dyn SchemeThread, cpu: &mut Cpu, key: u64) -> bool {
+        let mut body = delete_body(self.shape, key);
+        th.run_op(cpu, OP_DELETE, LIST_SLOTS, &mut body) == 1
+    }
+
+    /// Current key set (untimed snapshot).
+    pub fn collect_keys(&self) -> Vec<u64> {
+        self.shape.collect_keys_untimed(&self.heap)
+    }
+
+    /// Structural invariant check.
+    pub fn check_invariants(&self) {
+        self.shape.check_invariants_untimed(&self.heap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{all_scheme_factories, scheme_env, test_cpu};
+    use st_reclaim::Scheme;
+
+    #[test]
+    fn untimed_population_and_snapshot() {
+        let (heap, _) = scheme_env();
+        let shape = ListShape::new_untimed(&heap);
+        for k in [5u64, 1, 9, 3] {
+            assert!(shape.insert_untimed(&heap, k));
+        }
+        assert!(!shape.insert_untimed(&heap, 5), "duplicate rejected");
+        assert_eq!(shape.collect_keys_untimed(&heap), vec![1, 3, 5, 9]);
+        shape.check_invariants_untimed(&heap);
+    }
+
+    #[test]
+    fn set_semantics_under_every_scheme() {
+        for scheme in Scheme::all() {
+            let (factory, heap) = all_scheme_factories(scheme, 1);
+            let list = LockFreeList::new(heap);
+            let mut th = factory.thread(0);
+            let mut cpu = test_cpu(0);
+
+            assert!(!list.contains(th.as_mut(), &mut cpu, 7), "{scheme:?}");
+            assert!(list.insert(th.as_mut(), &mut cpu, 7), "{scheme:?}");
+            assert!(!list.insert(th.as_mut(), &mut cpu, 7), "{scheme:?} dup");
+            assert!(list.contains(th.as_mut(), &mut cpu, 7), "{scheme:?}");
+            assert!(list.insert(th.as_mut(), &mut cpu, 3), "{scheme:?}");
+            assert!(list.insert(th.as_mut(), &mut cpu, 11), "{scheme:?}");
+            assert_eq!(list.collect_keys(), vec![3, 7, 11], "{scheme:?}");
+            assert!(list.delete(th.as_mut(), &mut cpu, 7), "{scheme:?}");
+            assert!(!list.delete(th.as_mut(), &mut cpu, 7), "{scheme:?} gone");
+            assert!(!list.contains(th.as_mut(), &mut cpu, 7), "{scheme:?}");
+            assert_eq!(list.collect_keys(), vec![3, 11], "{scheme:?}");
+            list.check_invariants();
+            th.teardown(&mut cpu);
+        }
+    }
+
+    #[test]
+    fn deleted_nodes_are_reclaimed_by_stacktrack() {
+        let (factory, heap) = all_scheme_factories(Scheme::StackTrack, 1);
+        let list = LockFreeList::new(heap.clone());
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+
+        let live_before = heap.stats().alloc.live_objects;
+        for k in 1..=50u64 {
+            assert!(list.insert(th.as_mut(), &mut cpu, k));
+        }
+        for k in 1..=50u64 {
+            assert!(list.delete(th.as_mut(), &mut cpu, k));
+        }
+        th.teardown(&mut cpu);
+        assert_eq!(
+            heap.stats().alloc.live_objects,
+            live_before,
+            "all 50 nodes must be reclaimed"
+        );
+        assert_eq!(list.collect_keys(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn interleaved_mutators_keep_the_list_sound() {
+        // Two threads stepping operation-by-operation through the same
+        // keys under StackTrack; determinism comes from manual stepping.
+        let (factory, heap) = all_scheme_factories(Scheme::StackTrack, 2);
+        let list = LockFreeList::new(heap);
+        let mut a = factory.thread(0);
+        let mut b = factory.thread(1);
+        let mut cpu_a = test_cpu(0);
+        let mut cpu_b = test_cpu(1);
+
+        let shape = list.shape();
+        for round in 0..30u64 {
+            let ka = round % 10 + 1;
+            let kb = round % 7 + 1;
+            let mut body_a = insert_body(shape, ka);
+            let mut body_b = delete_body(shape, kb);
+            while a.idle_work_pending() {
+                a.step_idle(&mut cpu_a);
+            }
+            while b.idle_work_pending() {
+                b.step_idle(&mut cpu_b);
+            }
+            a.begin_op(&mut cpu_a, OP_INSERT, LIST_SLOTS);
+            b.begin_op(&mut cpu_b, OP_DELETE, LIST_SLOTS);
+            let mut done_a = false;
+            let mut done_b = false;
+            while !done_a || !done_b {
+                if !done_a {
+                    done_a = a.step_op(&mut cpu_a, &mut body_a).is_some();
+                }
+                if !done_b {
+                    done_b = b.step_op(&mut cpu_b, &mut body_b).is_some();
+                }
+            }
+            list.check_invariants();
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! The Michael-Scott lock-free queue (PODC 1996).
+//!
+//! A dummy-headed singly linked list with `head`/`tail` anchor words. Each
+//! operation attempt is one basic block (the algorithm's retry loop maps
+//! onto `Step::Continue`). Dequeue retires the old dummy — the node whose
+//! address momentarily lives only in thread-private state, which is
+//! exactly the reclamation race the paper's queue benchmark stresses.
+//!
+//! Values must be non-zero; `dequeue` returns 0 for "empty".
+
+use st_machine::Cpu;
+use st_reclaim::SchemeThread;
+use st_simheap::{Addr, Heap, Word};
+use st_simhtm::Abort;
+use stacktrack::{OpMem, Step};
+use std::sync::Arc;
+
+/// Enqueue operation id.
+pub const OP_ENQUEUE: u32 = 0;
+/// Dequeue operation id.
+pub const OP_DEQUEUE: u32 = 1;
+/// Peek operation id (the benchmark's read-only operation).
+pub const OP_PEEK: u32 = 2;
+
+/// Value word offset within a node.
+pub const NODE_VALUE: u64 = 0;
+/// Next-pointer word offset within a node.
+pub const NODE_NEXT: u64 = 1;
+/// Node size in words.
+pub const NODE_WORDS: usize = 2;
+
+/// Head anchor offset.
+const A_HEAD: u64 = 0;
+/// Tail anchor offset.
+const A_TAIL: u64 = 1;
+
+/// Shadow-stack slots used by queue operations.
+pub const QUEUE_SLOTS: usize = 2;
+/// Guard slots used by queue operations.
+pub const QUEUE_GUARDS: usize = 3;
+
+const NODE: usize = 1;
+
+const G_HEAD: usize = 0;
+const G_TAIL: usize = 1;
+const G_NEXT: usize = 2;
+
+/// The shared shape of one queue: its anchor block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueShape {
+    /// Two-word anchor: `[head, tail]`.
+    pub anchor: Addr,
+}
+
+impl QueueShape {
+    /// Allocates an empty queue (untimed; structure setup).
+    pub fn new_untimed(heap: &Heap) -> Self {
+        let anchor = heap
+            .alloc_untimed(2)
+            .expect("heap too small for queue anchor");
+        let dummy = heap
+            .alloc_untimed(NODE_WORDS)
+            .expect("heap too small for queue dummy");
+        heap.poke(anchor, A_HEAD, dummy.raw());
+        heap.poke(anchor, A_TAIL, dummy.raw());
+        Self { anchor }
+    }
+
+    /// Enqueues directly, bypassing the protocol (initial population).
+    pub fn enqueue_untimed(&self, heap: &Heap, value: Word) {
+        assert_ne!(value, 0, "queue values must be non-zero");
+        let node = heap
+            .alloc_untimed(NODE_WORDS)
+            .expect("heap too small for initial population");
+        heap.poke(node, NODE_VALUE, value);
+        let tail = Addr::from_raw(heap.peek(self.anchor, A_TAIL));
+        heap.poke(tail, NODE_NEXT, node.raw());
+        heap.poke(self.anchor, A_TAIL, node.raw());
+    }
+
+    /// Snapshot of queued values, head to tail (untimed; tests).
+    pub fn collect_values_untimed(&self, heap: &Heap) -> Vec<Word> {
+        let mut out = Vec::new();
+        let dummy = Addr::from_raw(heap.peek(self.anchor, A_HEAD));
+        let mut cur = heap.peek(dummy, NODE_NEXT);
+        while cur != 0 {
+            let node = Addr::from_raw(cur);
+            out.push(heap.peek(node, NODE_VALUE));
+            cur = heap.peek(node, NODE_NEXT);
+        }
+        out
+    }
+}
+
+/// Body of `enqueue(value)`; always returns 1.
+pub fn enqueue_body(
+    shape: QueueShape,
+    value: Word,
+) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
+    assert_ne!(value, 0, "queue values must be non-zero");
+    move |m, cpu| {
+        let anchor = shape.anchor;
+        // Allocate once; keep the node across retries in a traced local.
+        let node = match m.get_local(cpu, NODE) {
+            0 => {
+                let node = m.alloc(cpu, NODE_WORDS);
+                m.store(cpu, node, NODE_VALUE, value)?;
+                m.set_local(cpu, NODE, node.raw());
+                node
+            }
+            raw => Addr::from_raw(raw),
+        };
+
+        let tail = Addr::from_raw(m.load_ptr(cpu, anchor, A_TAIL, G_TAIL)?);
+        let next = m.load_ptr(cpu, tail, NODE_NEXT, G_NEXT)?;
+        if m.load(cpu, anchor, A_TAIL)? != tail.raw() {
+            return Ok(Step::Continue);
+        }
+        if next == 0 {
+            match m.cas(cpu, tail, NODE_NEXT, 0, node.raw())? {
+                Ok(_) => {
+                    // Swing the tail (failure means someone helped).
+                    let _ = m.cas(cpu, anchor, A_TAIL, tail.raw(), node.raw())?;
+                    Ok(Step::Done(1))
+                }
+                Err(_) => Ok(Step::Continue),
+            }
+        } else {
+            // Tail lags: help advance it.
+            let _ = m.cas(cpu, anchor, A_TAIL, tail.raw(), next)?;
+            Ok(Step::Continue)
+        }
+    }
+}
+
+/// Body of `dequeue()`: the dequeued value, or 0 when empty.
+pub fn dequeue_body(
+    shape: QueueShape,
+) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
+    move |m, cpu| {
+        let anchor = shape.anchor;
+        let head = Addr::from_raw(m.load_ptr(cpu, anchor, A_HEAD, G_HEAD)?);
+        let tail = m.load(cpu, anchor, A_TAIL)?;
+        let next = m.load_ptr(cpu, head, NODE_NEXT, G_NEXT)?;
+        if m.load(cpu, anchor, A_HEAD)? != head.raw() {
+            return Ok(Step::Continue);
+        }
+        if head.raw() == tail {
+            if next == 0 {
+                return Ok(Step::Done(0));
+            }
+            // Tail lags behind a half-finished enqueue: help.
+            let _ = m.cas(cpu, anchor, A_TAIL, tail, next)?;
+            return Ok(Step::Continue);
+        }
+        let next_node = Addr::from_raw(next);
+        let value = m.load(cpu, next_node, NODE_VALUE)?;
+        match m.cas(cpu, anchor, A_HEAD, head.raw(), next)? {
+            Ok(_) => {
+                // The old dummy is ours to reclaim.
+                m.retire(cpu, head)?;
+                Ok(Step::Done(value))
+            }
+            Err(_) => Ok(Step::Continue),
+        }
+    }
+}
+
+/// Body of `peek()`: the front value without removing it (0 when empty).
+pub fn peek_body(
+    shape: QueueShape,
+) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
+    move |m, cpu| {
+        let anchor = shape.anchor;
+        let head = Addr::from_raw(m.load_ptr(cpu, anchor, A_HEAD, G_HEAD)?);
+        let next = m.load_ptr(cpu, head, NODE_NEXT, G_NEXT)?;
+        if m.load(cpu, anchor, A_HEAD)? != head.raw() {
+            return Ok(Step::Continue);
+        }
+        if next == 0 {
+            return Ok(Step::Done(0));
+        }
+        let value = m.load(cpu, Addr::from_raw(next), NODE_VALUE)?;
+        Ok(Step::Done(value))
+    }
+}
+
+/// High-level queue handle.
+#[derive(Debug)]
+pub struct MsQueue {
+    shape: QueueShape,
+    heap: Arc<Heap>,
+}
+
+impl MsQueue {
+    /// Creates an empty queue on `heap`.
+    pub fn new(heap: Arc<Heap>) -> Self {
+        let shape = QueueShape::new_untimed(&heap);
+        Self { shape, heap }
+    }
+
+    /// The copyable shape.
+    pub fn shape(&self) -> QueueShape {
+        self.shape
+    }
+
+    /// The heap this queue lives on.
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// Enqueue through a scheme executor.
+    pub fn enqueue(&self, th: &mut dyn SchemeThread, cpu: &mut Cpu, value: Word) {
+        let mut body = enqueue_body(self.shape, value);
+        th.run_op(cpu, OP_ENQUEUE, QUEUE_SLOTS, &mut body);
+    }
+
+    /// Dequeue through a scheme executor; `None` when empty.
+    pub fn dequeue(&self, th: &mut dyn SchemeThread, cpu: &mut Cpu) -> Option<Word> {
+        let mut body = dequeue_body(self.shape);
+        match th.run_op(cpu, OP_DEQUEUE, QUEUE_SLOTS, &mut body) {
+            0 => None,
+            v => Some(v),
+        }
+    }
+
+    /// Peek through a scheme executor; `None` when empty.
+    pub fn peek(&self, th: &mut dyn SchemeThread, cpu: &mut Cpu) -> Option<Word> {
+        let mut body = peek_body(self.shape);
+        match th.run_op(cpu, OP_PEEK, QUEUE_SLOTS, &mut body) {
+            0 => None,
+            v => Some(v),
+        }
+    }
+
+    /// Snapshot of queued values (untimed; tests).
+    pub fn collect_values(&self) -> Vec<Word> {
+        self.shape.collect_values_untimed(&self.heap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{all_scheme_factories, test_cpu};
+    use st_reclaim::Scheme;
+
+    #[test]
+    fn fifo_order_under_every_scheme() {
+        for scheme in Scheme::all() {
+            let (factory, heap) = all_scheme_factories(scheme, 1);
+            let q = MsQueue::new(heap);
+            let mut th = factory.thread(0);
+            let mut cpu = test_cpu(0);
+
+            assert_eq!(q.dequeue(th.as_mut(), &mut cpu), None, "{scheme:?}");
+            for v in 1..=20u64 {
+                q.enqueue(th.as_mut(), &mut cpu, v);
+            }
+            assert_eq!(q.peek(th.as_mut(), &mut cpu), Some(1), "{scheme:?}");
+            for v in 1..=20u64 {
+                assert_eq!(q.dequeue(th.as_mut(), &mut cpu), Some(v), "{scheme:?}");
+            }
+            assert_eq!(q.dequeue(th.as_mut(), &mut cpu), None, "{scheme:?}");
+            th.teardown(&mut cpu);
+        }
+    }
+
+    #[test]
+    fn dequeued_dummies_are_reclaimed_by_stacktrack() {
+        let (factory, heap) = all_scheme_factories(Scheme::StackTrack, 1);
+        let q = MsQueue::new(heap.clone());
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+
+        let live_before = heap.stats().alloc.live_objects;
+        for round in 0..40u64 {
+            q.enqueue(th.as_mut(), &mut cpu, round + 1);
+            assert_eq!(q.dequeue(th.as_mut(), &mut cpu), Some(round + 1));
+        }
+        th.teardown(&mut cpu);
+        // One dummy is always part of the queue; allocation count returns
+        // to the baseline because dummies rotate.
+        assert_eq!(heap.stats().alloc.live_objects, live_before);
+    }
+
+    #[test]
+    fn interleaved_producer_consumer() {
+        let (factory, heap) = all_scheme_factories(Scheme::StackTrack, 2);
+        let q = MsQueue::new(heap);
+        let mut producer = factory.thread(0);
+        let mut consumer = factory.thread(1);
+        let mut cpu_p = test_cpu(0);
+        let mut cpu_c = test_cpu(1);
+
+        let shape = q.shape();
+        let mut produced = 0u64;
+        let mut consumed = Vec::new();
+        while consumed.len() < 50 {
+            if produced < 50 {
+                produced += 1;
+                let mut body = enqueue_body(shape, produced);
+                consumer_step_all(&mut *producer, &mut cpu_p, &mut body);
+            }
+            let mut deq = dequeue_body(shape);
+            let got = consumer_step_all(&mut *consumer, &mut cpu_c, &mut deq);
+            if got != 0 {
+                consumed.push(got);
+            }
+        }
+        assert_eq!(consumed, (1..=50).collect::<Vec<_>>(), "FIFO preserved");
+    }
+
+    fn consumer_step_all(
+        th: &mut dyn SchemeThread,
+        cpu: &mut Cpu,
+        body: &mut stacktrack::OpBody<'_>,
+    ) -> u64 {
+        th.run_op(cpu, 0, QUEUE_SLOTS, body)
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::testutil::{all_scheme_factories, test_cpu};
+    use st_reclaim::Scheme;
+
+    #[test]
+    fn empty_queue_edges() {
+        let (factory, heap) = all_scheme_factories(Scheme::StackTrack, 1);
+        let q = MsQueue::new(heap);
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+
+        assert_eq!(q.peek(th.as_mut(), &mut cpu), None);
+        assert_eq!(q.dequeue(th.as_mut(), &mut cpu), None);
+        q.enqueue(th.as_mut(), &mut cpu, 9);
+        assert_eq!(q.peek(th.as_mut(), &mut cpu), Some(9));
+        assert_eq!(q.peek(th.as_mut(), &mut cpu), Some(9), "peek is read-only");
+        assert_eq!(q.dequeue(th.as_mut(), &mut cpu), Some(9));
+        assert_eq!(q.dequeue(th.as_mut(), &mut cpu), None, "empty again");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_values_rejected() {
+        let _ = enqueue_body(
+            QueueShape {
+                anchor: Addr::from_index(1),
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn untimed_population_preserves_order() {
+        let (_, heap) = all_scheme_factories(Scheme::None, 1);
+        let q = QueueShape::new_untimed(&heap);
+        for v in [3u64, 1, 4, 1, 5] {
+            q.enqueue_untimed(&heap, v);
+        }
+        assert_eq!(q.collect_values_untimed(&heap), vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn interleaved_half_finished_enqueue_is_helped() {
+        // Stop a producer right after it linked its node but before it
+        // swung the tail; a dequeuer must help and still see the value.
+        let (factory, heap) = all_scheme_factories(Scheme::Epoch, 2);
+        let q = MsQueue::new(heap);
+        let mut producer = factory.thread(0);
+        let mut consumer = factory.thread(1);
+        let mut cpu_p = test_cpu(0);
+        let mut cpu_c = test_cpu(1);
+        let shape = q.shape();
+
+        // Drive the producer exactly one block: under Epoch every MS-queue
+        // attempt is a single block, so one step completes the enqueue but
+        // may leave the tail lagging only if we stop mid-attempt — instead
+        // verify the help path via a lagging tail built by hand.
+        q.enqueue(producer.as_mut(), &mut cpu_p, 7);
+        let dummy = st_simheap::Addr::from_raw(q.heap().peek(shape.anchor, 0));
+        let first = st_simheap::Addr::from_raw(q.heap().peek(dummy, NODE_NEXT));
+        // Manufacture a lagging tail: point it back at the dummy.
+        q.heap().poke(shape.anchor, 1, dummy.raw());
+        let _ = first;
+
+        assert_eq!(
+            q.dequeue(consumer.as_mut(), &mut cpu_c),
+            Some(7),
+            "dequeuer must help advance the lagging tail"
+        );
+    }
+}

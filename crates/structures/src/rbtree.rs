@@ -1,0 +1,687 @@
+//! A red-black tree with StackTrack-instrumented searches — the paper's
+//! running example (Algorithm 3 instruments `REDBLACK_TREE_SEARCH`
+//! "since it generates short code blocks, which best illustrate the
+//! instrumentation").
+//!
+//! Concurrency model: **transactional readers, single mutator**. Searches
+//! descend one node per basic block, exactly as Algorithm 3 shows, and are
+//! strictly serializable under StackTrack (each search is a chain of
+//! hardware transactions; any concurrent mutation conflicts and aborts the
+//! reader's segment, which retries). Mutations take a writer lock and
+//! perform the whole CLRS insert/delete — rotations, recolorings,
+//! successor moves — in a single basic block, so they are atomic at the
+//! simulated machine's segment granularity; deleted nodes are retired
+//! through the active reclamation scheme.
+//!
+//! Under fence-based schemes (hazard pointers, epoch) the same search body
+//! is merely non-blocking and memory-safe: a search racing a rotation can
+//! miss a key that is concurrently relocated. That contrast — transactions
+//! give readers serializability for free where manual schemes give only
+//! safety — is the paper's motivating observation, demonstrated here as a
+//! test (`transactional_searches_are_serializable`).
+//!
+//! Node layout (5 words): `[key, color, left, right, parent]`, with a
+//! per-tree NIL sentinel standing in for leaf children (CLRS style; the
+//! delete fixup scribbles `parent` into it, which is why it is a real
+//! node).
+
+use st_machine::Cpu;
+use st_reclaim::SchemeThread;
+use st_simheap::{Addr, Heap, Word};
+use st_simhtm::Abort;
+use stacktrack::{OpMem, Step};
+use std::sync::Arc;
+
+/// Search operation id.
+pub const OP_SEARCH: u32 = 0;
+/// Insert operation id.
+pub const OP_INSERT: u32 = 1;
+/// Delete operation id.
+pub const OP_DELETE: u32 = 2;
+
+/// Key word offset.
+pub const NODE_KEY: u64 = 0;
+/// Color word offset (0 = black, 1 = red).
+pub const NODE_COLOR: u64 = 1;
+/// Left-child word offset.
+pub const NODE_LEFT: u64 = 2;
+/// Right-child word offset.
+pub const NODE_RIGHT: u64 = 3;
+/// Parent word offset.
+pub const NODE_PARENT: u64 = 4;
+/// Node size in words.
+pub const NODE_WORDS: usize = 5;
+
+const BLACK: Word = 0;
+const RED: Word = 1;
+
+/// Anchor layout: `[writer lock, root]`.
+const A_LOCK: u64 = 0;
+const A_ROOT: u64 = 1;
+
+/// Shadow-stack slots used by tree operations.
+pub const RB_SLOTS: usize = 2;
+/// Guard slots used by tree operations.
+pub const RB_GUARDS: usize = 2;
+
+const CUR: usize = 0;
+
+/// The shared shape of one tree: anchor and NIL sentinel addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RbShape {
+    /// Two-word anchor: `[lock, root]`.
+    pub anchor: Addr,
+    /// The tree's NIL sentinel (black, key 0).
+    pub nil: Addr,
+}
+
+impl RbShape {
+    /// Allocates an empty tree (untimed; setup).
+    pub fn new_untimed(heap: &Heap) -> Self {
+        let anchor = heap.alloc_untimed(2).expect("heap too small for rb anchor");
+        let nil = heap
+            .alloc_untimed(NODE_WORDS)
+            .expect("heap too small for rb sentinel");
+        heap.poke(nil, NODE_COLOR, BLACK);
+        heap.poke(anchor, A_ROOT, nil.raw());
+        Self { anchor, nil }
+    }
+
+    /// Collects keys in order (untimed; tests).
+    pub fn collect_keys_untimed(&self, heap: &Heap) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.inorder(
+            heap,
+            Addr::from_raw(heap.peek(self.anchor, A_ROOT)),
+            &mut out,
+        );
+        out
+    }
+
+    fn inorder(&self, heap: &Heap, node: Addr, out: &mut Vec<u64>) {
+        if node == self.nil {
+            return;
+        }
+        self.inorder(heap, Addr::from_raw(heap.peek(node, NODE_LEFT)), out);
+        out.push(heap.peek(node, NODE_KEY));
+        self.inorder(heap, Addr::from_raw(heap.peek(node, NODE_RIGHT)), out);
+    }
+
+    /// Checks the red-black invariants: BST order, no red node with a red
+    /// child, equal black height on every path, black root.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn check_invariants_untimed(&self, heap: &Heap) {
+        let root = Addr::from_raw(heap.peek(self.anchor, A_ROOT));
+        if root != self.nil {
+            assert_eq!(heap.peek(root, NODE_COLOR), BLACK, "root must be black");
+        }
+        self.check_node(heap, root, 0, u64::MAX);
+    }
+
+    /// Returns the black height of `node`'s subtree.
+    fn check_node(&self, heap: &Heap, node: Addr, min: u64, max: u64) -> u64 {
+        if node == self.nil {
+            return 1;
+        }
+        assert!(heap.is_live(node), "reachable node {node:?} must be live");
+        let key = heap.peek(node, NODE_KEY);
+        assert!(min <= key && key <= max, "BST order violated at {node:?}");
+        let color = heap.peek(node, NODE_COLOR);
+        let left = Addr::from_raw(heap.peek(node, NODE_LEFT));
+        let right = Addr::from_raw(heap.peek(node, NODE_RIGHT));
+        if color == RED {
+            for child in [left, right] {
+                if child != self.nil {
+                    assert_eq!(
+                        heap.peek(child, NODE_COLOR),
+                        BLACK,
+                        "red-red violation under {node:?}"
+                    );
+                }
+            }
+        }
+        let lh = self.check_node(heap, left, min, key.saturating_sub(1));
+        let rh = self.check_node(heap, right, key + 1, max);
+        assert_eq!(lh, rh, "black-height mismatch at {node:?}");
+        lh + u64::from(color == BLACK)
+    }
+}
+
+/// Body of `search(key)` — the paper's Algorithm 3: one comparison (one
+/// basic block, one checkpoint) per tree level.
+pub fn search_body(
+    shape: RbShape,
+    key: u64,
+) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
+    assert!(key > 0 && key < u64::MAX, "key range");
+    move |m, cpu| {
+        let cur = m.get_local(cpu, CUR);
+        let node = if cur == 0 {
+            // SPLIT_START equivalent: load the root.
+            Addr::from_raw(m.load_ptr(cpu, shape.anchor, A_ROOT, 0)?)
+        } else {
+            Addr::from_raw(cur)
+        };
+        if node == shape.nil {
+            return Ok(Step::Done(0));
+        }
+        let nkey = m.load(cpu, node, NODE_KEY)?;
+        if nkey == key {
+            return Ok(Step::Done(1));
+        }
+        let side = if key < nkey { NODE_LEFT } else { NODE_RIGHT };
+        let child = m.load_ptr(cpu, node, side, 1)?;
+        m.set_local(cpu, CUR, child);
+        Ok(Step::Continue)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Writer-side helpers (run inside the single mutation block).
+// ----------------------------------------------------------------------
+
+struct W<'a, 'b> {
+    m: &'a mut dyn OpMem,
+    cpu: &'a mut Cpu,
+    shape: &'b RbShape,
+}
+
+impl W<'_, '_> {
+    fn get(&mut self, n: Addr, off: u64) -> Result<Addr, Abort> {
+        Ok(Addr::from_raw(self.m.load(self.cpu, n, off)?))
+    }
+
+    fn set(&mut self, n: Addr, off: u64, v: Addr) -> Result<(), Abort> {
+        self.m.store(self.cpu, n, off, v.raw())
+    }
+
+    fn key(&mut self, n: Addr) -> Result<u64, Abort> {
+        self.m.load(self.cpu, n, NODE_KEY)
+    }
+
+    fn color(&mut self, n: Addr) -> Result<Word, Abort> {
+        self.m.load(self.cpu, n, NODE_COLOR)
+    }
+
+    fn set_color(&mut self, n: Addr, c: Word) -> Result<(), Abort> {
+        self.m.store(self.cpu, n, NODE_COLOR, c)
+    }
+
+    fn root(&mut self) -> Result<Addr, Abort> {
+        self.get(self.shape.anchor, A_ROOT)
+    }
+
+    fn set_root(&mut self, n: Addr) -> Result<(), Abort> {
+        self.set(self.shape.anchor, A_ROOT, n)
+    }
+
+    /// Replaces `u` by `v` in `u`'s parent (or the root).
+    fn transplant(&mut self, u: Addr, v: Addr) -> Result<(), Abort> {
+        let p = self.get(u, NODE_PARENT)?;
+        if p.is_null() {
+            self.set_root(v)?;
+        } else if self.get(p, NODE_LEFT)? == u {
+            self.set(p, NODE_LEFT, v)?;
+        } else {
+            self.set(p, NODE_RIGHT, v)?;
+        }
+        self.set(v, NODE_PARENT, p)
+    }
+
+    fn rotate(&mut self, x: Addr, left: bool) -> Result<(), Abort> {
+        let (near, far) = if left {
+            (NODE_RIGHT, NODE_LEFT)
+        } else {
+            (NODE_LEFT, NODE_RIGHT)
+        };
+        let y = self.get(x, near)?;
+        let beta = self.get(y, far)?;
+        self.set(x, near, beta)?;
+        if beta != self.shape.nil {
+            self.set(beta, NODE_PARENT, x)?;
+        }
+        let p = self.get(x, NODE_PARENT)?;
+        self.set(y, NODE_PARENT, p)?;
+        if p.is_null() {
+            self.set_root(y)?;
+        } else if self.get(p, NODE_LEFT)? == x {
+            self.set(p, NODE_LEFT, y)?;
+        } else {
+            self.set(p, NODE_RIGHT, y)?;
+        }
+        self.set(y, far, x)?;
+        self.set(x, NODE_PARENT, y)
+    }
+
+    /// CLRS RB-INSERT-FIXUP.
+    fn insert_fixup(&mut self, mut z: Addr) -> Result<(), Abort> {
+        loop {
+            let p = self.get(z, NODE_PARENT)?;
+            if p.is_null() || self.color(p)? == BLACK {
+                break;
+            }
+            let g = self.get(p, NODE_PARENT)?;
+            let p_is_left = self.get(g, NODE_LEFT)? == p;
+            let uncle = self.get(g, if p_is_left { NODE_RIGHT } else { NODE_LEFT })?;
+            if uncle != self.shape.nil && self.color(uncle)? == RED {
+                self.set_color(p, BLACK)?;
+                self.set_color(uncle, BLACK)?;
+                self.set_color(g, RED)?;
+                z = g;
+            } else {
+                let z_inner = if p_is_left {
+                    self.get(p, NODE_RIGHT)? == z
+                } else {
+                    self.get(p, NODE_LEFT)? == z
+                };
+                if z_inner {
+                    z = p;
+                    self.rotate(z, p_is_left)?;
+                }
+                let p2 = self.get(z, NODE_PARENT)?;
+                let g2 = self.get(p2, NODE_PARENT)?;
+                self.set_color(p2, BLACK)?;
+                self.set_color(g2, RED)?;
+                self.rotate(g2, !p_is_left)?;
+            }
+        }
+        let root = self.root()?;
+        self.set_color(root, BLACK)
+    }
+
+    /// CLRS RB-DELETE-FIXUP, starting at `x` (which may be the NIL
+    /// sentinel; its parent field was set by the caller).
+    fn delete_fixup(&mut self, mut x: Addr) -> Result<(), Abort> {
+        loop {
+            let root = self.root()?;
+            if x == root || self.color(x)? == RED {
+                break;
+            }
+            let p = self.get(x, NODE_PARENT)?;
+            let x_is_left = self.get(p, NODE_LEFT)? == x;
+            let (near, far) = if x_is_left {
+                (NODE_LEFT, NODE_RIGHT)
+            } else {
+                (NODE_RIGHT, NODE_LEFT)
+            };
+            let mut w = self.get(p, far)?;
+            if self.color(w)? == RED {
+                self.set_color(w, BLACK)?;
+                self.set_color(p, RED)?;
+                self.rotate(p, x_is_left)?;
+                w = self.get(p, far)?;
+            }
+            let w_near = self.get(w, near)?;
+            let w_far = self.get(w, far)?;
+            let near_black = w_near == self.shape.nil || self.color(w_near)? == BLACK;
+            let far_black = w_far == self.shape.nil || self.color(w_far)? == BLACK;
+            if near_black && far_black {
+                self.set_color(w, RED)?;
+                x = p;
+            } else {
+                if far_black {
+                    if w_near != self.shape.nil {
+                        self.set_color(w_near, BLACK)?;
+                    }
+                    self.set_color(w, RED)?;
+                    self.rotate(w, !x_is_left)?;
+                    w = self.get(p, far)?;
+                }
+                let pc = self.color(p)?;
+                self.set_color(w, pc)?;
+                self.set_color(p, BLACK)?;
+                let w_far2 = self.get(w, far)?;
+                if w_far2 != self.shape.nil {
+                    self.set_color(w_far2, BLACK)?;
+                }
+                self.rotate(p, x_is_left)?;
+                x = self.root()?;
+            }
+        }
+        if x != self.shape.nil {
+            self.set_color(x, BLACK)?;
+        }
+        Ok(())
+    }
+}
+
+/// Body of `insert(key)`: 1 if inserted, 0 if present. The whole mutation
+/// (descent, link, fixup) is one basic block under a writer lock.
+pub fn insert_body(
+    shape: RbShape,
+    key: u64,
+) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
+    assert!(key > 0 && key < u64::MAX, "key range");
+    move |m, cpu| {
+        // Writer lock: buffered under StackTrack (conflict detection
+        // arbitrates), immediate elsewhere (the block is atomic anyway).
+        if m.cas(cpu, shape.anchor, A_LOCK, 0, 1)?.is_err() {
+            return Ok(Step::Continue); // spin
+        }
+        let mut w = W {
+            m,
+            cpu,
+            shape: &shape,
+        };
+
+        // Standard BST descent.
+        let mut parent = Addr(0);
+        let mut cur = w.root()?;
+        while cur != shape.nil {
+            let ck = w.key(cur)?;
+            if ck == key {
+                w.set(shape.anchor, A_LOCK, Addr(0))?;
+                return Ok(Step::Done(0));
+            }
+            parent = cur;
+            cur = w.get(cur, if key < ck { NODE_LEFT } else { NODE_RIGHT })?;
+        }
+
+        let node = w.m.alloc(w.cpu, NODE_WORDS);
+        w.m.store(w.cpu, node, NODE_KEY, key)?;
+        w.set_color(node, RED)?;
+        w.set(node, NODE_LEFT, shape.nil)?;
+        w.set(node, NODE_RIGHT, shape.nil)?;
+        w.set(node, NODE_PARENT, parent)?;
+        if parent.is_null() {
+            w.set_root(node)?;
+        } else if key < w.key(parent)? {
+            w.set(parent, NODE_LEFT, node)?;
+        } else {
+            w.set(parent, NODE_RIGHT, node)?;
+        }
+        w.insert_fixup(node)?;
+        w.set(shape.anchor, A_LOCK, Addr(0))?;
+        Ok(Step::Done(1))
+    }
+}
+
+/// Body of `delete(key)`: 1 if removed, 0 if absent. The physically
+/// removed node is retired through the reclamation scheme.
+pub fn delete_body(
+    shape: RbShape,
+    key: u64,
+) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
+    assert!(key > 0 && key < u64::MAX, "key range");
+    move |m, cpu| {
+        if m.cas(cpu, shape.anchor, A_LOCK, 0, 1)?.is_err() {
+            return Ok(Step::Continue);
+        }
+        let mut w = W {
+            m,
+            cpu,
+            shape: &shape,
+        };
+
+        // Find the node.
+        let mut z = w.root()?;
+        while z != shape.nil {
+            let ck = w.key(z)?;
+            if ck == key {
+                break;
+            }
+            z = w.get(z, if key < ck { NODE_LEFT } else { NODE_RIGHT })?;
+        }
+        if z == shape.nil {
+            w.set(shape.anchor, A_LOCK, Addr(0))?;
+            return Ok(Step::Done(0));
+        }
+
+        // CLRS RB-DELETE. `y` is the node physically removed.
+        let z_left = w.get(z, NODE_LEFT)?;
+        let z_right = w.get(z, NODE_RIGHT)?;
+        let (y, x, y_color) = if z_left == shape.nil {
+            (z, z_right, w.color(z)?)
+        } else if z_right == shape.nil {
+            (z, z_left, w.color(z)?)
+        } else {
+            // Successor: minimum of the right subtree.
+            let mut y = z_right;
+            loop {
+                let l = w.get(y, NODE_LEFT)?;
+                if l == shape.nil {
+                    break;
+                }
+                y = l;
+            }
+            (y, w.get(y, NODE_RIGHT)?, w.color(y)?)
+        };
+
+        if y == z {
+            // x's parent must be correct even when x is the sentinel.
+            let p = w.get(z, NODE_PARENT)?;
+            w.transplant(z, x)?;
+            if x == shape.nil {
+                w.set(x, NODE_PARENT, p)?;
+            }
+        } else {
+            // Splice y out of its place, then put it where z was.
+            let y_parent = w.get(y, NODE_PARENT)?;
+            if y_parent == z {
+                w.set(x, NODE_PARENT, y)?;
+            } else {
+                w.transplant(y, x)?;
+                let zr = w.get(z, NODE_RIGHT)?;
+                w.set(y, NODE_RIGHT, zr)?;
+                w.set(zr, NODE_PARENT, y)?;
+            }
+            w.transplant(z, y)?;
+            let zl = w.get(z, NODE_LEFT)?;
+            w.set(y, NODE_LEFT, zl)?;
+            w.set(zl, NODE_PARENT, y)?;
+            let zc = w.color(z)?;
+            w.set_color(y, zc)?;
+        }
+        if y_color == BLACK {
+            w.delete_fixup(x)?;
+        }
+        // The node cut out of the tree is `z` when y == z, else... also z:
+        // CLRS moves y into z's position, so z is the unlinked node.
+        w.m.retire(w.cpu, z)?;
+        w.m.store(w.cpu, shape.anchor, A_LOCK, 0)?;
+        Ok(Step::Done(1))
+    }
+}
+
+/// High-level tree handle.
+#[derive(Debug)]
+pub struct RbTree {
+    shape: RbShape,
+    heap: Arc<Heap>,
+}
+
+impl RbTree {
+    /// Creates an empty tree on `heap`.
+    pub fn new(heap: Arc<Heap>) -> Self {
+        let shape = RbShape::new_untimed(&heap);
+        Self { shape, heap }
+    }
+
+    /// The copyable shape.
+    pub fn shape(&self) -> RbShape {
+        self.shape
+    }
+
+    /// The heap this tree lives on.
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// Search through a scheme executor (Algorithm 3).
+    pub fn search(&self, th: &mut dyn SchemeThread, cpu: &mut Cpu, key: u64) -> bool {
+        let mut body = search_body(self.shape, key);
+        th.run_op(cpu, OP_SEARCH, RB_SLOTS, &mut body) == 1
+    }
+
+    /// Insert through a scheme executor.
+    pub fn insert(&self, th: &mut dyn SchemeThread, cpu: &mut Cpu, key: u64) -> bool {
+        let mut body = insert_body(self.shape, key);
+        th.run_op(cpu, OP_INSERT, RB_SLOTS, &mut body) == 1
+    }
+
+    /// Delete through a scheme executor.
+    pub fn delete(&self, th: &mut dyn SchemeThread, cpu: &mut Cpu, key: u64) -> bool {
+        let mut body = delete_body(self.shape, key);
+        th.run_op(cpu, OP_DELETE, RB_SLOTS, &mut body) == 1
+    }
+
+    /// Keys in order (untimed snapshot).
+    pub fn collect_keys(&self) -> Vec<u64> {
+        self.shape.collect_keys_untimed(&self.heap)
+    }
+
+    /// Red-black invariant check.
+    pub fn check_invariants(&self) {
+        self.shape.check_invariants_untimed(&self.heap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{all_scheme_factories, test_cpu};
+    use st_reclaim::Scheme;
+
+    #[test]
+    fn set_semantics_and_balance_under_every_scheme() {
+        for scheme in Scheme::all() {
+            if scheme == Scheme::Dta {
+                continue; // DTA is list-only by design.
+            }
+            let (factory, heap) = all_scheme_factories(scheme, 1);
+            let tree = RbTree::new(heap);
+            let mut th = factory.thread(0);
+            let mut cpu = test_cpu(0);
+
+            // Insert a shuffled sequence; check balance along the way.
+            let keys = [50u64, 20, 70, 10, 30, 60, 80, 5, 15, 25, 35, 1, 90, 85, 95];
+            for &k in &keys {
+                assert!(tree.insert(th.as_mut(), &mut cpu, k), "{scheme:?} {k}");
+                tree.check_invariants();
+            }
+            assert!(!tree.insert(th.as_mut(), &mut cpu, 30), "{scheme:?} dup");
+            for &k in &keys {
+                assert!(tree.search(th.as_mut(), &mut cpu, k), "{scheme:?} {k}");
+            }
+            assert!(!tree.search(th.as_mut(), &mut cpu, 41), "{scheme:?}");
+
+            // Delete half, checking balance after every removal.
+            for &k in &[20u64, 70, 5, 95, 50, 30] {
+                assert!(tree.delete(th.as_mut(), &mut cpu, k), "{scheme:?} {k}");
+                tree.check_invariants();
+                assert!(!tree.search(th.as_mut(), &mut cpu, k), "{scheme:?} {k}");
+            }
+            let mut remaining: Vec<u64> = keys
+                .iter()
+                .copied()
+                .filter(|k| ![20, 70, 5, 95, 50, 30].contains(k))
+                .collect();
+            remaining.sort_unstable();
+            assert_eq!(tree.collect_keys(), remaining, "{scheme:?}");
+            th.teardown(&mut cpu);
+        }
+    }
+
+    #[test]
+    fn deleted_nodes_are_reclaimed() {
+        let (factory, heap) = all_scheme_factories(Scheme::StackTrack, 1);
+        let tree = RbTree::new(heap.clone());
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+
+        let before = heap.stats().alloc.live_objects;
+        for k in 1..=64u64 {
+            assert!(tree.insert(th.as_mut(), &mut cpu, k));
+        }
+        for k in 1..=64u64 {
+            assert!(tree.delete(th.as_mut(), &mut cpu, k));
+            tree.check_invariants();
+        }
+        th.teardown(&mut cpu);
+        assert_eq!(heap.stats().alloc.live_objects, before);
+        assert_eq!(tree.collect_keys(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn transactional_searches_are_serializable() {
+        // A reader descends one node per block while a writer rotates the
+        // tree under it; under StackTrack the reader's segments abort and
+        // retry on conflict, so it never misses a key that is present
+        // throughout.
+        let (factory, heap) = all_scheme_factories(Scheme::StackTrack, 2);
+        let tree = RbTree::new(heap);
+        let mut reader = factory.thread(0);
+        let mut writer = factory.thread(1);
+        let mut cpu_r = test_cpu(0);
+        let mut cpu_w = test_cpu(1);
+
+        for k in (10..=200u64).step_by(10) {
+            assert!(tree.insert(writer.as_mut(), &mut cpu_w, k));
+        }
+        let shape = tree.shape();
+
+        // Key 150 is present for the whole test; the writer churns other
+        // keys to force rotations along the reader's path.
+        let mut churn = 0u64;
+        for round in 0..40 {
+            let mut body = search_body(shape, 150);
+            reader.begin_op(&mut cpu_r, OP_SEARCH, RB_SLOTS);
+            let mut result = None;
+            while result.is_none() {
+                result = reader.step_op(&mut cpu_r, &mut body);
+                // Interleave writer churn between reader blocks.
+                churn += 1;
+                let k = churn % 9 + 1; // keys 1..=9, near the root paths
+                if round % 2 == 0 {
+                    let mut ins = insert_body(shape, k);
+                    st_reclaim::SchemeThread::run_op(
+                        &mut *writer,
+                        &mut cpu_w,
+                        OP_INSERT,
+                        RB_SLOTS,
+                        &mut ins,
+                    );
+                } else {
+                    let mut del = delete_body(shape, k);
+                    st_reclaim::SchemeThread::run_op(
+                        &mut *writer,
+                        &mut cpu_w,
+                        OP_DELETE,
+                        RB_SLOTS,
+                        &mut del,
+                    );
+                }
+            }
+            assert_eq!(result, Some(1), "round {round}: reader must find 150");
+        }
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn randomized_against_btreeset() {
+        use std::collections::BTreeSet;
+        let (factory, heap) = all_scheme_factories(Scheme::StackTrack, 1);
+        let tree = RbTree::new(heap);
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+        let mut oracle = BTreeSet::new();
+        let mut rng = st_machine::Pcg32::new(99);
+
+        for _ in 0..600 {
+            let k = rng.below(100) + 1;
+            match rng.below(3) {
+                0 => assert_eq!(tree.insert(th.as_mut(), &mut cpu, k), oracle.insert(k)),
+                1 => assert_eq!(tree.delete(th.as_mut(), &mut cpu, k), oracle.remove(&k)),
+                _ => assert_eq!(tree.search(th.as_mut(), &mut cpu, k), oracle.contains(&k)),
+            }
+        }
+        tree.check_invariants();
+        assert_eq!(
+            tree.collect_keys(),
+            oracle.iter().copied().collect::<Vec<_>>()
+        );
+    }
+}

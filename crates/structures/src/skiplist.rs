@@ -1,0 +1,797 @@
+//! The Fraser-Harris lock-free skip list (Fraser 2004; the variant in
+//! Herlihy & Shavit's *Art of Multiprocessor Programming*).
+//!
+//! Node layout (`2 + level` words): `[key, level, next_0 .. next_{l-1}]`,
+//! with the deletion mark in bit 0 of each next pointer. A node is
+//! logically deleted once its **bottom-level** next is marked; the unique
+//! winner of that mark owns the node and retires it after a cleanup
+//! search has physically unlinked it from every level (searches snip
+//! marked nodes they encounter, so the owner's own search suffices).
+//!
+//! Guard budget (hazard pointers): one predecessor guard per level, one
+//! traversal guard per level, one working guard, and one pinning the
+//! operation's own node — [`SKIP_GUARDS`] in total. The shadow frame holds
+//! the full `preds`/`succs` arrays, which is why
+//! [`stacktrack::layout::STACK_SLOTS`] is sized the way it is.
+
+use st_machine::{Cpu, Pcg32};
+use st_reclaim::SchemeThread;
+use st_simheap::{Addr, Heap, TaggedPtr, Word};
+use st_simhtm::Abort;
+use stacktrack::{OpMem, Step};
+use std::sync::Arc;
+
+/// Maximum tower height.
+pub const MAX_LEVEL: usize = 16;
+
+/// Contains operation id.
+pub const OP_CONTAINS: u32 = 0;
+/// Insert operation id.
+pub const OP_INSERT: u32 = 1;
+/// Delete operation id.
+pub const OP_DELETE: u32 = 2;
+
+/// Key word offset.
+pub const NODE_KEY: u64 = 0;
+/// Tower-height word offset.
+pub const NODE_LEVEL: u64 = 1;
+/// First next-pointer word offset.
+pub const NODE_NEXT0: u64 = 2;
+
+/// Shadow-stack slots used by skip-list operations.
+pub const SKIP_SLOTS: usize = 10 + 2 * MAX_LEVEL;
+/// Guard slots used by skip-list operations.
+pub const SKIP_GUARDS: usize = 2 * MAX_LEVEL + 2;
+
+// Local slot assignment.
+const PHASE: usize = 0;
+const LVL: usize = 1;
+const PRED: usize = 2;
+const CURR: usize = 3;
+const NODE: usize = 4;
+const TOPLVL: usize = 5;
+const CKEY: usize = 6;
+const CONT: usize = 7;
+const MARK_LVL: usize = 8;
+/// The insert's upper-level cursor. Must be distinct from `LVL`, which the
+/// search machinery reuses as its own level cursor on every refresh.
+const INS_LVL: usize = 9;
+const PREDS: usize = 10;
+const SUCCS: usize = 10 + MAX_LEVEL;
+
+// Guard assignment.
+const fn g_pred(level: usize) -> usize {
+    level
+}
+const fn g_curr(level: usize) -> usize {
+    MAX_LEVEL + level
+}
+const G_WORK: usize = 2 * MAX_LEVEL;
+const G_NODE: usize = 2 * MAX_LEVEL + 1;
+
+// Phases.
+const P_SEARCH_START: Word = 0;
+const P_SEARCH_STEP: Word = 1;
+const P_CONTAINS_DONE: Word = 2;
+const P_INS_CHECK: Word = 3;
+const P_INS_BOTTOM: Word = 4;
+const P_INS_UPPER: Word = 5;
+const P_DEL_CHECK: Word = 6;
+const P_DEL_MARK_UPPER: Word = 7;
+const P_DEL_MARK_BOTTOM: Word = 8;
+const P_DEL_CLEANUP_DONE: Word = 9;
+
+/// The shared shape of one skip list: its sentinel addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipShape {
+    /// Head sentinel (key 0, full height).
+    pub head: Addr,
+    /// Tail sentinel (key `u64::MAX`).
+    pub tail: Addr,
+}
+
+impl SkipShape {
+    /// Allocates an empty skip list (untimed; setup).
+    pub fn new_untimed(heap: &Heap) -> Self {
+        let head = heap
+            .alloc_untimed(2 + MAX_LEVEL)
+            .expect("heap too small for skip-list sentinels");
+        let tail = heap
+            .alloc_untimed(2 + MAX_LEVEL)
+            .expect("heap too small for skip-list sentinels");
+        heap.poke(head, NODE_KEY, 0);
+        heap.poke(head, NODE_LEVEL, MAX_LEVEL as u64);
+        heap.poke(tail, NODE_KEY, u64::MAX);
+        heap.poke(tail, NODE_LEVEL, MAX_LEVEL as u64);
+        for l in 0..MAX_LEVEL as u64 {
+            heap.poke(head, NODE_NEXT0 + l, tail.raw());
+            heap.poke(tail, NODE_NEXT0 + l, 0);
+        }
+        Self { head, tail }
+    }
+
+    /// Samples a tower height: geometric with p = 1/2, capped.
+    pub fn random_level(rng: &mut Pcg32) -> usize {
+        let mut h = 1;
+        while h < MAX_LEVEL && rng.chance(0.5) {
+            h += 1;
+        }
+        h
+    }
+
+    /// Inserts directly (initial population).
+    pub fn insert_untimed(&self, heap: &Heap, key: u64, rng: &mut Pcg32) -> bool {
+        assert!(key > 0 && key < u64::MAX, "key range");
+        let mut preds = [Addr(0); MAX_LEVEL];
+        let mut pred = self.head;
+        for l in (0..MAX_LEVEL).rev() {
+            loop {
+                let next = Addr::from_raw(heap.peek(pred, NODE_NEXT0 + l as u64));
+                if heap.peek(next, NODE_KEY) < key {
+                    pred = next;
+                } else {
+                    break;
+                }
+            }
+            preds[l] = pred;
+        }
+        let succ0 = Addr::from_raw(heap.peek(preds[0], NODE_NEXT0));
+        if heap.peek(succ0, NODE_KEY) == key {
+            return false;
+        }
+        let h = Self::random_level(rng);
+        let node = heap
+            .alloc_untimed(2 + h)
+            .expect("heap too small for initial population");
+        heap.poke(node, NODE_KEY, key);
+        heap.poke(node, NODE_LEVEL, h as u64);
+        for l in 0..h {
+            let succ = heap.peek(preds[l], NODE_NEXT0 + l as u64);
+            heap.poke(node, NODE_NEXT0 + l as u64, succ);
+            heap.poke(preds[l], NODE_NEXT0 + l as u64, node.raw());
+        }
+        true
+    }
+
+    /// Keys present at the bottom level (untimed; tests). Marked nodes are
+    /// excluded.
+    pub fn collect_keys_untimed(&self, heap: &Heap) -> Vec<u64> {
+        let mut keys = Vec::new();
+        let mut cur = TaggedPtr::from_word(heap.peek(self.head, NODE_NEXT0));
+        while !cur.is_null() {
+            let addr = cur.addr();
+            if addr == self.tail {
+                break;
+            }
+            let next = TaggedPtr::from_word(heap.peek(addr, NODE_NEXT0));
+            if !next.marked() {
+                keys.push(heap.peek(addr, NODE_KEY));
+            }
+            cur = next;
+        }
+        keys
+    }
+
+    /// Checks structural invariants: every level strictly sorted and
+    /// terminated at the tail; every unmarked upper-level node also
+    /// present below.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn check_invariants_untimed(&self, heap: &Heap) {
+        for l in 0..MAX_LEVEL as u64 {
+            let mut last = 0u64;
+            let mut cur = TaggedPtr::from_word(heap.peek(self.head, NODE_NEXT0 + l));
+            loop {
+                assert!(!cur.is_null(), "level {l} must end at the tail");
+                let addr = cur.addr();
+                if addr == self.tail {
+                    break;
+                }
+                assert!(heap.is_live(addr), "reachable node {addr:?} live");
+                let key = heap.peek(addr, NODE_KEY);
+                let height = heap.peek(addr, NODE_LEVEL);
+                assert!(height as usize <= MAX_LEVEL && height > l, "height");
+                let next = TaggedPtr::from_word(heap.peek(addr, NODE_NEXT0 + l));
+                // Nodes are never moved: key order holds across marked
+                // nodes too. Duplicates may only appear as a marked node
+                // followed (not preceded) by its unmarked replacement.
+                assert!(
+                    key > last || (key == last && !next.marked()),
+                    "level {l}: key {key} out of order after {last}"
+                );
+                last = key;
+                cur = next;
+            }
+        }
+    }
+}
+
+/// One step of the skip-list search. Ends with `PREDS`/`SUCCS` filled and
+/// the phase set to the continuation in `CONT`; `CKEY` holds the key of
+/// `SUCCS[0]`. Searches snip marked nodes (helping deletion) but never
+/// retire them — retirement belongs to the deletion's owner.
+fn search_step(
+    shape: SkipShape,
+    key: u64,
+    m: &mut dyn OpMem,
+    cpu: &mut Cpu,
+) -> Result<Step, Abort> {
+    let phase = m.get_local(cpu, PHASE);
+    if phase == P_SEARCH_START {
+        let top = MAX_LEVEL - 1;
+        m.protect(cpu, g_pred(top), shape.head.raw());
+        let curr = TaggedPtr::from_word(m.load_ptr(
+            cpu,
+            shape.head,
+            NODE_NEXT0 + top as u64,
+            g_curr(top),
+        )?);
+        m.set_local(cpu, PRED, shape.head.raw());
+        m.set_local(cpu, CURR, curr.addr().raw());
+        m.set_local(cpu, LVL, top as u64);
+        m.set_local(cpu, PHASE, P_SEARCH_STEP);
+        return Ok(Step::Continue);
+    }
+    debug_assert_eq!(phase, P_SEARCH_STEP);
+
+    let l = m.get_local(cpu, LVL) as usize;
+    let pred = Addr::from_raw(m.get_local(cpu, PRED));
+    let curr = Addr::from_raw(m.get_local(cpu, CURR));
+    let succ = TaggedPtr::from_word(m.load_ptr(cpu, curr, NODE_NEXT0 + l as u64, G_WORK)?);
+
+    if succ.marked() {
+        // `curr` is deleted: snip it out of this level.
+        match m.cas(
+            cpu,
+            pred,
+            NODE_NEXT0 + l as u64,
+            curr.raw(),
+            succ.addr().raw(),
+        )? {
+            Ok(_) => {
+                if std::env::var("SKIP_TRACE").is_ok()
+                    && (pred.raw() == 8072 || succ.addr().raw() == 6632 || curr.raw() == 6632)
+                {
+                    eprintln!(
+                        "[trace t{} ] SNIP l{l}: {pred:?}.next <- {:?} (removing {curr:?})",
+                        cpu.thread_id,
+                        succ.addr()
+                    );
+                }
+                m.protect(cpu, g_curr(l), succ.addr().raw());
+                m.set_local(cpu, CURR, succ.addr().raw());
+            }
+            Err(_) => {
+                m.set_local(cpu, PHASE, P_SEARCH_START);
+            }
+        }
+        return Ok(Step::Continue);
+    }
+
+    let ckey = m.load(cpu, curr, NODE_KEY)?;
+    if ckey < key {
+        m.protect(cpu, g_pred(l), curr.raw());
+        m.protect(cpu, g_curr(l), succ.addr().raw());
+        m.set_local(cpu, PRED, curr.raw());
+        m.set_local(cpu, CURR, succ.addr().raw());
+        return Ok(Step::Continue);
+    }
+
+    // Record this level and descend (or finish).
+    m.set_local(cpu, PREDS + l, pred.raw());
+    m.set_local(cpu, SUCCS + l, curr.raw());
+    if l == 0 {
+        m.set_local(cpu, CKEY, ckey);
+        let cont = m.get_local(cpu, CONT);
+        m.set_local(cpu, PHASE, cont);
+    } else {
+        let below = l - 1;
+        m.protect(cpu, g_pred(below), pred.raw());
+        let c = TaggedPtr::from_word(m.load_ptr(
+            cpu,
+            pred,
+            NODE_NEXT0 + below as u64,
+            g_curr(below),
+        )?);
+        m.set_local(cpu, CURR, c.addr().raw());
+        m.set_local(cpu, LVL, below as u64);
+    }
+    Ok(Step::Continue)
+}
+
+/// Body of `contains(key)`.
+pub fn contains_body(
+    shape: SkipShape,
+    key: u64,
+) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
+    assert!(key > 0 && key < u64::MAX, "key range");
+    move |m, cpu| {
+        let phase = m.get_local(cpu, PHASE);
+        match phase {
+            P_SEARCH_START | P_SEARCH_STEP => {
+                if phase == P_SEARCH_START {
+                    m.set_local(cpu, CONT, P_CONTAINS_DONE);
+                }
+                search_step(shape, key, m, cpu)
+            }
+            P_CONTAINS_DONE => Ok(Step::Done(u64::from(m.get_local(cpu, CKEY) == key))),
+            other => unreachable!("contains phase {other}"),
+        }
+    }
+}
+
+/// Body of `insert(key)`: 1 if inserted, 0 if already present.
+pub fn insert_body(
+    shape: SkipShape,
+    key: u64,
+) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
+    assert!(key > 0 && key < u64::MAX, "key range");
+    move |m, cpu| {
+        let phase = m.get_local(cpu, PHASE);
+        match phase {
+            P_SEARCH_START | P_SEARCH_STEP => {
+                if phase == P_SEARCH_START && m.get_local(cpu, CONT) == 0 {
+                    m.set_local(cpu, CONT, P_INS_CHECK);
+                }
+                search_step(shape, key, m, cpu)
+            }
+            P_INS_CHECK => {
+                if m.get_local(cpu, CKEY) == key {
+                    let node = m.get_local(cpu, NODE);
+                    if node != 0 {
+                        // Never published; safe to hand back.
+                        m.retire(cpu, Addr::from_raw(node))?;
+                        m.set_local(cpu, NODE, 0);
+                    }
+                    return Ok(Step::Done(0));
+                }
+                let node = match m.get_local(cpu, NODE) {
+                    0 => {
+                        let h = SkipShape::random_level(&mut cpu.rng);
+                        let node = m.alloc(cpu, 2 + h);
+                        m.store(cpu, node, NODE_KEY, key)?;
+                        m.store(cpu, node, NODE_LEVEL, h as u64)?;
+                        m.protect(cpu, G_NODE, node.raw());
+                        m.set_local(cpu, NODE, node.raw());
+                        m.set_local(cpu, TOPLVL, h as u64);
+                        node
+                    }
+                    raw => Addr::from_raw(raw),
+                };
+                // Aim the unpublished tower at the current successors.
+                let h = m.get_local(cpu, TOPLVL);
+                for l in 0..h as usize {
+                    let succ = m.get_local(cpu, SUCCS + l.min(MAX_LEVEL - 1));
+                    m.store(cpu, node, NODE_NEXT0 + l as u64, succ)?;
+                }
+                m.set_local(cpu, PHASE, P_INS_BOTTOM);
+                Ok(Step::Continue)
+            }
+            P_INS_BOTTOM => {
+                let node = Addr::from_raw(m.get_local(cpu, NODE));
+                let pred = Addr::from_raw(m.get_local(cpu, PREDS));
+                let succ = m.get_local(cpu, SUCCS);
+                // Never link in front of a marked successor: a deleted
+                // same-key node hidden behind ours would be invisible to
+                // its owner's cleanup search (which stops at the first
+                // node with key >= target) and would be freed while still
+                // linked. Re-search instead; the search snips it. The mark
+                // check and the CAS share this block, which the simulated
+                // machine executes atomically (segment granularity).
+                let succ_state =
+                    TaggedPtr::from_word(m.load(cpu, Addr::from_raw(succ), NODE_NEXT0)?);
+                if succ_state.marked() {
+                    m.set_local(cpu, PHASE, P_SEARCH_START);
+                    return Ok(Step::Continue);
+                }
+                match m.cas(cpu, pred, NODE_NEXT0, succ, node.raw())? {
+                    Ok(_) => {
+                        m.set_local(cpu, INS_LVL, 1);
+                        m.set_local(cpu, PHASE, P_INS_UPPER);
+                    }
+                    Err(_) => {
+                        m.set_local(cpu, PHASE, P_SEARCH_START);
+                    }
+                }
+                Ok(Step::Continue)
+            }
+            P_INS_UPPER => {
+                let l = m.get_local(cpu, INS_LVL) as usize;
+                let h = m.get_local(cpu, TOPLVL) as usize;
+                if l >= h {
+                    return Ok(Step::Done(1));
+                }
+                let node = Addr::from_raw(m.get_local(cpu, NODE));
+                let pred = Addr::from_raw(m.get_local(cpu, PREDS + l));
+                let succ = m.get_local(cpu, SUCCS + l);
+                let cur_next = TaggedPtr::from_word(m.load(cpu, node, NODE_NEXT0 + l as u64)?);
+                if cur_next.marked() {
+                    // Deleted while inserting; the deleter unlinks.
+                    return Ok(Step::Done(1));
+                }
+                if cur_next.word() != succ {
+                    // Refresh the tower pointer before linking.
+                    let _ = m.cas(cpu, node, NODE_NEXT0 + l as u64, cur_next.word(), succ)?;
+                    return Ok(Step::Continue);
+                }
+                // Same marked-successor guard as the bottom level (see
+                // P_INS_BOTTOM); checked atomically with the link CAS.
+                let succ_state = TaggedPtr::from_word(m.load(
+                    cpu,
+                    Addr::from_raw(succ),
+                    NODE_NEXT0 + l as u64,
+                )?);
+                if succ_state.marked() {
+                    m.set_local(cpu, CONT, P_INS_UPPER);
+                    m.set_local(cpu, PHASE, P_SEARCH_START);
+                    return Ok(Step::Continue);
+                }
+                match m.cas(cpu, pred, NODE_NEXT0 + l as u64, succ, node.raw())? {
+                    Ok(_) => {
+                        m.set_local(cpu, INS_LVL, l as u64 + 1);
+                        Ok(Step::Continue)
+                    }
+                    Err(_) => {
+                        // Stale predecessor: refresh preds/succs and retry
+                        // this level. The continuation must come back HERE —
+                        // re-entering P_INS_CHECK would find our own linked
+                        // node and retire it (a linked-node free).
+                        m.set_local(cpu, CONT, P_INS_UPPER);
+                        m.set_local(cpu, PHASE, P_SEARCH_START);
+                        Ok(Step::Continue)
+                    }
+                }
+            }
+            other => unreachable!("insert phase {other}"),
+        }
+    }
+}
+
+/// Body of `delete(key)`: 1 if this thread removed the key.
+pub fn delete_body(
+    shape: SkipShape,
+    key: u64,
+) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
+    assert!(key > 0 && key < u64::MAX, "key range");
+    move |m, cpu| {
+        let phase = m.get_local(cpu, PHASE);
+        match phase {
+            P_SEARCH_START | P_SEARCH_STEP => {
+                if phase == P_SEARCH_START && m.get_local(cpu, CONT) == 0 {
+                    m.set_local(cpu, CONT, P_DEL_CHECK);
+                }
+                search_step(shape, key, m, cpu)
+            }
+            P_DEL_CHECK => {
+                if m.get_local(cpu, CKEY) != key {
+                    return Ok(Step::Done(0));
+                }
+                let node = Addr::from_raw(m.get_local(cpu, SUCCS));
+                let h = m.load(cpu, node, NODE_LEVEL)?;
+                m.protect(cpu, G_NODE, node.raw());
+                m.set_local(cpu, NODE, node.raw());
+                m.set_local(cpu, TOPLVL, h);
+                m.set_local(cpu, MARK_LVL, h - 1);
+                m.set_local(
+                    cpu,
+                    PHASE,
+                    if h > 1 {
+                        P_DEL_MARK_UPPER
+                    } else {
+                        P_DEL_MARK_BOTTOM
+                    },
+                );
+                Ok(Step::Continue)
+            }
+            P_DEL_MARK_UPPER => {
+                let l = m.get_local(cpu, MARK_LVL);
+                debug_assert!(l >= 1);
+                let node = Addr::from_raw(m.get_local(cpu, NODE));
+                let next = TaggedPtr::from_word(m.load(cpu, node, NODE_NEXT0 + l)?);
+                let advanced = if next.marked() {
+                    true
+                } else {
+                    m.cas(
+                        cpu,
+                        node,
+                        NODE_NEXT0 + l,
+                        next.word(),
+                        next.with_mark(true).word(),
+                    )?
+                    .is_ok()
+                };
+                if advanced {
+                    if l == 1 {
+                        m.set_local(cpu, PHASE, P_DEL_MARK_BOTTOM);
+                    } else {
+                        m.set_local(cpu, MARK_LVL, l - 1);
+                    }
+                }
+                Ok(Step::Continue)
+            }
+            P_DEL_MARK_BOTTOM => {
+                let node = Addr::from_raw(m.get_local(cpu, NODE));
+                let next = TaggedPtr::from_word(m.load(cpu, node, NODE_NEXT0)?);
+                if next.marked() {
+                    // Another deleter won the bottom mark and owns the node.
+                    return Ok(Step::Done(0));
+                }
+                match m.cas(
+                    cpu,
+                    node,
+                    NODE_NEXT0,
+                    next.word(),
+                    next.with_mark(true).word(),
+                )? {
+                    Ok(_) => {
+                        // We own the deletion: snip everywhere via a
+                        // cleanup search, then retire.
+                        m.set_local(cpu, CONT, P_DEL_CLEANUP_DONE);
+                        m.set_local(cpu, PHASE, P_SEARCH_START);
+                        Ok(Step::Continue)
+                    }
+                    Err(_) => Ok(Step::Continue),
+                }
+            }
+            P_DEL_CLEANUP_DONE => {
+                let node = Addr::from_raw(m.get_local(cpu, NODE));
+                m.retire(cpu, node)?;
+                Ok(Step::Done(1))
+            }
+            other => unreachable!("delete phase {other}"),
+        }
+    }
+}
+
+/// High-level skip-list handle.
+#[derive(Debug)]
+pub struct SkipList {
+    shape: SkipShape,
+    heap: Arc<Heap>,
+}
+
+impl SkipList {
+    /// Creates an empty skip list on `heap`.
+    pub fn new(heap: Arc<Heap>) -> Self {
+        let shape = SkipShape::new_untimed(&heap);
+        Self { shape, heap }
+    }
+
+    /// The copyable shape.
+    pub fn shape(&self) -> SkipShape {
+        self.shape
+    }
+
+    /// The heap this skip list lives on.
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// Membership test through a scheme executor.
+    pub fn contains(&self, th: &mut dyn SchemeThread, cpu: &mut Cpu, key: u64) -> bool {
+        let mut body = contains_body(self.shape, key);
+        th.run_op(cpu, OP_CONTAINS, SKIP_SLOTS, &mut body) == 1
+    }
+
+    /// Insert through a scheme executor.
+    pub fn insert(&self, th: &mut dyn SchemeThread, cpu: &mut Cpu, key: u64) -> bool {
+        let mut body = insert_body(self.shape, key);
+        th.run_op(cpu, OP_INSERT, SKIP_SLOTS, &mut body) == 1
+    }
+
+    /// Delete through a scheme executor.
+    pub fn delete(&self, th: &mut dyn SchemeThread, cpu: &mut Cpu, key: u64) -> bool {
+        let mut body = delete_body(self.shape, key);
+        th.run_op(cpu, OP_DELETE, SKIP_SLOTS, &mut body) == 1
+    }
+
+    /// Keys currently present (untimed snapshot).
+    pub fn collect_keys(&self) -> Vec<u64> {
+        self.shape.collect_keys_untimed(&self.heap)
+    }
+
+    /// Structural invariant check.
+    pub fn check_invariants(&self) {
+        self.shape.check_invariants_untimed(&self.heap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{all_scheme_factories, test_cpu};
+    use st_reclaim::Scheme;
+
+    #[test]
+    fn untimed_population_is_sound() {
+        let (_, heap) = all_scheme_factories(Scheme::None, 1);
+        let shape = SkipShape::new_untimed(&heap);
+        let mut rng = Pcg32::new(7);
+        for k in 1..=200u64 {
+            assert!(shape.insert_untimed(&heap, k * 3, &mut rng));
+        }
+        assert!(!shape.insert_untimed(&heap, 3, &mut rng));
+        let keys = shape.collect_keys_untimed(&heap);
+        assert_eq!(keys.len(), 200);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        shape.check_invariants_untimed(&heap);
+    }
+
+    #[test]
+    fn random_levels_are_geometric() {
+        let mut rng = Pcg32::new(42);
+        let mut counts = [0u32; MAX_LEVEL + 1];
+        for _ in 0..10_000 {
+            counts[SkipShape::random_level(&mut rng)] += 1;
+        }
+        assert!(counts[1] > 4_000 && counts[1] < 6_000, "p=1/2 geometric");
+        assert!(counts[2] > 1_800 && counts[2] < 3_200);
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn set_semantics_under_every_scheme() {
+        for scheme in Scheme::all() {
+            let (factory, heap) = all_scheme_factories(scheme, 1);
+            let sl = SkipList::new(heap);
+            let mut th = factory.thread(0);
+            let mut cpu = test_cpu(0);
+
+            for k in [10u64, 4, 77, 30, 55] {
+                assert!(sl.insert(th.as_mut(), &mut cpu, k), "{scheme:?} {k}");
+            }
+            assert!(!sl.insert(th.as_mut(), &mut cpu, 30), "{scheme:?} dup");
+            for k in [10u64, 4, 77, 30, 55] {
+                assert!(sl.contains(th.as_mut(), &mut cpu, k), "{scheme:?} {k}");
+            }
+            assert!(!sl.contains(th.as_mut(), &mut cpu, 31), "{scheme:?}");
+            assert!(sl.delete(th.as_mut(), &mut cpu, 30), "{scheme:?}");
+            assert!(!sl.delete(th.as_mut(), &mut cpu, 30), "{scheme:?} gone");
+            assert_eq!(sl.collect_keys(), vec![4, 10, 55, 77], "{scheme:?}");
+            sl.check_invariants();
+            th.teardown(&mut cpu);
+        }
+    }
+
+    #[test]
+    fn towers_are_fully_unlinked_and_reclaimed() {
+        let (factory, heap) = all_scheme_factories(Scheme::StackTrack, 1);
+        let sl = SkipList::new(heap.clone());
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+
+        let live_before = heap.stats().alloc.live_objects;
+        for k in 1..=60u64 {
+            assert!(sl.insert(th.as_mut(), &mut cpu, k));
+        }
+        for k in 1..=60u64 {
+            assert!(sl.delete(th.as_mut(), &mut cpu, k));
+        }
+        sl.check_invariants();
+        th.teardown(&mut cpu);
+        assert_eq!(
+            heap.stats().alloc.live_objects,
+            live_before,
+            "every tower reclaimed"
+        );
+    }
+
+    #[test]
+    fn interleaved_insert_delete_stays_sound() {
+        let (factory, heap) = all_scheme_factories(Scheme::StackTrack, 2);
+        let sl = SkipList::new(heap);
+        let mut a = factory.thread(0);
+        let mut b = factory.thread(1);
+        let mut cpu_a = test_cpu(0);
+        let mut cpu_b = test_cpu(1);
+        let shape = sl.shape();
+
+        for round in 0..25u64 {
+            let ka = round % 12 + 1;
+            let kb = round % 9 + 1;
+            let mut body_a = insert_body(shape, ka);
+            let mut body_b = delete_body(shape, kb);
+            while a.idle_work_pending() {
+                a.step_idle(&mut cpu_a);
+            }
+            while b.idle_work_pending() {
+                b.step_idle(&mut cpu_b);
+            }
+            a.begin_op(&mut cpu_a, OP_INSERT, SKIP_SLOTS);
+            b.begin_op(&mut cpu_b, OP_DELETE, SKIP_SLOTS);
+            let (mut da, mut db) = (false, false);
+            while !da || !db {
+                if !da {
+                    da = a.step_op(&mut cpu_a, &mut body_a).is_some();
+                }
+                if !db {
+                    db = b.step_op(&mut cpu_b, &mut body_b).is_some();
+                }
+            }
+            sl.check_invariants();
+        }
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::testutil::{all_scheme_factories, test_cpu};
+    use st_reclaim::Scheme;
+
+    #[test]
+    fn delete_absent_and_reinsert_cycles() {
+        let (factory, heap) = all_scheme_factories(Scheme::StackTrack, 1);
+        let sl = SkipList::new(heap);
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+
+        assert!(!sl.delete(th.as_mut(), &mut cpu, 10), "absent");
+        for _ in 0..10 {
+            assert!(sl.insert(th.as_mut(), &mut cpu, 10));
+            assert!(sl.contains(th.as_mut(), &mut cpu, 10));
+            assert!(sl.delete(th.as_mut(), &mut cpu, 10));
+            assert!(!sl.contains(th.as_mut(), &mut cpu, 10));
+            sl.check_invariants();
+        }
+        th.teardown(&mut cpu);
+    }
+
+    #[test]
+    fn boundary_keys() {
+        let (factory, heap) = all_scheme_factories(Scheme::Epoch, 1);
+        let sl = SkipList::new(heap);
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+
+        assert!(sl.insert(th.as_mut(), &mut cpu, 1), "minimum key");
+        assert!(
+            sl.insert(th.as_mut(), &mut cpu, u64::MAX - 1),
+            "maximum key"
+        );
+        assert!(sl.contains(th.as_mut(), &mut cpu, 1));
+        assert!(sl.contains(th.as_mut(), &mut cpu, u64::MAX - 1));
+        sl.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "key range")]
+    fn sentinel_keys_rejected() {
+        let _ = contains_body(
+            SkipShape {
+                head: Addr::from_index(1),
+                tail: Addr::from_index(2),
+            },
+            u64::MAX,
+        );
+    }
+
+    #[test]
+    fn tall_towers_link_every_level() {
+        // Force tall towers by repeated insertion; every unmarked node
+        // reachable at level l must carry height > l (checked by
+        // check_invariants), and deleting them unlinks all levels.
+        let (factory, heap) = all_scheme_factories(Scheme::StackTrack, 1);
+        let sl = SkipList::new(heap.clone());
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+        for k in 1..=256u64 {
+            assert!(sl.insert(th.as_mut(), &mut cpu, k));
+        }
+        sl.check_invariants();
+        // At least one tower above level 3 exists with high probability.
+        let mut tall = 0;
+        let mut cur = TaggedPtr::from_word(heap.peek(sl.shape().head, NODE_NEXT0 + 4));
+        while !cur.is_null() && cur.addr() != sl.shape().tail {
+            tall += 1;
+            cur = TaggedPtr::from_word(heap.peek(cur.addr(), NODE_NEXT0 + 4));
+        }
+        assert!(tall > 0, "expected towers above level 4");
+        for k in 1..=256u64 {
+            assert!(sl.delete(th.as_mut(), &mut cpu, k));
+        }
+        sl.check_invariants();
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests: random operation sequences against sequential oracles,
+//! for every structure under every scheme.
+
+use proptest::prelude::*;
+use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
+use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory};
+use st_simheap::{Heap, HeapConfig};
+use st_simhtm::{HtmConfig, HtmEngine};
+use st_structures::{hash, list, queue, skiplist};
+use stacktrack::StConfig;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    Insert(u64),
+    Delete(u64),
+    Contains(u64),
+}
+
+fn set_op() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        (1u64..64).prop_map(SetOp::Insert),
+        (1u64..64).prop_map(SetOp::Delete),
+        (1u64..64).prop_map(SetOp::Contains),
+    ]
+}
+
+fn scheme_under_test() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::None),
+        Just(Scheme::Epoch),
+        Just(Scheme::Hazard),
+        Just(Scheme::Dta),
+        Just(Scheme::RefCount),
+        Just(Scheme::StackTrack),
+    ]
+}
+
+fn env(scheme: Scheme) -> (Arc<Heap>, SchemeFactory, Cpu) {
+    let heap = Arc::new(Heap::new(HeapConfig {
+        capacity_words: 1 << 18,
+        ..HeapConfig::default()
+    }));
+    let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
+    let mut rc = ReclaimConfig::default();
+    rc.hazard_slots = 2 * skiplist::MAX_LEVEL + 2;
+    let factory = SchemeFactory::new(scheme, engine, 1, rc, StConfig::default());
+    let topo = Topology::haswell();
+    let cpu = Cpu::new(
+        0,
+        HwContext::new(&topo, 0),
+        Arc::new(CostModel::default()),
+        Arc::new(ActivityBoard::new(topo.hw_contexts())),
+        77,
+    );
+    (heap, factory, cpu)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn list_matches_btreeset(scheme in scheme_under_test(), ops in prop::collection::vec(set_op(), 1..80)) {
+        let (heap, factory, mut cpu) = env(scheme);
+        let shape = list::ListShape::new_untimed(&heap);
+        let mut th = factory.thread(0);
+        let mut oracle = BTreeSet::new();
+
+        for op in &ops {
+            match *op {
+                SetOp::Insert(k) => {
+                    let mut body = list::insert_body(shape, k);
+                    let got = th.run_op(&mut cpu, 1, list::LIST_SLOTS, &mut body) == 1;
+                    prop_assert_eq!(got, oracle.insert(k));
+                }
+                SetOp::Delete(k) => {
+                    let mut body = list::delete_body(shape, k);
+                    let got = th.run_op(&mut cpu, 2, list::LIST_SLOTS, &mut body) == 1;
+                    prop_assert_eq!(got, oracle.remove(&k));
+                }
+                SetOp::Contains(k) => {
+                    let mut body = list::contains_body(shape, k);
+                    let got = th.run_op(&mut cpu, 0, list::LIST_SLOTS, &mut body) == 1;
+                    prop_assert_eq!(got, oracle.contains(&k));
+                }
+            }
+        }
+        prop_assert_eq!(shape.collect_keys_untimed(&heap), oracle.iter().copied().collect::<Vec<_>>());
+        shape.check_invariants_untimed(&heap);
+    }
+
+    #[test]
+    fn skiplist_matches_btreeset(scheme in scheme_under_test(), ops in prop::collection::vec(set_op(), 1..60)) {
+        // DTA is list-only by design; substitute the leak-free baseline.
+        let scheme = if scheme == Scheme::Dta { Scheme::Epoch } else { scheme };
+        let (heap, factory, mut cpu) = env(scheme);
+        let shape = skiplist::SkipShape::new_untimed(&heap);
+        let mut th = factory.thread(0);
+        let mut oracle = BTreeSet::new();
+
+        for op in &ops {
+            match *op {
+                SetOp::Insert(k) => {
+                    let mut body = skiplist::insert_body(shape, k);
+                    let got = th.run_op(&mut cpu, 1, skiplist::SKIP_SLOTS, &mut body) == 1;
+                    prop_assert_eq!(got, oracle.insert(k));
+                }
+                SetOp::Delete(k) => {
+                    let mut body = skiplist::delete_body(shape, k);
+                    let got = th.run_op(&mut cpu, 2, skiplist::SKIP_SLOTS, &mut body) == 1;
+                    prop_assert_eq!(got, oracle.remove(&k));
+                }
+                SetOp::Contains(k) => {
+                    let mut body = skiplist::contains_body(shape, k);
+                    let got = th.run_op(&mut cpu, 0, skiplist::SKIP_SLOTS, &mut body) == 1;
+                    prop_assert_eq!(got, oracle.contains(&k));
+                }
+            }
+        }
+        prop_assert_eq!(shape.collect_keys_untimed(&heap), oracle.iter().copied().collect::<Vec<_>>());
+        shape.check_invariants_untimed(&heap);
+    }
+
+    #[test]
+    fn hash_matches_btreeset(scheme in scheme_under_test(), ops in prop::collection::vec(set_op(), 1..80)) {
+        let scheme = if scheme == Scheme::Dta { Scheme::Epoch } else { scheme };
+        let (heap, factory, mut cpu) = env(scheme);
+        let shape = hash::HashShape::new_untimed(&heap, 8);
+        let mut th = factory.thread(0);
+        let mut oracle = BTreeSet::new();
+
+        for op in &ops {
+            match *op {
+                SetOp::Insert(k) => {
+                    let mut body = hash::insert_body(&shape, k);
+                    let got = th.run_op(&mut cpu, 1, list::LIST_SLOTS, &mut body) == 1;
+                    prop_assert_eq!(got, oracle.insert(k));
+                }
+                SetOp::Delete(k) => {
+                    let mut body = hash::delete_body(&shape, k);
+                    let got = th.run_op(&mut cpu, 2, list::LIST_SLOTS, &mut body) == 1;
+                    prop_assert_eq!(got, oracle.remove(&k));
+                }
+                SetOp::Contains(k) => {
+                    let mut body = hash::contains_body(&shape, k);
+                    let got = th.run_op(&mut cpu, 0, list::LIST_SLOTS, &mut body) == 1;
+                    prop_assert_eq!(got, oracle.contains(&k));
+                }
+            }
+        }
+        prop_assert_eq!(shape.collect_keys_untimed(&heap), oracle.iter().copied().collect::<Vec<_>>());
+        shape.check_invariants_untimed(&heap);
+    }
+
+    #[test]
+    fn queue_matches_vecdeque(scheme in scheme_under_test(), ops in prop::collection::vec(prop_oneof![
+        (1u64..1000).prop_map(Some),
+        Just(None),
+    ], 1..100)) {
+        let scheme = if scheme == Scheme::Dta { Scheme::Epoch } else { scheme };
+        let (heap, factory, mut cpu) = env(scheme);
+        let shape = queue::QueueShape::new_untimed(&heap);
+        let mut th = factory.thread(0);
+        let mut oracle: VecDeque<u64> = VecDeque::new();
+
+        for op in &ops {
+            match *op {
+                Some(v) => {
+                    let mut body = queue::enqueue_body(shape, v);
+                    th.run_op(&mut cpu, 0, queue::QUEUE_SLOTS, &mut body);
+                    oracle.push_back(v);
+                }
+                None => {
+                    let mut body = queue::dequeue_body(shape);
+                    let got = th.run_op(&mut cpu, 1, queue::QUEUE_SLOTS, &mut body);
+                    let expect = oracle.pop_front().unwrap_or(0);
+                    prop_assert_eq!(got, expect);
+                }
+            }
+        }
+        prop_assert_eq!(shape.collect_values_untimed(&heap), oracle.iter().copied().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests on the substrates: allocator soundness, tagged-pointer
+//! codec, HTM serializability, and scanner completeness.
+
+use proptest::prelude::*;
+use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
+use st_simheap::{Addr, Heap, HeapConfig, TaggedPtr};
+use st_simhtm::{HtmConfig, HtmEngine};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn cpu(thread: usize) -> Cpu {
+    let topo = Topology::haswell();
+    Cpu::new(
+        thread,
+        HwContext::new(&topo, topo.place(thread)),
+        Arc::new(CostModel::default()),
+        Arc::new(ActivityBoard::new(topo.hw_contexts())),
+        0xF00 + thread as u64,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Live allocations never overlap, stay 8-aligned, and survive
+    /// arbitrary interleavings of allocs and frees.
+    #[test]
+    fn allocator_soundness(script in prop::collection::vec((1usize..40, any::<bool>()), 1..200)) {
+        let heap = Heap::new(HeapConfig {
+            capacity_words: 1 << 16,
+            ..HeapConfig::default()
+        });
+        let mut live: Vec<(Addr, usize)> = Vec::new();
+        for (words, free_one) in script {
+            if free_one && !live.is_empty() {
+                let (addr, _) = live.swap_remove(0);
+                let mut c = cpu(0);
+                heap.free(&mut c, addr);
+                prop_assert!(!heap.is_live(addr));
+            } else if let Ok(addr) = heap.alloc_untimed(words) {
+                prop_assert_eq!(addr.raw() % 8, 0);
+                prop_assert!(heap.is_live(addr));
+                // No overlap with any other live object.
+                let block = heap.block_len(addr).unwrap();
+                for &(other, other_words) in &live {
+                    let ob = heap.block_len(other).unwrap().max(other_words as u64);
+                    let disjoint = addr.index() + block <= other.index()
+                        || other.index() + ob <= addr.index();
+                    prop_assert!(disjoint, "overlap {addr:?} and {other:?}");
+                }
+                live.push((addr, words));
+            }
+        }
+        // Interior resolution agrees with the ground truth.
+        for &(addr, words) in &live {
+            for off in 0..words as u64 {
+                prop_assert_eq!(heap.object_base(addr.offset(off).raw()), Some(addr));
+            }
+        }
+    }
+
+    /// Tagged pointers round-trip through memory words.
+    #[test]
+    fn tagged_pointer_roundtrip(index in 1u64..(1 << 40), tag in 0u64..8) {
+        let p = TaggedPtr::new(Addr::from_index(index), tag);
+        let q = TaggedPtr::from_word(p.word());
+        prop_assert_eq!(q.addr(), Addr::from_index(index));
+        prop_assert_eq!(q.tag(), tag);
+        prop_assert_eq!(q.marked(), tag & 1 == 1);
+    }
+
+    /// Committed transactions are serializable: concurrent counter
+    /// increments through interleaved transactions never lose updates.
+    #[test]
+    fn htm_increments_are_serializable(script in prop::collection::vec(0usize..3, 10..200)) {
+        let heap = Arc::new(Heap::new(HeapConfig {
+            capacity_words: 1 << 14,
+            ..HeapConfig::default()
+        }));
+        let engine = HtmEngine::new(heap.clone(), HtmConfig::default(), 3);
+        let counter = heap.alloc_untimed(1).unwrap();
+        let mut cpus: Vec<Cpu> = (0..3).map(cpu).collect();
+        let mut txs: Vec<Option<st_simhtm::Tx>> = vec![None, None, None];
+        let mut commits = 0u64;
+
+        for t in script {
+            let c = &mut cpus[t];
+            match txs[t].take() {
+                None => {
+                    // Begin + read-increment-buffer.
+                    let mut tx = engine.begin(c);
+                    if let Ok(v) = engine.tx_read(c, &mut tx, counter, 0) {
+                        if engine.tx_write(c, &mut tx, counter, 0, v + 1).is_ok() {
+                            txs[t] = Some(tx);
+                        }
+                    }
+                }
+                Some(mut tx) => {
+                    if engine.commit(c, &mut tx).is_ok() {
+                        commits += 1;
+                    }
+                }
+            }
+        }
+        // Abandoned transactions never published; the counter equals the
+        // number of successful commits exactly (no lost updates).
+        prop_assert_eq!(heap.peek(counter, 0), commits);
+    }
+
+    /// The scanner never misses a planted reference: any word pattern
+    /// placed in a committed shadow slot protects its node.
+    #[test]
+    fn scanner_has_no_false_negatives(tag in 0u64..8, slot in 0usize..8) {
+        use stacktrack::{StConfig, StRuntime, Step, OpMem};
+
+        let heap = Arc::new(Heap::new(HeapConfig {
+            capacity_words: 1 << 18,
+            ..HeapConfig::default()
+        }));
+        let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 2));
+        let rt = StRuntime::new(
+            engine,
+            StConfig {
+                initial_split_length: 1,
+                max_free: 0,
+                ..StConfig::default()
+            },
+            2,
+        );
+        let mut holder = rt.register_thread(0);
+        let mut reclaimer = rt.register_thread(1);
+        let mut cpu_h = rt.test_cpu(0);
+        let mut cpu_r = rt.test_cpu(1);
+
+        let cell = heap.alloc_untimed(1).unwrap();
+        let x = heap.alloc_untimed(2).unwrap();
+        heap.poke(cell, 0, x.raw());
+
+        // Hold a (possibly tagged) reference in an arbitrary slot.
+        holder.begin_op(&mut cpu_h, 0, 8);
+        let mut hold = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            if m.get_local(cpu, slot) == 0 {
+                let p = m.load(cpu, cell, 0)?;
+                m.set_local(cpu, slot, p | tag);
+            }
+            Ok(Step::Continue)
+        };
+        for _ in 0..3 {
+            holder.step_op(&mut cpu_h, &mut hold);
+        }
+
+        use st_reclaim::SchemeThread;
+        SchemeThread::run_op(&mut reclaimer, &mut cpu_r, 0, 1, &mut |m, cpu| {
+            let cur = m.load(cpu, cell, 0)?;
+            if cur != 0 {
+                m.cas(cpu, cell, 0, cur, 0)?.expect("unlink");
+                m.retire(cpu, Addr::from_raw(cur))?;
+            }
+            Ok(Step::Done(0))
+        });
+        while reclaimer.idle_work_pending() {
+            reclaimer.step_idle(&mut cpu_r);
+        }
+        prop_assert!(heap.is_live(x), "scan missed slot {slot} with tag {tag}");
+    }
+}
+
+/// A plain (non-proptest) regression: allocator recycling is type-stable
+/// across thousands of random operations.
+#[test]
+fn allocator_recycles_within_class() {
+    let heap = Heap::new(HeapConfig {
+        capacity_words: 1 << 16,
+        ..HeapConfig::default()
+    });
+    let mut freed_by_class: HashMap<u64, Addr> = HashMap::new();
+    let mut c = cpu(0);
+    for words in [3usize, 5, 9, 17, 3, 5, 9, 17] {
+        let a = heap.alloc_untimed(words).unwrap();
+        let class = heap.block_len(a).unwrap();
+        if let Some(prev) = freed_by_class.get(&class) {
+            assert_eq!(*prev, a, "class {class} must recycle LIFO");
+        }
+        heap.free(&mut c, a);
+        freed_by_class.insert(class, a);
+    }
+}

@@ -1,0 +1,85 @@
+//! The full matrix: every structure under every reclamation scheme on the
+//! simulated 8-way machine, with structural invariants checked after the
+//! storm and memory safety enforced by the heap's poison/bounds panics.
+//!
+//! Any use-after-free in a scheme surfaces here deterministically: a freed
+//! node is poisoned, a poison word dereferenced as a pointer lands outside
+//! the heap, and the run panics.
+
+mod common;
+
+use common::{build_env, check_instance, run_mix, Target};
+use st_reclaim::Scheme;
+
+fn storm(target: Target, scheme: Scheme, threads: usize) {
+    let env = build_env(target, scheme, threads, 200, 42);
+    let (report, mut workers) = run_mix(&env, threads, 1, 400, 42);
+    assert!(
+        report.total_ops() > 0,
+        "{target:?}/{scheme:?}: no operations completed"
+    );
+    check_instance(&env);
+
+    // Drain deferred reclamation; the structure must stay sound.
+    for (t, w) in workers.iter_mut().enumerate() {
+        let topo = st_machine::Topology::haswell();
+        let mut cpu = st_machine::Cpu::new(
+            t,
+            st_machine::HwContext::new(&topo, topo.place(t)),
+            std::sync::Arc::new(st_machine::CostModel::default()),
+            std::sync::Arc::new(st_machine::cpu::ActivityBoard::new(topo.hw_contexts())),
+            9,
+        );
+        w.executor_mut().teardown(&mut cpu);
+    }
+    check_instance(&env);
+}
+
+macro_rules! matrix_test {
+    ($name:ident, $target:expr, $scheme:expr, $threads:expr) => {
+        #[test]
+        fn $name() {
+            storm($target, $scheme, $threads);
+        }
+    };
+}
+
+// List under every scheme (including DTA, which is list-only).
+matrix_test!(list_original_8, Target::List, Scheme::None, 8);
+matrix_test!(list_epoch_8, Target::List, Scheme::Epoch, 8);
+matrix_test!(list_hazard_8, Target::List, Scheme::Hazard, 8);
+matrix_test!(list_dta_8, Target::List, Scheme::Dta, 8);
+matrix_test!(list_refcount_4, Target::List, Scheme::RefCount, 4);
+matrix_test!(list_stacktrack_8, Target::List, Scheme::StackTrack, 8);
+matrix_test!(list_stacktrack_16, Target::List, Scheme::StackTrack, 16);
+
+// Skip list.
+matrix_test!(skiplist_original_8, Target::SkipList, Scheme::None, 8);
+matrix_test!(skiplist_epoch_8, Target::SkipList, Scheme::Epoch, 8);
+matrix_test!(skiplist_hazard_8, Target::SkipList, Scheme::Hazard, 8);
+matrix_test!(
+    skiplist_stacktrack_8,
+    Target::SkipList,
+    Scheme::StackTrack,
+    8
+);
+matrix_test!(
+    skiplist_stacktrack_16,
+    Target::SkipList,
+    Scheme::StackTrack,
+    16
+);
+
+// Queue.
+matrix_test!(queue_original_8, Target::Queue, Scheme::None, 8);
+matrix_test!(queue_epoch_8, Target::Queue, Scheme::Epoch, 8);
+matrix_test!(queue_hazard_8, Target::Queue, Scheme::Hazard, 8);
+matrix_test!(queue_stacktrack_8, Target::Queue, Scheme::StackTrack, 8);
+matrix_test!(queue_stacktrack_16, Target::Queue, Scheme::StackTrack, 16);
+
+// Hash table.
+matrix_test!(hash_original_8, Target::Hash, Scheme::None, 8);
+matrix_test!(hash_epoch_8, Target::Hash, Scheme::Epoch, 8);
+matrix_test!(hash_hazard_8, Target::Hash, Scheme::Hazard, 8);
+matrix_test!(hash_stacktrack_8, Target::Hash, Scheme::StackTrack, 8);
+matrix_test!(hash_refcount_4, Target::Hash, Scheme::RefCount, 4);

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Refreshes the measured tables in EXPERIMENTS.md from results/*.json.
+
+Keeps the prose; replaces only table bodies (matched by their header
+rows). Run after `st-bench all --ms 10 --out results` and
+`st-bench fig3-fig4 --ms 10 --warmup 60 --out results/warmed`.
+"""
+
+import json
+import sys
+
+
+def load(name, base="results"):
+    rows = []
+    with open(f"{base}/{name}.json") as fh:
+        for line in fh:
+            rows.append(json.loads(line))
+    return rows
+
+
+def ops_fmt(v):
+    if v >= 1e6:
+        return f"{v / 1e6:.2f}M"
+    if v >= 1e3:
+        return f"{v / 1e3:.1f}K"
+    return f"{v:.0f}"
+
+
+def by(rows, **kv):
+    out = [r for r in rows if all(r[k] == v for k, v in kv.items())]
+    assert out, f"no row for {kv}"
+    assert len(out) == 1, f"ambiguous {kv}"
+    return out[0]
+
+
+def replace_table(text, header, new_rows):
+    """Replaces the body of the markdown table whose header row is exactly
+    `header` (include the trailing newline to avoid prefix collisions)."""
+    assert header.endswith("\n"), "header must include its newline"
+    i = text.index(header)
+    after_header = i + len(header)
+    sep_end = text.index("\n", after_header) + 1  # the |---| line
+    j = sep_end
+    while j < len(text) and text[j] == "|":
+        j = text.index("\n", j) + 1
+    body = "".join(new_rows)
+    return text[:sep_end] + body + text[j:]
+
+
+def main():
+    text = open("EXPERIMENTS.md").read()
+
+    # Figure 1a.
+    rows = load("fig1_list")
+    new = []
+    for t in [1, 2, 4, 8, 9, 12, 16]:
+        cells = [str(t)] + [
+            ops_fmt(by(rows, threads=t, scheme=s)["ops_per_sec"])
+            for s in ["Original", "Hazards", "Epoch", "StackTrack", "DTA"]
+        ]
+        new.append("| " + " | ".join(cells) + " |\n")
+    text = replace_table(
+        text, "| threads | Original | Hazards | Epoch | StackTrack | DTA |\n", new
+    )
+
+    # Figures 1b, 2a, 2b share the same header; patch in document order.
+    specs = [
+        ("fig1_skiplist", [1, 4, 8, 9, 16]),
+        ("fig2_queue", [1, 2, 3, 8, 9, 16]),
+        ("fig2_hash", [1, 4, 8, 9, 16]),
+    ]
+    header4 = "| threads | Original | Hazards | Epoch | StackTrack |\n"
+    pos = 0
+    for name, tlist in specs:
+        rows = load(name)
+        new = []
+        for t in tlist:
+            cells = [str(t)] + [
+                ops_fmt(by(rows, threads=t, scheme=s)["ops_per_sec"])
+                for s in ["Original", "Hazards", "Epoch", "StackTrack"]
+            ]
+            new.append("| " + " | ".join(cells) + " |\n")
+        idx = text.index(header4, pos)
+        chunk = replace_table(text[idx:], header4, new)
+        text = text[:idx] + chunk
+        pos = idx + len(header4)
+
+    # Figure 3 (warmed).
+    rows = load("fig3_fig4", base="results/warmed")
+    new = []
+    for t in [1, 4, 5, 6, 8, 16]:
+        r = by(rows, threads=t)
+        segs = max(r["tx_committed"], 1)
+        new.append(
+            f"| {t} | {r['aborts_conflict']:,} | {r['aborts_capacity']:,} "
+            f"| {r['aborts_capacity'] / segs:.2f} |\n"
+        )
+    text = replace_table(text, "| threads | contention | capacity | capacity/segment |\n", new)
+
+    # Figure 4 (warmed).
+    new = []
+    for t in [1, 4, 6, 8, 16]:
+        r = by(rows, threads=t)
+        new.append(f"| {t} | {r['avg_splits_per_op']:.1f} | {r['avg_split_length']:.1f} |\n")
+    text = replace_table(text, "| threads | avg splits/op | avg split length |\n", new)
+
+    # Figure 5: relative throughputs. Rows come in groups of 4 per thread
+    # count (fractions 0, 0.1, 0.5, 1.0 in order).
+    rows = load("fig5_slowpath")
+    groups = {}
+    for i in range(0, len(rows), 4):
+        g = rows[i : i + 4]
+        assert len({r["threads"] for r in g}) == 1
+        groups[g[0]["threads"]] = g
+    new = []
+    for t in [1, 4, 8, 14]:
+        g = groups[t]
+        base = g[0]["ops_per_sec"]
+        rel = [100.0 * r["ops_per_sec"] / base for r in g[1:]]
+        new.append(f"| {t} | {rel[0]:.1f}% | {rel[1]:.1f}% | {rel[2]:.1f}% |\n")
+    text = replace_table(text, "| threads | Slow-10 | Slow-50 | Slow-100 |\n", new)
+
+    # Scan table: first 16 rows are F1, next 16 are F10 (driver order).
+    rows = load("scan_overhead")
+    f1 = {r["threads"]: r for r in rows[:16]}
+    f10 = {r["threads"]: r for r in rows[16:]}
+    new = []
+    for t in [1, 4, 8, 16]:
+        a, b = f1[t], f10[t]
+        new.append(
+            f"| {t} | {a['scan_penalty_pct']:.2f} | {b['scan_penalty_pct']:.2f} "
+            f"| {b['avg_scan_depth']:.0f} | {b['scans']} | {b['scan_retries']} |\n"
+        )
+    text = replace_table(
+        text,
+        "| threads | F1 penalty % | F10 penalty % | F10 avg depth (words) | F10 #scans | retries (F10) |\n",
+        new,
+    )
+
+    # Predictor ablation: groups of 4 per thread (adaptive, f1, f10, f50).
+    rows = load("ablation_predictor")
+    groups = {}
+    for i in range(0, len(rows), 4):
+        g = rows[i : i + 4]
+        groups[g[0]["threads"]] = g
+    new = []
+    for t in [1, 8, 16]:
+        g = groups[t]
+        cells = [str(t)] + [ops_fmt(r["ops_per_sec"]) for r in g]
+        new.append("| " + " | ".join(cells) + " |\n")
+    text = replace_table(text, "| threads | adaptive | fixed-1 | fixed-10 | fixed-50 |\n", new)
+
+    open("EXPERIMENTS.md", "w").write(text)
+    print("EXPERIMENTS.md refreshed")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
