@@ -1,12 +1,17 @@
-//! Criterion micro-benchmarks of the substrate hot paths and StackTrack
-//! primitives, including the Ablation 1 comparison (linear vs hashed
-//! SCAN_AND_FREE) from DESIGN.md.
+//! Micro-benchmarks of the substrate hot paths and StackTrack primitives,
+//! including the Ablation 1 comparison (linear vs hashed SCAN_AND_FREE)
+//! from DESIGN.md.
 //!
 //! These measure *host* nanoseconds of the simulator itself (how fast the
 //! reproduction runs), complementing the virtual-cycle results in
 //! `st-bench` (what the simulated machine measures).
+//!
+//! Plain `harness = false` timing loop (no external benchmark crate — the
+//! build must work offline): each benchmark is warmed up, then timed over
+//! enough iterations to smooth scheduler noise. `--test` (what
+//! `cargo bench -- --test` passes, and what CI runs) does one iteration per
+//! benchmark as a smoke test.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
 use st_simheap::{Heap, HeapConfig};
 use st_simhtm::{util::U64Set, HtmConfig, HtmEngine};
@@ -14,6 +19,78 @@ use st_structures::list::{self, ListShape};
 use stacktrack::{predictor::SplitPredictor, ScanMode, StConfig, StRuntime, Step};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// How many timed iterations each benchmark runs (after an untimed warmup
+/// of a tenth as many). Smoke mode (`--test`) runs exactly one.
+const ITERS: u64 = 100_000;
+
+struct Harness {
+    smoke: bool,
+    filter: Option<String>,
+}
+
+impl Harness {
+    fn from_args() -> Harness {
+        let mut smoke = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                "--bench" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Harness { smoke, filter }
+    }
+
+    /// Times `f` and prints `name: <ns>/iter`, honoring filter/smoke mode.
+    fn bench(&self, name: &str, mut f: impl FnMut()) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let iters = if self.smoke { 1 } else { ITERS };
+        for _ in 0..iters / 10 {
+            f();
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!("{name:<40} {ns:>12.1} ns/iter");
+    }
+
+    /// Like [`Harness::bench`] but rebuilds fresh state for every
+    /// iteration via `setup` (setup time is excluded from the average by
+    /// timing only the `run` closure). Uses 1/100 the iterations since
+    /// setup dominates wall-clock.
+    fn bench_with_setup<S>(
+        &self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut run: impl FnMut(S),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let iters = if self.smoke { 1 } else { ITERS / 100 };
+        let mut total_ns = 0u128;
+        for _ in 0..iters {
+            let state = setup();
+            let start = Instant::now();
+            run(state);
+            total_ns += start.elapsed().as_nanos();
+        }
+        let ns = total_ns as f64 / iters as f64;
+        println!("{name:<40} {ns:>12.1} ns/iter");
+    }
+}
 
 fn make_cpu(thread: usize) -> Cpu {
     let topo = Topology::haswell();
@@ -26,87 +103,75 @@ fn make_cpu(thread: usize) -> Cpu {
     )
 }
 
-fn bench_heap_ops(c: &mut Criterion) {
+fn bench_heap_ops(h: &Harness) {
     let heap = Heap::new(HeapConfig::default());
     let mut cpu = make_cpu(0);
     let addr = heap.alloc_untimed(8).unwrap();
 
-    c.bench_function("heap/load", |b| {
-        b.iter(|| black_box(heap.load(&mut cpu, addr, 0)))
+    h.bench("heap/load", || {
+        black_box(heap.load(&mut cpu, addr, 0));
     });
-    c.bench_function("heap/store", |b| {
-        let mut v = 0u64;
-        b.iter(|| {
-            v = v.wrapping_add(1);
-            heap.store(&mut cpu, addr, 1, v);
-        })
+    let mut v = 0u64;
+    h.bench("heap/store", || {
+        v = v.wrapping_add(1);
+        heap.store(&mut cpu, addr, 1, v);
     });
-    c.bench_function("heap/alloc_free", |b| {
-        b.iter(|| {
-            let a = heap.alloc(&mut cpu, 2).unwrap();
-            heap.free(&mut cpu, a);
-        })
+    h.bench("heap/alloc_free", || {
+        let a = heap.alloc(&mut cpu, 2).unwrap();
+        heap.free(&mut cpu, a);
     });
 }
 
-fn bench_htm_segment(c: &mut Criterion) {
+fn bench_htm_segment(h: &Harness) {
     let heap = Arc::new(Heap::new(HeapConfig::default()));
     let engine = HtmEngine::new(heap.clone(), HtmConfig::default(), 1);
     let mut cpu = make_cpu(0);
     let arr = heap.alloc_untimed(1024).unwrap();
 
-    let mut group = c.benchmark_group("htm/segment");
     for reads in [4u64, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(reads), &reads, |b, &reads| {
-            b.iter(|| {
-                // Best-effort HTM: retry on (probabilistic capacity) aborts,
-                // exactly as client code must.
-                'attempt: loop {
-                    let mut tx = engine.begin(&mut cpu);
-                    for i in 0..reads {
-                        if engine.tx_read(&mut cpu, &mut tx, arr, i * 8).is_err() {
-                            continue 'attempt;
-                        }
-                    }
-                    if engine.tx_write(&mut cpu, &mut tx, arr, 0, reads).is_err() {
+        h.bench(&format!("htm/segment/{reads}"), || {
+            // Best-effort HTM: retry on (probabilistic capacity) aborts,
+            // exactly as client code must.
+            'attempt: loop {
+                let mut tx = engine.begin(&mut cpu);
+                for i in 0..reads {
+                    if engine.tx_read(&mut cpu, &mut tx, arr, i * 8).is_err() {
                         continue 'attempt;
                     }
-                    if engine.commit(&mut cpu, &mut tx).is_ok() {
-                        break;
-                    }
                 }
-            })
+                if engine.tx_write(&mut cpu, &mut tx, arr, 0, reads).is_err() {
+                    continue 'attempt;
+                }
+                if engine.commit(&mut cpu, &mut tx).is_ok() {
+                    break;
+                }
+            }
         });
     }
-    group.finish();
 }
 
-fn bench_u64set(c: &mut Criterion) {
-    c.bench_function("util/u64set_insert_64", |b| {
-        let mut set = U64Set::with_capacity(64);
-        b.iter(|| {
-            set.clear();
-            for i in 0..64u64 {
-                set.insert(black_box(i * 64));
-            }
-        })
+fn bench_u64set(h: &Harness) {
+    let mut set = U64Set::with_capacity(64);
+    h.bench("util/u64set_insert_64", || {
+        set.clear();
+        for i in 0..64u64 {
+            set.insert(black_box(i * 64));
+        }
     });
 }
 
-fn bench_predictor(c: &mut Criterion) {
-    c.bench_function("predictor/commit_abort_cycle", |b| {
-        let mut p = SplitPredictor::new(50, 1, 200, 5, 5);
-        b.iter(|| {
-            for split in 0..8usize {
-                p.on_abort(0, split);
-                p.on_commit(0, split);
-                black_box(p.limit(0, split));
-            }
-        })
+fn bench_predictor(h: &Harness) {
+    let mut p = SplitPredictor::new(50, 1, 200, 5, 5);
+    h.bench("predictor/commit_abort_cycle", || {
+        for split in 0..8usize {
+            p.on_abort(0, split);
+            p.on_commit(0, split);
+            black_box(p.limit(0, split));
+        }
     });
 }
 
-fn bench_list_op(c: &mut Criterion) {
+fn bench_list_op(h: &Harness) {
     // One full StackTrack-protected list operation (search of a 1K list).
     let heap = Arc::new(Heap::new(HeapConfig {
         capacity_words: 1 << 20,
@@ -121,75 +186,68 @@ fn bench_list_op(c: &mut Criterion) {
         shape.insert_untimed(&heap, k * 2);
     }
 
-    c.bench_function("stacktrack/list_contains_1k", |b| {
-        let mut key = 1u64;
-        b.iter(|| {
-            key = key % 2000 + 1;
-            let mut body = list::contains_body(shape, key);
-            use st_reclaim::SchemeThread;
-            black_box(SchemeThread::run_op(
-                &mut th,
-                &mut cpu,
-                0,
-                list::LIST_SLOTS,
-                &mut body,
-            ))
-        })
+    let mut key = 1u64;
+    h.bench("stacktrack/list_contains_1k", || {
+        key = key % 2000 + 1;
+        let mut body = list::contains_body(shape, key);
+        use st_reclaim::SchemeThread;
+        black_box(SchemeThread::run_op(
+            &mut th,
+            &mut cpu,
+            0,
+            list::LIST_SLOTS,
+            &mut body,
+        ));
     });
 }
 
-fn bench_scan_modes(c: &mut Criterion) {
+fn bench_scan_modes(h: &Harness) {
     // Ablation 1: linear (Algorithm 1 as printed) vs hashed scan, with 8
     // registered threads to inspect and a batch of 16 candidates.
-    let mut group = c.benchmark_group("stacktrack/scan");
     for (name, mode) in [("linear", ScanMode::Linear), ("hashed", ScanMode::Hashed)] {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    let heap = Arc::new(Heap::new(HeapConfig {
-                        capacity_words: 1 << 20,
-                        ..HeapConfig::default()
-                    }));
-                    let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 8));
-                    let rt = StRuntime::new(
-                        engine,
-                        StConfig {
-                            scan_mode: mode,
-                            max_free: 64, // collect, then force one scan
-                            ..StConfig::default()
-                        },
-                        8,
-                    );
-                    let mut threads: Vec<_> = (0..8).map(|t| rt.register_thread(t)).collect();
-                    let mut cpu = rt.test_cpu(0);
-                    // 16 retired nodes in thread 0's free set.
-                    for _ in 0..16 {
-                        threads[0].run_op(&mut cpu, 0, 1, &mut |m, cpu| {
-                            let n = m.alloc(cpu, 2);
-                            m.retire(cpu, n)?;
-                            Ok(Step::Done(0))
-                        });
-                    }
-                    (threads, cpu)
-                },
-                |(mut threads, mut cpu)| {
-                    threads[0].force_full_scan(&mut cpu);
-                    black_box(threads[0].stats().scans)
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        h.bench_with_setup(
+            &format!("stacktrack/scan/{name}"),
+            || {
+                let heap = Arc::new(Heap::new(HeapConfig {
+                    capacity_words: 1 << 20,
+                    ..HeapConfig::default()
+                }));
+                let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 8));
+                let rt = StRuntime::new(
+                    engine,
+                    StConfig {
+                        scan_mode: mode,
+                        max_free: 64, // collect, then force one scan
+                        ..StConfig::default()
+                    },
+                    8,
+                );
+                let mut threads: Vec<_> = (0..8).map(|t| rt.register_thread(t)).collect();
+                let mut cpu = rt.test_cpu(0);
+                // 16 retired nodes in thread 0's free set.
+                for _ in 0..16 {
+                    threads[0].run_op(&mut cpu, 0, 1, &mut |m, cpu| {
+                        let n = m.alloc(cpu, 2);
+                        m.retire(cpu, n)?;
+                        Ok(Step::Done(0))
+                    });
+                }
+                (threads, cpu)
+            },
+            |(mut threads, mut cpu)| {
+                threads[0].force_full_scan(&mut cpu);
+                black_box(threads[0].stats().scans);
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_heap_ops,
-    bench_htm_segment,
-    bench_u64set,
-    bench_predictor,
-    bench_list_op,
-    bench_scan_modes
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_args();
+    bench_heap_ops(&h);
+    bench_htm_segment(&h);
+    bench_u64set(&h);
+    bench_predictor(&h);
+    bench_list_op(&h);
+    bench_scan_modes(&h);
+}

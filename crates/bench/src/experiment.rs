@@ -1,9 +1,11 @@
 //! One benchmark run: build the machine, populate the structure, simulate,
-//! and collect every statistic the figures need.
+//! and collect every statistic the figures need — both the flat scalar
+//! summary ([`RunResult`]) and the full [`MetricsRegistry`] snapshot that
+//! `results/*.metrics.json` serializes (schema in `docs/METRICS.md`).
 
 use crate::workload::{BenchWorker, StructureInstance, WorkloadSpec};
-use serde::Serialize;
 use st_machine::{SimConfig, Simulator, CYCLES_PER_SECOND};
+use st_obs::{Json, MetricsRegistry};
 use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory};
 use st_simheap::{Heap, HeapConfig};
 use st_simhtm::{HtmConfig, HtmEngine, HtmStats};
@@ -51,8 +53,8 @@ impl RunConfig {
     }
 }
 
-/// Results of one run (serializable for the report generator).
-#[derive(Debug, Clone, Serialize)]
+/// Results of one run (serialized by the report generator).
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Scheme display name.
     pub scheme: String,
@@ -74,7 +76,11 @@ pub struct RunResult {
     pub aborts_conflict: u64,
     /// Capacity aborts.
     pub aborts_capacity: u64,
-    /// Explicit + spurious aborts.
+    /// Explicit (poison/XABORT) aborts.
+    pub aborts_explicit: u64,
+    /// Scheduler-preemption aborts.
+    pub aborts_preempted: u64,
+    /// Spurious aborts.
     pub aborts_other: u64,
     /// Memory fences issued.
     pub fences: u64,
@@ -108,6 +114,48 @@ pub struct RunResult {
     pub garbage: u64,
     /// Live heap words at the end (leak visibility).
     pub live_words: u64,
+    /// The full metrics snapshot (abort causes, histograms, per-scheme
+    /// counters) aggregated over all workers.
+    pub metrics: MetricsRegistry,
+}
+
+impl RunResult {
+    /// The flat scalar summary as one JSON object (one line of the
+    /// `results/<name>.json` JSON-lines file; `metrics` is excluded — it
+    /// goes to `results/<name>.metrics.json`).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("scheme", self.scheme.as_str());
+        o.set("structure", self.structure.as_str());
+        o.set("threads", self.threads);
+        o.set("duration_ms", self.duration_ms);
+        o.set("total_ops", self.total_ops);
+        o.set("ops_per_sec", self.ops_per_sec);
+        o.set("tx_begun", self.tx_begun);
+        o.set("tx_committed", self.tx_committed);
+        o.set("aborts_conflict", self.aborts_conflict);
+        o.set("aborts_capacity", self.aborts_capacity);
+        o.set("aborts_explicit", self.aborts_explicit);
+        o.set("aborts_preempted", self.aborts_preempted);
+        o.set("aborts_other", self.aborts_other);
+        o.set("fences", self.fences);
+        o.set("loads", self.loads);
+        o.set("stores", self.stores);
+        o.set("tx_loads", self.tx_loads);
+        o.set("tx_stores", self.tx_stores);
+        o.set("cas_ops", self.cas_ops);
+        o.set("context_switches", self.context_switches);
+        o.set("avg_splits_per_op", self.avg_splits_per_op);
+        o.set("avg_split_length", self.avg_split_length);
+        o.set("slow_ops", self.slow_ops);
+        o.set("scans", self.scans);
+        o.set("avg_scan_depth", self.avg_scan_depth);
+        o.set("scan_retries", self.scan_retries);
+        o.set("scan_penalty_pct", self.scan_penalty_pct);
+        o.set("garbage", self.garbage);
+        o.set("live_words", self.live_words);
+        o
+    }
 }
 
 /// Executes one run.
@@ -151,16 +199,31 @@ pub fn run(config: &RunConfig) -> RunResult {
     ));
     let (report, workers) = sim.run(workers);
 
-    // Aggregate scheme statistics.
+    // Aggregate scheme statistics — once through the unified registry
+    // (every scheme reports through SchemeThread::report_metrics) and once
+    // into the legacy flat summary.
+    let mut metrics = MetricsRegistry::new();
     let mut st_total = StThreadStats::default();
     let mut garbage = 0;
     for w in &workers {
+        w.executor().report_metrics(&mut metrics);
         if let Some(s) = w.executor().st_stats() {
             st_total = st_total.merged(&s);
         }
         garbage += w.executor().outstanding_garbage();
     }
     let htm: HtmStats = engine.total_stats();
+    htm.report(&mut metrics);
+    metrics.add("run.total_ops", report.total_ops());
+    metrics.add("machine.fences", report.sum_counter(|c| c.fences));
+    metrics.add("machine.loads", report.sum_counter(|c| c.loads));
+    metrics.add("machine.stores", report.sum_counter(|c| c.stores));
+    metrics.add("machine.cas_ops", report.sum_counter(|c| c.cas_ops));
+    metrics.add(
+        "machine.context_switches",
+        report.sum_counter(|c| c.context_switches),
+    );
+    metrics.set("heap.live_words", heap.stats().alloc.live_words);
     let busy_cycles: u64 = report.threads.iter().map(|t| t.final_time).sum();
     let scan_penalty_pct = if busy_cycles > 0 {
         100.0 * st_total.scan_cycles as f64 / busy_cycles as f64
@@ -179,7 +242,9 @@ pub fn run(config: &RunConfig) -> RunResult {
         tx_committed: htm.committed,
         aborts_conflict: htm.aborts_conflict,
         aborts_capacity: htm.aborts_capacity,
-        aborts_other: htm.aborts_explicit + htm.aborts_other,
+        aborts_explicit: htm.aborts_explicit,
+        aborts_preempted: htm.aborts_preempted,
+        aborts_other: htm.aborts_other,
         fences: report.sum_counter(|c| c.fences),
         loads: report.sum_counter(|c| c.loads),
         stores: report.sum_counter(|c| c.stores),
@@ -196,10 +261,11 @@ pub fn run(config: &RunConfig) -> RunResult {
         scan_penalty_pct,
         garbage,
         live_words: heap.stats().alloc.live_words,
+        metrics,
     }
 }
 
-/// Virtual milliseconds to cycles (used by tests and the criterion benches).
+/// Virtual milliseconds to cycles (used by tests and the micro benches).
 #[allow(dead_code)]
 pub fn ms_to_cycles(ms: u64) -> u64 {
     ms * (CYCLES_PER_SECOND / 1000)

@@ -8,11 +8,14 @@
 //!   fig3-aborts fig4-splits fig5-slowpath scan-overhead
 //!   ablation-predictor ablation-regfile ablation-scanmode ablation-refcount
 //!   extra-rbtree all
+//!   check-metrics FILE...
 //! ```
 //!
 //! Every subcommand prints its table(s) and writes JSON + markdown under
-//! `--out` (default `results/`). See EXPERIMENTS.md for the mapping to the
-//! paper's figures.
+//! `--out` (default `results/`), plus a versioned full-metrics snapshot
+//! (`<name>.metrics.json`, schema in docs/METRICS.md). `check-metrics`
+//! validates existing snapshot files against the current schema. See
+//! EXPERIMENTS.md for the mapping to the paper's figures.
 
 mod experiment;
 mod figures;
@@ -37,6 +40,10 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first().cloned() else {
         return usage();
     };
+
+    if cmd == "check-metrics" {
+        return check_metrics(&args[1..]);
+    }
 
     let mut opts = BenchOpts::default();
     let mut i = 1;
@@ -100,4 +107,48 @@ fn main() -> ExitCode {
         _ => return usage(),
     }
     ExitCode::SUCCESS
+}
+
+/// Validates `*.metrics.json` snapshot files against the current schema and
+/// prints a one-line summary per run.
+fn check_metrics(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("usage: st-bench check-metrics FILE...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match report::parse_metrics_snapshot(&text) {
+            Ok(runs) => {
+                for (scheme, structure, threads, reg) in &runs {
+                    println!(
+                        "{path}: {scheme}/{structure} x{threads}: {} metrics, \
+                         {} aborts attributed",
+                        reg.len(),
+                        st_obs::AbortCause::ALL
+                            .iter()
+                            .map(|c| reg.counter(&format!("st.aborts.{c}")))
+                            .sum::<u64>(),
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: invalid snapshot: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

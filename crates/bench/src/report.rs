@@ -1,6 +1,13 @@
 //! Table rendering and result persistence.
+//!
+//! Every figure driver persists two JSON artifacts per run set: a flat
+//! JSON-lines summary (`<name>.json`, one object per run — the format
+//! `tools/update_experiments.py` consumes) and a versioned full snapshot
+//! (`<name>.metrics.json`) carrying the complete [`MetricsRegistry`] of each
+//! run, schema documented in `docs/METRICS.md`.
 
 use crate::experiment::RunResult;
+use st_obs::{Json, MetricsRegistry, SCHEMA_VERSION};
 use std::fs;
 use std::path::Path;
 
@@ -90,16 +97,84 @@ pub fn fmt_f(v: f64) -> String {
     format!("{v:.2}")
 }
 
-/// Persists raw results as JSON lines under `out_dir/name.json` and the
-/// rendered table as markdown under `out_dir/name.md`.
+/// Builds the versioned full-snapshot document for `<name>.metrics.json`.
+///
+/// Shape (see `docs/METRICS.md`):
+/// `{"schema_version": N, "name": ..., "runs": [{scheme, structure,
+/// threads, duration_ms, metrics: {...}}, ...]}`.
+pub fn metrics_snapshot(name: &str, results: &[RunResult]) -> Json {
+    let mut doc = Json::obj();
+    doc.set("schema_version", SCHEMA_VERSION);
+    doc.set("name", name);
+    let runs: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            let mut run = Json::obj();
+            run.set("scheme", r.scheme.as_str());
+            run.set("structure", r.structure.as_str());
+            run.set("threads", r.threads);
+            run.set("duration_ms", r.duration_ms);
+            run.set("metrics", r.metrics.to_json());
+            run
+        })
+        .collect();
+    doc.set("runs", Json::Arr(runs));
+    doc
+}
+
+/// Parses a `<name>.metrics.json` document back into per-run registries.
+///
+/// Returns `(scheme, structure, threads, registry)` per run; rejects
+/// documents from a different schema version.
+pub fn parse_metrics_snapshot(
+    text: &str,
+) -> Result<Vec<(String, String, usize, MetricsRegistry)>, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "snapshot schema v{version}, tool expects v{SCHEMA_VERSION}"
+        ));
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("missing runs array")?;
+    runs.iter()
+        .map(|run| {
+            let field = |k: &str| {
+                run.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("run missing '{k}'"))
+            };
+            let threads = run
+                .get("threads")
+                .and_then(Json::as_u64)
+                .ok_or("run missing 'threads'")? as usize;
+            let metrics = run.get("metrics").ok_or("run missing 'metrics'")?;
+            let reg = MetricsRegistry::from_json(metrics).map_err(|e| e.to_string())?;
+            Ok((field("scheme")?, field("structure")?, threads, reg))
+        })
+        .collect()
+}
+
+/// Persists raw results as JSON lines under `out_dir/name.json`, the full
+/// metrics snapshot under `out_dir/name.metrics.json`, and the rendered
+/// table as markdown under `out_dir/name.md`.
 pub fn persist(out_dir: &Path, name: &str, results: &[RunResult], tables: &[Table]) {
     fs::create_dir_all(out_dir).expect("create results directory");
-    let json: Vec<String> = results
-        .iter()
-        .map(|r| serde_json::to_string(r).expect("serialize result"))
-        .collect();
+    let json: Vec<String> = results.iter().map(|r| r.to_json().to_string()).collect();
     fs::write(out_dir.join(format!("{name}.json")), json.join("\n") + "\n")
         .expect("write results json");
+    fs::write(
+        out_dir.join(format!("{name}.metrics.json")),
+        metrics_snapshot(name, results).to_pretty_string() + "\n",
+    )
+    .expect("write metrics snapshot");
     let md: String = tables.iter().map(Table::to_markdown).collect();
     fs::write(out_dir.join(format!("{name}.md")), md).expect("write results markdown");
 }
@@ -130,5 +205,90 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("x", &["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    fn sample_result() -> RunResult {
+        let mut metrics = MetricsRegistry::new();
+        metrics.add("st.ops", 123);
+        metrics.add("st.aborts.conflict", 7);
+        metrics.record_n("st.segment_length", 16, 40);
+        RunResult {
+            scheme: "stacktrack".into(),
+            structure: "list".into(),
+            threads: 4,
+            duration_ms: 2,
+            total_ops: 123,
+            ops_per_sec: 61_500.0,
+            tx_begun: 200,
+            tx_committed: 180,
+            aborts_conflict: 7,
+            aborts_capacity: 5,
+            aborts_explicit: 3,
+            aborts_preempted: 2,
+            aborts_other: 3,
+            fences: 9,
+            loads: 1000,
+            stores: 500,
+            tx_loads: 800,
+            tx_stores: 400,
+            cas_ops: 11,
+            context_switches: 2,
+            avg_splits_per_op: 1.5,
+            avg_split_length: 16.0,
+            slow_ops: 1,
+            scans: 6,
+            avg_scan_depth: 32.0,
+            scan_retries: 0,
+            scan_penalty_pct: 0.5,
+            garbage: 4,
+            live_words: 4096,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let results = [sample_result()];
+        let doc = metrics_snapshot("fig_demo", &results);
+        let parsed = parse_metrics_snapshot(&doc.to_pretty_string()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let (scheme, structure, threads, reg) = &parsed[0];
+        assert_eq!(scheme, "stacktrack");
+        assert_eq!(structure, "list");
+        assert_eq!(*threads, 4);
+        assert_eq!(reg, &results[0].metrics);
+        assert_eq!(reg.counter("st.aborts.conflict"), 7);
+        assert_eq!(reg.histogram("st.segment_length").unwrap().count(), 40);
+    }
+
+    #[test]
+    fn snapshot_rejects_future_schema() {
+        let mut doc = metrics_snapshot("x", &[]);
+        doc.set("schema_version", SCHEMA_VERSION + 1);
+        let err = parse_metrics_snapshot(&doc.to_string()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn flat_summary_keeps_tool_facing_field_names() {
+        // tools/update_experiments.py keys on these exact names.
+        let json = sample_result().to_json().to_string();
+        for key in [
+            "ops_per_sec",
+            "threads",
+            "scheme",
+            "tx_committed",
+            "aborts_conflict",
+            "aborts_capacity",
+            "aborts_preempted",
+            "avg_splits_per_op",
+            "avg_split_length",
+            "scan_penalty_pct",
+            "avg_scan_depth",
+            "scans",
+            "scan_retries",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+        }
     }
 }

@@ -26,10 +26,20 @@ use crate::layout::{
 };
 use crate::runtime::StRuntime;
 use crate::stats::StThreadStats;
-use st_machine::Cpu;
+use st_machine::{Cpu, Cycles};
 use st_simheap::tagged::TAG_MASK;
 use st_simheap::{Addr, Word};
 use std::collections::HashSet;
+
+/// A retired node awaiting proof of unreachability, stamped with its
+/// retirement time so the registry can report retire-to-free latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Retired {
+    /// Base address of the retired object.
+    pub(crate) addr: Addr,
+    /// Virtual time of the `FREE` call that enqueued it.
+    pub(crate) retired_at: Cycles,
+}
 
 /// One thread inspection in progress.
 #[derive(Debug)]
@@ -83,18 +93,19 @@ enum State {
 /// A resumable `SCAN_AND_FREE` over a batch of candidates.
 #[derive(Debug)]
 pub(crate) struct ScanJob {
-    candidates: Vec<Addr>,
+    candidates: Vec<Retired>,
     state: State,
     slow_active: bool,
     interior: bool,
     chunk: u64,
     table: HashSet<Word>,
-    survivors: Vec<Addr>,
+    survivors: Vec<Retired>,
+    words_scanned: u64,
 }
 
 impl ScanJob {
     /// Builds a job over `candidates` (all already unlinked).
-    pub(crate) fn new(rt: &StRuntime, cpu: &mut Cpu, candidates: Vec<Addr>) -> Self {
+    pub(crate) fn new(rt: &StRuntime, cpu: &mut Cpu, candidates: Vec<Retired>) -> Self {
         debug_assert!(!candidates.is_empty());
         // Check the global slow-path counter once, up front (paper 5.4).
         let slow_active = rt.heap().load(cpu, rt.slow_count, 0) != 0;
@@ -118,6 +129,7 @@ impl ScanJob {
             chunk: rt.config.scan_chunk_words.max(1),
             table: HashSet::new(),
             survivors: Vec::new(),
+            words_scanned: 0,
         }
     }
 
@@ -130,8 +142,13 @@ impl ScanJob {
         stats: &mut StThreadStats,
     ) -> bool {
         let started = cpu.now();
+        let words_before = stats.scan_words;
         let done = self.advance_inner(rt, cpu, stats);
         stats.scan_cycles += cpu.now() - started;
+        self.words_scanned += stats.scan_words - words_before;
+        if done {
+            stats.scan_depths.record(self.words_scanned);
+        }
         done
     }
 
@@ -153,8 +170,11 @@ impl ScanJob {
                         self.survivors.push(target);
                         stats.survivors += 1;
                     } else {
-                        rt.engine.free_object(cpu, target);
+                        rt.engine.free_object(cpu, target.addr);
                         stats.frees_completed += 1;
+                        stats
+                            .free_latency
+                            .record(cpu.now().saturating_sub(target.retired_at));
                     }
                     *cand += 1;
                     *thread = 0;
@@ -171,7 +191,7 @@ impl ScanJob {
                     *thread,
                     self.slow_active,
                     self.chunk,
-                    &mut |rt, cpu, word| matches_candidate(rt, cpu, interior, target, word),
+                    &mut |rt, cpu, word| matches_candidate(rt, cpu, interior, target.addr, word),
                 ) {
                     InspectStep::Skip | InspectStep::ThreadDone { hit: false } => {
                         *thread += 1;
@@ -224,12 +244,15 @@ impl ScanJob {
                     self.state = State::Finished;
                     return true;
                 };
-                if self.table.contains(&target.raw()) {
+                if self.table.contains(&target.addr.raw()) {
                     self.survivors.push(target);
                     stats.survivors += 1;
                 } else {
-                    rt.engine.free_object(cpu, target);
+                    rt.engine.free_object(cpu, target.addr);
                     stats.frees_completed += 1;
+                    stats
+                        .free_latency
+                        .record(cpu.now().saturating_sub(target.retired_at));
                 }
                 *cand += 1;
                 false
@@ -240,7 +263,7 @@ impl ScanJob {
 
     /// Candidates that survived (a reference was found); the caller puts
     /// them back in its free set.
-    pub(crate) fn take_survivors(&mut self) -> Vec<Addr> {
+    pub(crate) fn take_survivors(&mut self) -> Vec<Retired> {
         debug_assert!(matches!(self.state, State::Finished));
         std::mem::take(&mut self.survivors)
     }
@@ -402,16 +425,26 @@ mod tests {
         ctx
     }
 
+    fn retired(candidates: &[Addr]) -> Vec<Retired> {
+        candidates
+            .iter()
+            .map(|&addr| Retired {
+                addr,
+                retired_at: 0,
+            })
+            .collect()
+    }
+
     fn drive(rt: &Arc<StRuntime>, candidates: Vec<Addr>) -> Vec<Addr> {
         let mut cpu = rt.test_cpu(3);
-        let mut job = ScanJob::new(rt, &mut cpu, candidates);
+        let mut job = ScanJob::new(rt, &mut cpu, retired(&candidates));
         let mut stats = StThreadStats::default();
         let mut rounds = 0;
         while !job.advance(rt, &mut cpu, &mut stats) {
             rounds += 1;
             assert!(rounds < 100_000, "scan must terminate");
         }
-        job.take_survivors()
+        job.take_survivors().into_iter().map(|r| r.addr).collect()
     }
 
     #[test]
@@ -503,7 +536,7 @@ mod tests {
             plant(&rt, 0, &[1, 2, 3, 4, 5, 6, 7, 8]);
             let candidates: Vec<Addr> = (0..n).map(|_| heap.alloc_untimed(2).unwrap()).collect();
             let mut cpu = rt.test_cpu(3);
-            let mut job = ScanJob::new(&rt, &mut cpu, candidates);
+            let mut job = ScanJob::new(&rt, &mut cpu, retired(&candidates));
             let mut stats = StThreadStats::default();
             while !job.advance(&rt, &mut cpu, &mut stats) {}
             stats.scan_words

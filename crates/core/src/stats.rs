@@ -1,6 +1,14 @@
 //! Per-thread StackTrack statistics (Figures 4-5 and the scan table).
+//!
+//! [`StThreadStats`] is built on the `st-obs` primitives: aborts are
+//! attributed through a [`CauseCounts`] block and the paper's three skewed
+//! distributions (segment lengths, scan depths, retire-to-free latency)
+//! are recorded in [`LogHistogram`]s rather than sum-only counters. The
+//! whole block reports into a [`MetricsRegistry`] under the `st.`
+//! namespace via [`StThreadStats::report`].
 
 use st_machine::Cycles;
+use st_obs::{CauseCounts, LogHistogram, MetricsRegistry};
 
 /// Counters a [`crate::StThread`] accumulates while executing operations.
 #[derive(Debug, Default, Clone)]
@@ -35,6 +43,14 @@ pub struct StThreadStats {
     pub scan_cycles: Cycles,
     /// Thread inspections performed.
     pub threads_inspected: u64,
+    /// Segment aborts attributed by cause (the canonical taxonomy).
+    pub abort_causes: CauseCounts,
+    /// Distribution of committed segment lengths, in basic blocks.
+    pub seg_lengths: LogHistogram,
+    /// Distribution of words inspected per completed scan.
+    pub scan_depths: LogHistogram,
+    /// Distribution of retire-to-free latency, in virtual cycles.
+    pub free_latency: LogHistogram,
 }
 
 impl StThreadStats {
@@ -72,8 +88,40 @@ impl StThreadStats {
             survivors: self.survivors + o.survivors,
             scan_cycles: self.scan_cycles + o.scan_cycles,
             threads_inspected: self.threads_inspected + o.threads_inspected,
+            abort_causes: self.abort_causes.merged(&o.abort_causes),
+            seg_lengths: merged_hist(&self.seg_lengths, &o.seg_lengths),
+            scan_depths: merged_hist(&self.scan_depths, &o.scan_depths),
+            free_latency: merged_hist(&self.free_latency, &o.free_latency),
         }
     }
+
+    /// Reports every counter and histogram into `reg` under the `st.`
+    /// namespace (schema documented in `docs/METRICS.md`).
+    pub fn report(&self, reg: &mut MetricsRegistry) {
+        reg.add("st.ops", self.ops);
+        reg.add("st.slow_ops", self.slow_ops);
+        reg.add("st.forced_slow_ops", self.forced_slow_ops);
+        reg.add("st.committed_segments", self.committed_segments);
+        reg.add("st.segment_aborts", self.segment_aborts);
+        reg.add("st.free_calls", self.free_calls);
+        reg.add("st.scans", self.scans);
+        reg.add("st.scan_words", self.scan_words);
+        reg.add("st.scan_retries", self.scan_retries);
+        reg.add("st.frees_completed", self.frees_completed);
+        reg.add("st.survivors", self.survivors);
+        reg.add("st.scan_cycles", self.scan_cycles);
+        reg.add("st.threads_inspected", self.threads_inspected);
+        self.abort_causes.report(reg, "st");
+        reg.record_hist("st.segment_length", &self.seg_lengths);
+        reg.record_hist("st.scan_depth", &self.scan_depths);
+        reg.record_hist("st.free_latency_cycles", &self.free_latency);
+    }
+}
+
+fn merged_hist(a: &LogHistogram, b: &LogHistogram) -> LogHistogram {
+    let mut out = a.clone();
+    out.merge(b);
+    out
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -128,5 +176,42 @@ mod tests {
         assert_eq!(m.ops, 4);
         assert_eq!(m.scans, 2);
         assert_eq!(m.scan_retries, 1);
+    }
+
+    #[test]
+    fn merged_combines_causes_and_histograms() {
+        use st_obs::AbortCause;
+        let mut a = StThreadStats::default();
+        a.abort_causes.add(AbortCause::Conflict);
+        a.seg_lengths.record(8);
+        let mut b = StThreadStats::default();
+        b.abort_causes.add(AbortCause::Conflict);
+        b.abort_causes.add(AbortCause::Preempted);
+        b.seg_lengths.record(32);
+        b.free_latency.record(1_000);
+        let m = a.merged(&b);
+        assert_eq!(m.abort_causes.get(AbortCause::Conflict), 2);
+        assert_eq!(m.abort_causes.get(AbortCause::Preempted), 1);
+        assert_eq!(m.seg_lengths.count(), 2);
+        assert_eq!(m.free_latency.count(), 1);
+    }
+
+    #[test]
+    fn report_exports_the_full_schema() {
+        let mut s = StThreadStats {
+            ops: 5,
+            scans: 1,
+            ..Default::default()
+        };
+        s.seg_lengths.record(4);
+        s.scan_depths.record(64);
+        s.free_latency.record(900);
+        let mut reg = MetricsRegistry::new();
+        s.report(&mut reg);
+        assert_eq!(reg.counter("st.ops"), 5);
+        assert_eq!(reg.counter("st.aborts.preempted"), 0);
+        assert_eq!(reg.histogram("st.segment_length").unwrap().count(), 1);
+        assert_eq!(reg.histogram("st.scan_depth").unwrap().count(), 1);
+        assert_eq!(reg.histogram("st.free_latency_cycles").unwrap().sum(), 900);
     }
 }

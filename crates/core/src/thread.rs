@@ -1,7 +1,7 @@
 //! The per-thread StackTrack executor: split engine, slow path, and
 //! the `FREE` entry point.
 
-use crate::free::ScanJob;
+use crate::free::{Retired, ScanJob};
 use crate::layout::{
     OFF_ACTIVE, OFF_OPER_COUNTER, OFF_OP_ID, OFF_REFSET, OFF_REFSET_COUNT, OFF_REGISTERS,
     OFF_SLOW_FLAG, OFF_SPLITS, OFF_STACK, OFF_STACK_DEPTH, OFF_STAGED, OFF_STAGED_COUNT,
@@ -12,6 +12,7 @@ use crate::predictor::SplitPredictor;
 use crate::runtime::StRuntime;
 use crate::stats::StThreadStats;
 use st_machine::Cpu;
+use st_obs::AbortCause;
 use st_simheap::{Addr, Word};
 use st_simhtm::{Abort, Tx};
 use std::sync::Arc;
@@ -65,11 +66,14 @@ pub struct StThread {
     refset_mirror: std::collections::HashMap<Word, u32>,
     staged: Vec<Addr>,
     seg_allocs: Vec<Addr>,
-    free_set: Vec<Addr>,
+    free_set: Vec<Retired>,
     force_commit: bool,
     user_region: bool,
     fails_at_one: u32,
     op_used_slow: bool,
+    /// `cpu.counters.context_switches` at `SPLIT_START`; a change while the
+    /// segment is live means the scheduler preempted us mid-transaction.
+    seg_switches: u64,
     job: Option<ScanJob>,
     stats: StThreadStats,
 }
@@ -110,6 +114,7 @@ impl StThread {
             user_region: false,
             fails_at_one: 0,
             op_used_slow: false,
+            seg_switches: 0,
             job: None,
             stats: StThreadStats::default(),
         }
@@ -291,6 +296,7 @@ impl StThread {
             .predictor
             .limit(self.op_id as usize, self.split_idx as usize);
         self.steps_in_segment = 0;
+        self.seg_switches = cpu.counters.context_switches;
         match &mut self.tx {
             Some(tx) => self.rt.engine.begin_reuse(cpu, tx),
             None => self.tx = Some(self.rt.engine.begin(cpu)),
@@ -298,14 +304,25 @@ impl StThread {
     }
 
     fn step_fast(&mut self, cpu: &mut Cpu, body: &mut OpBody<'_>) -> Option<Word> {
+        // A context switch between checkpoints aborts the live segment:
+        // real HTM loses its speculative state on any preemption. Detected
+        // here (the first step after being rescheduled) and attributed as
+        // `AbortCause::Preempted` rather than a data conflict.
+        if cpu.counters.context_switches != self.seg_switches {
+            let engine = self.rt.engine.clone();
+            let tx = self.tx.as_mut().expect("fast path without a transaction");
+            engine.tx_abort_preempted(cpu, tx);
+            self.on_segment_abort(cpu, AbortCause::Preempted);
+            return None;
+        }
         let result = body(self, cpu);
         // SPLIT_CHECKPOINT: count the basic block.
         cpu.charge(cpu.costs.local_op);
         self.steps_in_segment += 1;
 
         match result {
-            Err(_) => {
-                self.on_segment_abort(cpu);
+            Err(abort) => {
+                self.on_segment_abort(cpu, abort.code().cause());
                 None
             }
             Ok(Step::Continue) => {
@@ -323,7 +340,7 @@ impl StThread {
                                 self.split_start(cpu);
                             }
                         }
-                        Err(_) => self.on_segment_abort(cpu),
+                        Err(abort) => self.on_segment_abort(cpu, abort.code().cause()),
                     }
                 }
                 None
@@ -338,8 +355,8 @@ impl StThread {
                     };
                     Some(v)
                 }
-                Err(_) => {
-                    self.on_segment_abort(cpu);
+                Err(abort) => {
+                    self.on_segment_abort(cpu, abort.code().cause());
                     None
                 }
             },
@@ -381,6 +398,9 @@ impl StThread {
         self.fails_at_one = 0;
         self.stats.committed_segments += 1;
         self.stats.sum_segment_lengths += u64::from(self.steps_in_segment);
+        self.stats
+            .seg_lengths
+            .record(u64::from(self.steps_in_segment));
 
         // Staged retires become FREE calls (non-transactional, post-commit).
         if !self.staged.is_empty() {
@@ -396,8 +416,9 @@ impl StThread {
     }
 
     /// `MANAGE_SPLIT_ABORT` plus segment restart (or slow-path fallback).
-    fn on_segment_abort(&mut self, cpu: &mut Cpu) {
+    fn on_segment_abort(&mut self, cpu: &mut Cpu, cause: AbortCause) {
         self.stats.segment_aborts += 1;
+        self.stats.abort_causes.add(cause);
         let at_minimum = self.segment_limit <= self.rt.config.min_split_length;
         self.predictor
             .on_abort(self.op_id as usize, self.split_idx as usize);
@@ -578,7 +599,10 @@ impl StThread {
     /// batch exceeds `max_free`.
     fn free(&mut self, cpu: &mut Cpu, ptr: Addr) {
         self.stats.free_calls += 1;
-        self.free_set.push(ptr);
+        self.free_set.push(Retired {
+            addr: ptr,
+            retired_at: cpu.now(),
+        });
         if self.free_set.len() > self.rt.config.max_free && self.job.is_none() {
             let candidates = std::mem::take(&mut self.free_set);
             self.job = Some(ScanJob::new(&self.rt, cpu, candidates));

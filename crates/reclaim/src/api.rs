@@ -1,6 +1,7 @@
 //! The scheme-neutral executor interface.
 
 use st_machine::Cpu;
+use st_obs::MetricsRegistry;
 use st_simheap::Word;
 use stacktrack::{OpBody, Step};
 
@@ -51,6 +52,17 @@ pub trait SchemeThread {
     /// Zeroes measurement statistics, keeping learned/reclamation state
     /// (benchmark warm-up support).
     fn reset_stats(&mut self) {}
+
+    /// Reports this executor's counters into the shared metrics registry
+    /// (schema in `docs/METRICS.md`): the common surface every scheme has
+    /// (`reclaim.outstanding_garbage`, StackTrack stats when present) —
+    /// schemes override to add their own `scheme.<name>.*` keys on top.
+    fn report_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.add("reclaim.outstanding_garbage", self.outstanding_garbage());
+        if let Some(st) = self.st_stats() {
+            st.report(reg);
+        }
+    }
 
     /// Best-effort drain of deferred frees at teardown (every other thread
     /// must be outside an operation for this to fully drain).

@@ -256,6 +256,11 @@ impl SchemeThread for DtaThread {
         }
     }
 
+    fn report_metrics(&self, reg: &mut st_obs::MetricsRegistry) {
+        reg.add("reclaim.outstanding_garbage", self.outstanding_garbage());
+        reg.add("scheme.dta.anchors", self.anchors);
+    }
+
     fn outstanding_garbage(&self) -> u64 {
         self.limbo.len() as u64
     }

@@ -64,6 +64,8 @@ pub struct EpochThread {
     active: bool,
     limbo: Vec<Addr>,
     wait: Option<Wait>,
+    /// Nodes returned to the allocator (statistics).
+    pub freed: u64,
 }
 
 impl EpochThread {
@@ -84,6 +86,7 @@ impl EpochThread {
             slots: 0,
             active: false,
             limbo: Vec::new(),
+            freed: 0,
             wait: None,
         }
     }
@@ -123,6 +126,7 @@ impl EpochThread {
             self.wait = None;
             for node in std::mem::take(&mut self.limbo) {
                 self.heap.free(cpu, node);
+                self.freed += 1;
             }
         }
         all_clear
@@ -234,6 +238,11 @@ impl SchemeThread for EpochThread {
 
     fn outstanding_garbage(&self) -> u64 {
         self.limbo.len() as u64
+    }
+
+    fn report_metrics(&self, reg: &mut st_obs::MetricsRegistry) {
+        reg.add("reclaim.outstanding_garbage", self.outstanding_garbage());
+        reg.add("scheme.epoch.freed", self.freed);
     }
 
     fn teardown(&mut self, cpu: &mut Cpu) {

@@ -224,6 +224,11 @@ impl SchemeThread for HazardThread {
         }
     }
 
+    fn report_metrics(&self, reg: &mut st_obs::MetricsRegistry) {
+        reg.add("reclaim.outstanding_garbage", self.outstanding_garbage());
+        reg.add("scheme.hazard.scans", self.scans);
+    }
+
     fn outstanding_garbage(&self) -> u64 {
         self.rlist.len() as u64
     }

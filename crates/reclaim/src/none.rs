@@ -107,6 +107,11 @@ impl SchemeThread for NoReclaimThread {
         }
     }
 
+    fn report_metrics(&self, reg: &mut st_obs::MetricsRegistry) {
+        reg.add("reclaim.outstanding_garbage", self.outstanding_garbage());
+        reg.add("scheme.none.leaked", self.leaked);
+    }
+
     fn outstanding_garbage(&self) -> u64 {
         self.leaked
     }

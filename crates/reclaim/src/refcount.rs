@@ -17,7 +17,6 @@
 //! simulation atomicity).
 
 use crate::api::{expect_step, SchemeThread};
-use parking_lot::Mutex;
 use st_machine::Cpu;
 use st_simheap::tagged::TAG_MASK;
 use st_simheap::{Addr, Heap, Word};
@@ -26,6 +25,7 @@ use stacktrack::layout::STACK_SLOTS;
 use stacktrack::{OpBody, OpMem, Step};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Count-table entry.
 #[derive(Debug, Default, Clone, Copy)]
@@ -48,7 +48,11 @@ impl RcGlobals {
 
     /// Current count of `base` (tests).
     pub fn count_of(&self, base: Word) -> u64 {
-        self.counts.lock().get(&base).map_or(0, |e| e.count)
+        self.counts
+            .lock()
+            .unwrap()
+            .get(&base)
+            .map_or(0, |e| e.count)
     }
 }
 
@@ -90,7 +94,13 @@ impl RcThread {
             return;
         }
         self.charge_rmw(cpu);
-        self.globals.counts.lock().entry(base).or_default().count += 1;
+        self.globals
+            .counts
+            .lock()
+            .unwrap()
+            .entry(base)
+            .or_default()
+            .count += 1;
     }
 
     /// Drops one reference; frees the node when the count hits zero with
@@ -102,7 +112,7 @@ impl RcThread {
         }
         self.charge_rmw(cpu);
         let free_now = {
-            let mut counts = self.globals.counts.lock();
+            let mut counts = self.globals.counts.lock().unwrap();
             let e = counts.get_mut(&base).expect("release without acquire");
             debug_assert!(e.count > 0, "refcount underflow on {base:#x}");
             e.count -= 1;
@@ -173,7 +183,7 @@ impl OpMem for RcThread {
     fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
         self.charge_rmw(cpu);
         let free_now = {
-            let mut counts = self.globals.counts.lock();
+            let mut counts = self.globals.counts.lock().unwrap();
             let e = counts.entry(addr.raw()).or_default();
             debug_assert!(!e.retired, "double retire of {addr:?}");
             e.retired = true;
@@ -231,6 +241,11 @@ impl SchemeThread for RcThread {
                 Some(v)
             }
         }
+    }
+
+    fn report_metrics(&self, reg: &mut st_obs::MetricsRegistry) {
+        reg.add("reclaim.outstanding_garbage", self.outstanding_garbage());
+        reg.add("scheme.rc.freed", self.freed);
     }
 
     fn outstanding_garbage(&self) -> u64 {

@@ -3,9 +3,9 @@
 use crate::addr::{Addr, Word};
 use crate::alloc::{AllocError, AllocStats, Allocator};
 use crate::traffic::Traffic;
-use parking_lot::Mutex;
 use st_machine::Cpu;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Pattern written to freed words; reading it back from a committed
 /// operation is a use-after-free and fails tests loudly.
@@ -185,9 +185,9 @@ impl Heap {
     pub fn alloc(&self, cpu: &mut Cpu, words: usize) -> Result<Addr, AllocError> {
         cpu.charge(cpu.costs.alloc);
         cpu.counters.allocs += 1;
-        let addr = self.allocator.lock().alloc(words)?;
+        let addr = self.allocator.lock().unwrap().alloc(words)?;
         let block = {
-            let a = self.allocator.lock();
+            let a = self.allocator.lock().unwrap();
             a.block_len(addr).expect("just allocated")
         };
         for off in 0..block {
@@ -201,9 +201,9 @@ impl Heap {
     /// For bootstrap only (building thread contexts and initial data
     /// structure population before the measured run starts).
     pub fn alloc_untimed(&self, words: usize) -> Result<Addr, AllocError> {
-        let addr = self.allocator.lock().alloc(words)?;
+        let addr = self.allocator.lock().unwrap().alloc(words)?;
         let block = {
-            let a = self.allocator.lock();
+            let a = self.allocator.lock().unwrap();
             a.block_len(addr).expect("just allocated")
         };
         for off in 0..block {
@@ -226,7 +226,7 @@ impl Heap {
         cpu.charge(cpu.costs.free);
         cpu.counters.frees += 1;
         let block = {
-            let a = self.allocator.lock();
+            let a = self.allocator.lock().unwrap();
             a.block_len(addr)
                 .unwrap_or_else(|| panic!("free of unknown address {addr:?}"))
         };
@@ -235,7 +235,7 @@ impl Heap {
                 self.cell(addr, off).store(POISON, Ordering::Relaxed);
             }
         }
-        self.allocator.lock().free(addr);
+        self.allocator.lock().unwrap().free(addr);
     }
 
     // ------------------------------------------------------------------
@@ -246,20 +246,20 @@ impl Heap {
     /// Resolves a raw scanned word to the base of the live object it points
     /// into, if any (section 5.5 interior-pointer support).
     pub fn object_base(&self, raw: Word) -> Option<Addr> {
-        let a = self.allocator.lock();
+        let a = self.allocator.lock().unwrap();
         a.object_at(raw)
             .and_then(|(base, info)| info.live.then_some(base))
     }
 
     /// Whether `addr` is the base of a live object.
     pub fn is_live(&self, addr: Addr) -> bool {
-        self.allocator.lock().is_live(addr)
+        self.allocator.lock().unwrap().is_live(addr)
     }
 
     /// Block length in words of the object at `addr`, if it was ever
     /// allocated.
     pub fn block_len(&self, addr: Addr) -> Option<u64> {
-        self.allocator.lock().block_len(addr)
+        self.allocator.lock().unwrap().block_len(addr)
     }
 
     /// Whether the word at `addr + off` currently holds poison.
@@ -270,7 +270,7 @@ impl Heap {
     /// Statistics snapshot.
     pub fn stats(&self) -> HeapStats {
         HeapStats {
-            alloc: self.allocator.lock().stats(),
+            alloc: self.allocator.lock().unwrap().stats(),
         }
     }
 

@@ -1,4 +1,10 @@
 //! Abort taxonomy, mirroring Intel TSX abort status.
+//!
+//! Each [`AbortCode`] maps onto the workspace-wide
+//! [`AbortCause`] taxonomy via [`AbortCode::cause`], so
+//! every layer above the engine attributes aborts through one schema.
+
+use st_obs::AbortCause;
 
 /// Why a hardware transaction aborted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -9,8 +15,24 @@ pub enum AbortCode {
     Capacity,
     /// The program requested the abort (XABORT).
     Explicit,
+    /// The scheduler preempted the thread mid-transaction; real HTM aborts
+    /// on any context switch, and the simulator models the same.
+    Preempted,
     /// Spurious hardware abort (interrupts, unsupported instructions, ...).
     Other,
+}
+
+impl AbortCode {
+    /// Maps the hardware-level code onto the canonical abort-cause taxonomy.
+    pub fn cause(self) -> AbortCause {
+        match self {
+            AbortCode::Conflict => AbortCause::Conflict,
+            AbortCode::Capacity => AbortCause::Capacity,
+            AbortCode::Explicit => AbortCause::Explicit,
+            AbortCode::Preempted => AbortCause::Preempted,
+            AbortCode::Other => AbortCause::Spurious,
+        }
+    }
 }
 
 /// An aborted transaction, propagated as an error.
@@ -51,9 +73,19 @@ mod tests {
             AbortCode::Conflict,
             AbortCode::Capacity,
             AbortCode::Explicit,
+            AbortCode::Preempted,
             AbortCode::Other,
         ] {
             assert_eq!(Abort(code).code(), code);
         }
+    }
+
+    #[test]
+    fn every_code_maps_to_a_cause() {
+        assert_eq!(AbortCode::Conflict.cause(), AbortCause::Conflict);
+        assert_eq!(AbortCode::Capacity.cause(), AbortCause::Capacity);
+        assert_eq!(AbortCode::Explicit.cause(), AbortCause::Explicit);
+        assert_eq!(AbortCode::Preempted.cause(), AbortCause::Preempted);
+        assert_eq!(AbortCode::Other.cause(), AbortCause::Spurious);
     }
 }

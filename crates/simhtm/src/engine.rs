@@ -127,6 +127,15 @@ impl HtmEngine {
         self.fail(cpu, tx, AbortCode::Explicit)
     }
 
+    /// Aborts the transaction because the scheduler preempted its thread
+    /// mid-flight. Real HTM cannot survive a context switch (the register
+    /// checkpoint and speculative cache state are lost); the split engine
+    /// calls this when it observes a context switch during a live segment,
+    /// so preemption is attributed separately from data conflicts.
+    pub fn tx_abort_preempted(&self, cpu: &mut Cpu, tx: &mut Tx) -> Abort {
+        self.fail(cpu, tx, AbortCode::Preempted)
+    }
+
     fn admit_line(&self, cpu: &mut Cpu, tx: &mut Tx, addr: Addr, off: u64) -> Result<(), Abort> {
         let line = addr.offset(off).line();
         if tx.lines.insert(line) {

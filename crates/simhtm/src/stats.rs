@@ -1,6 +1,11 @@
 //! Per-thread HTM statistics (the raw material of Figures 3 and 4).
+//!
+//! [`HtmThreadStats`] is the atomic, always-on recording side; [`HtmStats`]
+//! is the plain snapshot the bench harness aggregates and reports into a
+//! [`MetricsRegistry`] via [`HtmStats::report`].
 
 use crate::abort::AbortCode;
+use st_obs::{AbortCause, CauseCounts, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Atomic per-thread transaction counters.
@@ -11,6 +16,7 @@ pub struct HtmThreadStats {
     aborts_conflict: AtomicU64,
     aborts_capacity: AtomicU64,
     aborts_explicit: AtomicU64,
+    aborts_preempted: AtomicU64,
     aborts_other: AtomicU64,
     committed_reads: AtomicU64,
     committed_writes: AtomicU64,
@@ -32,6 +38,7 @@ impl HtmThreadStats {
             AbortCode::Conflict => &self.aborts_conflict,
             AbortCode::Capacity => &self.aborts_capacity,
             AbortCode::Explicit => &self.aborts_explicit,
+            AbortCode::Preempted => &self.aborts_preempted,
             AbortCode::Other => &self.aborts_other,
         };
         ctr.fetch_add(1, Ordering::Relaxed);
@@ -44,6 +51,7 @@ impl HtmThreadStats {
         self.aborts_conflict.store(0, Ordering::Relaxed);
         self.aborts_capacity.store(0, Ordering::Relaxed);
         self.aborts_explicit.store(0, Ordering::Relaxed);
+        self.aborts_preempted.store(0, Ordering::Relaxed);
         self.aborts_other.store(0, Ordering::Relaxed);
         self.committed_reads.store(0, Ordering::Relaxed);
         self.committed_writes.store(0, Ordering::Relaxed);
@@ -57,6 +65,7 @@ impl HtmThreadStats {
             aborts_conflict: self.aborts_conflict.load(Ordering::Relaxed),
             aborts_capacity: self.aborts_capacity.load(Ordering::Relaxed),
             aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
+            aborts_preempted: self.aborts_preempted.load(Ordering::Relaxed),
             aborts_other: self.aborts_other.load(Ordering::Relaxed),
             committed_reads: self.committed_reads.load(Ordering::Relaxed),
             committed_writes: self.committed_writes.load(Ordering::Relaxed),
@@ -77,6 +86,8 @@ pub struct HtmStats {
     pub aborts_capacity: u64,
     /// Explicitly requested aborts.
     pub aborts_explicit: u64,
+    /// Aborts caused by scheduler preemption mid-transaction.
+    pub aborts_preempted: u64,
     /// Spurious aborts.
     pub aborts_other: u64,
     /// Transactional reads in committed transactions.
@@ -88,7 +99,31 @@ pub struct HtmStats {
 impl HtmStats {
     /// Total aborts of all kinds.
     pub fn total_aborts(&self) -> u64 {
-        self.aborts_conflict + self.aborts_capacity + self.aborts_explicit + self.aborts_other
+        self.aborts_conflict
+            + self.aborts_capacity
+            + self.aborts_explicit
+            + self.aborts_preempted
+            + self.aborts_other
+    }
+
+    /// The abort counters as a [`CauseCounts`] block (canonical taxonomy).
+    pub fn cause_counts(&self) -> CauseCounts {
+        let mut c = CauseCounts::new();
+        c.add_n(AbortCause::Conflict, self.aborts_conflict);
+        c.add_n(AbortCause::Capacity, self.aborts_capacity);
+        c.add_n(AbortCause::Explicit, self.aborts_explicit);
+        c.add_n(AbortCause::Preempted, self.aborts_preempted);
+        c.add_n(AbortCause::Spurious, self.aborts_other);
+        c
+    }
+
+    /// Reports every counter into `reg` under the `htm.` namespace.
+    pub fn report(&self, reg: &mut MetricsRegistry) {
+        reg.add("htm.tx_begun", self.begun);
+        reg.add("htm.tx_committed", self.committed);
+        reg.add("htm.committed_reads", self.committed_reads);
+        reg.add("htm.committed_writes", self.committed_writes);
+        self.cause_counts().report(reg, "htm");
     }
 
     /// Element-wise sum (for whole-run aggregation).
@@ -99,6 +134,7 @@ impl HtmStats {
             aborts_conflict: self.aborts_conflict + other.aborts_conflict,
             aborts_capacity: self.aborts_capacity + other.aborts_capacity,
             aborts_explicit: self.aborts_explicit + other.aborts_explicit,
+            aborts_preempted: self.aborts_preempted + other.aborts_preempted,
             aborts_other: self.aborts_other + other.aborts_other,
             committed_reads: self.committed_reads + other.committed_reads,
             committed_writes: self.committed_writes + other.committed_writes,
@@ -144,5 +180,20 @@ mod tests {
         assert_eq!(m.begun, 4);
         assert_eq!(m.aborts_conflict, 3);
         assert_eq!(m.total_aborts(), 8);
+    }
+
+    #[test]
+    fn preempted_aborts_are_counted_and_reported() {
+        let s = HtmThreadStats::default();
+        s.on_begin();
+        s.on_abort(AbortCode::Preempted);
+        let snap = s.snapshot();
+        assert_eq!(snap.aborts_preempted, 1);
+        assert_eq!(snap.total_aborts(), 1);
+        assert_eq!(snap.cause_counts().get(AbortCause::Preempted), 1);
+        let mut reg = MetricsRegistry::new();
+        snap.report(&mut reg);
+        assert_eq!(reg.counter("htm.aborts.preempted"), 1);
+        assert_eq!(reg.counter("htm.tx_begun"), 1);
     }
 }

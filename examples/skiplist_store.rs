@@ -108,11 +108,18 @@ fn main() {
         htm.committed, htm.aborts_conflict, htm.aborts_capacity
     );
 
-    // Drain deferred reclamation and verify structural soundness.
+    // Drain deferred reclamation and verify structural soundness. The
+    // deadline can land mid-operation (a preempted segment restarts), so
+    // finish any in-flight operation before the teardown scan.
     let mut garbage = 0;
     for (t, w) in workers.iter_mut().enumerate() {
-        garbage += w.th.free_set_len();
         let mut cpu = rt.test_cpu(t);
+        while let Some(body) = w.current.as_mut() {
+            if w.th.step_op(&mut cpu, body.as_mut()).is_some() {
+                w.current = None;
+            }
+        }
+        garbage += w.th.free_set_len();
         w.th.force_full_scan(&mut cpu);
     }
     println!("free-set entries drained at teardown: {garbage}");

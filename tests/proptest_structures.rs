@@ -1,7 +1,12 @@
-//! Property tests: random operation sequences against sequential oracles,
+//! Randomized tests: random operation sequences against sequential oracles,
 //! for every structure under every scheme.
+//!
+//! Driven by the simulator's own deterministic `Pcg32` (one stream per
+//! (scheme, case) pair) instead of an external property-testing crate — the
+//! build must work with no registry access, and explicit seeds make
+//! failures replayable by construction.
 
-use proptest::prelude::*;
+use st_machine::rng::Pcg32;
 use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
 use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory};
 use st_simheap::{Heap, HeapConfig};
@@ -11,30 +16,33 @@ use stacktrack::StConfig;
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
-#[derive(Debug, Clone)]
+/// Cases per (structure, scheme) pair — 6 schemes x 8 cases matches the
+/// original 48-case budget per structure.
+const CASES: u64 = 8;
+
+const SCHEMES: [Scheme; 6] = [
+    Scheme::None,
+    Scheme::Epoch,
+    Scheme::Hazard,
+    Scheme::Dta,
+    Scheme::RefCount,
+    Scheme::StackTrack,
+];
+
+#[derive(Debug, Clone, Copy)]
 enum SetOp {
     Insert(u64),
     Delete(u64),
     Contains(u64),
 }
 
-fn set_op() -> impl Strategy<Value = SetOp> {
-    prop_oneof![
-        (1u64..64).prop_map(SetOp::Insert),
-        (1u64..64).prop_map(SetOp::Delete),
-        (1u64..64).prop_map(SetOp::Contains),
-    ]
-}
-
-fn scheme_under_test() -> impl Strategy<Value = Scheme> {
-    prop_oneof![
-        Just(Scheme::None),
-        Just(Scheme::Epoch),
-        Just(Scheme::Hazard),
-        Just(Scheme::Dta),
-        Just(Scheme::RefCount),
-        Just(Scheme::StackTrack),
-    ]
+fn set_op(rng: &mut Pcg32) -> SetOp {
+    let k = 1 + rng.below(63);
+    match rng.below(3) {
+        0 => SetOp::Insert(k),
+        1 => SetOp::Delete(k),
+        _ => SetOp::Contains(k),
+    }
 }
 
 fn env(scheme: Scheme) -> (Arc<Heap>, SchemeFactory, Cpu) {
@@ -57,128 +65,181 @@ fn env(scheme: Scheme) -> (Arc<Heap>, SchemeFactory, Cpu) {
     (heap, factory, cpu)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Runs `CASES` random set-operation scripts for `scheme` against a
+/// `BTreeSet` oracle, using the structure adapter supplied by `run_case`.
+fn check_set_structure(
+    seed: u64,
+    scheme: Scheme,
+    max_ops: u64,
+    mut run_case: impl FnMut(Scheme, &[SetOp], u64),
+) {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new_stream(seed ^ scheme as u64, case);
+        let n = 1 + rng.below(max_ops - 1) as usize;
+        let ops: Vec<SetOp> = (0..n).map(|_| set_op(&mut rng)).collect();
+        run_case(scheme, &ops, case);
+    }
+}
 
-    #[test]
-    fn list_matches_btreeset(scheme in scheme_under_test(), ops in prop::collection::vec(set_op(), 1..80)) {
-        let (heap, factory, mut cpu) = env(scheme);
-        let shape = list::ListShape::new_untimed(&heap);
-        let mut th = factory.thread(0);
-        let mut oracle = BTreeSet::new();
+#[test]
+fn list_matches_btreeset() {
+    for scheme in SCHEMES {
+        check_set_structure(0x11_57ed, scheme, 80, |scheme, ops, case| {
+            let (heap, factory, mut cpu) = env(scheme);
+            let shape = list::ListShape::new_untimed(&heap);
+            let mut th = factory.thread(0);
+            let mut oracle = BTreeSet::new();
 
-        for op in &ops {
-            match *op {
-                SetOp::Insert(k) => {
-                    let mut body = list::insert_body(shape, k);
-                    let got = th.run_op(&mut cpu, 1, list::LIST_SLOTS, &mut body) == 1;
-                    prop_assert_eq!(got, oracle.insert(k));
-                }
-                SetOp::Delete(k) => {
-                    let mut body = list::delete_body(shape, k);
-                    let got = th.run_op(&mut cpu, 2, list::LIST_SLOTS, &mut body) == 1;
-                    prop_assert_eq!(got, oracle.remove(&k));
-                }
-                SetOp::Contains(k) => {
-                    let mut body = list::contains_body(shape, k);
-                    let got = th.run_op(&mut cpu, 0, list::LIST_SLOTS, &mut body) == 1;
-                    prop_assert_eq!(got, oracle.contains(&k));
+            for op in ops {
+                match *op {
+                    SetOp::Insert(k) => {
+                        let mut body = list::insert_body(shape, k);
+                        let got = th.run_op(&mut cpu, 1, list::LIST_SLOTS, &mut body) == 1;
+                        assert_eq!(got, oracle.insert(k), "{scheme:?} case {case}");
+                    }
+                    SetOp::Delete(k) => {
+                        let mut body = list::delete_body(shape, k);
+                        let got = th.run_op(&mut cpu, 2, list::LIST_SLOTS, &mut body) == 1;
+                        assert_eq!(got, oracle.remove(&k), "{scheme:?} case {case}");
+                    }
+                    SetOp::Contains(k) => {
+                        let mut body = list::contains_body(shape, k);
+                        let got = th.run_op(&mut cpu, 0, list::LIST_SLOTS, &mut body) == 1;
+                        assert_eq!(got, oracle.contains(&k), "{scheme:?} case {case}");
+                    }
                 }
             }
-        }
-        prop_assert_eq!(shape.collect_keys_untimed(&heap), oracle.iter().copied().collect::<Vec<_>>());
-        shape.check_invariants_untimed(&heap);
+            assert_eq!(
+                shape.collect_keys_untimed(&heap),
+                oracle.iter().copied().collect::<Vec<_>>(),
+                "{scheme:?} case {case}"
+            );
+            shape.check_invariants_untimed(&heap);
+        });
     }
+}
 
-    #[test]
-    fn skiplist_matches_btreeset(scheme in scheme_under_test(), ops in prop::collection::vec(set_op(), 1..60)) {
+#[test]
+fn skiplist_matches_btreeset() {
+    for scheme in SCHEMES {
         // DTA is list-only by design; substitute the leak-free baseline.
-        let scheme = if scheme == Scheme::Dta { Scheme::Epoch } else { scheme };
-        let (heap, factory, mut cpu) = env(scheme);
-        let shape = skiplist::SkipShape::new_untimed(&heap);
-        let mut th = factory.thread(0);
-        let mut oracle = BTreeSet::new();
+        let scheme = if scheme == Scheme::Dta {
+            Scheme::Epoch
+        } else {
+            scheme
+        };
+        check_set_structure(0x5c1_b0a7, scheme, 60, |scheme, ops, case| {
+            let (heap, factory, mut cpu) = env(scheme);
+            let shape = skiplist::SkipShape::new_untimed(&heap);
+            let mut th = factory.thread(0);
+            let mut oracle = BTreeSet::new();
 
-        for op in &ops {
-            match *op {
-                SetOp::Insert(k) => {
-                    let mut body = skiplist::insert_body(shape, k);
-                    let got = th.run_op(&mut cpu, 1, skiplist::SKIP_SLOTS, &mut body) == 1;
-                    prop_assert_eq!(got, oracle.insert(k));
-                }
-                SetOp::Delete(k) => {
-                    let mut body = skiplist::delete_body(shape, k);
-                    let got = th.run_op(&mut cpu, 2, skiplist::SKIP_SLOTS, &mut body) == 1;
-                    prop_assert_eq!(got, oracle.remove(&k));
-                }
-                SetOp::Contains(k) => {
-                    let mut body = skiplist::contains_body(shape, k);
-                    let got = th.run_op(&mut cpu, 0, skiplist::SKIP_SLOTS, &mut body) == 1;
-                    prop_assert_eq!(got, oracle.contains(&k));
+            for op in ops {
+                match *op {
+                    SetOp::Insert(k) => {
+                        let mut body = skiplist::insert_body(shape, k);
+                        let got = th.run_op(&mut cpu, 1, skiplist::SKIP_SLOTS, &mut body) == 1;
+                        assert_eq!(got, oracle.insert(k), "{scheme:?} case {case}");
+                    }
+                    SetOp::Delete(k) => {
+                        let mut body = skiplist::delete_body(shape, k);
+                        let got = th.run_op(&mut cpu, 2, skiplist::SKIP_SLOTS, &mut body) == 1;
+                        assert_eq!(got, oracle.remove(&k), "{scheme:?} case {case}");
+                    }
+                    SetOp::Contains(k) => {
+                        let mut body = skiplist::contains_body(shape, k);
+                        let got = th.run_op(&mut cpu, 0, skiplist::SKIP_SLOTS, &mut body) == 1;
+                        assert_eq!(got, oracle.contains(&k), "{scheme:?} case {case}");
+                    }
                 }
             }
-        }
-        prop_assert_eq!(shape.collect_keys_untimed(&heap), oracle.iter().copied().collect::<Vec<_>>());
-        shape.check_invariants_untimed(&heap);
+            assert_eq!(
+                shape.collect_keys_untimed(&heap),
+                oracle.iter().copied().collect::<Vec<_>>(),
+                "{scheme:?} case {case}"
+            );
+            shape.check_invariants_untimed(&heap);
+        });
     }
+}
 
-    #[test]
-    fn hash_matches_btreeset(scheme in scheme_under_test(), ops in prop::collection::vec(set_op(), 1..80)) {
-        let scheme = if scheme == Scheme::Dta { Scheme::Epoch } else { scheme };
-        let (heap, factory, mut cpu) = env(scheme);
-        let shape = hash::HashShape::new_untimed(&heap, 8);
-        let mut th = factory.thread(0);
-        let mut oracle = BTreeSet::new();
+#[test]
+fn hash_matches_btreeset() {
+    for scheme in SCHEMES {
+        let scheme = if scheme == Scheme::Dta {
+            Scheme::Epoch
+        } else {
+            scheme
+        };
+        check_set_structure(0xba5e_d0, scheme, 80, |scheme, ops, case| {
+            let (heap, factory, mut cpu) = env(scheme);
+            let shape = hash::HashShape::new_untimed(&heap, 8);
+            let mut th = factory.thread(0);
+            let mut oracle = BTreeSet::new();
 
-        for op in &ops {
-            match *op {
-                SetOp::Insert(k) => {
-                    let mut body = hash::insert_body(&shape, k);
-                    let got = th.run_op(&mut cpu, 1, list::LIST_SLOTS, &mut body) == 1;
-                    prop_assert_eq!(got, oracle.insert(k));
-                }
-                SetOp::Delete(k) => {
-                    let mut body = hash::delete_body(&shape, k);
-                    let got = th.run_op(&mut cpu, 2, list::LIST_SLOTS, &mut body) == 1;
-                    prop_assert_eq!(got, oracle.remove(&k));
-                }
-                SetOp::Contains(k) => {
-                    let mut body = hash::contains_body(&shape, k);
-                    let got = th.run_op(&mut cpu, 0, list::LIST_SLOTS, &mut body) == 1;
-                    prop_assert_eq!(got, oracle.contains(&k));
+            for op in ops {
+                match *op {
+                    SetOp::Insert(k) => {
+                        let mut body = hash::insert_body(&shape, k);
+                        let got = th.run_op(&mut cpu, 1, list::LIST_SLOTS, &mut body) == 1;
+                        assert_eq!(got, oracle.insert(k), "{scheme:?} case {case}");
+                    }
+                    SetOp::Delete(k) => {
+                        let mut body = hash::delete_body(&shape, k);
+                        let got = th.run_op(&mut cpu, 2, list::LIST_SLOTS, &mut body) == 1;
+                        assert_eq!(got, oracle.remove(&k), "{scheme:?} case {case}");
+                    }
+                    SetOp::Contains(k) => {
+                        let mut body = hash::contains_body(&shape, k);
+                        let got = th.run_op(&mut cpu, 0, list::LIST_SLOTS, &mut body) == 1;
+                        assert_eq!(got, oracle.contains(&k), "{scheme:?} case {case}");
+                    }
                 }
             }
-        }
-        prop_assert_eq!(shape.collect_keys_untimed(&heap), oracle.iter().copied().collect::<Vec<_>>());
-        shape.check_invariants_untimed(&heap);
+            assert_eq!(
+                shape.collect_keys_untimed(&heap),
+                oracle.iter().copied().collect::<Vec<_>>(),
+                "{scheme:?} case {case}"
+            );
+            shape.check_invariants_untimed(&heap);
+        });
     }
+}
 
-    #[test]
-    fn queue_matches_vecdeque(scheme in scheme_under_test(), ops in prop::collection::vec(prop_oneof![
-        (1u64..1000).prop_map(Some),
-        Just(None),
-    ], 1..100)) {
-        let scheme = if scheme == Scheme::Dta { Scheme::Epoch } else { scheme };
-        let (heap, factory, mut cpu) = env(scheme);
-        let shape = queue::QueueShape::new_untimed(&heap);
-        let mut th = factory.thread(0);
-        let mut oracle: VecDeque<u64> = VecDeque::new();
+#[test]
+fn queue_matches_vecdeque() {
+    for scheme in SCHEMES {
+        let scheme = if scheme == Scheme::Dta {
+            Scheme::Epoch
+        } else {
+            scheme
+        };
+        for case in 0..CASES {
+            let mut rng = Pcg32::new_stream(0x90e0e ^ scheme as u64, case);
+            let n = 1 + rng.below(99) as usize;
+            let (heap, factory, mut cpu) = env(scheme);
+            let shape = queue::QueueShape::new_untimed(&heap);
+            let mut th = factory.thread(0);
+            let mut oracle: VecDeque<u64> = VecDeque::new();
 
-        for op in &ops {
-            match *op {
-                Some(v) => {
+            for _ in 0..n {
+                if rng.chance(0.5) {
+                    let v = 1 + rng.below(999);
                     let mut body = queue::enqueue_body(shape, v);
                     th.run_op(&mut cpu, 0, queue::QUEUE_SLOTS, &mut body);
                     oracle.push_back(v);
-                }
-                None => {
+                } else {
                     let mut body = queue::dequeue_body(shape);
                     let got = th.run_op(&mut cpu, 1, queue::QUEUE_SLOTS, &mut body);
                     let expect = oracle.pop_front().unwrap_or(0);
-                    prop_assert_eq!(got, expect);
+                    assert_eq!(got, expect, "{scheme:?} case {case}");
                 }
             }
+            assert_eq!(
+                shape.collect_values_untimed(&heap),
+                oracle.iter().copied().collect::<Vec<_>>(),
+                "{scheme:?} case {case}"
+            );
         }
-        prop_assert_eq!(shape.collect_values_untimed(&heap), oracle.iter().copied().collect::<Vec<_>>());
     }
 }

@@ -10,12 +10,27 @@ import json
 import sys
 
 
+SCHEMA_VERSION = 1
+
+
 def load(name, base="results"):
     rows = []
     with open(f"{base}/{name}.json") as fh:
         for line in fh:
             rows.append(json.loads(line))
     return rows
+
+
+def load_metrics(name, base="results"):
+    """Loads a full observability snapshot (see docs/METRICS.md) and
+    returns its run list: dicts with scheme/structure/threads/metrics."""
+    with open(f"{base}/{name}.metrics.json") as fh:
+        doc = json.load(fh)
+    assert doc["schema_version"] == SCHEMA_VERSION, (
+        f"{name}.metrics.json is schema v{doc['schema_version']}, "
+        f"this tool expects v{SCHEMA_VERSION}"
+    )
+    return doc["runs"]
 
 
 def ops_fmt(v):
@@ -96,6 +111,23 @@ def main():
             f"| {r['aborts_capacity'] / segs:.2f} |\n"
         )
     text = replace_table(text, "| threads | contention | capacity | capacity/segment |\n", new)
+
+    # Abort-cause attribution (warmed, from the full metrics snapshot).
+    runs = load_metrics("fig3_fig4", base="results/warmed")
+    by_threads = {r["threads"]: r["metrics"] for r in runs}
+    new = []
+    for t in [1, 4, 8, 16]:
+        m = by_threads[t]
+        cells = [str(t)] + [
+            f"{m[f'st.aborts.{cause}']:,}"
+            for cause in ["conflict", "capacity", "explicit", "spurious", "preempted"]
+        ]
+        new.append("| " + " | ".join(cells) + " |\n")
+    text = replace_table(
+        text,
+        "| threads | conflict | capacity | explicit | spurious | preempted |\n",
+        new,
+    )
 
     # Figure 4 (warmed).
     new = []
