@@ -4,7 +4,7 @@
 //! `results/*.metrics.json` serializes (schema in `docs/METRICS.md`).
 
 use crate::workload::{BenchWorker, StructureInstance, WorkloadSpec};
-use st_machine::{SimConfig, Simulator, CYCLES_PER_SECOND};
+use st_machine::{FaultPlan, SimConfig, Simulator, CYCLES_PER_SECOND};
 use st_obs::{Json, MetricsRegistry};
 use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory};
 use st_simheap::{Heap, HeapConfig};
@@ -32,11 +32,22 @@ pub struct RunConfig {
     pub st_config: StConfig,
     /// Baseline-scheme tuning.
     pub reclaim_config: ReclaimConfig,
+    /// Fault schedule applied to the measured run (never to warm-up).
+    pub faults: FaultPlan,
+    /// Number of evenly spaced `outstanding_garbage` samples to take over
+    /// the run (`0` = no time-series).
+    pub garbage_samples: usize,
 }
 
 impl RunConfig {
     /// A run with default tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` violates the [`WorkloadSpec`] builder invariants
+    /// (only possible by mutating a built spec's public fields).
     pub fn new(spec: WorkloadSpec, scheme: Scheme, threads: usize, duration_ms: u64) -> Self {
+        spec.validate().expect("invalid workload spec");
         let mut reclaim_config = ReclaimConfig::default();
         // Guard budget for the deepest structure (skip list).
         reclaim_config.hazard_slots = 2 * st_structures::skiplist::MAX_LEVEL + 2;
@@ -49,6 +60,8 @@ impl RunConfig {
             seed: 0x57ac_c001,
             st_config: StConfig::default(),
             reclaim_config,
+            faults: FaultPlan::default(),
+            garbage_samples: 0,
         }
     }
 }
@@ -169,20 +182,19 @@ pub fn run(config: &RunConfig) -> RunResult {
         HtmConfig::default(),
         config.threads,
     ));
-    let factory = SchemeFactory::new(
-        config.scheme,
-        engine.clone(),
-        config.threads,
-        config.reclaim_config.clone(),
-        config.st_config.clone(),
-    );
+    let factory = SchemeFactory::builder(config.scheme)
+        .engine(engine.clone())
+        .max_threads(config.threads)
+        .reclaim_config(config.reclaim_config.clone())
+        .st_config(config.st_config.clone())
+        .build();
     let instance = Arc::new(StructureInstance::build(&config.spec, &heap, config.seed));
 
     let workers: Vec<BenchWorker> = (0..config.threads)
         .map(|t| BenchWorker::new(factory.thread(t), config.spec.clone(), instance.clone()))
         .collect();
 
-    let workers = if config.warmup_ms > 0 {
+    let mut workers = if config.warmup_ms > 0 {
         let warm = Simulator::new(SimConfig::haswell_ms(config.warmup_ms, config.seed));
         let (_, mut workers) = warm.run(workers);
         engine.reset_stats();
@@ -193,10 +205,22 @@ pub fn run(config: &RunConfig) -> RunResult {
     } else {
         workers
     };
-    let sim = Simulator::new(SimConfig::haswell_ms(
-        config.duration_ms,
-        config.seed.wrapping_add(1),
-    ));
+    // Teardown (and garbage sampling, if requested) cover only the
+    // measured run — a warm-up deadline must never drain deferred frees.
+    let duration_cycles = ms_to_cycles(config.duration_ms);
+    let sample_points: Vec<u64> = (1..=config.garbage_samples as u64)
+        .map(|k| k * duration_cycles / config.garbage_samples.max(1) as u64)
+        .collect();
+    for w in &mut workers {
+        w.arm_teardown();
+        if !sample_points.is_empty() {
+            w.sample_garbage_at(sample_points.clone());
+        }
+    }
+    let sim = Simulator::new(
+        SimConfig::haswell_ms(config.duration_ms, config.seed.wrapping_add(1))
+            .with_faults(config.faults.clone()),
+    );
     let (report, workers) = sim.run(workers);
 
     // Aggregate scheme statistics — once through the unified registry
@@ -210,7 +234,23 @@ pub fn run(config: &RunConfig) -> RunResult {
         if let Some(s) = w.executor().st_stats() {
             st_total = st_total.merged(&s);
         }
-        garbage += w.executor().outstanding_garbage();
+        garbage += w.garbage_at_deadline();
+    }
+    // `report_metrics` ran after teardown drained the limbo lists; restore
+    // the documented "at the deadline" semantics of the gauge.
+    metrics.set("reclaim.outstanding_garbage", garbage);
+    for k in 0..sample_points.len() {
+        let total: u64 = workers
+            .iter()
+            .map(|w| w.garbage_samples().get(k).copied().unwrap_or(0))
+            .sum();
+        metrics.set(&format!("reclaim.garbage_ts.{:02}", k + 1), total);
+    }
+    if !config.faults.is_empty() {
+        metrics.add("fault.stalls", report.faults.stalls);
+        metrics.add("fault.stall_cycles", report.faults.stall_cycles);
+        metrics.add("fault.kills", report.faults.kills);
+        metrics.add("fault.storm_switches", report.faults.storm_switches);
     }
     let htm: HtmStats = engine.total_stats();
     htm.report(&mut metrics);
@@ -266,7 +306,6 @@ pub fn run(config: &RunConfig) -> RunResult {
 }
 
 /// Virtual milliseconds to cycles (used by tests and the micro benches).
-#[allow(dead_code)]
 pub fn ms_to_cycles(ms: u64) -> u64 {
     ms * (CYCLES_PER_SECOND / 1000)
 }

@@ -1,9 +1,10 @@
 //! Drivers that regenerate every figure and table of the paper's
 //! evaluation (section 6), plus the ablations called out in DESIGN.md.
 
-use crate::experiment::{run, RunConfig, RunResult};
+use crate::experiment::{ms_to_cycles, run, RunConfig, RunResult};
 use crate::report::{fmt_f, fmt_ops, persist, Table};
 use crate::workload::WorkloadSpec;
+use st_machine::FaultPlan;
 use st_reclaim::Scheme;
 use stacktrack::{ScanMode, StConfig};
 use std::path::PathBuf;
@@ -23,6 +24,8 @@ pub struct BenchOpts {
     pub max_threads: usize,
     /// Unmeasured warm-up per configuration, in milliseconds.
     pub warmup_ms: u64,
+    /// Scheme subset override (`None` = each driver's default set).
+    pub schemes: Option<Vec<Scheme>>,
 }
 
 impl Default for BenchOpts {
@@ -34,6 +37,7 @@ impl Default for BenchOpts {
             out: PathBuf::from("results"),
             max_threads: 16,
             warmup_ms: 0,
+            schemes: None,
         }
     }
 }
@@ -469,6 +473,65 @@ pub fn ablation_dta_k(opts: &BenchOpts) -> Vec<RunResult> {
     results
 }
 
+/// Robustness under faults: every scheme runs the list workload while one
+/// worker stalls mid-run (at 30 % of the duration, for 40 % of it — 100 ms
+/// under the subcommand's 250 ms default). The table is the
+/// outstanding-garbage time-series: hazard pointers, DTA and StackTrack
+/// must stay bounded while the stalled thread makes epoch-based
+/// reclamation hoard (section 2's robustness argument).
+pub fn robustness(opts: &BenchOpts) -> Vec<RunResult> {
+    const SAMPLES: usize = 10;
+    let spec = opts.spec(WorkloadSpec::paper_list());
+    let threads = opts.max_threads.clamp(2, 4);
+    let stalled = threads - 1;
+    let duration = ms_to_cycles(opts.duration_ms);
+    let stall_at = duration * 3 / 10;
+    let stall_for = duration * 4 / 10;
+    let schemes = opts
+        .schemes
+        .clone()
+        .unwrap_or_else(|| Scheme::all().to_vec());
+
+    let mut results = Vec::new();
+    let mut series: Vec<(Scheme, Vec<u64>)> = Vec::new();
+    for &scheme in &schemes {
+        let mut config = opts.config(spec.clone(), scheme, threads);
+        config.faults = FaultPlan::default().stall(stalled, stall_at, stall_for);
+        config.garbage_samples = SAMPLES;
+        let r = run(&config);
+        let ts: Vec<u64> = (1..=SAMPLES)
+            .map(|k| r.metrics.counter(&format!("reclaim.garbage_ts.{k:02}")))
+            .collect();
+        series.push((scheme, ts));
+        results.push(r);
+        eprint!(".");
+    }
+    eprintln!();
+
+    let mut columns = vec!["t (ms)".to_string()];
+    columns.extend(schemes.iter().map(|s| s.name().to_string()));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Robustness — List, {threads} threads: outstanding garbage while thread {stalled} \
+             stalls {}–{} ms (run length {} ms)",
+            fmt_f(opts.duration_ms as f64 * 0.3),
+            fmt_f(opts.duration_ms as f64 * 0.7),
+            opts.duration_ms
+        ),
+        &col_refs,
+    );
+    for k in 0..SAMPLES {
+        let t_ms = opts.duration_ms as f64 * (k + 1) as f64 / SAMPLES as f64;
+        let mut row = vec![fmt_f(t_ms)];
+        row.extend(series.iter().map(|(_, ts)| ts[k].to_string()));
+        table.row(row);
+    }
+    table.print();
+    persist(&opts.out, "robustness", &results, &[table]);
+    results
+}
+
 /// Extra workload beyond the paper's figures: the Algorithm 3 red-black
 /// tree under a read-dominated mix.
 pub fn extra_rbtree(opts: &BenchOpts) -> Vec<RunResult> {
@@ -514,4 +577,6 @@ pub fn all(opts: &BenchOpts) {
     ablation_dta_k(opts);
     eprintln!("extra-rbtree");
     extra_rbtree(opts);
+    eprintln!("robustness");
+    robustness(opts);
 }

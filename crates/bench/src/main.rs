@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! st-bench <subcommand> [--ms N] [--warmup N] [--seed N] [--scale N] [--threads N] [--out DIR]
+//!                       [--schemes A,B,...]
 //!
 //! Subcommands:
 //!   fig1-list fig1-skiplist fig2-queue fig2-hash
 //!   fig3-aborts fig4-splits fig5-slowpath scan-overhead
 //!   ablation-predictor ablation-regfile ablation-scanmode ablation-refcount
-//!   extra-rbtree all
+//!   extra-rbtree robustness all
 //!   check-metrics FILE...
 //! ```
 //!
@@ -23,6 +24,7 @@ mod report;
 mod workload;
 
 use figures::BenchOpts;
+use st_reclaim::Scheme;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -30,7 +32,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: st-bench <fig1-list|fig1-skiplist|fig2-queue|fig2-hash|fig3-aborts|fig4-splits|\
          fig5-slowpath|scan-overhead|ablation-predictor|ablation-regfile|ablation-scanmode|\
-         ablation-refcount|extra-rbtree|all> [--ms N] [--seed N] [--scale N] [--threads N] [--out DIR]"
+         ablation-refcount|extra-rbtree|robustness|all> [--ms N] [--seed N] [--scale N] \
+         [--threads N] [--out DIR] [--schemes A,B,...]"
     );
     ExitCode::from(2)
 }
@@ -46,6 +49,7 @@ fn main() -> ExitCode {
     }
 
     let mut opts = BenchOpts::default();
+    let mut ms_set = false;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -61,7 +65,10 @@ fn main() -> ExitCode {
         }
         match flag {
             "--ms" => match parse_int(flag, value) {
-                Ok(v) => opts.duration_ms = v,
+                Ok(v) => {
+                    opts.duration_ms = v;
+                    ms_set = true;
+                }
                 Err(code) => return code,
             },
             "--seed" => match parse_int(flag, value) {
@@ -81,6 +88,17 @@ fn main() -> ExitCode {
                 Err(code) => return code,
             },
             "--out" => opts.out = PathBuf::from(value),
+            "--schemes" => {
+                let parsed: Result<Vec<Scheme>, String> =
+                    value.split(',').map(|s| s.trim().parse()).collect();
+                match parsed {
+                    Ok(v) => opts.schemes = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -103,6 +121,14 @@ fn main() -> ExitCode {
         "ablation-refcount" => drop(figures::ablation_refcount(&opts)),
         "ablation-dta-k" => drop(figures::ablation_dta_k(&opts)),
         "extra-rbtree" => drop(figures::extra_rbtree(&opts)),
+        "robustness" => {
+            // A stall is only visible against a run that dwarfs it; give
+            // the fault experiment a longer default than the figures'.
+            if !ms_set {
+                opts.duration_ms = 250;
+            }
+            drop(figures::robustness(&opts));
+        }
         "all" => figures::all(&opts),
         _ => return usage(),
     }

@@ -36,6 +36,30 @@ impl StructureKind {
     }
 }
 
+impl std::fmt::Display for StructureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for StructureKind {
+    type Err = String;
+
+    /// Parses the display name, case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "list" => Ok(StructureKind::List),
+            "skiplist" => Ok(StructureKind::SkipList),
+            "queue" => Ok(StructureKind::Queue),
+            "hash" => Ok(StructureKind::Hash),
+            "rbtree" => Ok(StructureKind::RbTree),
+            _ => Err(format!(
+                "unknown structure {s:?} (expected List, SkipList, Queue, Hash, or RbTree)"
+            )),
+        }
+    }
+}
+
 /// A workload configuration.
 #[derive(Debug, Clone)]
 pub struct WorkloadSpec {
@@ -52,61 +76,166 @@ pub struct WorkloadSpec {
     pub buckets: usize,
 }
 
+/// Validating constructor for [`WorkloadSpec`].
+///
+/// Obtained from [`WorkloadSpec::builder`]; [`WorkloadSpecBuilder::build`]
+/// rejects inconsistent configurations instead of letting them skew a
+/// benchmark silently (e.g. a key range smaller than the initial
+/// population can never finish populating).
+#[derive(Debug, Clone)]
+pub struct WorkloadSpecBuilder {
+    structure: StructureKind,
+    initial_size: u64,
+    key_range: u64,
+    mutation_pct: u32,
+    buckets: Option<usize>,
+}
+
+impl WorkloadSpecBuilder {
+    /// Initial number of elements (default 1024).
+    pub fn initial_size(mut self, initial_size: u64) -> Self {
+        self.initial_size = initial_size;
+        self
+    }
+
+    /// Keys drawn uniformly from `1..=key_range` (default 2048).
+    pub fn key_range(mut self, key_range: u64) -> Self {
+        self.key_range = key_range;
+        self
+    }
+
+    /// Percentage of mutating operations (default 20).
+    pub fn mutation_pct(mut self, mutation_pct: u32) -> Self {
+        self.mutation_pct = mutation_pct;
+        self
+    }
+
+    /// Hash-table bucket count; only valid for [`StructureKind::Hash`].
+    pub fn buckets(mut self, buckets: usize) -> Self {
+        self.buckets = Some(buckets);
+        self
+    }
+
+    /// Validates and constructs the spec.
+    ///
+    /// # Errors
+    ///
+    /// - `key_range < initial_size`: the population could never fit.
+    /// - `mutation_pct > 100`: not a percentage.
+    /// - `buckets` set on a non-hash structure, or zero/unset for a hash.
+    pub fn build(self) -> Result<WorkloadSpec, String> {
+        if self.key_range < self.initial_size {
+            return Err(format!(
+                "key_range ({}) must be >= initial_size ({})",
+                self.key_range, self.initial_size
+            ));
+        }
+        if self.mutation_pct > 100 {
+            return Err(format!(
+                "mutation_pct ({}) must be <= 100",
+                self.mutation_pct
+            ));
+        }
+        let buckets = match (self.structure, self.buckets) {
+            (StructureKind::Hash, Some(0)) => {
+                return Err("a hash table needs at least one bucket".into());
+            }
+            (StructureKind::Hash, Some(b)) => b,
+            (StructureKind::Hash, None) => {
+                return Err("StructureKind::Hash requires .buckets(n)".into());
+            }
+            (other, Some(_)) => {
+                return Err(format!("buckets is only meaningful for Hash, not {other}"));
+            }
+            (_, None) => 1,
+        };
+        Ok(WorkloadSpec {
+            structure: self.structure,
+            initial_size: self.initial_size,
+            key_range: self.key_range,
+            mutation_pct: self.mutation_pct,
+            buckets,
+        })
+    }
+}
+
 impl WorkloadSpec {
+    /// Re-checks the builder invariants on an existing spec (the fields
+    /// are public, so a spec can drift after construction).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut b = Self::builder(self.structure)
+            .initial_size(self.initial_size)
+            .key_range(self.key_range)
+            .mutation_pct(self.mutation_pct);
+        if self.structure == StructureKind::Hash {
+            b = b.buckets(self.buckets);
+        }
+        b.build().map(|_| ())
+    }
+}
+
+impl WorkloadSpec {
+    /// Starts building a spec for `structure`.
+    pub fn builder(structure: StructureKind) -> WorkloadSpecBuilder {
+        WorkloadSpecBuilder {
+            structure,
+            initial_size: 1024,
+            key_range: 2048,
+            mutation_pct: 20,
+            buckets: None,
+        }
+    }
+
     /// The paper's list configuration: 5 K nodes, 20 % mutations.
     pub fn paper_list() -> Self {
-        Self {
-            structure: StructureKind::List,
-            initial_size: 5_000,
-            key_range: 10_000,
-            mutation_pct: 20,
-            buckets: 1,
-        }
+        Self::builder(StructureKind::List)
+            .initial_size(5_000)
+            .key_range(10_000)
+            .mutation_pct(20)
+            .build()
+            .expect("paper preset is valid")
     }
 
     /// The paper's skip-list configuration: 100 K nodes, 20 % mutations.
     pub fn paper_skiplist() -> Self {
-        Self {
-            structure: StructureKind::SkipList,
-            initial_size: 100_000,
-            key_range: 200_000,
-            mutation_pct: 20,
-            buckets: 1,
-        }
+        Self::builder(StructureKind::SkipList)
+            .initial_size(100_000)
+            .key_range(200_000)
+            .mutation_pct(20)
+            .build()
+            .expect("paper preset is valid")
     }
 
     /// The paper's queue configuration: 20 % mutations.
     pub fn paper_queue() -> Self {
-        Self {
-            structure: StructureKind::Queue,
-            initial_size: 256,
-            key_range: 1 << 32,
-            mutation_pct: 20,
-            buckets: 1,
-        }
+        Self::builder(StructureKind::Queue)
+            .initial_size(256)
+            .key_range(1 << 32)
+            .mutation_pct(20)
+            .build()
+            .expect("paper preset is valid")
     }
 
     /// Extra workload: red-black tree, 10 K keys, 10 % mutations
     /// (read-dominated, as tree indexes usually are).
     pub fn extra_rbtree() -> Self {
-        Self {
-            structure: StructureKind::RbTree,
-            initial_size: 10_000,
-            key_range: 20_000,
-            mutation_pct: 10,
-            buckets: 1,
-        }
+        Self::builder(StructureKind::RbTree)
+            .initial_size(10_000)
+            .key_range(20_000)
+            .mutation_pct(10)
+            .build()
+            .expect("paper preset is valid")
     }
 
     /// The paper's hash configuration: 10 K nodes, 20 % mutations.
     pub fn paper_hash() -> Self {
-        Self {
-            structure: StructureKind::Hash,
-            initial_size: 10_000,
-            key_range: 20_000,
-            mutation_pct: 20,
-            buckets: 4_096,
-        }
+        Self::builder(StructureKind::Hash)
+            .initial_size(10_000)
+            .key_range(20_000)
+            .mutation_pct(20)
+            .buckets(4_096)
+            .build()
+            .expect("paper preset is valid")
     }
 
     /// A scaled-down variant for fast test runs.
@@ -242,6 +371,16 @@ pub struct BenchWorker {
     instance: Arc<StructureInstance>,
     current: Option<Box<OpBody<'static>>>,
     ops_done: u64,
+    /// Virtual times at which to sample `outstanding_garbage` (sorted).
+    sample_points: Vec<st_machine::Cycles>,
+    /// Samples taken so far; backfilled with the final value at `finish`.
+    garbage_samples: Vec<u64>,
+    /// Outstanding garbage at the deadline, captured in `finish` *before*
+    /// any teardown drains it.
+    garbage_at_deadline: Option<u64>,
+    /// Run the executor's teardown in `finish` (armed for the measured
+    /// run only, never for warm-up).
+    teardown_armed: bool,
 }
 
 impl BenchWorker {
@@ -257,6 +396,46 @@ impl BenchWorker {
             instance,
             current: None,
             ops_done: 0,
+            sample_points: Vec::new(),
+            garbage_samples: Vec::new(),
+            garbage_at_deadline: None,
+            teardown_armed: false,
+        }
+    }
+
+    /// Requests an `outstanding_garbage` sample each time this worker's
+    /// clock crosses one of `points` (must be sorted ascending). A worker
+    /// frozen by a fault keeps its last value: `finish` backfills.
+    pub fn sample_garbage_at(&mut self, points: Vec<st_machine::Cycles>) {
+        self.sample_points = points;
+        self.garbage_samples.clear();
+    }
+
+    /// Arms the end-of-run teardown (drains the scheme's deferred frees so
+    /// free-latency histograms cover short runs). Armed after warm-up so a
+    /// warm-up deadline never drains mid-experiment.
+    pub fn arm_teardown(&mut self) {
+        self.teardown_armed = true;
+    }
+
+    /// The garbage samples taken at the configured points (complete after
+    /// `finish`).
+    pub fn garbage_samples(&self) -> &[u64] {
+        &self.garbage_samples
+    }
+
+    /// Outstanding garbage at the deadline, before teardown drained it.
+    pub fn garbage_at_deadline(&self) -> u64 {
+        self.garbage_at_deadline
+            .unwrap_or_else(|| self.th.outstanding_garbage())
+    }
+
+    fn take_due_samples(&mut self, now: st_machine::Cycles) {
+        while let Some(&at) = self.sample_points.get(self.garbage_samples.len()) {
+            if now < at {
+                break;
+            }
+            self.garbage_samples.push(self.th.outstanding_garbage());
         }
     }
 
@@ -280,6 +459,8 @@ impl BenchWorker {
     /// Resets measurement statistics after a warm-up phase.
     pub fn reset_stats(&mut self) {
         self.ops_done = 0;
+        self.garbage_samples.clear();
+        self.garbage_at_deadline = None;
         self.th.reset_stats();
     }
 
@@ -404,6 +585,7 @@ impl BenchWorker {
 
 impl Worker for BenchWorker {
     fn step(&mut self, cpu: &mut Cpu) -> StepOutcome {
+        self.take_due_samples(cpu.now());
         if self.th.idle_work_pending() {
             self.th.step_idle(cpu);
             return StepOutcome::Progress;
@@ -422,6 +604,19 @@ impl Worker for BenchWorker {
                 StepOutcome::OpDone
             }
             None => StepOutcome::Progress,
+        }
+    }
+
+    fn finish(&mut self, cpu: &mut Cpu) {
+        // A stalled worker reaches here with its clock frozen mid-run:
+        // every remaining checkpoint sees the garbage it was holding.
+        let frozen = self.th.outstanding_garbage();
+        while self.garbage_samples.len() < self.sample_points.len() {
+            self.garbage_samples.push(frozen);
+        }
+        self.garbage_at_deadline = Some(frozen);
+        if self.teardown_armed {
+            self.th.teardown(cpu);
         }
     }
 }
@@ -462,6 +657,54 @@ mod tests {
             // And stay far below the address-space sanity bound.
             assert!(words < 1 << 28, "{:?} oversized", spec.structure);
         }
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_specs() {
+        assert!(WorkloadSpec::builder(StructureKind::List)
+            .initial_size(100)
+            .key_range(50)
+            .build()
+            .is_err());
+        assert!(WorkloadSpec::builder(StructureKind::List)
+            .mutation_pct(101)
+            .build()
+            .is_err());
+        assert!(WorkloadSpec::builder(StructureKind::List)
+            .buckets(4)
+            .build()
+            .is_err());
+        assert!(WorkloadSpec::builder(StructureKind::Hash).build().is_err());
+        assert!(WorkloadSpec::builder(StructureKind::Hash)
+            .buckets(0)
+            .build()
+            .is_err());
+        let hash = WorkloadSpec::builder(StructureKind::Hash)
+            .buckets(64)
+            .build()
+            .unwrap();
+        assert_eq!(hash.buckets, 64);
+        let list = WorkloadSpec::builder(StructureKind::List).build().unwrap();
+        assert_eq!(list.buckets, 1, "non-hash structures get a unit bucket");
+    }
+
+    #[test]
+    fn structure_names_round_trip_through_fromstr() {
+        for kind in [
+            StructureKind::List,
+            StructureKind::SkipList,
+            StructureKind::Queue,
+            StructureKind::Hash,
+            StructureKind::RbTree,
+        ] {
+            assert_eq!(kind.name().parse::<StructureKind>(), Ok(kind));
+            assert_eq!(
+                kind.name().to_lowercase().parse::<StructureKind>(),
+                Ok(kind)
+            );
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!("btree".parse::<StructureKind>().is_err());
     }
 
     #[test]

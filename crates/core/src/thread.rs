@@ -264,6 +264,51 @@ impl StThread {
         }
     }
 
+    /// Abandons an in-flight operation without completing it (simulation
+    /// deadline / teardown support). The open segment transaction is
+    /// aborted and its speculative state rolled back, segment-local
+    /// allocations are returned to the heap, the slow path (if taken) is
+    /// exited so `slow_count` stays balanced, and the shadow frame is
+    /// deactivated so scanners stop considering it. A scan already in
+    /// flight keeps its job and resumes as idle work. No-op when the
+    /// thread has no operation active.
+    ///
+    /// The abandoned operation is *not* counted in [`StThreadStats::ops`];
+    /// it never completed.
+    pub fn abandon_op(&mut self, cpu: &mut Cpu) {
+        match self.mode {
+            Mode::Idle | Mode::Reclaim(Resume::Idle) => return,
+            Mode::Fast => {
+                let engine = self.rt.engine.clone();
+                let tx = self.tx.as_mut().expect("fast path without a transaction");
+                engine.tx_abort(cpu, tx);
+                // Nodes allocated in the aborted segment were never
+                // published; return them to the heap.
+                let heap = self.rt.heap().clone();
+                for a in std::mem::take(&mut self.seg_allocs) {
+                    heap.free(cpu, a);
+                }
+                self.staged.clear();
+            }
+            Mode::Reclaim(Resume::Fast) => {
+                // Between segments: the previous segment committed (and
+                // drained its staged retires) before the scan started, so
+                // there is no speculative state to roll back.
+            }
+            Mode::Slow | Mode::Reclaim(Resume::Slow) => self.slow_commit(cpu),
+        }
+        self.force_commit = false;
+        self.user_region = false;
+        let heap = self.rt.heap().clone();
+        heap.store(cpu, self.ctx, OFF_ACTIVE, 0);
+        heap.fence(cpu);
+        self.mode = if self.job.is_some() {
+            Mode::Reclaim(Resume::Idle)
+        } else {
+            Mode::Idle
+        };
+    }
+
     /// Forces a full scan of the free set, draining pending reclaim work
     /// (teardown / leak-accounting support). Survivors remain in the set.
     ///

@@ -1,0 +1,291 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seed-independent *schedule* of fault events the
+//! scheduler consults before every step. Because the simulator is a
+//! deterministic function of `(seed, plan)`, fault runs reproduce exactly:
+//! the same plan on the same seed yields byte-identical metrics snapshots.
+//!
+//! Three event kinds cover the delay/crash spectrum the reclamation
+//! literature cares about (see `docs/FAULTS.md`):
+//!
+//! - [`FaultEvent::Stall`] freezes one thread mid-operation for a window of
+//!   virtual time. The thread stays *registered* — its published stacks,
+//!   epochs, anchors, and hazard slots remain visible, so reclamation scans
+//!   must still honour them — but it accrues no virtual time and executes
+//!   nothing until the window ends. This is the "preempted reader" that
+//!   makes epoch-based reclamation hoard garbage without bound.
+//! - [`FaultEvent::PreemptionStorm`] forces a context switch after every
+//!   step on one hardware context for a window of virtual time, modeling an
+//!   interrupt storm. Hardware transactions abort on every context switch,
+//!   so transactional schemes see a burst of `preempted` aborts.
+//! - [`FaultEvent::Kill`] permanently retires a thread at a point in
+//!   virtual time, as an OS kill would: the worker is never stepped again
+//!   and its [`crate::Worker::finish`] hook is *not* called (a crashed
+//!   thread does not run its teardown).
+//!
+//! Event times are *trigger thresholds*: the scheduler applies an event the
+//! first time it would step the target at or after `at_cycle` (a thread
+//! parked behind a co-tenant notices its stall only when it is next
+//! scheduled, exactly like a signal delivered on kernel entry).
+
+use crate::Cycles;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Freeze `thread` for `for_cycles` once its clock reaches `at_cycle`.
+    ///
+    /// The thread keeps every shared-memory publication it has made (it is
+    /// still "registered" from the reclamation schemes' point of view) but
+    /// is removed from its run queue until the window ends; co-tenants of
+    /// its hardware context keep running. Resuming charges one context
+    /// switch, so a transactional thread aborts its open segment on wakeup.
+    Stall {
+        /// Target thread id.
+        thread: usize,
+        /// Virtual time at which the stall takes effect.
+        at_cycle: Cycles,
+        /// Stall length in virtual cycles (measured from the moment the
+        /// stall is applied).
+        for_cycles: Cycles,
+    },
+    /// Force a context switch after every step on hardware context `ctx`
+    /// while its wall clock is inside `[at_cycle, at_cycle + for_cycles)`.
+    PreemptionStorm {
+        /// Target hardware context.
+        ctx: usize,
+        /// Virtual time at which the storm starts.
+        at_cycle: Cycles,
+        /// Storm length in virtual cycles.
+        for_cycles: Cycles,
+    },
+    /// Permanently retire `thread` once its clock reaches `at_cycle`.
+    Kill {
+        /// Target thread id.
+        thread: usize,
+        /// Virtual time at which the kill takes effect.
+        at_cycle: Cycles,
+    },
+}
+
+/// A deterministic schedule of fault events (empty by default).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a [`FaultEvent::Stall`] (builder style).
+    pub fn stall(mut self, thread: usize, at_cycle: Cycles, for_cycles: Cycles) -> Self {
+        self.events.push(FaultEvent::Stall {
+            thread,
+            at_cycle,
+            for_cycles,
+        });
+        self
+    }
+
+    /// Adds a [`FaultEvent::PreemptionStorm`] (builder style).
+    pub fn storm(mut self, ctx: usize, at_cycle: Cycles, for_cycles: Cycles) -> Self {
+        self.events.push(FaultEvent::PreemptionStorm {
+            ctx,
+            at_cycle,
+            for_cycles,
+        });
+        self
+    }
+
+    /// Adds a [`FaultEvent::Kill`] (builder style).
+    pub fn kill(mut self, thread: usize, at_cycle: Cycles) -> Self {
+        self.events.push(FaultEvent::Kill { thread, at_cycle });
+        self
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    /// Whether the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+/// What the scheduler actually applied from a [`FaultPlan`] during one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Stalls that took effect.
+    pub stalls: u64,
+    /// Total virtual cycles threads spent stalled.
+    pub stall_cycles: Cycles,
+    /// Kills that took effect.
+    pub kills: u64,
+    /// Context switches forced by preemption storms.
+    pub storm_switches: u64,
+}
+
+/// Per-run view of a plan, indexed for O(1) consultation per step.
+#[derive(Debug)]
+pub(crate) struct CompiledFaults {
+    /// Per-thread `(at, for)` stall windows, sorted by trigger time.
+    stalls: Vec<Vec<(Cycles, Cycles)>>,
+    /// Per-thread cursor into `stalls`.
+    next_stall: Vec<usize>,
+    /// Per-thread earliest kill time.
+    kill_at: Vec<Option<Cycles>>,
+    /// Per-context `(start, end)` storm windows, sorted by start.
+    storms: Vec<Vec<(Cycles, Cycles)>>,
+    /// Per-context cursor into `storms` (windows fully in the past are
+    /// skipped).
+    next_storm: Vec<usize>,
+}
+
+impl CompiledFaults {
+    /// Indexes `plan` for `threads` thread slots and `contexts` hardware
+    /// contexts. Events naming out-of-range targets are ignored (a plan can
+    /// be reused across runs of different widths).
+    pub(crate) fn new(plan: &FaultPlan, threads: usize, contexts: usize) -> Self {
+        let mut stalls = vec![Vec::new(); threads];
+        let mut kill_at: Vec<Option<Cycles>> = vec![None; threads];
+        let mut storms = vec![Vec::new(); contexts];
+        for event in plan.events() {
+            match *event {
+                FaultEvent::Stall {
+                    thread,
+                    at_cycle,
+                    for_cycles,
+                } => {
+                    if thread < threads && for_cycles > 0 {
+                        stalls[thread].push((at_cycle, for_cycles));
+                    }
+                }
+                FaultEvent::PreemptionStorm {
+                    ctx,
+                    at_cycle,
+                    for_cycles,
+                } => {
+                    if ctx < contexts && for_cycles > 0 {
+                        storms[ctx].push((at_cycle, at_cycle.saturating_add(for_cycles)));
+                    }
+                }
+                FaultEvent::Kill { thread, at_cycle } => {
+                    if thread < threads {
+                        let at = kill_at[thread].map_or(at_cycle, |k| k.min(at_cycle));
+                        kill_at[thread] = Some(at);
+                    }
+                }
+            }
+        }
+        for s in &mut stalls {
+            s.sort_unstable();
+        }
+        for s in &mut storms {
+            s.sort_unstable();
+        }
+        Self {
+            next_stall: vec![0; stalls.len()],
+            next_storm: vec![0; storms.len()],
+            stalls,
+            kill_at,
+            storms,
+        }
+    }
+
+    /// Whether `thread` must be killed at time `now`.
+    pub(crate) fn kill_due(&self, thread: usize, now: Cycles) -> bool {
+        self.kill_at[thread].is_some_and(|at| now >= at)
+    }
+
+    /// If a stall for `thread` is due at `now`, consumes it and returns the
+    /// resume time.
+    pub(crate) fn take_stall(&mut self, thread: usize, now: Cycles) -> Option<Cycles> {
+        let cursor = self.next_stall[thread];
+        let &(at, for_cycles) = self.stalls[thread].get(cursor)?;
+        if now < at {
+            return None;
+        }
+        self.next_stall[thread] = cursor + 1;
+        // The stall runs `for_cycles` from the moment it is applied (the
+        // thread could not have been frozen before the scheduler noticed).
+        Some(now.max(at).saturating_add(for_cycles))
+    }
+
+    /// Whether a preemption storm is active on `ctx` at time `now`.
+    pub(crate) fn storm_active(&mut self, ctx: usize, now: Cycles) -> bool {
+        let windows = &self.storms[ctx];
+        let mut cursor = self.next_storm[ctx];
+        while cursor < windows.len() && windows[cursor].1 <= now {
+            cursor += 1;
+        }
+        self.next_storm[ctx] = cursor;
+        windows.get(cursor).is_some_and(|&(start, _)| now >= start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_events_in_order() {
+        let plan = FaultPlan::new()
+            .stall(1, 100, 50)
+            .storm(0, 10, 20)
+            .kill(2, 400);
+        assert_eq!(plan.events().len(), 3);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn stalls_trigger_once_in_time_order() {
+        let plan = FaultPlan::new().stall(0, 200, 10).stall(0, 100, 5);
+        let mut c = CompiledFaults::new(&plan, 1, 8);
+        assert_eq!(c.take_stall(0, 50), None, "not due yet");
+        assert_eq!(c.take_stall(0, 150), Some(155), "earliest window first");
+        assert_eq!(c.take_stall(0, 150), None, "second not due yet");
+        assert_eq!(c.take_stall(0, 200), Some(210));
+        assert_eq!(c.take_stall(0, 10_000), None, "plan exhausted");
+    }
+
+    #[test]
+    fn kills_pick_the_earliest_time() {
+        let plan = FaultPlan::new().kill(0, 500).kill(0, 300);
+        let c = CompiledFaults::new(&plan, 1, 8);
+        assert!(!c.kill_due(0, 299));
+        assert!(c.kill_due(0, 300));
+    }
+
+    #[test]
+    fn storm_windows_bound_activity() {
+        let plan = FaultPlan::new().storm(2, 100, 50).storm(2, 300, 10);
+        let mut c = CompiledFaults::new(&plan, 1, 8);
+        assert!(!c.storm_active(2, 99));
+        assert!(c.storm_active(2, 100));
+        assert!(c.storm_active(2, 149));
+        assert!(!c.storm_active(2, 150), "window is half-open");
+        assert!(c.storm_active(2, 305));
+        assert!(!c.storm_active(2, 310));
+        assert!(!c.storm_active(3, 305), "other contexts untouched");
+    }
+
+    #[test]
+    fn out_of_range_targets_are_ignored() {
+        let plan = FaultPlan::new().stall(9, 0, 10).kill(9, 0).storm(99, 0, 10);
+        let mut c = CompiledFaults::new(&plan, 2, 8);
+        assert_eq!(c.take_stall(0, 100), None);
+        assert!(!c.kill_due(1, 100));
+        assert!(!c.storm_active(0, 100));
+    }
+}

@@ -26,12 +26,14 @@
 
 pub mod cost;
 pub mod cpu;
+pub mod fault;
 pub mod rng;
 pub mod sched;
 pub mod topology;
 
 pub use cost::CostModel;
 pub use cpu::{Cpu, EventCounters};
+pub use fault::{FaultEvent, FaultPlan, FaultStats};
 pub use rng::Pcg32;
 pub use sched::{SimConfig, SimReport, Simulator, StepOutcome, ThreadReport, Worker};
 pub use topology::{HwContext, Topology};

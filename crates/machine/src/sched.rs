@@ -14,7 +14,11 @@
 //! regenerated.
 
 use crate::cpu::ActivityBoard;
-use crate::{CostModel, Cpu, Cycles, EventCounters, HwContext, Topology, CYCLES_PER_SECOND};
+use crate::fault::CompiledFaults;
+use crate::{
+    CostModel, Cpu, Cycles, EventCounters, FaultPlan, FaultStats, HwContext, Topology,
+    CYCLES_PER_SECOND,
+};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -41,7 +45,9 @@ pub trait Worker {
     fn step(&mut self, cpu: &mut Cpu) -> StepOutcome;
 
     /// Called once when the simulation ends (deadline or all finished),
-    /// while the worker's `cpu` is still available.
+    /// while the worker's `cpu` is still available. Not called for workers
+    /// retired by a [`crate::FaultEvent::Kill`] — a crashed thread does not
+    /// run its teardown.
     fn finish(&mut self, _cpu: &mut Cpu) {}
 }
 
@@ -69,6 +75,8 @@ pub struct SimConfig {
     /// Optional hard cap on total scheduler steps (`None` = unlimited).
     /// When hit, the report is marked truncated instead of looping forever.
     pub step_limit: Option<u64>,
+    /// Deterministic fault schedule (empty = no faults).
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -81,7 +89,14 @@ impl SimConfig {
             seed,
             duration: duration_ms * (CYCLES_PER_SECOND / 1000),
             step_limit: None,
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Returns `self` with the given fault plan installed (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -105,6 +120,8 @@ pub struct SimReport {
     pub duration: Cycles,
     /// True if the step limit cut the run short.
     pub truncated: bool,
+    /// Fault events the scheduler actually applied.
+    pub faults: FaultStats,
 }
 
 impl SimReport {
@@ -129,6 +146,8 @@ struct ThreadState<W> {
     worker: W,
     ops: u64,
     finished: bool,
+    /// Retired by a `Kill` fault; `finish` is skipped (crash semantics).
+    killed: bool,
     /// Virtual time at which this thread was last scheduled in.
     sched_in: Cycles,
 }
@@ -138,6 +157,26 @@ struct ContextState {
     queue: VecDeque<usize>,
     /// Wall clock of this hardware context.
     wall: Cycles,
+}
+
+/// Removes a context's front thread from its run queue and resumes the next
+/// one (charging the context switch), or marks the context idle.
+fn retire_front<W>(
+    ctx: &mut ContextState,
+    threads: &mut [ThreadState<W>],
+    costs: &CostModel,
+    board: &ActivityBoard,
+    c: usize,
+) {
+    ctx.queue.pop_front();
+    if let Some(&next) = ctx.queue.front() {
+        let resume = ctx.wall + costs.context_switch;
+        threads[next].cpu.advance_to(resume);
+        threads[next].sched_in = threads[next].cpu.now();
+        threads[next].cpu.counters.context_switches += 1;
+    } else {
+        board.set_running(c, false);
+    }
 }
 
 /// The discrete-event simulator.
@@ -171,6 +210,7 @@ impl Simulator {
                     worker,
                     ops: 0,
                     finished: false,
+                    killed: false,
                     sched_in: 0,
                 }
             })
@@ -192,11 +232,22 @@ impl Simulator {
         let deadline = self.config.duration;
         let mut steps: u64 = 0;
         let mut truncated = false;
+        let mut faults = CompiledFaults::new(&self.config.faults, n, topo.hw_contexts());
+        let mut fstats = FaultStats::default();
+        // Resume time of each stalled thread (`None` = not stalled).
+        let mut parked: Vec<Option<Cycles>> = vec![None; n];
 
         loop {
-            // Pick the context whose running thread has the smallest clock
-            // and still has work before the deadline.
-            let mut best: Option<(usize, Cycles)> = None;
+            // Pick the next event with the smallest virtual time: either the
+            // running (front-of-queue) thread of some context, or the wakeup
+            // of a stalled thread. Ties go to running threads, then to the
+            // lowest index — strictly deterministic.
+            #[derive(Clone, Copy)]
+            enum Pick {
+                Ctx(usize),
+                Unpark(usize),
+            }
+            let mut best: Option<(Pick, Cycles)> = None;
             for (c, ctx) in contexts.iter().enumerate() {
                 let Some(&t) = ctx.queue.front() else {
                     continue;
@@ -206,12 +257,66 @@ impl Simulator {
                     continue;
                 }
                 if best.map_or(true, |(_, bt)| now < bt) {
-                    best = Some((c, now));
+                    best = Some((Pick::Ctx(c), now));
                 }
             }
-            let Some((c, _)) = best else {
+            for (t, slot) in parked.iter().enumerate() {
+                let Some(resume) = *slot else {
+                    continue;
+                };
+                // A stall outlasting the deadline never wakes up: the thread
+                // keeps its publications and its clock stays at park time.
+                if resume >= deadline {
+                    continue;
+                }
+                if best.map_or(true, |(_, bt)| resume < bt) {
+                    best = Some((Pick::Unpark(t), resume));
+                }
+            }
+            let Some((pick, _)) = best else {
                 break;
             };
+
+            let c = match pick {
+                Pick::Unpark(t) => {
+                    let resume = parked[t].take().expect("picked parked thread");
+                    let c = topo.place(t);
+                    let th = &mut threads[t];
+                    // Waking up is a context switch: the clock jumps past the
+                    // stall window and transactional schemes abort their open
+                    // segment, exactly as after a real preemption.
+                    th.cpu
+                        .advance_to(resume.saturating_add(costs.context_switch));
+                    th.cpu.counters.context_switches += 1;
+                    let was_idle = contexts[c].queue.is_empty();
+                    contexts[c].queue.push_back(t);
+                    if was_idle {
+                        th.sched_in = th.cpu.now();
+                        board.set_running(c, true);
+                    }
+                    continue;
+                }
+                Pick::Ctx(c) => c,
+            };
+
+            let t = *contexts[c].queue.front().expect("picked nonempty queue");
+            let now = threads[t].cpu.now();
+            if faults.kill_due(t, now) {
+                threads[t].finished = true;
+                threads[t].killed = true;
+                fstats.kills += 1;
+                contexts[c].wall = contexts[c].wall.max(now);
+                retire_front(&mut contexts[c], &mut threads, &costs, &board, c);
+                continue;
+            }
+            if let Some(resume) = faults.take_stall(t, now) {
+                fstats.stalls += 1;
+                fstats.stall_cycles += resume - now;
+                parked[t] = Some(resume);
+                contexts[c].wall = contexts[c].wall.max(now);
+                retire_front(&mut contexts[c], &mut threads, &costs, &board, c);
+                continue;
+            }
 
             if let Some(limit) = self.config.step_limit {
                 if steps >= limit {
@@ -221,7 +326,6 @@ impl Simulator {
             }
             steps += 1;
 
-            let t = *contexts[c].queue.front().expect("picked nonempty queue");
             let before = threads[t].cpu.now();
             let th = &mut threads[t];
             let outcome = th.worker.step(&mut th.cpu);
@@ -239,31 +343,41 @@ impl Simulator {
             let done = threads[t].finished || threads[t].cpu.now() >= deadline;
             let quantum_up = contexts[c].queue.len() > 1
                 && threads[t].cpu.now() - threads[t].sched_in >= costs.quantum;
+            // An active preemption storm forces a context switch after every
+            // step on this context (interrupt-storm model).
+            let storm = !done && faults.storm_active(c, contexts[c].wall);
+            if storm {
+                fstats.storm_switches += 1;
+            }
 
             if done {
-                contexts[c].queue.pop_front();
-                if let Some(&next) = contexts[c].queue.front() {
+                retire_front(&mut contexts[c], &mut threads, &costs, &board, c);
+            } else if quantum_up || storm {
+                if contexts[c].queue.len() > 1 {
+                    contexts[c].queue.rotate_left(1);
+                    let &next = contexts[c].queue.front().expect("rotated nonempty queue");
                     let resume = contexts[c].wall + costs.context_switch;
                     threads[next].cpu.advance_to(resume);
                     threads[next].sched_in = threads[next].cpu.now();
                     threads[next].cpu.counters.context_switches += 1;
                 } else {
-                    board.set_running(c, false);
+                    // Sole tenant: the storm still evicts and immediately
+                    // reschedules it, charging the switch to the thread.
+                    let th = &mut threads[t];
+                    th.cpu.charge(costs.context_switch);
+                    th.cpu.counters.context_switches += 1;
+                    th.sched_in = th.cpu.now();
+                    contexts[c].wall = th.cpu.now();
                 }
-            } else if quantum_up {
-                contexts[c].queue.rotate_left(1);
-                let &next = contexts[c].queue.front().expect("rotated nonempty queue");
-                let resume = contexts[c].wall + costs.context_switch;
-                threads[next].cpu.advance_to(resume);
-                threads[next].sched_in = threads[next].cpu.now();
-                threads[next].cpu.counters.context_switches += 1;
             }
         }
 
         let mut report_threads = Vec::with_capacity(n);
         let mut workers_out = Vec::with_capacity(n);
         for mut th in threads {
-            th.worker.finish(&mut th.cpu);
+            if !th.killed {
+                th.worker.finish(&mut th.cpu);
+            }
             report_threads.push(ThreadReport {
                 ops: th.ops,
                 final_time: th.cpu.now(),
@@ -276,6 +390,7 @@ impl Simulator {
                 threads: report_threads,
                 duration: deadline,
                 truncated,
+                faults: fstats,
             },
             workers_out,
         )
@@ -315,6 +430,7 @@ mod tests {
             seed: 42,
             duration,
             step_limit: None,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -408,5 +524,141 @@ mod tests {
         let report = sim.run_with(1, |_| Box::new(Clockwork { per_op: 20_000 }));
         let expect = report.total_ops() as f64 * 100.0;
         assert!((report.ops_per_second() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stall_freezes_one_thread_and_spares_the_rest() {
+        let mut cfg = config(1_000_000);
+        // Freeze thread 0 for 90% of the run, starting almost immediately.
+        cfg.faults = FaultPlan::new().stall(0, 10_000, 900_000);
+        let sim = Simulator::new(cfg);
+        let faulted = sim.run_with(4, |_| Box::new(Clockwork { per_op: 1000 }));
+        let clean =
+            Simulator::new(config(1_000_000)).run_with(4, |_| Box::new(Clockwork { per_op: 1000 }));
+
+        assert_eq!(faulted.faults.stalls, 1);
+        assert_eq!(faulted.faults.stall_cycles, 900_000);
+        assert_eq!(faulted.faults.kills, 0);
+        // The victim lost roughly the stall window...
+        assert!(
+            faulted.threads[0].ops < clean.threads[0].ops / 5,
+            "victim did {} of {} ops",
+            faulted.threads[0].ops,
+            clean.threads[0].ops
+        );
+        // ...but did resume and make some progress after the window.
+        assert!(faulted.threads[0].ops > 0, "victim never resumed");
+        // Unrelated threads are unaffected (distinct hardware contexts).
+        for i in 1..4 {
+            assert_eq!(faulted.threads[i].ops, clean.threads[i].ops);
+        }
+        // Resuming charged a context switch (transactional schemes key
+        // preemption detection off this counter).
+        assert!(faulted.threads[0].counters.context_switches >= 1);
+    }
+
+    #[test]
+    fn stall_past_the_deadline_never_wakes() {
+        let mut cfg = config(1_000_000);
+        cfg.faults = FaultPlan::new().stall(2, 500_000, 10_000_000);
+        let sim = Simulator::new(cfg);
+        let report = sim.run_with(4, |_| Box::new(Clockwork { per_op: 1000 }));
+        // The victim stopped at the stall point; its clock stays parked.
+        assert!(report.threads[2].ops < 520);
+        assert!(report.threads[2].final_time < 520_000);
+        assert_eq!(report.faults.stalls, 1);
+    }
+
+    #[test]
+    fn stalled_thread_cedes_its_context_to_a_cotenant() {
+        // 16 threads on 8 contexts: thread 0 and its co-tenant share one
+        // context; stalling thread 0 should *speed up* the co-tenant.
+        let mut cfg = config(10_000_000);
+        cfg.faults = FaultPlan::new().stall(0, 0, 9_000_000);
+        let faulted = Simulator::new(cfg).run_with(16, |_| Box::new(Clockwork { per_op: 1000 }));
+        let clean = Simulator::new(config(10_000_000))
+            .run_with(16, |_| Box::new(Clockwork { per_op: 1000 }));
+        let mate = (0..16)
+            .find(|&i| i != 0 && Topology::haswell().place(i) == Topology::haswell().place(0))
+            .expect("oversubscribed context has a co-tenant");
+        assert!(
+            faulted.threads[mate].ops > clean.threads[mate].ops,
+            "co-tenant {} did {} <= {} ops despite a free context",
+            mate,
+            faulted.threads[mate].ops,
+            clean.threads[mate].ops
+        );
+    }
+
+    #[test]
+    fn kill_retires_a_thread_without_running_finish() {
+        struct Flagging {
+            finished: std::rc::Rc<std::cell::Cell<bool>>,
+        }
+        impl Worker for Flagging {
+            fn step(&mut self, cpu: &mut Cpu) -> StepOutcome {
+                cpu.charge(1000);
+                StepOutcome::OpDone
+            }
+            fn finish(&mut self, _cpu: &mut Cpu) {
+                self.finished.set(true);
+            }
+        }
+        let flags: Vec<_> = (0..2)
+            .map(|_| std::rc::Rc::new(std::cell::Cell::new(false)))
+            .collect();
+        let mut cfg = config(1_000_000);
+        cfg.faults = FaultPlan::new().kill(1, 200_000);
+        let sim = Simulator::new(cfg);
+        let workers: Vec<_> = flags
+            .iter()
+            .map(|f| Flagging {
+                finished: f.clone(),
+            })
+            .collect();
+        let (report, _) = sim.run(workers);
+        assert_eq!(report.faults.kills, 1);
+        assert!(flags[0].get(), "surviving thread must run finish");
+        assert!(!flags[1].get(), "killed thread must not run finish");
+        assert!(report.threads[1].ops < report.threads[0].ops / 2);
+        assert!(report.threads[1].ops > 0, "victim ran before the kill");
+    }
+
+    #[test]
+    fn storm_forces_context_switches() {
+        let mut cfg = config(1_000_000);
+        cfg.faults = FaultPlan::new().storm(0, 100_000, 200_000);
+        let report = Simulator::new(cfg).run_with(1, |_| Box::new(Clockwork { per_op: 1000 }));
+        let clean =
+            Simulator::new(config(1_000_000)).run_with(1, |_| Box::new(Clockwork { per_op: 1000 }));
+        assert!(report.faults.storm_switches > 0);
+        assert_eq!(
+            report.threads[0].counters.context_switches,
+            report.faults.storm_switches
+        );
+        // Switch charges eat throughput during the window.
+        assert!(report.threads[0].ops < clean.threads[0].ops);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let plan = FaultPlan::new()
+            .stall(1, 50_000, 200_000)
+            .storm(0, 100_000, 100_000)
+            .kill(3, 700_000);
+        let run = || {
+            let mut cfg = config(1_000_000);
+            cfg.faults = plan.clone();
+            Simulator::new(cfg).run_with(6, |_| Box::new(Clockwork { per_op: 777 }))
+        };
+        let (a, b) = (run(), run());
+        let fp = |r: &SimReport| {
+            (
+                r.faults,
+                r.threads.iter().map(|t| t.ops).collect::<Vec<_>>(),
+                r.threads.iter().map(|t| t.final_time).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(fp(&a), fp(&b));
     }
 }

@@ -17,10 +17,20 @@
 //! in DESIGN.md).
 //!
 //! Substitution note: the original recovers from *crashed* threads with a
-//! freezing protocol that rebuilds part of the list. The evaluation never
-//! kills threads, so freezing is replaced by conservative deferral — a
-//! stalled thread delays frees (and a dead one would block them), which is
-//! the same fast-path behaviour at far lower complexity.
+//! freezing protocol that rebuilds part of the list. This reproduction
+//! keeps the freeze idea but simplifies recovery to an **operation
+//! restart**: a sweeping thread that finds a peer whose newest anchor lags
+//! the era clock by more than [`DtaThread::new`]'s `freeze_lag` sets the
+//! peer's *frozen* flag and drops it from the reclamation horizon, so a
+//! stalled (or killed) thread stops blocking frees. The victim checks its
+//! own flag at the top of **every** [`SchemeThread::step_op`] — before any
+//! body code can touch a pointer — and, if frozen, discards its local
+//! state, re-anchors, and restarts the operation from scratch. Because the
+//! simulator interleaves at step granularity, the flag is always observed
+//! before a stale local can be dereferenced, so freeing past a frozen
+//! thread's anchors is safe without the original's list surgery. The cost
+//! is one extra anchor-line load per step and, on restart, the loss of any
+//! not-yet-linked allocation (bounded by `scheme.dta.recoveries`).
 
 use crate::api::{expect_step, SchemeThread};
 use st_machine::Cpu;
@@ -36,6 +46,9 @@ const OFF_ACTIVE: u64 = 0;
 const OFF_LAST_TS: u64 = 1;
 const OFF_PREV_TS: u64 = 2;
 const OFF_ANCHOR_VAL: u64 = 3;
+/// Set by a sweeping peer when this thread's anchors lag the era clock too
+/// far; the owner must restart its operation before touching any pointer.
+const OFF_FROZEN: u64 = 4;
 
 /// Shared DTA state: per-thread anchor records and the era clock.
 #[derive(Debug)]
@@ -75,6 +88,7 @@ pub struct DtaThread {
     thread_id: usize,
     k: u32,
     batch: usize,
+    freeze_lag: u64,
     hops: u32,
     locals: [Word; STACK_SLOTS],
     slots: usize,
@@ -82,11 +96,17 @@ pub struct DtaThread {
     limbo: Vec<(Addr, Word)>,
     /// Anchors published (statistics).
     pub anchors: u64,
+    /// Lagging peers this thread froze (statistics).
+    pub freezes: u64,
+    /// Operation restarts after being frozen by a peer (statistics).
+    pub recoveries: u64,
 }
 
 impl DtaThread {
     /// Creates the executor for thread slot `thread_id`, anchoring every
-    /// `k` pointer hops.
+    /// `k` pointer hops. A peer whose newest anchor lags the era clock by
+    /// more than `freeze_lag` retires is frozen out of the horizon (see the
+    /// module docs); pass [`u64::MAX`] to disable freezing.
     ///
     /// # Panics
     ///
@@ -98,6 +118,7 @@ impl DtaThread {
         thread_id: usize,
         k: u32,
         batch: usize,
+        freeze_lag: u64,
     ) -> Self {
         assert!(k >= 4, "anchor period must exceed the traversal lag");
         Self {
@@ -106,12 +127,15 @@ impl DtaThread {
             thread_id,
             k,
             batch,
+            freeze_lag,
             hops: 0,
             locals: [0; STACK_SLOTS],
             slots: 0,
             active: false,
             limbo: Vec::new(),
             anchors: 0,
+            freezes: 0,
+            recoveries: 0,
         }
     }
 
@@ -140,11 +164,27 @@ impl DtaThread {
     /// twice past; keeps the rest.
     fn sweep(&mut self, cpu: &mut Cpu) {
         let g = self.globals.clone();
-        // The horizon: the oldest prev-anchor among active threads.
+        let era_now = self.heap.load(cpu, g.era, 0);
+        // The horizon: the oldest prev-anchor among active threads. Peers
+        // whose newest anchor lags the era clock by more than `freeze_lag`
+        // are frozen (flagged to restart) and dropped from the horizon, so
+        // a stalled or dead thread cannot block reclamation forever.
         let mut horizon = Word::MAX;
         for t in 0..g.max_threads {
             if self.heap.load(cpu, g.region, g.slot(t, OFF_ACTIVE)) == 0 {
                 continue;
+            }
+            if self.heap.load(cpu, g.region, g.slot(t, OFF_FROZEN)) != 0 {
+                continue;
+            }
+            if t != self.thread_id {
+                let last = self.heap.load(cpu, g.region, g.slot(t, OFF_LAST_TS));
+                if era_now.saturating_sub(last) > self.freeze_lag {
+                    self.heap.store(cpu, g.region, g.slot(t, OFF_FROZEN), 1);
+                    self.heap.fence(cpu);
+                    self.freezes += 1;
+                    continue;
+                }
             }
             let prev = self.heap.load(cpu, g.region, g.slot(t, OFF_PREV_TS));
             horizon = horizon.min(prev);
@@ -243,6 +283,23 @@ impl SchemeThread for DtaThread {
 
     fn step_op(&mut self, cpu: &mut Cpu, body: &mut OpBody<'_>) -> Option<Word> {
         assert!(self.active, "step_op without an active operation");
+        // Frozen by a peer? Restart before the body can touch a pointer:
+        // discard locals (which may reference freed nodes), re-anchor, and
+        // let the next step rerun the operation from scratch.
+        let g = self.globals.clone();
+        if self
+            .heap
+            .load(cpu, g.region, g.slot(self.thread_id, OFF_FROZEN))
+            != 0
+        {
+            self.heap
+                .store(cpu, g.region, g.slot(self.thread_id, OFF_FROZEN), 0);
+            self.locals[..self.slots].fill(0);
+            self.hops = 0;
+            self.recoveries += 1;
+            self.post_anchor(cpu, 0);
+            return None;
+        }
         match expect_step(body(self, cpu)) {
             Step::Continue => None,
             Step::Done(v) => {
@@ -259,6 +316,8 @@ impl SchemeThread for DtaThread {
     fn report_metrics(&self, reg: &mut st_obs::MetricsRegistry) {
         reg.add("reclaim.outstanding_garbage", self.outstanding_garbage());
         reg.add("scheme.dta.anchors", self.anchors);
+        reg.add("scheme.dta.freezes", self.freezes);
+        reg.add("scheme.dta.recoveries", self.recoveries);
     }
 
     fn outstanding_garbage(&self) -> u64 {
@@ -288,7 +347,7 @@ mod tests {
     #[test]
     fn anchors_post_every_k_hops() {
         let (globals, heap) = setup(1);
-        let mut th = DtaThread::new(globals, heap.clone(), 0, 4, 100);
+        let mut th = DtaThread::new(globals, heap.clone(), 0, 4, 100, u64::MAX);
         let mut cpu = test_cpu(0);
         let cell = heap.alloc_untimed(1).unwrap();
 
@@ -308,8 +367,8 @@ mod tests {
     #[test]
     fn idle_threads_do_not_pin_the_horizon() {
         let (globals, heap) = setup(2);
-        let mut a = DtaThread::new(globals.clone(), heap.clone(), 0, 4, 0);
-        let _b = DtaThread::new(globals, heap.clone(), 1, 4, 0);
+        let mut a = DtaThread::new(globals.clone(), heap.clone(), 0, 4, 0, u64::MAX);
+        let _b = DtaThread::new(globals, heap.clone(), 1, 4, 0, u64::MAX);
         let mut cpu = test_cpu(0);
         let node = heap.alloc_untimed(2).unwrap();
 
@@ -330,8 +389,8 @@ mod tests {
     #[test]
     fn active_thread_with_stale_anchors_blocks_frees() {
         let (globals, heap) = setup(2);
-        let mut a = DtaThread::new(globals.clone(), heap.clone(), 0, 4, 0);
-        let mut b = DtaThread::new(globals, heap.clone(), 1, 4, 0);
+        let mut a = DtaThread::new(globals.clone(), heap.clone(), 0, 4, 0, u64::MAX);
+        let mut b = DtaThread::new(globals, heap.clone(), 1, 4, 0, u64::MAX);
         let mut cpu_a = test_cpu(0);
         let mut cpu_b = test_cpu(1);
         let node = heap.alloc_untimed(2).unwrap();
@@ -360,5 +419,65 @@ mod tests {
         b.step_op(&mut cpu_b, &mut hop);
         a.teardown(&mut cpu_a);
         assert!(!heap.is_live(node), "two post-retire anchors clear B");
+    }
+
+    #[test]
+    fn lagging_thread_is_frozen_and_restarts() {
+        let (globals, heap) = setup(2);
+        let mut a = DtaThread::new(globals.clone(), heap.clone(), 0, 4, 0, 4);
+        let mut b = DtaThread::new(globals, heap.clone(), 1, 4, 0, 4);
+        let mut cpu_a = test_cpu(0);
+        let mut cpu_b = test_cpu(1);
+
+        // B parks mid-operation with local state and pre-stall anchors.
+        b.begin_op(&mut cpu_b, 0, 1);
+        b.step_op(&mut cpu_b, &mut |m, cpu| {
+            m.set_local(cpu, 0, 5);
+            Ok(Step::Continue)
+        });
+
+        // A retires ten nodes; each retire advances the era and sweeps.
+        // Once B lags by more than freeze_lag=4 eras, A freezes it and the
+        // horizon moves past B's stale anchors.
+        let mut nodes = Vec::new();
+        for _ in 0..10 {
+            let node = heap.alloc_untimed(2).unwrap();
+            nodes.push(node);
+            a.run_op(&mut cpu_a, 0, 0, &mut |m, cpu| {
+                m.retire(cpu, node)?;
+                Ok(Step::Done(0))
+            });
+        }
+        for _ in 0..3 {
+            a.run_op(&mut cpu_a, 0, 0, &mut |_, _| Ok(Step::Done(0)));
+        }
+        a.teardown(&mut cpu_a);
+        assert_eq!(a.freezes, 1, "B must be frozen exactly once");
+        assert!(
+            !heap.is_live(nodes[0]),
+            "frozen B must not block the horizon"
+        );
+        assert_eq!(a.outstanding_garbage(), 0, "limbo must fully drain");
+
+        // B's next step must notice the flag and restart: the step is
+        // consumed by recovery and the poisoned local state is gone.
+        let stepped = b.step_op(&mut cpu_b, &mut |_, _| {
+            panic!("body must not run on a frozen thread")
+        });
+        assert_eq!(stepped, None);
+        assert_eq!(b.recoveries, 1);
+        let result = b.step_op(&mut cpu_b, &mut |m, cpu| {
+            Ok(Step::Done(m.get_local(cpu, 0)))
+        });
+        assert_eq!(result, Some(0), "locals must be reset by the restart");
+
+        // Once recovered, B is unfrozen and participates normally again.
+        let node = heap.alloc_untimed(2).unwrap();
+        a.run_op(&mut cpu_a, 0, 0, &mut |m, cpu| {
+            m.retire(cpu, node)?;
+            Ok(Step::Done(0))
+        });
+        a.teardown(&mut cpu_a);
+        assert_eq!(a.freezes, 1, "recovered B must not be re-frozen");
     }
 }

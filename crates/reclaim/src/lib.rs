@@ -29,7 +29,7 @@
 //!   [`stacktrack::StThread`] be driven through the same trait.
 //!
 //! Pick a scheme with [`Scheme`] and build per-thread executors with
-//! [`SchemeFactory`].
+//! [`SchemeFactory::builder`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -115,6 +115,33 @@ impl Scheme {
     }
 }
 
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Scheme {
+    type Err = String;
+
+    /// Parses the display name (as printed in benchmark tables and metrics
+    /// snapshots) or the variant name, case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "original" | "none" => Ok(Scheme::None),
+            "epoch" => Ok(Scheme::Epoch),
+            "hazards" | "hazard" => Ok(Scheme::Hazard),
+            "dta" => Ok(Scheme::Dta),
+            "refcount" | "rc" => Ok(Scheme::RefCount),
+            "stacktrack" => Ok(Scheme::StackTrack),
+            _ => Err(format!(
+                "unknown scheme {s:?} (expected one of: {})",
+                Scheme::all().map(|s| s.name()).join(", ")
+            )),
+        }
+    }
+}
+
 /// Baseline-scheme tunables.
 #[derive(Debug, Clone)]
 pub struct ReclaimConfig {
@@ -125,6 +152,20 @@ pub struct ReclaimConfig {
     pub hazard_slots: usize,
     /// DTA: hops between anchor publications.
     pub dta_k: u32,
+    /// DTA: era-clock lag (in retires) past which a sweeping thread
+    /// freezes a peer out of the reclamation horizon; the peer restarts
+    /// its operation on its next step. Freezing is always safe — a
+    /// spurious freeze only costs the victim one operation restart — so
+    /// the default sits close above the lag a healthy thread shows.
+    /// `u64::MAX` disables freezing.
+    pub dta_freeze_lag: u64,
+    /// Epoch: cycles a reclaimer spins on a quiescence snapshot before
+    /// giving up and hoarding instead. Sized just above the scheduler
+    /// quantum so an ordinarily preempted thread is waited out (the
+    /// paper's blocking behaviour and its >8-threads collapse), while a
+    /// stalled or crashed thread only costs one budget before the
+    /// reclaimer resumes operating with a growing limbo list.
+    pub epoch_wait_budget: u64,
 }
 
 impl Default for ReclaimConfig {
@@ -133,6 +174,110 @@ impl Default for ReclaimConfig {
             retire_batch: 0,
             hazard_slots: 8,
             dta_k: 20,
+            dta_freeze_lag: 128,
+            epoch_wait_budget: 2_500_000,
+        }
+    }
+}
+
+/// Shared state of the one scheme a [`SchemeFactory`] builds.
+///
+/// Exactly one variant exists per factory; the exhaustive `match` in
+/// [`SchemeFactoryBuilder::build`] is the single place scheme globals are
+/// constructed.
+enum SchemeGlobals {
+    /// No reclamation: no shared state.
+    None,
+    /// Epoch timestamps.
+    Epoch(Arc<epoch::EpochGlobals>),
+    /// Hazard-pointer slots.
+    Hazard(Arc<hazard::HazardGlobals>),
+    /// DTA anchor records and era clock.
+    Dta(Arc<dta::DtaGlobals>),
+    /// Reference-count bias table.
+    RefCount(Arc<refcount::RcGlobals>),
+    /// The StackTrack runtime.
+    StackTrack(Arc<StRuntime>),
+}
+
+/// Configures and creates a [`SchemeFactory`].
+///
+/// Obtained from [`SchemeFactory::builder`]; every knob has a default, so
+/// the minimal path is `SchemeFactory::builder(scheme).engine(e).build()`.
+pub struct SchemeFactoryBuilder {
+    scheme: Scheme,
+    engine: Option<Arc<HtmEngine>>,
+    max_threads: usize,
+    config: ReclaimConfig,
+    st_config: StConfig,
+}
+
+impl SchemeFactoryBuilder {
+    /// The HTM engine (and through it, the heap) the schemes run on.
+    /// Required.
+    pub fn engine(mut self, engine: Arc<HtmEngine>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Thread slots to provision shared state for (default 1).
+    pub fn max_threads(mut self, max_threads: usize) -> Self {
+        self.max_threads = max_threads;
+        self
+    }
+
+    /// Baseline-scheme tunables (default [`ReclaimConfig::default`]).
+    pub fn reclaim_config(mut self, config: ReclaimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// StackTrack tunables; only consulted for [`Scheme::StackTrack`]
+    /// (default [`StConfig::default`]).
+    pub fn st_config(mut self, st_config: StConfig) -> Self {
+        self.st_config = st_config;
+        self
+    }
+
+    /// Constructs the factory, allocating only the selected scheme's
+    /// shared state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SchemeFactoryBuilder::engine`] was not provided.
+    pub fn build(self) -> SchemeFactory {
+        let engine = self
+            .engine
+            .expect("SchemeFactoryBuilder requires .engine()");
+        let globals = match self.scheme {
+            Scheme::None => SchemeGlobals::None,
+            Scheme::Epoch => SchemeGlobals::Epoch(Arc::new(epoch::EpochGlobals::new(
+                engine.heap(),
+                self.max_threads,
+            ))),
+            Scheme::Hazard => SchemeGlobals::Hazard(Arc::new(hazard::HazardGlobals::new(
+                engine.heap(),
+                self.max_threads,
+                self.config.hazard_slots,
+            ))),
+            Scheme::Dta => SchemeGlobals::Dta(Arc::new(dta::DtaGlobals::new(
+                engine.heap(),
+                self.max_threads,
+            ))),
+            Scheme::RefCount => {
+                SchemeGlobals::RefCount(Arc::new(refcount::RcGlobals::new(engine.heap())))
+            }
+            Scheme::StackTrack => SchemeGlobals::StackTrack(StRuntime::new(
+                engine.clone(),
+                self.st_config,
+                self.max_threads,
+            )),
+        };
+        SchemeFactory {
+            scheme: self.scheme,
+            engine,
+            config: self.config,
+            globals,
         }
     }
 }
@@ -142,47 +287,18 @@ pub struct SchemeFactory {
     scheme: Scheme,
     engine: Arc<HtmEngine>,
     config: ReclaimConfig,
-    st_runtime: Option<Arc<StRuntime>>,
-    epoch: Option<Arc<epoch::EpochGlobals>>,
-    hazard: Option<Arc<hazard::HazardGlobals>>,
-    dta: Option<Arc<dta::DtaGlobals>>,
-    refcount: Option<Arc<refcount::RcGlobals>>,
+    globals: SchemeGlobals,
 }
 
 impl SchemeFactory {
-    /// Creates a factory. `st_config` only matters for
-    /// [`Scheme::StackTrack`].
-    pub fn new(
-        scheme: Scheme,
-        engine: Arc<HtmEngine>,
-        max_threads: usize,
-        config: ReclaimConfig,
-        st_config: StConfig,
-    ) -> Self {
-        let st_runtime = (scheme == Scheme::StackTrack)
-            .then(|| StRuntime::new(engine.clone(), st_config, max_threads));
-        let epoch = (scheme == Scheme::Epoch)
-            .then(|| Arc::new(epoch::EpochGlobals::new(engine.heap(), max_threads)));
-        let hazard = (scheme == Scheme::Hazard).then(|| {
-            Arc::new(hazard::HazardGlobals::new(
-                engine.heap(),
-                max_threads,
-                config.hazard_slots,
-            ))
-        });
-        let dta = (scheme == Scheme::Dta)
-            .then(|| Arc::new(dta::DtaGlobals::new(engine.heap(), max_threads)));
-        let refcount =
-            (scheme == Scheme::RefCount).then(|| Arc::new(refcount::RcGlobals::new(engine.heap())));
-        Self {
+    /// Starts configuring a factory for `scheme`.
+    pub fn builder(scheme: Scheme) -> SchemeFactoryBuilder {
+        SchemeFactoryBuilder {
             scheme,
-            engine,
-            config,
-            st_runtime,
-            epoch,
-            hazard,
-            dta,
-            refcount,
+            engine: None,
+            max_threads: 1,
+            config: ReclaimConfig::default(),
+            st_config: StConfig::default(),
         }
     }
 
@@ -194,42 +310,61 @@ impl SchemeFactory {
     /// The StackTrack runtime, when the scheme is StackTrack (for
     /// statistics extraction).
     pub fn st_runtime(&self) -> Option<&Arc<StRuntime>> {
-        self.st_runtime.as_ref()
+        match &self.globals {
+            SchemeGlobals::StackTrack(rt) => Some(rt),
+            _ => None,
+        }
     }
 
     /// Builds the executor for thread slot `thread_id`.
     pub fn thread(&self, thread_id: usize) -> Box<dyn SchemeThread> {
-        match self.scheme {
-            Scheme::None => Box::new(none::NoReclaimThread::new(self.engine.heap().clone())),
-            Scheme::Epoch => Box::new(epoch::EpochThread::new(
-                self.epoch.clone().expect("epoch globals"),
+        match &self.globals {
+            SchemeGlobals::None => Box::new(none::NoReclaimThread::new(self.engine.heap().clone())),
+            SchemeGlobals::Epoch(globals) => Box::new(epoch::EpochThread::new(
+                globals.clone(),
                 self.engine.heap().clone(),
                 thread_id,
                 self.config.retire_batch,
+                self.config.epoch_wait_budget,
             )),
-            Scheme::Hazard => Box::new(hazard::HazardThread::new(
-                self.hazard.clone().expect("hazard globals"),
+            SchemeGlobals::Hazard(globals) => Box::new(hazard::HazardThread::new(
+                globals.clone(),
                 self.engine.heap().clone(),
                 thread_id,
             )),
-            Scheme::Dta => Box::new(dta::DtaThread::new(
-                self.dta.clone().expect("dta globals"),
+            SchemeGlobals::Dta(globals) => Box::new(dta::DtaThread::new(
+                globals.clone(),
                 self.engine.heap().clone(),
                 thread_id,
                 self.config.dta_k,
                 self.config.retire_batch,
+                self.config.dta_freeze_lag,
             )),
-            Scheme::RefCount => Box::new(refcount::RcThread::new(
-                self.refcount.clone().expect("rc globals"),
+            SchemeGlobals::RefCount(globals) => Box::new(refcount::RcThread::new(
+                globals.clone(),
                 self.engine.heap().clone(),
                 self.config.hazard_slots,
             )),
-            Scheme::StackTrack => Box::new(
-                self.st_runtime
-                    .as_ref()
-                    .expect("st runtime")
-                    .register_thread(thread_id),
-            ),
+            SchemeGlobals::StackTrack(rt) => Box::new(rt.register_thread(thread_id)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_names_round_trip_through_fromstr() {
+        for scheme in Scheme::all() {
+            assert_eq!(scheme.name().parse::<Scheme>(), Ok(scheme));
+            assert_eq!(
+                scheme.name().to_uppercase().parse::<Scheme>(),
+                Ok(scheme),
+                "parsing must be case-insensitive"
+            );
+            assert_eq!(scheme.to_string(), scheme.name());
+        }
+        assert!("nonsense".parse::<Scheme>().is_err());
     }
 }

@@ -35,11 +35,12 @@ impl SchemeThread for StThread {
     }
 
     fn teardown(&mut self, cpu: &mut Cpu) {
-        // A worker cut off mid-operation by the simulation deadline keeps
-        // its free set; scans require a quiescent executor.
-        if !self.op_active() {
-            self.force_full_scan(cpu);
-        }
+        // A worker cut off mid-operation by the simulation deadline
+        // abandons the operation (the open segment rolls back) so the
+        // free set can always be scanned; survivors stay for leak
+        // accounting.
+        self.abandon_op(cpu);
+        self.force_full_scan(cpu);
     }
 
     fn scheme_name(&self) -> &'static str {
@@ -78,6 +79,46 @@ mod tests {
         assert_eq!(v, 9);
         assert_eq!(th.scheme_name(), "StackTrack");
         assert_eq!(th.outstanding_garbage(), 1);
+        th.teardown(&mut cpu);
+        assert_eq!(th.outstanding_garbage(), 0);
+        assert_eq!(heap.stats().alloc.live_objects, metadata_objects);
+    }
+
+    #[test]
+    fn teardown_mid_operation_flushes_the_free_set() {
+        let heap = Arc::new(Heap::new(HeapConfig {
+            capacity_words: 1 << 18,
+            ..HeapConfig::small()
+        }));
+        let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
+        let rt = StRuntime::new(engine, StConfig::default(), 1);
+        let mut th: Box<dyn SchemeThread> = Box::new(rt.register_thread(0));
+        let mut cpu = rt.test_cpu(0);
+
+        let metadata_objects = heap.stats().alloc.live_objects;
+        // Retire a node so the free set is non-empty...
+        th.run_op(&mut cpu, 0, 1, &mut |m, cpu| {
+            let n = m.alloc(cpu, 2);
+            m.store(cpu, n, 0, 3)?;
+            m.retire(cpu, n)?;
+            Ok(Step::Done(0))
+        });
+        assert_eq!(th.outstanding_garbage(), 1);
+
+        // ...then cut the worker off mid-operation, with an unpublished
+        // allocation in the open segment — the simulation-deadline shape.
+        th.begin_op(&mut cpu, 1, 1);
+        let mut stepped = false;
+        th.step_op(&mut cpu, &mut |m, cpu| {
+            let n = m.alloc(cpu, 2);
+            m.store(cpu, n, 0, 7)?;
+            stepped = true;
+            Ok(Step::Continue)
+        });
+        assert!(stepped);
+
+        // Teardown abandons the operation (rolling back the segment and
+        // its allocation) and drains the free set.
         th.teardown(&mut cpu);
         assert_eq!(th.outstanding_garbage(), 0);
         assert_eq!(heap.stats().alloc.live_objects, metadata_objects);

@@ -70,7 +70,11 @@ pub(crate) mod testutil {
         let mut rc = ReclaimConfig::default();
         // Enough guards for the deepest structure (skip list).
         rc.hazard_slots = 2 * crate::skiplist::MAX_LEVEL + 2;
-        let factory = SchemeFactory::new(scheme, engine, threads, rc, StConfig::default());
+        let factory = SchemeFactory::builder(scheme)
+            .engine(engine)
+            .max_threads(threads)
+            .reclaim_config(rc)
+            .build();
         (factory, heap)
     }
 

@@ -69,13 +69,10 @@ fn run_scheme(scheme: Scheme) {
         ..HeapConfig::default()
     }));
     let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), THREADS));
-    let factory = SchemeFactory::new(
-        scheme,
-        engine,
-        THREADS,
-        ReclaimConfig::default(),
-        StConfig::default(),
-    );
+    let factory = SchemeFactory::builder(scheme)
+        .engine(engine)
+        .max_threads(THREADS)
+        .build();
     let shape = QueueShape::new_untimed(&heap);
     for i in 0..64 {
         shape.enqueue_untimed(&heap, i + 1);

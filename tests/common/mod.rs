@@ -4,12 +4,12 @@
 //! worker that drives any structure under any scheme on the simulated
 //! machine.
 
-use st_machine::{Cpu, SimConfig, SimReport, Simulator, StepOutcome, Worker};
+use st_machine::{Cpu, FaultPlan, SimConfig, SimReport, Simulator, StepOutcome, Worker};
 use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory, SchemeThread};
 use st_simheap::{Heap, HeapConfig};
 use st_simhtm::{HtmConfig, HtmEngine};
 use st_structures::{hash, list, queue, skiplist};
-use stacktrack::{OpBody, StConfig};
+use stacktrack::OpBody;
 use std::sync::Arc;
 
 /// Structures the mixed workload can target.
@@ -38,16 +38,33 @@ pub enum Instance {
     Hash(hash::HashShape),
 }
 
-/// Builds an environment for `scheme` with `threads` slots.
+/// Builds an environment for `scheme` with `threads` slots and default
+/// scheme tuning.
 pub fn build_env(target: Target, scheme: Scheme, threads: usize, initial: u64, seed: u64) -> Env {
+    let mut rc = ReclaimConfig::default();
+    rc.hazard_slots = 2 * skiplist::MAX_LEVEL + 2;
+    build_env_cfg(target, scheme, threads, initial, seed, rc)
+}
+
+/// Builds an environment with explicit scheme tuning.
+pub fn build_env_cfg(
+    target: Target,
+    scheme: Scheme,
+    threads: usize,
+    initial: u64,
+    seed: u64,
+    rc: ReclaimConfig,
+) -> Env {
     let heap = Arc::new(Heap::new(HeapConfig {
         capacity_words: 1 << 21,
         ..HeapConfig::default()
     }));
     let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), threads));
-    let mut rc = ReclaimConfig::default();
-    rc.hazard_slots = 2 * skiplist::MAX_LEVEL + 2;
-    let factory = SchemeFactory::new(scheme, engine.clone(), threads, rc, StConfig::default());
+    let factory = SchemeFactory::builder(scheme)
+        .engine(engine.clone())
+        .max_threads(threads)
+        .reclaim_config(rc)
+        .build();
 
     let mut rng = st_machine::Pcg32::new_stream(seed, 0x7e57);
     let instance = match target {
@@ -216,10 +233,29 @@ pub fn run_mix(
     key_range: u64,
     seed: u64,
 ) -> (SimReport, Vec<MixWorker>) {
+    run_mix_faulted(
+        env,
+        threads,
+        duration_ms,
+        key_range,
+        seed,
+        FaultPlan::default(),
+    )
+}
+
+/// [`run_mix`] with a fault schedule applied to the run.
+pub fn run_mix_faulted(
+    env: &Env,
+    threads: usize,
+    duration_ms: u64,
+    key_range: u64,
+    seed: u64,
+    faults: FaultPlan,
+) -> (SimReport, Vec<MixWorker>) {
     let workers: Vec<MixWorker> = (0..threads)
         .map(|t| MixWorker::new(env.factory.thread(t), env.instance.clone(), key_range))
         .collect();
-    let sim = Simulator::new(SimConfig::haswell_ms(duration_ms, seed));
+    let sim = Simulator::new(SimConfig::haswell_ms(duration_ms, seed).with_faults(faults));
     sim.run(workers)
 }
 

@@ -1,0 +1,148 @@
+//! Fault-injection integration tests: determinism of faulted runs, fault
+//! accounting, and structural soundness around stalled and killed threads.
+
+mod common;
+
+use common::{build_env, check_instance, run_mix_faulted, Target};
+use st_machine::{FaultPlan, CYCLES_PER_SECOND};
+use st_obs::MetricsRegistry;
+use st_reclaim::Scheme;
+
+const MS: u64 = CYCLES_PER_SECOND / 1000;
+
+/// Collects everything a run observed into one registry (scheme metrics
+/// from every worker, machine counters, fault counters).
+fn snapshot(report: &st_machine::SimReport, workers: &[common::MixWorker]) -> String {
+    let mut reg = MetricsRegistry::new();
+    for w in workers {
+        w.executor().report_metrics(&mut reg);
+    }
+    reg.add("run.total_ops", report.total_ops());
+    reg.add("machine.fences", report.sum_counter(|c| c.fences));
+    reg.add("machine.loads", report.sum_counter(|c| c.loads));
+    reg.add("machine.stores", report.sum_counter(|c| c.stores));
+    reg.add(
+        "machine.context_switches",
+        report.sum_counter(|c| c.context_switches),
+    );
+    reg.add("fault.stalls", report.faults.stalls);
+    reg.add("fault.stall_cycles", report.faults.stall_cycles);
+    reg.add("fault.kills", report.faults.kills);
+    reg.add("fault.storm_switches", report.faults.storm_switches);
+    reg.to_json().to_string()
+}
+
+fn plan() -> FaultPlan {
+    FaultPlan::default()
+        .stall(2, MS / 2, MS)
+        .storm(0, MS / 4, MS / 8)
+}
+
+/// The tentpole guarantee: one seed plus one fault plan is one execution.
+/// Two runs must agree on every metric, byte for byte.
+#[test]
+fn identical_seed_and_plan_reproduce_identical_metrics() {
+    let mk = || {
+        let env = build_env(Target::List, Scheme::StackTrack, 4, 150, 7);
+        let (report, workers) = run_mix_faulted(&env, 4, 2, 300, 7, plan());
+        snapshot(&report, &workers)
+    };
+    let first = mk();
+    let second = mk();
+    assert_eq!(first, second, "faulted runs must be reproducible");
+}
+
+/// A different seed must actually change the execution — otherwise the
+/// determinism assertion above would be vacuous.
+#[test]
+fn different_seed_changes_the_execution() {
+    let env_a = build_env(Target::List, Scheme::StackTrack, 4, 150, 7);
+    let (report_a, workers_a) = run_mix_faulted(&env_a, 4, 2, 300, 7, plan());
+    let env_b = build_env(Target::List, Scheme::StackTrack, 4, 150, 8);
+    let (report_b, workers_b) = run_mix_faulted(&env_b, 4, 2, 300, 8, plan());
+    assert_ne!(
+        snapshot(&report_a, &workers_a),
+        snapshot(&report_b, &workers_b)
+    );
+}
+
+/// Fault accounting: the report carries the stall and its length.
+#[test]
+fn stall_is_accounted_and_costs_the_victim_ops() {
+    // Hazard pointers: peers are unaffected by a stalled thread, so the
+    // ops contrast cleanly isolates the fault's cost to the victim.
+    let env = build_env(Target::List, Scheme::Hazard, 4, 150, 11);
+    let stall_for = MS; // 1 ms of a 2 ms run
+    let (report, _workers) = run_mix_faulted(
+        &env,
+        4,
+        2,
+        300,
+        11,
+        FaultPlan::default().stall(3, MS / 2, stall_for),
+    );
+    assert_eq!(report.faults.stalls, 1);
+    assert!(report.faults.stall_cycles >= stall_for);
+    assert_eq!(report.faults.kills, 0);
+
+    // The victim loses half its run time; every peer does not.
+    let victim_ops = report.threads[3].ops;
+    let peer_ops = report.threads[0].ops;
+    assert!(
+        victim_ops < peer_ops * 2 / 3,
+        "stalled thread should complete far fewer ops ({victim_ops} vs {peer_ops})"
+    );
+}
+
+/// A killed thread disappears mid-run; the structure must stay sound and
+/// the survivors must keep completing operations. Run under every scheme
+/// that supports the list.
+#[test]
+fn killed_thread_leaves_structure_sound() {
+    for scheme in [
+        Scheme::None,
+        Scheme::Hazard,
+        Scheme::Epoch,
+        Scheme::StackTrack,
+        Scheme::Dta,
+    ] {
+        let env = build_env(Target::List, scheme, 4, 150, 13);
+        let (report, _workers) =
+            run_mix_faulted(&env, 4, 2, 300, 13, FaultPlan::default().kill(1, MS / 2));
+        assert_eq!(report.faults.kills, 1, "{scheme:?}");
+        assert!(
+            report.threads[1].final_time <= MS + MS / 10,
+            "{scheme:?}: killed thread must stop accruing time"
+        );
+        let survivors: u64 = [0, 2, 3].iter().map(|&t| report.threads[t].ops).sum();
+        assert!(survivors > 0, "{scheme:?}: survivors made no progress");
+        check_instance(&env);
+    }
+}
+
+/// A preemption storm on one context slows its tenants but the run stays
+/// deterministic and sound.
+#[test]
+fn preemption_storm_costs_throughput() {
+    let quiet = build_env(Target::List, Scheme::StackTrack, 4, 150, 17);
+    let (report_quiet, _w) = run_mix_faulted(&quiet, 4, 2, 300, 17, FaultPlan::default());
+
+    let stormy = build_env(Target::List, Scheme::StackTrack, 4, 150, 17);
+    let (report_storm, _w) = run_mix_faulted(
+        &stormy,
+        4,
+        2,
+        300,
+        17,
+        // Storm context 0 for the middle half of the run.
+        FaultPlan::default().storm(0, MS / 2, MS),
+    );
+    assert!(report_storm.faults.storm_switches > 0);
+    assert!(
+        report_storm.total_ops() < report_quiet.total_ops(),
+        "storm should cost throughput ({} vs {})",
+        report_storm.total_ops(),
+        report_quiet.total_ops()
+    );
+    check_instance(&stormy);
+}

@@ -53,7 +53,10 @@ fn env(scheme: Scheme) -> (Arc<Heap>, SchemeFactory, Cpu) {
     let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
     let mut rc = ReclaimConfig::default();
     rc.hazard_slots = 2 * skiplist::MAX_LEVEL + 2;
-    let factory = SchemeFactory::new(scheme, engine, 1, rc, StConfig::default());
+    let factory = SchemeFactory::builder(scheme)
+        .engine(engine)
+        .reclaim_config(rc)
+        .build();
     let topo = Topology::haswell();
     let cpu = Cpu::new(
         0,

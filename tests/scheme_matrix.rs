@@ -8,7 +8,8 @@
 
 mod common;
 
-use common::{build_env, check_instance, run_mix, Target};
+use common::{build_env, check_instance, run_mix, run_mix_faulted, Target};
+use st_machine::{FaultPlan, CYCLES_PER_SECOND};
 use st_reclaim::Scheme;
 
 fn storm(target: Target, scheme: Scheme, threads: usize) {
@@ -76,6 +77,57 @@ matrix_test!(queue_epoch_8, Target::Queue, Scheme::Epoch, 8);
 matrix_test!(queue_hazard_8, Target::Queue, Scheme::Hazard, 8);
 matrix_test!(queue_stacktrack_8, Target::Queue, Scheme::StackTrack, 8);
 matrix_test!(queue_stacktrack_16, Target::Queue, Scheme::StackTrack, 16);
+
+/// Total retired-but-unfreed nodes at the deadline of a run whose last
+/// thread stalls from 30 % of the way in until past the deadline.
+fn garbage_under_stalled_reader(scheme: Scheme, duration_ms: u64) -> u64 {
+    const MS: u64 = CYCLES_PER_SECOND / 1000;
+    let threads = 4;
+    let env = build_env(Target::List, scheme, threads, 200, 42);
+    let plan = FaultPlan::default().stall(threads - 1, duration_ms * MS * 3 / 10, u64::MAX / 2);
+    let (_report, workers) = run_mix_faulted(&env, threads, duration_ms, 400, 42, plan);
+    check_instance(&env);
+    workers
+        .iter()
+        .map(|w| w.executor().outstanding_garbage())
+        .sum()
+}
+
+/// The robustness contrast of the paper's section 2: under a reader that
+/// stalls and never comes back, hazard pointers, DTA (via freezing) and
+/// StackTrack keep the garbage backlog bounded, while the epoch scheme's
+/// limbo lists grow monotonically with run length.
+#[test]
+fn stalled_reader_bounds_garbage_except_for_epoch() {
+    // Hazards: bounded by the scan threshold (2 * threads * slots = 272
+    // here). DTA: bounded by the freeze lag. StackTrack: bounded by
+    // max_free per thread. Give each headroom for in-flight slack.
+    for (scheme, cap) in [
+        (Scheme::Hazard, 400),
+        (Scheme::Dta, 400),
+        (Scheme::StackTrack, 200),
+    ] {
+        let garbage = garbage_under_stalled_reader(scheme, 4);
+        assert!(
+            garbage <= cap,
+            "{scheme:?}: garbage {garbage} exceeds bound {cap} under a stalled reader"
+        );
+    }
+
+    // Epoch hoards: strictly more garbage the longer the stall lasts, and
+    // far beyond the bounded schemes' caps. (The reclaimers first burn
+    // their spin budget on the stalled reader, then hoard.)
+    let short = garbage_under_stalled_reader(Scheme::Epoch, 4);
+    let long = garbage_under_stalled_reader(Scheme::Epoch, 8);
+    assert!(
+        long > short,
+        "epoch garbage must grow with run length ({short} -> {long})"
+    );
+    assert!(
+        long > 400,
+        "epoch should hoard past every bounded scheme's cap (got {long})"
+    );
+}
 
 // Hash table.
 matrix_test!(hash_original_8, Target::Hash, Scheme::None, 8);

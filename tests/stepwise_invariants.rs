@@ -94,6 +94,7 @@ fn storm(scheme: Scheme, duration_cycles: u64) {
         seed: 42,
         duration: duration_cycles,
         step_limit: None,
+        faults: st_machine::FaultPlan::default(),
     });
     let (report, _) = sim.run(workers);
     assert!(report.total_ops() > 100, "storm must do real work");
@@ -193,6 +194,7 @@ fn list_storm(scheme: Scheme) {
         seed: 21,
         duration: 2_000_000,
         step_limit: None,
+        faults: st_machine::FaultPlan::default(),
     });
     let (report, _) = sim.run(workers);
     assert!(report.total_ops() > 50, "storm must do real work");

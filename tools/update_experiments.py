@@ -2,8 +2,13 @@
 """Refreshes the measured tables in EXPERIMENTS.md from results/*.json.
 
 Keeps the prose; replaces only table bodies (matched by their header
-rows). Run after `st-bench all --ms 10 --out results` and
-`st-bench fig3-fig4 --ms 10 --warmup 60 --out results/warmed`.
+rows). Run after `st-bench all --ms 10 --out results`,
+`st-bench fig3-fig4 --ms 10 --warmup 60 --out results/warmed` and
+`st-bench robustness --out results`.
+
+Scheme and structure names are never re-spelled here: every column label
+and row key comes from the snapshots themselves, which carry the Rust
+`Display` names (`Scheme`/`StructureKind` in `st-reclaim`/`st-bench`).
 """
 
 import json
@@ -168,6 +173,24 @@ def main():
         "| threads | F1 penalty % | F10 penalty % | F10 avg depth (words) | F10 #scans | retries (F10) |\n",
         new,
     )
+
+    # Robustness: outstanding-garbage time-series under a mid-run stall.
+    # Columns come from the snapshot's own run order (the schemes' Display
+    # names), the sample grid from the garbage_ts keys it recorded.
+    runs = load_metrics("robustness")
+    n_samples = max(
+        sum(1 for k in r["metrics"] if k.startswith("reclaim.garbage_ts.")) for r in runs
+    )
+    duration_ms = runs[0]["duration_ms"]
+    header = "| t (ms) | " + " | ".join(r["scheme"] for r in runs) + " |\n"
+    new = []
+    for k in range(1, n_samples + 1):
+        t_ms = duration_ms * k / n_samples
+        cells = [f"{t_ms:.2f}"] + [
+            str(r["metrics"][f"reclaim.garbage_ts.{k:02d}"]) for r in runs
+        ]
+        new.append("| " + " | ".join(cells) + " |\n")
+    text = replace_table(text, header, new)
 
     # Predictor ablation: groups of 4 per thread (adaptive, f1, f10, f50).
     rows = load("ablation_predictor")
