@@ -10,6 +10,7 @@
 //!   ablation-predictor ablation-regfile ablation-scanmode ablation-refcount
 //!   extra-rbtree robustness all
 //!   check-metrics FILE...
+//!   check [--structures a,b] [--mode dfs|random] [--mutate M] [--replay TOKEN] ...
 //! ```
 //!
 //! Every subcommand prints its table(s) and writes JSON + markdown under
@@ -18,6 +19,7 @@
 //! validates existing snapshot files against the current schema. See
 //! EXPERIMENTS.md for the mapping to the paper's figures.
 
+mod checkcmd;
 mod experiment;
 mod figures;
 mod report;
@@ -32,8 +34,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: st-bench <fig1-list|fig1-skiplist|fig2-queue|fig2-hash|fig3-aborts|fig4-splits|\
          fig5-slowpath|scan-overhead|ablation-predictor|ablation-regfile|ablation-scanmode|\
-         ablation-refcount|extra-rbtree|robustness|all> [--ms N] [--seed N] [--scale N] \
-         [--threads N] [--out DIR] [--schemes A,B,...]"
+         ablation-refcount|extra-rbtree|robustness|all|check|check-metrics> [--ms N] [--seed N] \
+         [--scale N] [--threads N] [--out DIR] [--schemes A,B,...] (see `check --help` style \
+         flags in docs/TESTING.md)"
     );
     ExitCode::from(2)
 }
@@ -46,6 +49,9 @@ fn main() -> ExitCode {
 
     if cmd == "check-metrics" {
         return check_metrics(&args[1..]);
+    }
+    if cmd == "check" {
+        return checkcmd::run(&args[1..]);
     }
 
     let mut opts = BenchOpts::default();
@@ -164,6 +170,14 @@ fn check_metrics(paths: &[String]) -> ExitCode {
                             .map(|c| reg.counter(&format!("st.aborts.{c}")))
                             .sum::<u64>(),
                     );
+                }
+                match report::validate_garbage_series(&runs) {
+                    Ok(0) => {}
+                    Ok(n) => println!("{path}: garbage_ts series consistent ({n} samples/run)"),
+                    Err(e) => {
+                        eprintln!("{path}: invalid garbage_ts series: {e}");
+                        failed = true;
+                    }
                 }
             }
             Err(e) => {

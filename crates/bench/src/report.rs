@@ -162,6 +162,66 @@ pub fn parse_metrics_snapshot(
         .collect()
 }
 
+/// Validates the `reclaim.garbage_ts.NN` gauge series of a parsed
+/// snapshot.
+///
+/// Negative values can never reach this point — the registry parser
+/// rejects any counter that is not an unsigned integer — so what is
+/// left to check is the series' shape: every run that carries the
+/// series must have plain-gauge values whose zero-padded indices form
+/// a contiguous `01..=N` sequence, and `N` must agree across runs
+/// (the robustness experiment samples all schemes on one shared grid,
+/// so a short or gapped series means a truncated or hand-edited
+/// snapshot). Returns the common sample count, 0 when no run carries
+/// the series.
+pub fn validate_garbage_series(
+    runs: &[(String, String, usize, MetricsRegistry)],
+) -> Result<u64, String> {
+    let mut common: Option<(u64, String)> = None;
+    for (scheme, structure, _, reg) in runs {
+        let run = format!("{scheme}/{structure}");
+        let mut indices = Vec::new();
+        for (key, metric) in reg.iter() {
+            let Some(suffix) = key.strip_prefix("reclaim.garbage_ts.") else {
+                continue;
+            };
+            if matches!(metric, st_obs::Metric::Histogram(_)) {
+                return Err(format!("{run}: {key} is a histogram, expected a gauge"));
+            }
+            if suffix.len() < 2 || suffix.bytes().any(|b| !b.is_ascii_digit()) {
+                return Err(format!(
+                    "{run}: malformed garbage_ts index {suffix:?} (expected zero-padded digits)"
+                ));
+            }
+            indices.push(suffix.parse::<u64>().expect("digits parse"));
+        }
+        if indices.is_empty() {
+            continue;
+        }
+        indices.sort_unstable();
+        for (i, idx) in indices.iter().enumerate() {
+            let expected = i as u64 + 1;
+            if *idx != expected {
+                return Err(format!(
+                    "{run}: garbage_ts samples are not contiguous: expected index \
+                     {expected:02}, found {idx:02}"
+                ));
+            }
+        }
+        let n = indices.len() as u64;
+        match &common {
+            None => common = Some((n, run)),
+            Some((cn, witness)) if *cn != n => {
+                return Err(format!(
+                    "garbage_ts sample counts disagree: {witness} has {cn}, {run} has {n}"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(common.map_or(0, |(n, _)| n))
+}
+
 /// Persists raw results as JSON lines under `out_dir/name.json`, the full
 /// metrics snapshot under `out_dir/name.metrics.json`, and the rendered
 /// table as markdown under `out_dir/name.md`.
@@ -267,6 +327,105 @@ mod tests {
         doc.set("schema_version", SCHEMA_VERSION + 1);
         let err = parse_metrics_snapshot(&doc.to_string()).unwrap_err();
         assert!(err.contains("schema"), "{err}");
+    }
+
+    /// A hand-built snapshot with one run per `(scheme, series)` pair.
+    fn garbage_snapshot(series: &[(&str, &[(String, u64)])]) -> String {
+        let mut doc = Json::obj();
+        doc.set("schema_version", SCHEMA_VERSION);
+        let runs: Vec<Json> = series
+            .iter()
+            .map(|(scheme, points)| {
+                let mut metrics = Json::obj();
+                metrics.set("reclaim.outstanding_garbage", 0u64);
+                for (key, value) in points.iter() {
+                    metrics.set(key, *value);
+                }
+                let mut run = Json::obj();
+                run.set("scheme", *scheme);
+                run.set("structure", "list");
+                run.set("threads", 2u64);
+                run.set("metrics", metrics);
+                run
+            })
+            .collect();
+        doc.set("runs", Json::Arr(runs));
+        doc.to_string()
+    }
+
+    fn ts(indices: &[u64]) -> Vec<(String, u64)> {
+        indices
+            .iter()
+            .map(|i| (format!("reclaim.garbage_ts.{i:02}"), 10 * i))
+            .collect()
+    }
+
+    #[test]
+    fn garbage_series_accepts_contiguous_consistent_runs() {
+        let a = ts(&[1, 2, 3]);
+        let b = ts(&[1, 2, 3]);
+        let text = garbage_snapshot(&[("Epoch", &a), ("StackTrack", &b)]);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        assert_eq!(validate_garbage_series(&runs), Ok(3));
+    }
+
+    #[test]
+    fn garbage_series_without_samples_is_fine() {
+        let text = garbage_snapshot(&[("Epoch", &[])]);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        assert_eq!(validate_garbage_series(&runs), Ok(0));
+    }
+
+    #[test]
+    fn garbage_series_rejects_gaps() {
+        let a = ts(&[1, 3]);
+        let text = garbage_snapshot(&[("Epoch", &a)]);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        let err = validate_garbage_series(&runs).unwrap_err();
+        assert!(err.contains("not contiguous"), "{err}");
+    }
+
+    #[test]
+    fn garbage_series_rejects_missing_first_sample() {
+        let a = ts(&[2, 3]);
+        let text = garbage_snapshot(&[("Epoch", &a)]);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        let err = validate_garbage_series(&runs).unwrap_err();
+        assert!(err.contains("expected index 01"), "{err}");
+    }
+
+    #[test]
+    fn garbage_series_rejects_count_mismatch_across_runs() {
+        let a = ts(&[1, 2, 3]);
+        let b = ts(&[1, 2]);
+        let text = garbage_snapshot(&[("Epoch", &a), ("StackTrack", &b)]);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        let err = validate_garbage_series(&runs).unwrap_err();
+        assert!(err.contains("disagree"), "{err}");
+    }
+
+    #[test]
+    fn garbage_series_rejects_malformed_index() {
+        let a = vec![("reclaim.garbage_ts.x1".to_string(), 5u64)];
+        let text = garbage_snapshot(&[("Epoch", &a)]);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        let err = validate_garbage_series(&runs).unwrap_err();
+        assert!(err.contains("malformed"), "{err}");
+    }
+
+    #[test]
+    fn negative_garbage_sample_is_rejected_at_parse() {
+        // Non-negativity is enforced by the registry parser itself: a
+        // snapshot carrying a negative sample never yields a registry.
+        let a = ts(&[1]);
+        let good = garbage_snapshot(&[("Epoch", &a)]);
+        let bad = good.replace(
+            "\"reclaim.garbage_ts.01\":10",
+            "\"reclaim.garbage_ts.01\":-10",
+        );
+        assert_ne!(good, bad, "replacement did not apply");
+        let err = parse_metrics_snapshot(&bad).unwrap_err();
+        assert!(err.contains("unsigned"), "{err}");
     }
 
     #[test]

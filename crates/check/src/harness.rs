@@ -1,0 +1,503 @@
+//! One bounded execution under a dictated schedule, with both oracles.
+//!
+//! [`run_schedule`] builds a fresh environment (heap, HTM engine, scheme
+//! factory, structure), runs a small scripted workload — every thread
+//! executes a fixed, seed-derived list of operations — under a
+//! [`RecordingController`], and returns everything the explorer needs:
+//! the decision trace, any use-after-free violations recorded by the heap
+//! oracle, and the linearizability verdict of the recorded history.
+//!
+//! A panic during the run (e.g. a poison dereference — the classic
+//! symptom of a reclamation bug) is caught and reported as a violation,
+//! so exploration continues over the remaining schedules.
+
+use crate::schedule::RecordingController;
+use st_machine::{
+    CostModel, Cpu, Cycles, FaultPlan, Pcg32, SimConfig, StepOutcome, Topology, Worker,
+};
+use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory, SchemeThread};
+use st_simheap::{Heap, HeapConfig};
+use st_simhtm::{HtmConfig, HtmEngine};
+use st_structures::history::{check_linearizable, DsOp, HistoryRecorder, SpecKind};
+use st_structures::{hash, list, queue, skiplist};
+use stacktrack::{OpBody, StConfig};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// The four structures of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Structure {
+    /// Harris linked list.
+    List,
+    /// Hash table over Harris lists.
+    Hash,
+    /// Michael-Scott queue.
+    Queue,
+    /// Fraser-Harris skip list.
+    SkipList,
+}
+
+impl Structure {
+    /// All four, in checking order.
+    pub fn all() -> [Structure; 4] {
+        [
+            Structure::List,
+            Structure::Hash,
+            Structure::Queue,
+            Structure::SkipList,
+        ]
+    }
+
+    /// Short name (used in replay tokens and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            Structure::List => "list",
+            Structure::Hash => "hash",
+            Structure::Queue => "queue",
+            Structure::SkipList => "skiplist",
+        }
+    }
+
+    /// The sequential specification this structure implements.
+    pub fn spec(self) -> SpecKind {
+        match self {
+            Structure::Queue => SpecKind::Queue,
+            _ => SpecKind::Set,
+        }
+    }
+}
+
+impl std::fmt::Display for Structure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Structure {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "list" => Ok(Structure::List),
+            "hash" => Ok(Structure::Hash),
+            "queue" => Ok(Structure::Queue),
+            "skiplist" | "skip" => Ok(Structure::SkipList),
+            _ => Err(format!(
+                "unknown structure {s:?} (expected list, hash, queue, or skiplist)"
+            )),
+        }
+    }
+}
+
+/// Protocol mutations the checker can inject to prove its oracles have
+/// teeth (see `docs/TESTING.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Protocols intact.
+    None,
+    /// StackTrack: skip the `splits`/`oper_counter` re-read after an
+    /// inspection (Algorithm 1 lines 23-29), accepting torn snapshots.
+    SkipSplitsRecheck,
+    /// Hazard pointers: defer the publish/fence/revalidate of `load_ptr`
+    /// to the next step boundary, un-protecting the node across a
+    /// scheduling point.
+    DeferHazardPublish,
+}
+
+impl Mutation {
+    /// Short name (used in replay tokens and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::SkipSplitsRecheck => "splits",
+            Mutation::DeferHazardPublish => "hazard",
+        }
+    }
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Mutation {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" => Ok(Mutation::None),
+            "splits" => Ok(Mutation::SkipSplitsRecheck),
+            "hazard" => Ok(Mutation::DeferHazardPublish),
+            _ => Err(format!(
+                "unknown mutation {s:?} (expected none, splits, or hazard)"
+            )),
+        }
+    }
+}
+
+/// The workload and environment of one check, fully determining every
+/// schedule's execution together with the controller's choices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Structure under check.
+    pub structure: Structure,
+    /// Reclamation scheme under check.
+    pub scheme: Scheme,
+    /// Simulated threads.
+    pub threads: usize,
+    /// Scripted operations per thread.
+    pub ops_per_thread: usize,
+    /// Keys are drawn from `1..=key_range` (small, to force conflicts).
+    pub key_range: u64,
+    /// Seed for the scripted workload (and the randomized explorer).
+    pub seed: u64,
+    /// Injected protocol mutation.
+    pub mutation: Mutation,
+    /// Scheduler step budget per schedule; pending operations at the
+    /// limit are allowed (the linearizability checker handles them).
+    pub step_limit: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            structure: Structure::List,
+            scheme: Scheme::StackTrack,
+            threads: 3,
+            ops_per_thread: 4,
+            key_range: 6,
+            seed: 1,
+            mutation: Mutation::None,
+            step_limit: 60_000,
+        }
+    }
+}
+
+/// One oracle finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The heap's use-after-free oracle fired.
+    Uaf(String),
+    /// The recorded history has no valid linearization.
+    NonLinearizable(String),
+    /// The run panicked (e.g. a poison dereference).
+    Panic(String),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Uaf(m) => write!(f, "use-after-free: {m}"),
+            Violation::NonLinearizable(m) => write!(f, "linearizability: {m}"),
+            Violation::Panic(m) => write!(f, "panic: {m}"),
+        }
+    }
+}
+
+/// What one schedule produced.
+#[derive(Debug)]
+pub struct ScheduleOutcome {
+    /// All oracle findings, in detection order.
+    pub violations: Vec<Violation>,
+    /// Scheduling decisions taken.
+    pub decisions: u64,
+    /// Sparse deviations actually executed (the schedule's signature).
+    pub deviations: BTreeMap<u64, usize>,
+    /// Operations that responded.
+    pub completed_ops: u64,
+    /// StackTrack scans completed across all threads (diagnostic: a
+    /// mutation can only be exercised if scans actually ran).
+    pub scans: u64,
+    /// StackTrack inspection restarts forced by the consistency re-read
+    /// (diagnostic: nonzero means the schedule opened the torn-snapshot
+    /// window the `splits` protocol guards).
+    pub scan_retries: u64,
+}
+
+/// The shared structure of a run (a cloneable shape).
+#[derive(Clone)]
+enum Shape {
+    List(list::ListShape),
+    Hash(hash::HashShape),
+    Queue(queue::QueueShape),
+    SkipList(skiplist::SkipShape),
+}
+
+fn body_for(shape: &Shape, op: DsOp) -> (u32, usize, Box<OpBody<'static>>) {
+    match (shape, op) {
+        (Shape::List(s), DsOp::Contains(k)) => {
+            (0, list::LIST_SLOTS, Box::new(list::contains_body(*s, k)))
+        }
+        (Shape::List(s), DsOp::Insert(k)) => {
+            (1, list::LIST_SLOTS, Box::new(list::insert_body(*s, k)))
+        }
+        (Shape::List(s), DsOp::Delete(k)) => {
+            (2, list::LIST_SLOTS, Box::new(list::delete_body(*s, k)))
+        }
+        (Shape::Hash(s), DsOp::Contains(k)) => {
+            (0, list::LIST_SLOTS, Box::new(hash::contains_body(s, k)))
+        }
+        (Shape::Hash(s), DsOp::Insert(k)) => {
+            (1, list::LIST_SLOTS, Box::new(hash::insert_body(s, k)))
+        }
+        (Shape::Hash(s), DsOp::Delete(k)) => {
+            (2, list::LIST_SLOTS, Box::new(hash::delete_body(s, k)))
+        }
+        (Shape::Queue(s), DsOp::Enqueue(v)) => {
+            (0, queue::QUEUE_SLOTS, Box::new(queue::enqueue_body(*s, v)))
+        }
+        (Shape::Queue(s), DsOp::Dequeue) => {
+            (1, queue::QUEUE_SLOTS, Box::new(queue::dequeue_body(*s)))
+        }
+        (Shape::SkipList(s), DsOp::Contains(k)) => (
+            0,
+            skiplist::SKIP_SLOTS,
+            Box::new(skiplist::contains_body(*s, k)),
+        ),
+        (Shape::SkipList(s), DsOp::Insert(k)) => (
+            1,
+            skiplist::SKIP_SLOTS,
+            Box::new(skiplist::insert_body(*s, k)),
+        ),
+        (Shape::SkipList(s), DsOp::Delete(k)) => (
+            2,
+            skiplist::SKIP_SLOTS,
+            Box::new(skiplist::delete_body(*s, k)),
+        ),
+        (_, op) => panic!("operation {op} does not fit this structure"),
+    }
+}
+
+/// A worker running its fixed script, recording invoke/respond events.
+struct ScriptWorker {
+    th: Box<dyn SchemeThread>,
+    thread_id: usize,
+    shape: Shape,
+    script: VecDeque<DsOp>,
+    recorder: Arc<HistoryRecorder>,
+    current: Option<(usize, Box<OpBody<'static>>)>,
+}
+
+impl Worker for ScriptWorker {
+    fn step(&mut self, cpu: &mut Cpu) -> StepOutcome {
+        if self.th.idle_work_pending() {
+            self.th.step_idle(cpu);
+            return StepOutcome::Progress;
+        }
+        if self.current.is_none() {
+            let Some(op) = self.script.pop_front() else {
+                return StepOutcome::Finished;
+            };
+            let (op_id, slots, body) = body_for(&self.shape, op);
+            let hid = self.recorder.invoke(self.thread_id, op);
+            self.th.begin_op(cpu, op_id, slots);
+            self.current = Some((hid, body));
+            return StepOutcome::Progress;
+        }
+        let (hid, body) = self.current.as_mut().expect("active op");
+        match self.th.step_op(cpu, body.as_mut()) {
+            Some(v) => {
+                self.recorder.respond(*hid, v);
+                self.current = None;
+                StepOutcome::OpDone
+            }
+            None => StepOutcome::Progress,
+        }
+    }
+
+    fn finish(&mut self, cpu: &mut Cpu) {
+        self.th.teardown(cpu);
+    }
+}
+
+/// Generates thread `t`'s script.
+fn script(config: &CheckConfig, t: usize) -> VecDeque<DsOp> {
+    let mut rng = Pcg32::new_stream(config.seed ^ 0x5c81_9e1d, t as u64);
+    (0..config.ops_per_thread)
+        .map(|i| match config.structure {
+            Structure::Queue => {
+                if rng.below(2) == 0 {
+                    DsOp::Enqueue(((t + 1) * 100 + i) as u64)
+                } else {
+                    DsOp::Dequeue
+                }
+            }
+            _ => {
+                let key = rng.below(config.key_range) + 1;
+                match rng.below(3) {
+                    0 => DsOp::Insert(key),
+                    1 => DsOp::Delete(key),
+                    _ => DsOp::Contains(key),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Runs one schedule under `controller` and reports what both oracles saw.
+pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) -> ScheduleOutcome {
+    let heap = Arc::new(Heap::new(HeapConfig {
+        capacity_words: 1 << 18,
+        ..HeapConfig::default()
+    }));
+    let engine = Arc::new(HtmEngine::new(
+        heap.clone(),
+        HtmConfig::default(),
+        config.threads,
+    ));
+    let mut rc = ReclaimConfig {
+        hazard_slots: skiplist::SKIP_GUARDS,
+        // Reclaim promptly: a batch of one puts every free inside the
+        // explored window instead of deferring it past the race.
+        retire_batch: 1,
+        // Keep quiescence waits short so epoch threads do not eat the
+        // step budget spinning.
+        epoch_wait_budget: 10_000,
+        ..ReclaimConfig::default()
+    };
+    rc.mutation_defer_hazard_publish = config.mutation == Mutation::DeferHazardPublish;
+    let st_config = StConfig {
+        // Short segments and fine-grained interruptible scans maximize
+        // the schedule points where the consistency protocol matters.
+        // One-block segments matter most: they let a local-only shuffle
+        // (e.g. the list's advance) commit on its own, which is the only
+        // commit that can republish a frame mid-scan without conflicting
+        // with the reclaimer's unlink writes.
+        initial_split_length: 1,
+        scan_chunk_words: 1,
+        max_free: 0,
+        // Bodies keep every retained pointer in a shadow-stack local, so
+        // protection does not rely on the register file; leaving register
+        // exposure on would let stale register words pin candidates and
+        // mask scan misses from the explorer.
+        expose_registers: false,
+        mutation_skip_splits_recheck: config.mutation == Mutation::SkipSplitsRecheck,
+        ..StConfig::default()
+    };
+    let factory = SchemeFactory::builder(config.scheme)
+        .engine(engine)
+        .max_threads(config.threads)
+        .reclaim_config(rc)
+        .st_config(st_config)
+        .build();
+
+    heap.set_uaf_oracle(true);
+    for (base, words) in factory.protection_roots() {
+        heap.add_uaf_root(base, words);
+    }
+
+    let recorder = Arc::new(HistoryRecorder::new());
+    let shape = match config.structure {
+        Structure::List => Shape::List(list::ListShape::new_untimed(&heap)),
+        Structure::Hash => Shape::Hash(hash::HashShape::new_untimed(&heap, 4)),
+        Structure::Queue => Shape::Queue(queue::QueueShape::new_untimed(&heap)),
+        Structure::SkipList => Shape::SkipList(skiplist::SkipShape::new_untimed(&heap)),
+    };
+    // Pre-populate (untimed, before the clock starts) and record the
+    // set-up operations so the specification starts from the same state.
+    let mut seed_rng = Pcg32::new_stream(config.seed, 0x5eed);
+    match &shape {
+        Shape::List(s) => {
+            for key in [2, 4] {
+                if s.insert_untimed(&heap, key) {
+                    let id = recorder.invoke(0, DsOp::Insert(key));
+                    recorder.respond(id, 1);
+                }
+            }
+        }
+        Shape::Hash(s) => {
+            for key in [2, 4] {
+                if s.insert_untimed(&heap, key) {
+                    let id = recorder.invoke(0, DsOp::Insert(key));
+                    recorder.respond(id, 1);
+                }
+            }
+        }
+        Shape::SkipList(s) => {
+            for key in [2, 4] {
+                if s.insert_untimed(&heap, key, &mut seed_rng) {
+                    let id = recorder.invoke(0, DsOp::Insert(key));
+                    recorder.respond(id, 1);
+                }
+            }
+        }
+        Shape::Queue(s) => {
+            for value in [901, 902] {
+                s.enqueue_untimed(&heap, value);
+                let id = recorder.invoke(0, DsOp::Enqueue(value));
+                recorder.respond(id, 1);
+            }
+        }
+    }
+
+    let workers: Vec<ScriptWorker> = (0..config.threads)
+        .map(|t| ScriptWorker {
+            th: factory.thread(t),
+            thread_id: t,
+            shape: shape.clone(),
+            script: script(config, t),
+            recorder: recorder.clone(),
+            current: None,
+        })
+        .collect();
+
+    let sim_config = SimConfig {
+        topology: Topology::haswell(),
+        costs: CostModel::default(),
+        seed: config.seed,
+        duration: Cycles::MAX / 2,
+        step_limit: Some(config.step_limit),
+        faults: FaultPlan::default(),
+        controller: None,
+    }
+    .with_controller(controller.clone());
+
+    let (finished_workers, panic_msg) = {
+        let sim = st_machine::Simulator::new(sim_config);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let (_report, workers) = sim.run(workers);
+            workers
+        }));
+        match result {
+            Ok(w) => (w, None),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                (Vec::new(), Some(msg))
+            }
+        }
+    };
+    let (mut scans, mut scan_retries) = (0, 0);
+    for w in &finished_workers {
+        if let Some(st) = w.th.st_stats() {
+            scans += st.scans;
+            scan_retries += st.scan_retries;
+        }
+    }
+
+    let mut violations = Vec::new();
+    for v in heap.uaf_violations() {
+        violations.push(Violation::Uaf(v.to_string()));
+    }
+    if let Some(msg) = panic_msg {
+        violations.push(Violation::Panic(msg));
+    }
+    let history = recorder.history();
+    let completed_ops = history.iter().filter(|r| r.completed()).count() as u64;
+    if let Err(e) = check_linearizable(config.structure.spec(), &history) {
+        violations.push(Violation::NonLinearizable(e.to_string()));
+    }
+
+    ScheduleOutcome {
+        violations,
+        decisions: controller.decision_count(),
+        deviations: controller.deviations_taken(),
+        completed_ops,
+        scans,
+        scan_retries,
+    }
+}

@@ -1,0 +1,207 @@
+//! The recording schedule controller: dictates thread choices, records
+//! every decision, and expresses schedules as sparse *deviation* lists.
+//!
+//! A schedule is described relative to a deterministic **default policy**:
+//! keep running the thread that ran last if it is still runnable,
+//! otherwise run the lowest-numbered runnable thread. Under that policy a
+//! *deviation* `(decision index, thread)` is a forced preemption — the
+//! point where an adversarial scheduler strikes. Most interleaving bugs
+//! need only one or two well-placed preemptions, so schedules stay tiny,
+//! diff cleanly, and shrink greedily.
+
+use st_machine::{Pcg32, ScheduleController};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One recorded scheduling decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Runnable thread ids, ascending (as handed to the controller).
+    pub candidates: Vec<usize>,
+    /// The thread the controller picked.
+    pub chosen: usize,
+    /// What the default policy would have picked.
+    pub default: usize,
+}
+
+/// How the controller chooses when no deviation is pinned.
+#[derive(Debug)]
+enum Mode {
+    /// Apply the pinned deviations; default policy everywhere else.
+    Replay,
+    /// Deviate at random decision points (PCT-style), recording where.
+    Random {
+        rng: Pcg32,
+        /// Deviation probability in percent at each branchable decision.
+        percent: u32,
+    },
+}
+
+#[derive(Debug)]
+struct Inner {
+    mode: Mode,
+    deviations: BTreeMap<u64, usize>,
+    decisions: Vec<Decision>,
+    last: Option<usize>,
+}
+
+/// A [`ScheduleController`] that replays or randomizes deviations and
+/// records the full decision trace.
+#[derive(Debug)]
+pub struct RecordingController {
+    inner: Mutex<Inner>,
+}
+
+impl RecordingController {
+    /// A controller that replays `deviations` (decision index → thread)
+    /// over the default policy.
+    pub fn replay(deviations: BTreeMap<u64, usize>) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                mode: Mode::Replay,
+                deviations,
+                decisions: Vec::new(),
+                last: None,
+            }),
+        }
+    }
+
+    /// A controller that preempts at random with probability
+    /// `percent`/100 per branchable decision, deterministically from
+    /// `seed`.
+    pub fn random(seed: u64, percent: u32) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                mode: Mode::Random {
+                    rng: Pcg32::new_stream(seed, 0xC0A7),
+                    percent,
+                },
+                deviations: BTreeMap::new(),
+                decisions: Vec::new(),
+                last: None,
+            }),
+        }
+    }
+
+    /// Decisions recorded so far.
+    pub fn decisions(&self) -> Vec<Decision> {
+        self.inner.lock().unwrap().decisions.clone()
+    }
+
+    /// Number of decisions taken.
+    pub fn decision_count(&self) -> u64 {
+        self.inner.lock().unwrap().decisions.len() as u64
+    }
+
+    /// The sparse schedule actually executed: every decision where the
+    /// choice differed from the default policy.
+    pub fn deviations_taken(&self) -> BTreeMap<u64, usize> {
+        self.inner
+            .lock()
+            .unwrap()
+            .decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.chosen != d.default)
+            .map(|(i, d)| (i as u64, d.chosen))
+            .collect()
+    }
+}
+
+/// The default continuation policy over sorted `candidates`.
+fn default_pick(candidates: &[usize], last: Option<usize>) -> usize {
+    match last {
+        Some(t) if candidates.contains(&t) => t,
+        _ => candidates[0],
+    }
+}
+
+impl ScheduleController for RecordingController {
+    fn pick(&self, runnable: &[usize]) -> usize {
+        let inner = &mut *self.inner.lock().unwrap();
+        let idx = inner.decisions.len() as u64;
+        let default = default_pick(runnable, inner.last);
+        let chosen = match &mut inner.mode {
+            Mode::Replay => match inner.deviations.get(&idx) {
+                // A pinned thread that is not runnable here (the schedule
+                // drifted, e.g. while shrinking) falls back to the
+                // default instead of poisoning the run.
+                Some(&t) if runnable.contains(&t) => t,
+                _ => default,
+            },
+            Mode::Random { rng, percent } => {
+                let others: Vec<usize> =
+                    runnable.iter().copied().filter(|&t| t != default).collect();
+                if !others.is_empty() && rng.below(100) < u64::from(*percent) {
+                    others[rng.below(others.len() as u64) as usize]
+                } else {
+                    default
+                }
+            }
+        };
+        inner.decisions.push(Decision {
+            candidates: runnable.to_vec(),
+            chosen,
+            default,
+        });
+        inner.last = Some(chosen);
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(ctrl: &RecordingController, rounds: &[&[usize]]) -> Vec<usize> {
+        rounds.iter().map(|c| ctrl.pick(c)).collect()
+    }
+
+    #[test]
+    fn default_policy_continues_last_then_lowest() {
+        let ctrl = RecordingController::replay(BTreeMap::new());
+        let picks = drive(&ctrl, &[&[0, 1, 2], &[0, 1, 2], &[1, 2], &[1, 2]]);
+        assert_eq!(picks, vec![0, 0, 1, 1]);
+        assert!(ctrl.deviations_taken().is_empty());
+    }
+
+    #[test]
+    fn pinned_deviation_is_applied_and_reported() {
+        let ctrl = RecordingController::replay(BTreeMap::from([(1, 2)]));
+        let picks = drive(&ctrl, &[&[0, 1, 2], &[0, 1, 2], &[0, 1, 2]]);
+        assert_eq!(picks, vec![0, 2, 2], "deviation switches; policy continues");
+        assert_eq!(ctrl.deviations_taken(), BTreeMap::from([(1, 2)]));
+    }
+
+    #[test]
+    fn unrunnable_deviation_falls_back_to_default() {
+        let ctrl = RecordingController::replay(BTreeMap::from([(0, 5)]));
+        assert_eq!(ctrl.pick(&[0, 1]), 0);
+        assert!(ctrl.deviations_taken().is_empty());
+    }
+
+    #[test]
+    fn random_mode_is_deterministic_per_seed() {
+        let run = |seed| {
+            let ctrl = RecordingController::random(seed, 50);
+            let picks: Vec<usize> = (0..64).map(|_| ctrl.pick(&[0, 1, 2, 3])).collect();
+            (picks, ctrl.deviations_taken())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0, "different seed, different schedule");
+        let (_, devs) = run(7);
+        assert!(!devs.is_empty(), "50% deviation rate must deviate");
+    }
+
+    #[test]
+    fn deviations_taken_replay_identically() {
+        // The sparse signature of a random run, replayed, reproduces the
+        // same pick sequence (on the same candidate sets).
+        let rounds: Vec<Vec<usize>> = (0..32).map(|_| vec![0, 1, 2]).collect();
+        let random = RecordingController::random(3, 40);
+        let picks: Vec<usize> = rounds.iter().map(|c| random.pick(c)).collect();
+        let replay = RecordingController::replay(random.deviations_taken());
+        let replayed: Vec<usize> = rounds.iter().map(|c| replay.pick(c)).collect();
+        assert_eq!(picks, replayed);
+    }
+}

@@ -1,0 +1,163 @@
+//! Replay tokens: a failing schedule serialized as one copy-pastable
+//! string.
+//!
+//! A token captures the full [`CheckConfig`] plus the shrunk deviation
+//! list, so `st-bench check --replay <token>` (or
+//! [`crate::replay`]) deterministically reproduces the exact execution
+//! that violated an oracle — environment, workload scripts, and every
+//! scheduling decision.
+//!
+//! Format (all fields positional, colon-separated):
+//!
+//! ```text
+//! stck1:<structure>:<scheme>:t<threads>:o<ops>:k<keys>:s<seed>:m<mutation>:<i>=<t>,...|-
+//! ```
+
+use crate::harness::{CheckConfig, Mutation, Structure};
+use st_reclaim::Scheme;
+use std::collections::BTreeMap;
+
+/// A self-contained, replayable description of one schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayToken {
+    /// The environment and workload.
+    pub config: CheckConfig,
+    /// The schedule: decision index → thread forced at that decision.
+    pub deviations: BTreeMap<u64, usize>,
+}
+
+impl std::fmt::Display for ReplayToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = &self.config;
+        write!(
+            f,
+            "stck1:{}:{}:t{}:o{}:k{}:s{}:m{}:",
+            c.structure, c.scheme, c.threads, c.ops_per_thread, c.key_range, c.seed, c.mutation
+        )?;
+        if self.deviations.is_empty() {
+            f.write_str("-")
+        } else {
+            let devs: Vec<String> = self
+                .deviations
+                .iter()
+                .map(|(i, t)| format!("{i}={t}"))
+                .collect();
+            f.write_str(&devs.join(","))
+        }
+    }
+}
+
+fn field<'a>(parts: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<&'a str, String> {
+    parts.next().ok_or_else(|| format!("token missing {what}"))
+}
+
+fn tagged<'a>(part: &'a str, tag: char, what: &str) -> Result<&'a str, String> {
+    part.strip_prefix(tag)
+        .ok_or_else(|| format!("token field {what} must start with '{tag}' (got {part:?})"))
+}
+
+impl std::str::FromStr for ReplayToken {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.trim().split(':');
+        let magic = field(&mut parts, "magic")?;
+        if magic != "stck1" {
+            return Err(format!(
+                "not a replay token (expected stck1:..., got {magic:?})"
+            ));
+        }
+        let structure: Structure = field(&mut parts, "structure")?.parse()?;
+        let scheme: Scheme = field(&mut parts, "scheme")?.parse()?;
+        let threads = tagged(field(&mut parts, "threads")?, 't', "threads")?
+            .parse::<usize>()
+            .map_err(|e| format!("bad thread count: {e}"))?;
+        let ops_per_thread = tagged(field(&mut parts, "ops")?, 'o', "ops")?
+            .parse::<usize>()
+            .map_err(|e| format!("bad op count: {e}"))?;
+        let key_range = tagged(field(&mut parts, "keys")?, 'k', "keys")?
+            .parse::<u64>()
+            .map_err(|e| format!("bad key range: {e}"))?;
+        let seed = tagged(field(&mut parts, "seed")?, 's', "seed")?
+            .parse::<u64>()
+            .map_err(|e| format!("bad seed: {e}"))?;
+        let mutation: Mutation =
+            tagged(field(&mut parts, "mutation")?, 'm', "mutation")?.parse()?;
+        let devs_str = field(&mut parts, "deviations")?;
+        let mut deviations = BTreeMap::new();
+        if devs_str != "-" {
+            for pair in devs_str.split(',') {
+                let (i, t) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad deviation {pair:?} (expected idx=thread)"))?;
+                deviations.insert(
+                    i.parse::<u64>()
+                        .map_err(|e| format!("bad deviation index: {e}"))?,
+                    t.parse::<usize>()
+                        .map_err(|e| format!("bad deviation thread: {e}"))?,
+                );
+            }
+        }
+        if parts.next().is_some() {
+            return Err("trailing fields in replay token".to_string());
+        }
+        Ok(ReplayToken {
+            config: CheckConfig {
+                structure,
+                scheme,
+                threads,
+                ops_per_thread,
+                key_range,
+                seed,
+                mutation,
+                ..CheckConfig::default()
+            },
+            deviations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip() {
+        let token = ReplayToken {
+            config: CheckConfig {
+                structure: Structure::Queue,
+                scheme: Scheme::Hazard,
+                threads: 4,
+                ops_per_thread: 5,
+                key_range: 8,
+                seed: 99,
+                mutation: Mutation::DeferHazardPublish,
+                ..CheckConfig::default()
+            },
+            deviations: BTreeMap::from([(3, 1), (17, 2)]),
+        };
+        let text = token.to_string();
+        assert_eq!(text, "stck1:queue:Hazards:t4:o5:k8:s99:mhazard:3=1,17=2");
+        assert_eq!(text.parse::<ReplayToken>().unwrap(), token);
+    }
+
+    #[test]
+    fn empty_deviation_list_round_trips() {
+        let token = ReplayToken {
+            config: CheckConfig::default(),
+            deviations: BTreeMap::new(),
+        };
+        let text = token.to_string();
+        assert!(text.ends_with(":-"), "{text}");
+        assert_eq!(text.parse::<ReplayToken>().unwrap(), token);
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_context() {
+        assert!("nope".parse::<ReplayToken>().is_err());
+        assert!("stck1:list:StackTrack:t2".parse::<ReplayToken>().is_err());
+        assert!("stck1:list:StackTrack:t2:o3:k4:s5:mnone:x"
+            .parse::<ReplayToken>()
+            .is_err());
+    }
+}

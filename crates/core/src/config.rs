@@ -48,6 +48,12 @@ pub struct StConfig {
     /// Words inspected per scheduler step during a scan (scan
     /// interruptibility granularity).
     pub scan_chunk_words: u64,
+    /// **Mutation knob for the model checker — never enable in real runs.**
+    /// Skips the Algorithm 1 lines 23-29 `splits`/`oper_counter` re-read at
+    /// the end of an inspection, accepting torn snapshots. `st-check`'s
+    /// mutation tests flip this to prove the use-after-free oracle detects
+    /// the resulting unsound frees.
+    pub mutation_skip_splits_recheck: bool,
 }
 
 impl Default for StConfig {
@@ -65,6 +71,7 @@ impl Default for StConfig {
             interior_pointers: false,
             expose_registers: true,
             scan_chunk_words: 24,
+            mutation_skip_splits_recheck: false,
         }
     }
 }

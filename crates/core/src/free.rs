@@ -345,6 +345,9 @@ fn step_inspection(
     // Consistency check (Algorithm 1, lines 23-29): if the thread committed
     // another segment while we scanned — and is still in the same
     // operation — the snapshot may be torn; restart the inspection.
+    if rt.config.mutation_skip_splits_recheck {
+        return InspectStep::ThreadDone { hit: current.found };
+    }
     let htm_post = heap.load(cpu, current.ctx, OFF_SPLITS);
     let oper_post = heap.load(cpu, current.ctx, OFF_OPER_COUNTER);
     if current.oper_pre == oper_post && current.htm_pre != htm_post {

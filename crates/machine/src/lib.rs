@@ -35,7 +35,9 @@ pub use cost::CostModel;
 pub use cpu::{Cpu, EventCounters};
 pub use fault::{FaultEvent, FaultPlan, FaultStats};
 pub use rng::Pcg32;
-pub use sched::{SimConfig, SimReport, Simulator, StepOutcome, ThreadReport, Worker};
+pub use sched::{
+    ScheduleController, SimConfig, SimReport, Simulator, StepOutcome, ThreadReport, Worker,
+};
 pub use topology::{HwContext, Topology};
 
 /// Virtual time, in CPU cycles of the simulated machine.

@@ -61,6 +61,24 @@ impl<W: Worker + ?Sized> Worker for Box<W> {
     }
 }
 
+/// Dictates the next-thread choice at every preemption point.
+///
+/// When installed via [`SimConfig::with_controller`], the simulator stops
+/// picking the runnable thread with the smallest virtual clock and instead
+/// consults the controller at every scheduling decision: it passes the ids
+/// of all runnable threads (front-of-queue threads plus stalled threads
+/// eligible to wake, sorted ascending) and steps whichever the controller
+/// returns. This trades timing realism for schedule control — it is the
+/// hook the `st-check` model checker enumerates interleavings through.
+///
+/// Controllers are shared (`Arc`) and called through `&self`; use interior
+/// mutability to record or replay decisions.
+pub trait ScheduleController: std::fmt::Debug + Send + Sync {
+    /// Returns the thread id to step next. Must be an element of
+    /// `runnable` (the simulator panics otherwise).
+    fn pick(&self, runnable: &[usize]) -> usize;
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -77,6 +95,9 @@ pub struct SimConfig {
     pub step_limit: Option<u64>,
     /// Deterministic fault schedule (empty = no faults).
     pub faults: FaultPlan,
+    /// Optional schedule controller overriding the virtual-time pick
+    /// (`None` = the default smallest-clock policy).
+    pub controller: Option<Arc<dyn ScheduleController>>,
 }
 
 impl SimConfig {
@@ -90,12 +111,19 @@ impl SimConfig {
             duration: duration_ms * (CYCLES_PER_SECOND / 1000),
             step_limit: None,
             faults: FaultPlan::default(),
+            controller: None,
         }
     }
 
     /// Returns `self` with the given fault plan installed (builder style).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Returns `self` with a schedule controller installed (builder style).
+    pub fn with_controller(mut self, controller: Arc<dyn ScheduleController>) -> Self {
+        self.controller = Some(controller);
         self
     }
 }
@@ -247,34 +275,69 @@ impl Simulator {
                 Ctx(usize),
                 Unpark(usize),
             }
-            let mut best: Option<(Pick, Cycles)> = None;
-            for (c, ctx) in contexts.iter().enumerate() {
-                let Some(&t) = ctx.queue.front() else {
-                    continue;
+            let pick = if let Some(ctrl) = self.config.controller.as_deref() {
+                // Controller mode: every runnable thread is a candidate and
+                // the controller dictates the interleaving (virtual clocks
+                // no longer order the picks).
+                let mut cands: Vec<(usize, Pick)> = Vec::new();
+                for (c, ctx) in contexts.iter().enumerate() {
+                    let Some(&t) = ctx.queue.front() else {
+                        continue;
+                    };
+                    if threads[t].cpu.now() < deadline {
+                        cands.push((t, Pick::Ctx(c)));
+                    }
+                }
+                for (t, slot) in parked.iter().enumerate() {
+                    if slot.is_some_and(|resume| resume < deadline) {
+                        cands.push((t, Pick::Unpark(t)));
+                    }
+                }
+                if cands.is_empty() {
+                    break;
+                }
+                cands.sort_by_key(|&(t, _)| t);
+                let ids: Vec<usize> = cands.iter().map(|&(t, _)| t).collect();
+                let chosen = ctrl.pick(&ids);
+                cands
+                    .iter()
+                    .find(|&&(t, _)| t == chosen)
+                    .unwrap_or_else(|| {
+                        panic!("controller picked non-runnable thread {chosen} (runnable: {ids:?})")
+                    })
+                    .1
+            } else {
+                let mut best: Option<(Pick, Cycles)> = None;
+                for (c, ctx) in contexts.iter().enumerate() {
+                    let Some(&t) = ctx.queue.front() else {
+                        continue;
+                    };
+                    let now = threads[t].cpu.now();
+                    if now >= deadline {
+                        continue;
+                    }
+                    if best.map_or(true, |(_, bt)| now < bt) {
+                        best = Some((Pick::Ctx(c), now));
+                    }
+                }
+                for (t, slot) in parked.iter().enumerate() {
+                    let Some(resume) = *slot else {
+                        continue;
+                    };
+                    // A stall outlasting the deadline never wakes up: the
+                    // thread keeps its publications and its clock stays at
+                    // park time.
+                    if resume >= deadline {
+                        continue;
+                    }
+                    if best.map_or(true, |(_, bt)| resume < bt) {
+                        best = Some((Pick::Unpark(t), resume));
+                    }
+                }
+                let Some((pick, _)) = best else {
+                    break;
                 };
-                let now = threads[t].cpu.now();
-                if now >= deadline {
-                    continue;
-                }
-                if best.map_or(true, |(_, bt)| now < bt) {
-                    best = Some((Pick::Ctx(c), now));
-                }
-            }
-            for (t, slot) in parked.iter().enumerate() {
-                let Some(resume) = *slot else {
-                    continue;
-                };
-                // A stall outlasting the deadline never wakes up: the thread
-                // keeps its publications and its clock stays at park time.
-                if resume >= deadline {
-                    continue;
-                }
-                if best.map_or(true, |(_, bt)| resume < bt) {
-                    best = Some((Pick::Unpark(t), resume));
-                }
-            }
-            let Some((pick, _)) = best else {
-                break;
+                pick
             };
 
             let c = match pick {
@@ -431,7 +494,69 @@ mod tests {
             duration,
             step_limit: None,
             faults: FaultPlan::default(),
+            controller: None,
         }
+    }
+
+    /// Controller steering: always run the highest runnable thread id.
+    #[derive(Debug)]
+    struct HighestFirst;
+    impl ScheduleController for HighestFirst {
+        fn pick(&self, runnable: &[usize]) -> usize {
+            *runnable.last().expect("nonempty candidates")
+        }
+    }
+
+    #[test]
+    fn controller_dictates_the_interleaving() {
+        struct Greedy {
+            left: u32,
+        }
+        impl Worker for Greedy {
+            fn step(&mut self, cpu: &mut Cpu) -> StepOutcome {
+                cpu.charge(10);
+                if self.left == 0 {
+                    return StepOutcome::Finished;
+                }
+                self.left -= 1;
+                StepOutcome::OpDone
+            }
+        }
+        let cfg = config(Cycles::MAX / 2).with_controller(Arc::new(HighestFirst));
+        let sim = Simulator::new(cfg);
+        let (report, _) = sim.run(vec![Greedy { left: 50 }, Greedy { left: 50 }]);
+        // Thread 1 ran to completion before thread 0 ever stepped, so its
+        // final clock is *earlier* — the opposite of the time-ordered
+        // policy, which would interleave them step by step.
+        assert_eq!(report.total_ops(), 100);
+        assert!(
+            report.threads[1].final_time <= report.threads[0].final_time,
+            "controller must have run thread 1 first"
+        );
+    }
+
+    #[test]
+    fn controller_runs_are_deterministic() {
+        let run = || {
+            let cfg = config(100_000).with_controller(Arc::new(HighestFirst));
+            Simulator::new(cfg).run_with(4, |_| Box::new(Clockwork { per_op: 777 }))
+        };
+        let ops = |r: &SimReport| r.threads.iter().map(|t| t.ops).collect::<Vec<_>>();
+        assert_eq!(ops(&run()), ops(&run()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-runnable thread")]
+    fn controller_must_pick_a_runnable_thread() {
+        #[derive(Debug)]
+        struct Bogus;
+        impl ScheduleController for Bogus {
+            fn pick(&self, _runnable: &[usize]) -> usize {
+                usize::MAX
+            }
+        }
+        let cfg = config(1_000).with_controller(Arc::new(Bogus));
+        Simulator::new(cfg).run_with(1, |_| Box::new(Clockwork { per_op: 10 }));
     }
 
     #[test]

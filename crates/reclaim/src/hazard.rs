@@ -49,6 +49,13 @@ impl HazardGlobals {
     pub fn scan_threshold(&self) -> usize {
         2 * self.max_threads * self.slots_per_thread
     }
+
+    /// The hazard-slot matrix as a `(base, words)` region — the precise
+    /// set of published protections, suitable as a re-exposure root for
+    /// the heap's use-after-free oracle.
+    pub fn region(&self) -> (Addr, u64) {
+        (self.slots, (self.max_threads * self.stride) as u64)
+    }
 }
 
 /// Per-thread hazard-pointer executor.
@@ -61,13 +68,32 @@ pub struct HazardThread {
     active: bool,
     used_guards: u64,
     rlist: Vec<Addr>,
+    /// Retired-list size that triggers a scan; 0 means
+    /// [`HazardGlobals::scan_threshold`].
+    retire_batch: usize,
+    /// **Mutation knob for the model checker.** When set, `load_ptr` skips
+    /// the publish-fence-revalidate protocol and only records the intended
+    /// publication; it lands at the *start of the next step*, so the node
+    /// is unprotected across a scheduling point — the bug class the
+    /// protocol exists to prevent.
+    defer_publish: bool,
+    /// Publications deferred by the mutation: `(slot index, value)`.
+    pending_publish: Vec<(u64, Word)>,
     /// Scans performed (statistics).
     pub scans: u64,
 }
 
 impl HazardThread {
-    /// Creates the executor for thread slot `thread_id`.
-    pub fn new(globals: Arc<HazardGlobals>, heap: Arc<Heap>, thread_id: usize) -> Self {
+    /// Creates the executor for thread slot `thread_id`. `retire_batch`
+    /// overrides the scan threshold when non-zero; `defer_publish` enables
+    /// the validation-disabling mutation (model-checker use only).
+    pub fn new(
+        globals: Arc<HazardGlobals>,
+        heap: Arc<Heap>,
+        thread_id: usize,
+        retire_batch: usize,
+        defer_publish: bool,
+    ) -> Self {
         Self {
             globals,
             heap,
@@ -77,7 +103,18 @@ impl HazardThread {
             active: false,
             used_guards: 0,
             rlist: Vec::new(),
+            retire_batch,
+            defer_publish,
+            pending_publish: Vec::new(),
             scans: 0,
+        }
+    }
+
+    fn scan_trigger(&self) -> usize {
+        if self.retire_batch > 0 {
+            self.retire_batch
+        } else {
+            self.globals.scan_threshold()
         }
     }
 
@@ -134,6 +171,13 @@ impl OpMem for HazardThread {
             if v & !TAG_MASK == 0 {
                 return Ok(v);
             }
+            if self.defer_publish {
+                // Mutation: no publish, no fence, no revalidation — the
+                // hazard write is queued for the next step boundary.
+                self.pending_publish.push((slot, v & !TAG_MASK));
+                self.used_guards |= 1 << guard;
+                return Ok(v);
+            }
             self.heap
                 .store(cpu, self.globals.slots, slot, v & !TAG_MASK);
             self.used_guards |= 1 << guard;
@@ -169,7 +213,7 @@ impl OpMem for HazardThread {
 
     fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
         self.rlist.push(addr);
-        if self.rlist.len() >= self.globals.scan_threshold() {
+        if self.rlist.len() >= self.scan_trigger() {
             self.scan(cpu);
         }
         Ok(())
@@ -207,9 +251,16 @@ impl SchemeThread for HazardThread {
 
     fn step_op(&mut self, cpu: &mut Cpu, body: &mut OpBody<'_>) -> Option<Word> {
         assert!(self.active, "step_op without an active operation");
+        // Mutation mode: publications deferred by `load_ptr` land here, one
+        // scheduling point too late.
+        for (slot, value) in std::mem::take(&mut self.pending_publish) {
+            self.heap.store(cpu, self.globals.slots, slot, value);
+        }
         match expect_step(body(self, cpu)) {
             Step::Continue => None,
             Step::Done(v) => {
+                // Publications still pending at op end are dead.
+                self.pending_publish.clear();
                 // Release the guards this operation touched.
                 let mut used = self.used_guards;
                 while used != 0 {
@@ -258,7 +309,7 @@ mod tests {
     #[test]
     fn protected_load_publishes_hazard_and_fences() {
         let (globals, heap) = setup(1);
-        let mut th = HazardThread::new(globals.clone(), heap.clone(), 0);
+        let mut th = HazardThread::new(globals.clone(), heap.clone(), 0, 0, false);
         let mut cpu = test_cpu(0);
         let cell = heap.alloc_untimed(1).unwrap();
         let x = heap.alloc_untimed(2).unwrap();
@@ -280,8 +331,8 @@ mod tests {
     #[test]
     fn hazarded_node_survives_scan() {
         let (globals, heap) = setup(2);
-        let mut holder = HazardThread::new(globals.clone(), heap.clone(), 0);
-        let mut reclaimer = HazardThread::new(globals.clone(), heap.clone(), 1);
+        let mut holder = HazardThread::new(globals.clone(), heap.clone(), 0, 0, false);
+        let mut reclaimer = HazardThread::new(globals.clone(), heap.clone(), 1, 0, false);
         let mut cpu_h = test_cpu(0);
         let mut cpu_r = test_cpu(1);
 
@@ -316,7 +367,7 @@ mod tests {
     fn scan_triggers_at_threshold() {
         let (globals, heap) = setup(1);
         let threshold = globals.scan_threshold();
-        let mut th = HazardThread::new(globals, heap.clone(), 0);
+        let mut th = HazardThread::new(globals, heap.clone(), 0, 0, false);
         let mut cpu = test_cpu(0);
 
         for i in 0..threshold {
@@ -336,7 +387,7 @@ mod tests {
     #[test]
     fn teardown_frees_everything() {
         let (globals, heap) = setup(1);
-        let mut th = HazardThread::new(globals, heap.clone(), 0);
+        let mut th = HazardThread::new(globals, heap.clone(), 0, 0, false);
         let mut cpu = test_cpu(0);
         let n = heap.alloc_untimed(2).unwrap();
         th.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
@@ -350,7 +401,7 @@ mod tests {
     #[test]
     fn null_loads_skip_the_protocol() {
         let (globals, heap) = setup(1);
-        let mut th = HazardThread::new(globals, heap.clone(), 0);
+        let mut th = HazardThread::new(globals, heap.clone(), 0, 0, false);
         let mut cpu = test_cpu(0);
         let cell = heap.alloc_untimed(1).unwrap();
         th.begin_op(&mut cpu, 0, 0);

@@ -166,6 +166,12 @@ pub struct ReclaimConfig {
     /// stalled or crashed thread only costs one budget before the
     /// reclaimer resumes operating with a growing limbo list.
     pub epoch_wait_budget: u64,
+    /// **Mutation knob for the model checker — never enable in real
+    /// runs.** Defers the hazard-pointer publish/fence/revalidate of
+    /// `load_ptr` to the next step boundary, re-opening the protection
+    /// race Michael's protocol closes. `st-check`'s mutation tests flip
+    /// this to prove the use-after-free oracle has teeth.
+    pub mutation_defer_hazard_publish: bool,
 }
 
 impl Default for ReclaimConfig {
@@ -176,6 +182,7 @@ impl Default for ReclaimConfig {
             dta_k: 20,
             dta_freeze_lag: 128,
             epoch_wait_budget: 2_500_000,
+            mutation_defer_hazard_publish: false,
         }
     }
 }
@@ -316,6 +323,18 @@ impl SchemeFactory {
         }
     }
 
+    /// Precise protection-publication regions for the heap's ABA
+    /// re-exposure oracle: heap words that, while holding a pointer,
+    /// forbid recycling its block. Only hazard pointers publish such a
+    /// region today — the other schemes protect via epochs/anchors or
+    /// scannable thread contexts, which legitimately hold stale values.
+    pub fn protection_roots(&self) -> Vec<(st_simheap::Addr, u64)> {
+        match &self.globals {
+            SchemeGlobals::Hazard(globals) => vec![globals.region()],
+            _ => Vec::new(),
+        }
+    }
+
     /// Builds the executor for thread slot `thread_id`.
     pub fn thread(&self, thread_id: usize) -> Box<dyn SchemeThread> {
         match &self.globals {
@@ -331,6 +350,8 @@ impl SchemeFactory {
                 globals.clone(),
                 self.engine.heap().clone(),
                 thread_id,
+                self.config.retire_batch,
+                self.config.mutation_defer_hazard_publish,
             )),
             SchemeGlobals::Dta(globals) => Box::new(dta::DtaThread::new(
                 globals.clone(),

@@ -4,12 +4,89 @@ use crate::addr::{Addr, Word};
 use crate::alloc::{AllocError, AllocStats, Allocator};
 use crate::traffic::Traffic;
 use st_machine::Cpu;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Pattern written to freed words; reading it back from a committed
 /// operation is a use-after-free and fails tests loudly.
 pub const POISON: Word = 0xDEAD_BEEF_DEAD_BEE8;
+
+/// What the use-after-free oracle caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UafKind {
+    /// A timed load from a freed block.
+    Read,
+    /// A timed store into a freed block.
+    Write,
+    /// A timed CAS/fetch-add on a freed block.
+    Cas,
+    /// A freed block was handed out again while a registered protection
+    /// root still referenced it (the ABA re-exposure window).
+    Reexposure,
+}
+
+impl std::fmt::Display for UafKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            UafKind::Read => "read-after-free",
+            UafKind::Write => "write-after-free",
+            UafKind::Cas => "cas-after-free",
+            UafKind::Reexposure => "aba-reexposure",
+        })
+    }
+}
+
+/// One recorded memory-safety violation.
+///
+/// Recording does not stop the simulation — execution proceeds (and may
+/// later panic on poison) so a checker can collect every violation of a
+/// schedule and attribute it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UafViolation {
+    /// Violation class.
+    pub kind: UafKind,
+    /// Simulated thread that performed the access (for
+    /// [`UafKind::Reexposure`], the thread whose allocation recycled the
+    /// block).
+    pub thread: usize,
+    /// Base address of the affected block.
+    pub base: Addr,
+    /// Raw address of the offending word: the accessed word, or for
+    /// re-exposure the root word still holding the reference.
+    pub raw: u64,
+}
+
+impl std::fmt::Display for UafViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            UafKind::Reexposure => write!(
+                f,
+                "{}: thread {} re-allocated block {:?} while root word {:#x} still references it",
+                self.kind, self.thread, self.base, self.raw
+            ),
+            _ => write!(
+                f,
+                "{}: thread {} touched word {:#x} of freed block {:?}",
+                self.kind, self.thread, self.raw, self.base
+            ),
+        }
+    }
+}
+
+/// A protection region the re-exposure check scans on every timed
+/// allocation: `words` heap words starting at `base`, holding published
+/// (possibly tag-marked) pointers — e.g. the hazard-slot matrix.
+#[derive(Debug, Clone, Copy)]
+struct UafRoot {
+    base: Addr,
+    words: u64,
+}
+
+#[derive(Debug, Default)]
+struct UafState {
+    roots: Vec<UafRoot>,
+    violations: Vec<UafViolation>,
+}
 
 /// Heap sizing and behaviour knobs.
 #[derive(Debug, Clone)]
@@ -63,6 +140,10 @@ pub struct Heap {
     allocator: Mutex<Allocator>,
     traffic: Traffic,
     config: HeapConfig,
+    /// Fast-path flag for the use-after-free oracle; checked before any
+    /// locking so a disabled oracle costs one relaxed atomic load.
+    uaf_enabled: AtomicBool,
+    uaf: Mutex<UafState>,
 }
 
 impl Heap {
@@ -77,6 +158,8 @@ impl Heap {
             allocator: Mutex::new(Allocator::new(config.capacity_words)),
             traffic: Traffic::new(config.traffic_slots),
             config,
+            uaf_enabled: AtomicBool::new(false),
+            uaf: Mutex::new(UafState::default()),
         }
     }
 
@@ -105,6 +188,7 @@ impl Heap {
         let extra = self.traffic.on_read(&cpu.costs, line, cpu.hw.id, cpu.now());
         cpu.charge(cpu.costs.load + extra);
         cpu.counters.loads += 1;
+        self.uaf_check(cpu.thread_id, UafKind::Read, addr, off);
         self.cell(addr, off).load(Ordering::Relaxed)
     }
 
@@ -117,6 +201,7 @@ impl Heap {
             .on_write(&cpu.costs, line, cpu.hw.id, cpu.now());
         cpu.charge(cpu.costs.store + extra);
         cpu.counters.stores += 1;
+        self.uaf_check(cpu.thread_id, UafKind::Write, addr, off);
         self.cell(addr, off).store(value, Ordering::Relaxed);
     }
 
@@ -137,6 +222,7 @@ impl Heap {
             .on_write(&cpu.costs, line, cpu.hw.id, cpu.now());
         cpu.charge(cpu.costs.cas + extra);
         cpu.counters.cas_ops += 1;
+        self.uaf_check(cpu.thread_id, UafKind::Cas, addr, off);
         self.cell(addr, off)
             .compare_exchange(expected, new, Ordering::Relaxed, Ordering::Relaxed)
     }
@@ -159,6 +245,7 @@ impl Heap {
             .on_write(&cpu.costs, line, cpu.hw.id, cpu.now());
         cpu.charge(cpu.costs.cas + extra);
         cpu.counters.cas_ops += 1;
+        self.uaf_check(cpu.thread_id, UafKind::Cas, addr, off);
         self.cell(addr, off).fetch_add(delta, Ordering::Relaxed)
     }
 
@@ -193,6 +280,7 @@ impl Heap {
         for off in 0..block {
             self.cell(addr, off).store(0, Ordering::Relaxed);
         }
+        self.uaf_check_reexposure(cpu.thread_id, addr, block);
         Ok(addr)
     }
 
@@ -236,6 +324,99 @@ impl Heap {
             }
         }
         self.allocator.lock().unwrap().free(addr);
+    }
+
+    // ------------------------------------------------------------------
+    // Use-after-free oracle.
+    // ------------------------------------------------------------------
+
+    /// Enables or disables the use-after-free oracle.
+    ///
+    /// While enabled, every *timed* access (the accesses simulated
+    /// programs make) to a word inside a freed block records a
+    /// [`UafViolation`], and every timed allocation checks the registered
+    /// protection roots for references into the recycled block (ABA
+    /// re-exposure). Untimed `peek`/`poke` are exempt: they model test and
+    /// scanner introspection, not program reads.
+    pub fn set_uaf_oracle(&self, enabled: bool) {
+        self.uaf_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Registers a protection-root region for the re-exposure check:
+    /// `words` heap words at `base` holding published (possibly
+    /// tag-marked) pointers. Only precise publication regions belong here
+    /// — words that always reference currently-protected objects, like the
+    /// hazard-slot matrix. Conservative regions (StackTrack's committed
+    /// shadow frames, which legitimately hold stale values) would produce
+    /// false positives.
+    pub fn add_uaf_root(&self, base: Addr, words: u64) {
+        self.uaf.lock().unwrap().roots.push(UafRoot { base, words });
+    }
+
+    /// Violations recorded since the oracle was enabled.
+    pub fn uaf_violations(&self) -> Vec<UafViolation> {
+        self.uaf.lock().unwrap().violations.clone()
+    }
+
+    /// Oracle hook for *validated speculative* reads (the HTM engine's
+    /// transactional loads, which go through `peek` plus version
+    /// validation rather than [`Heap::load`]).
+    ///
+    /// A speculative read that passes validation yet lands in a freed
+    /// block belongs to a transaction that *began after* the free —
+    /// in-flight readers at free time are doomed by the version bump and
+    /// never return data — so it is a genuine use-after-free, not HTM
+    /// speculation that will be discarded.
+    pub fn note_speculative_read(&self, thread: usize, addr: Addr, off: u64) {
+        self.uaf_check(thread, UafKind::Read, addr, off);
+    }
+
+    /// Records a violation if `addr + off` lies inside a freed block.
+    fn uaf_check(&self, thread: usize, kind: UafKind, addr: Addr, off: u64) {
+        if !self.uaf_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let raw = addr.offset(off).raw();
+        let freed_base = {
+            let a = self.allocator.lock().unwrap();
+            match a.object_at(raw) {
+                Some((base, info)) if !info.live => Some(base),
+                _ => None,
+            }
+        };
+        if let Some(base) = freed_base {
+            self.uaf.lock().unwrap().violations.push(UafViolation {
+                kind,
+                thread: thread,
+                base,
+                raw,
+            });
+        }
+    }
+
+    /// Records a violation if any registered root still references the
+    /// just-(re)allocated block `[addr, addr + block)`.
+    fn uaf_check_reexposure(&self, thread: usize, addr: Addr, block: u64) {
+        if !self.uaf_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let lo = addr.raw();
+        let hi = addr.offset(block).raw();
+        let mut state = self.uaf.lock().unwrap();
+        let roots = state.roots.clone();
+        for root in roots {
+            for off in 0..root.words {
+                let stripped = self.peek(root.base, off) & !crate::tagged::TAG_MASK;
+                if stripped >= lo && stripped < hi {
+                    state.violations.push(UafViolation {
+                        kind: UafKind::Reexposure,
+                        thread: thread,
+                        base: addr,
+                        raw: root.base.offset(off).raw(),
+                    });
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -383,6 +564,61 @@ mod tests {
         let heap = Heap::new(HeapConfig::small());
         let mut c = cpu();
         heap.load(&mut c, Addr::from_index(0), 0);
+    }
+
+    #[test]
+    fn uaf_oracle_records_access_to_freed_block() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        heap.set_uaf_oracle(true);
+        let a = heap.alloc(&mut c, 2).unwrap();
+        heap.free(&mut c, a);
+        heap.load(&mut c, a, 1);
+        heap.store(&mut c, a, 0, 9);
+        let _ = heap.cas(&mut c, a, 0, 9, 10);
+        let v = heap.uaf_violations();
+        assert_eq!(
+            v.iter().map(|x| x.kind).collect::<Vec<_>>(),
+            vec![UafKind::Read, UafKind::Write, UafKind::Cas]
+        );
+        assert!(v.iter().all(|x| x.base == a && x.thread == 0));
+    }
+
+    #[test]
+    fn uaf_oracle_is_silent_when_disabled_or_block_live() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        let a = heap.alloc(&mut c, 2).unwrap();
+        heap.load(&mut c, a, 0); // live: fine
+        heap.free(&mut c, a);
+        heap.load(&mut c, a, 0); // oracle off: unrecorded
+        assert!(heap.uaf_violations().is_empty());
+    }
+
+    #[test]
+    fn uaf_oracle_flags_reexposure_through_a_root() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        heap.set_uaf_oracle(true);
+        // A one-word "hazard slot" region still holding a (tagged) pointer
+        // to the block when the allocator recycles it.
+        let slot = heap.alloc(&mut c, 1).unwrap();
+        heap.add_uaf_root(slot, 1);
+        let a = heap.alloc(&mut c, 2).unwrap();
+        heap.store(&mut c, slot, 0, a.raw() | 1);
+        heap.free(&mut c, a);
+        let b = heap.alloc(&mut c, 2).unwrap();
+        assert_eq!(b, a, "size-class free list recycles the block");
+        let v = heap.uaf_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, UafKind::Reexposure);
+        assert_eq!(v[0].base, a);
+        assert_eq!(v[0].raw, slot.raw());
+        // Clearing the slot before recycling is clean.
+        heap.store(&mut c, slot, 0, 0);
+        heap.free(&mut c, b);
+        let _ = heap.alloc(&mut c, 2).unwrap();
+        assert_eq!(heap.uaf_violations().len(), 1, "no new violation");
     }
 
     #[test]

@@ -184,6 +184,10 @@ impl HtmEngine {
         if s2 != s1 {
             return Err(self.fail(cpu, tx, AbortCode::Conflict));
         }
+        // Validated read of a freed block: the transaction began after the
+        // free (doomed readers abort above), so this is a real
+        // use-after-free when the heap's oracle is armed.
+        self.heap.note_speculative_read(cpu.thread_id, addr, off);
         tx.record_read_stripe(stripe);
         self.admit_line(cpu, tx, addr, off)?;
         Ok(value)

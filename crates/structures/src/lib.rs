@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod hash;
+pub mod history;
 pub mod list;
 pub mod queue;
 pub mod rbtree;

@@ -54,6 +54,7 @@ const P_INSERT: Word = 2;
 const P_DELETE_MARK: Word = 3;
 const P_DELETE_UNLINK: Word = 4;
 const P_DONE_OK: Word = 5;
+const P_FIND_ADVANCE: Word = 6;
 
 /// The shared shape of one Harris list: its sentinel addresses.
 ///
@@ -170,6 +171,24 @@ fn find_step(shape: ListShape, key: u64, m: &mut dyn OpMem, cpu: &mut Cpu) -> Re
         m.set_local(cpu, PHASE, P_FIND_STEP);
         return Ok(Step::Continue);
     }
+    if phase == P_FIND_ADVANCE {
+        // Advance: prev <- cur, cur <- next (guards rotate in the same
+        // order). The shuffle runs in its own block, like the compiled
+        // code it models: the pointer load is one instruction, the
+        // register/stack moves are later ones, and a segment boundary may
+        // fall in between. A commit here republishes the frame with `cur`
+        // shifted into a lower (possibly already-scanned) slot without
+        // touching any heap word a concurrent reclaimer wrote — the
+        // torn-snapshot window the scan's consistency re-read rejects.
+        let cur = m.get_local(cpu, CUR);
+        let next = TaggedPtr::from_word(m.get_local(cpu, NEXT));
+        m.protect(cpu, G_PREV, cur);
+        m.protect(cpu, G_CUR, next.addr().raw());
+        m.set_local(cpu, PREV, cur);
+        m.set_local(cpu, CUR, next.addr().raw());
+        m.set_local(cpu, PHASE, P_FIND_STEP);
+        return Ok(Step::Continue);
+    }
     debug_assert_eq!(phase, P_FIND_STEP);
 
     let prev = Addr::from_raw(m.get_local(cpu, PREV));
@@ -202,11 +221,11 @@ fn find_step(shape: ListShape, key: u64, m: &mut dyn OpMem, cpu: &mut Cpu) -> Re
         return Ok(Step::Continue);
     }
 
-    // Advance: prev <- cur, cur <- next (guards rotate in the same order).
-    m.protect(cpu, G_PREV, cur.raw());
-    m.protect(cpu, G_CUR, next.addr().raw());
-    m.set_local(cpu, PREV, cur.raw());
-    m.set_local(cpu, CUR, next.addr().raw());
+    // Not found yet: stash the successor and advance in the next block.
+    // (`next.addr` stays guarded by G_NEXT across the boundary, so the
+    // split is hazard-safe: every retained pointer keeps a guard.)
+    m.set_local(cpu, NEXT, next.word());
+    m.set_local(cpu, PHASE, P_FIND_ADVANCE);
     Ok(Step::Continue)
 }
 
@@ -222,7 +241,7 @@ pub fn contains_body(
     move |m, cpu| {
         let phase = m.get_local(cpu, PHASE);
         match phase {
-            P_FIND_START | P_FIND_STEP => {
+            P_FIND_START | P_FIND_STEP | P_FIND_ADVANCE => {
                 if phase == P_FIND_START {
                     m.set_local(cpu, CONT, P_DONE_OK);
                 }
@@ -246,7 +265,7 @@ pub fn insert_body(
     move |m, cpu| {
         let phase = m.get_local(cpu, PHASE);
         match phase {
-            P_FIND_START | P_FIND_STEP => {
+            P_FIND_START | P_FIND_STEP | P_FIND_ADVANCE => {
                 if phase == P_FIND_START {
                     m.set_local(cpu, CONT, P_INSERT);
                 }
@@ -298,7 +317,7 @@ pub fn delete_body(
     move |m, cpu| {
         let phase = m.get_local(cpu, PHASE);
         match phase {
-            P_FIND_START | P_FIND_STEP => {
+            P_FIND_START | P_FIND_STEP | P_FIND_ADVANCE => {
                 if phase == P_FIND_START && m.get_local(cpu, CONT) == 0 {
                     m.set_local(cpu, CONT, P_DELETE_MARK);
                 }

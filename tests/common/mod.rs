@@ -4,13 +4,19 @@
 //! worker that drives any structure under any scheme on the simulated
 //! machine.
 
-use st_machine::{Cpu, FaultPlan, SimConfig, SimReport, Simulator, StepOutcome, Worker};
+use st_machine::{
+    Cpu, FaultPlan, SimConfig, SimReport, Simulator, StepOutcome, Worker, CYCLES_PER_SECOND,
+};
+use st_obs::MetricsRegistry;
 use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory, SchemeThread};
 use st_simheap::{Heap, HeapConfig};
 use st_simhtm::{HtmConfig, HtmEngine};
 use st_structures::{hash, list, queue, skiplist};
 use stacktrack::OpBody;
 use std::sync::Arc;
+
+/// Virtual cycles per millisecond of simulated time.
+pub const MS: u64 = CYCLES_PER_SECOND / 1000;
 
 /// Structures the mixed workload can target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -257,6 +263,37 @@ pub fn run_mix_faulted(
         .collect();
     let sim = Simulator::new(SimConfig::haswell_ms(duration_ms, seed).with_faults(faults));
     sim.run(workers)
+}
+
+/// Collects everything a run observed into one registry (scheme metrics
+/// from every worker, machine counters, fault counters), rendered as
+/// canonical JSON so tests can compare two runs byte for byte.
+pub fn snapshot(report: &SimReport, workers: &[MixWorker]) -> String {
+    let mut reg = MetricsRegistry::new();
+    for w in workers {
+        w.executor().report_metrics(&mut reg);
+    }
+    reg.add("run.total_ops", report.total_ops());
+    reg.add("machine.fences", report.sum_counter(|c| c.fences));
+    reg.add("machine.loads", report.sum_counter(|c| c.loads));
+    reg.add("machine.stores", report.sum_counter(|c| c.stores));
+    reg.add(
+        "machine.context_switches",
+        report.sum_counter(|c| c.context_switches),
+    );
+    reg.add("fault.stalls", report.faults.stalls);
+    reg.add("fault.stall_cycles", report.faults.stall_cycles);
+    reg.add("fault.kills", report.faults.kills);
+    reg.add("fault.storm_switches", report.faults.storm_switches);
+    reg.to_json().to_string()
+}
+
+/// The fault plan shared by the fault-injection tests: a mid-run stall on
+/// thread 2 plus a preemption storm on context 0.
+pub fn stall_storm_plan() -> FaultPlan {
+    FaultPlan::default()
+        .stall(2, MS / 2, MS)
+        .storm(0, MS / 4, MS / 8)
 }
 
 /// Checks the structure's invariants.

@@ -4,7 +4,8 @@
 
 mod common;
 
-use common::{build_env, run_mix, Target};
+use common::{build_env, run_mix, run_mix_faulted, snapshot, Target, MS};
+use st_machine::FaultPlan;
 use st_reclaim::Scheme;
 
 fn fingerprint(seed: u64) -> (u64, Vec<u64>, u64, u64) {
@@ -35,6 +36,48 @@ fn different_seeds_diverge() {
         (b.0, b.2),
         "different seeds should change the interleaving"
     );
+}
+
+/// The full matrix: every reclamation scheme crossed with every fault
+/// event kind the plan language offers (stall, kill, preemption storm,
+/// and their combination). Each cell runs twice and the complete metric
+/// snapshot — scheme counters, machine counters, fault accounting —
+/// must match byte for byte. This is the contract the robustness
+/// experiments and the fault-injection tests both stand on: a fault
+/// plan perturbs the execution, never the determinism.
+#[test]
+fn every_scheme_times_every_fault_kind_is_byte_identical() {
+    let kinds: [(&str, fn() -> FaultPlan); 4] = [
+        ("stall", || FaultPlan::default().stall(2, MS / 2, MS / 2)),
+        ("kill", || FaultPlan::default().kill(1, MS / 2)),
+        ("storm", || FaultPlan::default().storm(0, MS / 4, MS / 2)),
+        ("combined", || {
+            FaultPlan::default()
+                .stall(2, MS / 4, MS / 4)
+                .kill(3, MS / 2)
+                .storm(0, MS / 2, MS / 4)
+        }),
+    ];
+    for scheme in [
+        Scheme::None,
+        Scheme::Epoch,
+        Scheme::Hazard,
+        Scheme::StackTrack,
+        Scheme::Dta,
+    ] {
+        for (kind, mk_plan) in &kinds {
+            let run = || {
+                let env = build_env(Target::List, scheme, 4, 100, 23);
+                let (report, workers) = run_mix_faulted(&env, 4, 1, 200, 23, mk_plan());
+                snapshot(&report, &workers)
+            };
+            assert_eq!(
+                run(),
+                run(),
+                "{scheme:?} under a {kind} fault must reproduce byte-identically"
+            );
+        }
+    }
 }
 
 #[test]

@@ -3,40 +3,9 @@
 
 mod common;
 
-use common::{build_env, check_instance, run_mix_faulted, Target};
-use st_machine::{FaultPlan, CYCLES_PER_SECOND};
-use st_obs::MetricsRegistry;
+use common::{build_env, check_instance, run_mix_faulted, snapshot, stall_storm_plan, Target, MS};
+use st_machine::FaultPlan;
 use st_reclaim::Scheme;
-
-const MS: u64 = CYCLES_PER_SECOND / 1000;
-
-/// Collects everything a run observed into one registry (scheme metrics
-/// from every worker, machine counters, fault counters).
-fn snapshot(report: &st_machine::SimReport, workers: &[common::MixWorker]) -> String {
-    let mut reg = MetricsRegistry::new();
-    for w in workers {
-        w.executor().report_metrics(&mut reg);
-    }
-    reg.add("run.total_ops", report.total_ops());
-    reg.add("machine.fences", report.sum_counter(|c| c.fences));
-    reg.add("machine.loads", report.sum_counter(|c| c.loads));
-    reg.add("machine.stores", report.sum_counter(|c| c.stores));
-    reg.add(
-        "machine.context_switches",
-        report.sum_counter(|c| c.context_switches),
-    );
-    reg.add("fault.stalls", report.faults.stalls);
-    reg.add("fault.stall_cycles", report.faults.stall_cycles);
-    reg.add("fault.kills", report.faults.kills);
-    reg.add("fault.storm_switches", report.faults.storm_switches);
-    reg.to_json().to_string()
-}
-
-fn plan() -> FaultPlan {
-    FaultPlan::default()
-        .stall(2, MS / 2, MS)
-        .storm(0, MS / 4, MS / 8)
-}
 
 /// The tentpole guarantee: one seed plus one fault plan is one execution.
 /// Two runs must agree on every metric, byte for byte.
@@ -44,7 +13,7 @@ fn plan() -> FaultPlan {
 fn identical_seed_and_plan_reproduce_identical_metrics() {
     let mk = || {
         let env = build_env(Target::List, Scheme::StackTrack, 4, 150, 7);
-        let (report, workers) = run_mix_faulted(&env, 4, 2, 300, 7, plan());
+        let (report, workers) = run_mix_faulted(&env, 4, 2, 300, 7, stall_storm_plan());
         snapshot(&report, &workers)
     };
     let first = mk();
@@ -57,9 +26,9 @@ fn identical_seed_and_plan_reproduce_identical_metrics() {
 #[test]
 fn different_seed_changes_the_execution() {
     let env_a = build_env(Target::List, Scheme::StackTrack, 4, 150, 7);
-    let (report_a, workers_a) = run_mix_faulted(&env_a, 4, 2, 300, 7, plan());
+    let (report_a, workers_a) = run_mix_faulted(&env_a, 4, 2, 300, 7, stall_storm_plan());
     let env_b = build_env(Target::List, Scheme::StackTrack, 4, 150, 8);
-    let (report_b, workers_b) = run_mix_faulted(&env_b, 4, 2, 300, 8, plan());
+    let (report_b, workers_b) = run_mix_faulted(&env_b, 4, 2, 300, 8, stall_storm_plan());
     assert_ne!(
         snapshot(&report_a, &workers_a),
         snapshot(&report_b, &workers_b)

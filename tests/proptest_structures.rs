@@ -1,24 +1,27 @@
-//! Randomized tests: random operation sequences against sequential oracles,
-//! for every structure under every scheme.
+//! Randomized property tests, driven through the `st-check` explorer.
 //!
-//! Driven by the simulator's own deterministic `Pcg32` (one stream per
-//! (scheme, case) pair) instead of an external property-testing crate — the
-//! build must work with no registry access, and explicit seeds make
+//! Every case is a [`CheckConfig`]: the seed deterministically generates
+//! per-thread operation scripts, the explorer's randomized mode varies
+//! the interleaving, and the per-operation history is validated against
+//! the structure's sequential specification by the Wing–Gong
+//! linearizability checker (with the heap's use-after-free oracle armed
+//! throughout). A violation shrinks to a replay token and fails the
+//! test with it, so any failure here is reproducible with
+//! `st-bench check --replay <token>`.
+//!
+//! No external property-testing crate: the build must work with no
+//! registry access, and explicit (seed, schedule-token) pairs make
 //! failures replayable by construction.
 
-use st_machine::rng::Pcg32;
-use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
-use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory};
-use st_simheap::{Heap, HeapConfig};
-use st_simhtm::{HtmConfig, HtmEngine};
-use st_structures::{hash, list, queue, skiplist};
-use stacktrack::StConfig;
-use std::collections::{BTreeSet, VecDeque};
-use std::sync::Arc;
+use st_check::{check, CheckConfig, ExploreConfig, ExploreMode, Structure};
+use st_reclaim::Scheme;
 
-/// Cases per (structure, scheme) pair — 6 schemes x 8 cases matches the
-/// original 48-case budget per structure.
-const CASES: u64 = 8;
+const STRUCTURES: [Structure; 4] = [
+    Structure::List,
+    Structure::Hash,
+    Structure::Queue,
+    Structure::SkipList,
+];
 
 const SCHEMES: [Scheme; 6] = [
     Scheme::None,
@@ -29,220 +32,84 @@ const SCHEMES: [Scheme; 6] = [
     Scheme::StackTrack,
 ];
 
-#[derive(Debug, Clone, Copy)]
-enum SetOp {
-    Insert(u64),
-    Delete(u64),
-    Contains(u64),
-}
-
-fn set_op(rng: &mut Pcg32) -> SetOp {
-    let k = 1 + rng.below(63);
-    match rng.below(3) {
-        0 => SetOp::Insert(k),
-        1 => SetOp::Delete(k),
-        _ => SetOp::Contains(k),
+/// DTA is list-only by design; substitute the leak-free baseline
+/// elsewhere (same convention as the scheme matrix tests).
+fn scheme_for(structure: Structure, scheme: Scheme) -> Scheme {
+    if scheme == Scheme::Dta && structure != Structure::List {
+        Scheme::Epoch
+    } else {
+        scheme
     }
 }
 
-fn env(scheme: Scheme) -> (Arc<Heap>, SchemeFactory, Cpu) {
-    let heap = Arc::new(Heap::new(HeapConfig {
-        capacity_words: 1 << 18,
-        ..HeapConfig::default()
-    }));
-    let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
-    let mut rc = ReclaimConfig::default();
-    rc.hazard_slots = 2 * skiplist::MAX_LEVEL + 2;
-    let factory = SchemeFactory::builder(scheme)
-        .engine(engine)
-        .reclaim_config(rc)
-        .build();
-    let topo = Topology::haswell();
-    let cpu = Cpu::new(
-        0,
-        HwContext::new(&topo, 0),
-        Arc::new(CostModel::default()),
-        Arc::new(ActivityBoard::new(topo.hw_contexts())),
-        77,
-    );
-    (heap, factory, cpu)
-}
-
-/// Runs `CASES` random set-operation scripts for `scheme` against a
-/// `BTreeSet` oracle, using the structure adapter supplied by `run_case`.
-fn check_set_structure(
-    seed: u64,
-    scheme: Scheme,
-    max_ops: u64,
-    mut run_case: impl FnMut(Scheme, &[SetOp], u64),
-) {
-    for case in 0..CASES {
-        let mut rng = Pcg32::new_stream(seed ^ scheme as u64, case);
-        let n = 1 + rng.below(max_ops - 1) as usize;
-        let ops: Vec<SetOp> = (0..n).map(|_| set_op(&mut rng)).collect();
-        run_case(scheme, &ops, case);
+/// Explores one workload and panics with the replay token on violation.
+fn explore(config: CheckConfig, explore: ExploreConfig) {
+    let report = check(&config, &explore);
+    if let Some(f) = report.failure {
+        panic!(
+            "{}/{} violated an oracle after {} schedules: {:?}\n  \
+             reproduce with: st-bench check --replay {}",
+            config.structure, config.scheme, report.schedules_run, f.violations, f.token
+        );
     }
+    assert!(report.schedules_run > 0);
 }
 
+/// Single-threaded scripts: with one runnable thread every scheduling
+/// decision is forced, so the one explored schedule is the sequential
+/// execution and linearizability degenerates to "every return value
+/// matches the sequential specification" — the classic
+/// structure-vs-oracle property, now routed through the recorder.
 #[test]
-fn list_matches_btreeset() {
-    for scheme in SCHEMES {
-        check_set_structure(0x11_57ed, scheme, 80, |scheme, ops, case| {
-            let (heap, factory, mut cpu) = env(scheme);
-            let shape = list::ListShape::new_untimed(&heap);
-            let mut th = factory.thread(0);
-            let mut oracle = BTreeSet::new();
-
-            for op in ops {
-                match *op {
-                    SetOp::Insert(k) => {
-                        let mut body = list::insert_body(shape, k);
-                        let got = th.run_op(&mut cpu, 1, list::LIST_SLOTS, &mut body) == 1;
-                        assert_eq!(got, oracle.insert(k), "{scheme:?} case {case}");
-                    }
-                    SetOp::Delete(k) => {
-                        let mut body = list::delete_body(shape, k);
-                        let got = th.run_op(&mut cpu, 2, list::LIST_SLOTS, &mut body) == 1;
-                        assert_eq!(got, oracle.remove(&k), "{scheme:?} case {case}");
-                    }
-                    SetOp::Contains(k) => {
-                        let mut body = list::contains_body(shape, k);
-                        let got = th.run_op(&mut cpu, 0, list::LIST_SLOTS, &mut body) == 1;
-                        assert_eq!(got, oracle.contains(&k), "{scheme:?} case {case}");
-                    }
-                }
+fn sequential_random_scripts_match_the_specs() {
+    for structure in STRUCTURES {
+        for scheme in SCHEMES {
+            for seed in 1..=4 {
+                explore(
+                    CheckConfig {
+                        structure,
+                        scheme: scheme_for(structure, scheme),
+                        threads: 1,
+                        ops_per_thread: 40,
+                        key_range: 16,
+                        seed,
+                        ..CheckConfig::default()
+                    },
+                    ExploreConfig {
+                        mode: ExploreMode::Random { percent: 0 },
+                        max_schedules: 1,
+                    },
+                );
             }
-            assert_eq!(
-                shape.collect_keys_untimed(&heap),
-                oracle.iter().copied().collect::<Vec<_>>(),
-                "{scheme:?} case {case}"
-            );
-            shape.check_invariants_untimed(&heap);
-        });
+        }
     }
 }
 
+/// Concurrent scripts under randomized interleavings: every structure,
+/// every scheme, several seeds, dozens of schedules each. Any torn
+/// traversal, premature free, or non-linearizable response fails with a
+/// shrunk replay token.
 #[test]
-fn skiplist_matches_btreeset() {
-    for scheme in SCHEMES {
-        // DTA is list-only by design; substitute the leak-free baseline.
-        let scheme = if scheme == Scheme::Dta {
-            Scheme::Epoch
-        } else {
-            scheme
-        };
-        check_set_structure(0x5c1_b0a7, scheme, 60, |scheme, ops, case| {
-            let (heap, factory, mut cpu) = env(scheme);
-            let shape = skiplist::SkipShape::new_untimed(&heap);
-            let mut th = factory.thread(0);
-            let mut oracle = BTreeSet::new();
-
-            for op in ops {
-                match *op {
-                    SetOp::Insert(k) => {
-                        let mut body = skiplist::insert_body(shape, k);
-                        let got = th.run_op(&mut cpu, 1, skiplist::SKIP_SLOTS, &mut body) == 1;
-                        assert_eq!(got, oracle.insert(k), "{scheme:?} case {case}");
-                    }
-                    SetOp::Delete(k) => {
-                        let mut body = skiplist::delete_body(shape, k);
-                        let got = th.run_op(&mut cpu, 2, skiplist::SKIP_SLOTS, &mut body) == 1;
-                        assert_eq!(got, oracle.remove(&k), "{scheme:?} case {case}");
-                    }
-                    SetOp::Contains(k) => {
-                        let mut body = skiplist::contains_body(shape, k);
-                        let got = th.run_op(&mut cpu, 0, skiplist::SKIP_SLOTS, &mut body) == 1;
-                        assert_eq!(got, oracle.contains(&k), "{scheme:?} case {case}");
-                    }
-                }
+fn concurrent_random_schedules_satisfy_oracles() {
+    for structure in STRUCTURES {
+        for scheme in SCHEMES {
+            for seed in 1..=2 {
+                explore(
+                    CheckConfig {
+                        structure,
+                        scheme: scheme_for(structure, scheme),
+                        threads: 3,
+                        ops_per_thread: 5,
+                        key_range: 6,
+                        seed,
+                        ..CheckConfig::default()
+                    },
+                    ExploreConfig {
+                        mode: ExploreMode::Random { percent: 25 },
+                        max_schedules: 50,
+                    },
+                );
             }
-            assert_eq!(
-                shape.collect_keys_untimed(&heap),
-                oracle.iter().copied().collect::<Vec<_>>(),
-                "{scheme:?} case {case}"
-            );
-            shape.check_invariants_untimed(&heap);
-        });
-    }
-}
-
-#[test]
-fn hash_matches_btreeset() {
-    for scheme in SCHEMES {
-        let scheme = if scheme == Scheme::Dta {
-            Scheme::Epoch
-        } else {
-            scheme
-        };
-        check_set_structure(0xba5e_d0, scheme, 80, |scheme, ops, case| {
-            let (heap, factory, mut cpu) = env(scheme);
-            let shape = hash::HashShape::new_untimed(&heap, 8);
-            let mut th = factory.thread(0);
-            let mut oracle = BTreeSet::new();
-
-            for op in ops {
-                match *op {
-                    SetOp::Insert(k) => {
-                        let mut body = hash::insert_body(&shape, k);
-                        let got = th.run_op(&mut cpu, 1, list::LIST_SLOTS, &mut body) == 1;
-                        assert_eq!(got, oracle.insert(k), "{scheme:?} case {case}");
-                    }
-                    SetOp::Delete(k) => {
-                        let mut body = hash::delete_body(&shape, k);
-                        let got = th.run_op(&mut cpu, 2, list::LIST_SLOTS, &mut body) == 1;
-                        assert_eq!(got, oracle.remove(&k), "{scheme:?} case {case}");
-                    }
-                    SetOp::Contains(k) => {
-                        let mut body = hash::contains_body(&shape, k);
-                        let got = th.run_op(&mut cpu, 0, list::LIST_SLOTS, &mut body) == 1;
-                        assert_eq!(got, oracle.contains(&k), "{scheme:?} case {case}");
-                    }
-                }
-            }
-            assert_eq!(
-                shape.collect_keys_untimed(&heap),
-                oracle.iter().copied().collect::<Vec<_>>(),
-                "{scheme:?} case {case}"
-            );
-            shape.check_invariants_untimed(&heap);
-        });
-    }
-}
-
-#[test]
-fn queue_matches_vecdeque() {
-    for scheme in SCHEMES {
-        let scheme = if scheme == Scheme::Dta {
-            Scheme::Epoch
-        } else {
-            scheme
-        };
-        for case in 0..CASES {
-            let mut rng = Pcg32::new_stream(0x90e0e ^ scheme as u64, case);
-            let n = 1 + rng.below(99) as usize;
-            let (heap, factory, mut cpu) = env(scheme);
-            let shape = queue::QueueShape::new_untimed(&heap);
-            let mut th = factory.thread(0);
-            let mut oracle: VecDeque<u64> = VecDeque::new();
-
-            for _ in 0..n {
-                if rng.chance(0.5) {
-                    let v = 1 + rng.below(999);
-                    let mut body = queue::enqueue_body(shape, v);
-                    th.run_op(&mut cpu, 0, queue::QUEUE_SLOTS, &mut body);
-                    oracle.push_back(v);
-                } else {
-                    let mut body = queue::dequeue_body(shape);
-                    let got = th.run_op(&mut cpu, 1, queue::QUEUE_SLOTS, &mut body);
-                    let expect = oracle.pop_front().unwrap_or(0);
-                    assert_eq!(got, expect, "{scheme:?} case {case}");
-                }
-            }
-            assert_eq!(
-                shape.collect_values_untimed(&heap),
-                oracle.iter().copied().collect::<Vec<_>>(),
-                "{scheme:?} case {case}"
-            );
         }
     }
 }

@@ -95,6 +95,7 @@ fn storm(scheme: Scheme, duration_cycles: u64) {
         duration: duration_cycles,
         step_limit: None,
         faults: st_machine::FaultPlan::default(),
+        controller: None,
     });
     let (report, _) = sim.run(workers);
     assert!(report.total_ops() > 100, "storm must do real work");
@@ -195,6 +196,7 @@ fn list_storm(scheme: Scheme) {
         duration: 2_000_000,
         step_limit: None,
         faults: st_machine::FaultPlan::default(),
+        controller: None,
     });
     let (report, _) = sim.run(workers);
     assert!(report.total_ops() > 50, "storm must do real work");
