@@ -66,6 +66,32 @@ impl RunConfig {
     }
 }
 
+/// Per-thread breakdown of one run (the `per_thread` envelope of the
+/// schema-v2 metrics snapshot, see `docs/METRICS.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerThread {
+    /// Simulated thread id (`0..threads`).
+    pub thread: usize,
+    /// Operations this thread completed.
+    pub ops: u64,
+    /// Virtual cycles this thread was busy (its final clock).
+    pub busy_cycles: u64,
+    /// Retired-but-unfreed nodes this thread held at the deadline.
+    pub garbage: u64,
+}
+
+impl PerThread {
+    /// One row of the snapshot's `per_thread` array.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("thread", self.thread);
+        o.set("ops", self.ops);
+        o.set("busy_cycles", self.busy_cycles);
+        o.set("garbage", self.garbage);
+        o
+    }
+}
+
 /// Results of one run (serialized by the report generator).
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -127,6 +153,9 @@ pub struct RunResult {
     pub garbage: u64,
     /// Live heap words at the end (leak visibility).
     pub live_words: u64,
+    /// Per-thread breakdown (ops, busy cycles, deadline garbage), one row
+    /// per simulated thread in id order.
+    pub per_thread: Vec<PerThread>,
     /// The full metrics snapshot (abort causes, histograms, per-scheme
     /// counters) aggregated over all workers.
     pub metrics: MetricsRegistry,
@@ -264,6 +293,18 @@ pub fn run(config: &RunConfig) -> RunResult {
         report.sum_counter(|c| c.context_switches),
     );
     metrics.set("heap.live_words", heap.stats().alloc.live_words);
+    let per_thread: Vec<PerThread> = report
+        .threads
+        .iter()
+        .zip(&workers)
+        .enumerate()
+        .map(|(thread, (t, w))| PerThread {
+            thread,
+            ops: t.ops,
+            busy_cycles: t.final_time,
+            garbage: w.garbage_at_deadline(),
+        })
+        .collect();
     let busy_cycles: u64 = report.threads.iter().map(|t| t.final_time).sum();
     let scan_penalty_pct = if busy_cycles > 0 {
         100.0 * st_total.scan_cycles as f64 / busy_cycles as f64
@@ -301,6 +342,7 @@ pub fn run(config: &RunConfig) -> RunResult {
         scan_penalty_pct,
         garbage,
         live_words: heap.stats().alloc.live_words,
+        per_thread,
         metrics,
     }
 }

@@ -1,13 +1,22 @@
 //! Drivers that regenerate every figure and table of the paper's
 //! evaluation (section 6), plus the ablations called out in DESIGN.md.
+//!
+//! Every driver has the same three-phase shape: build the full list of
+//! [`RunConfig`]s in table order, hand the list to the parallel sweep
+//! scheduler ([`crate::sweep::run_batch`]), then build tables from the
+//! ordered results. Config construction is pure and results come back in
+//! config order, so the persisted artifacts do not depend on `--jobs`
+//! (see `docs/PERF.md` for the serial-equivalence guarantee).
 
-use crate::experiment::{ms_to_cycles, run, RunConfig, RunResult};
+use crate::experiment::{ms_to_cycles, RunConfig, RunResult};
 use crate::report::{fmt_f, fmt_ops, persist, Table};
+use crate::sweep::{self, TimingSink};
 use crate::workload::WorkloadSpec;
 use st_machine::FaultPlan;
 use st_reclaim::Scheme;
 use stacktrack::{ScanMode, StConfig};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Shared driver options.
 #[derive(Debug, Clone)]
@@ -26,6 +35,11 @@ pub struct BenchOpts {
     pub warmup_ms: u64,
     /// Scheme subset override (`None` = each driver's default set).
     pub schemes: Option<Vec<Scheme>>,
+    /// Sweep worker threads (`1` = serial; results are identical either
+    /// way — see `docs/PERF.md`).
+    pub jobs: usize,
+    /// Where per-config host timings go (`--timing-out`).
+    pub timing: Option<Arc<TimingSink>>,
 }
 
 impl Default for BenchOpts {
@@ -38,6 +52,8 @@ impl Default for BenchOpts {
             max_threads: 16,
             warmup_ms: 0,
             schemes: None,
+            jobs: sweep::host_cores(),
+            timing: None,
         }
     }
 }
@@ -61,6 +77,13 @@ impl BenchOpts {
     fn sweep(&self) -> Vec<usize> {
         (1..=self.max_threads).collect()
     }
+
+    /// Runs a figure's config list through the sweep scheduler.
+    fn batch(&self, figure: &str, configs: &[RunConfig]) -> Vec<RunResult> {
+        let results = sweep::run_batch(configs, self.jobs, figure, self.timing.as_deref());
+        eprintln!();
+        results
+    }
 }
 
 /// A throughput-vs-threads sweep for a set of schemes (Figures 1 and 2).
@@ -71,23 +94,26 @@ fn throughput_figure(
     spec: WorkloadSpec,
     schemes: &[Scheme],
 ) -> Vec<RunResult> {
-    let mut results = Vec::new();
+    let threads_list = opts.sweep();
+    let mut configs = Vec::new();
+    for &threads in &threads_list {
+        for &scheme in schemes {
+            configs.push(opts.config(spec.clone(), scheme, threads));
+        }
+    }
+    let results = opts.batch(name, &configs);
+
     let mut columns = vec!["threads".to_string()];
     columns.extend(schemes.iter().map(|s| s.name().to_string()));
     let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     let mut table = Table::new(title, &col_refs);
-
-    for threads in opts.sweep() {
+    let mut rows = results.chunks(schemes.len());
+    for &threads in &threads_list {
+        let group = rows.next().expect("one result group per thread count");
         let mut row = vec![threads.to_string()];
-        for &scheme in schemes {
-            let r = run(&opts.config(spec.clone(), scheme, threads));
-            row.push(fmt_ops(r.ops_per_sec));
-            results.push(r);
-        }
+        row.extend(group.iter().map(|r| fmt_ops(r.ops_per_sec)));
         table.row(row);
-        eprint!(".");
     }
-    eprintln!();
     table.print();
     persist(&opts.out, name, &results, &[table]);
     results
@@ -162,7 +188,12 @@ pub fn fig2_hash(opts: &BenchOpts) -> Vec<RunResult> {
 /// taxonomy per segment, splits per operation, split lengths.
 pub fn fig3_fig4(opts: &BenchOpts) -> Vec<RunResult> {
     let spec = opts.spec(WorkloadSpec::paper_list());
-    let mut results = Vec::new();
+    let threads_list = opts.sweep();
+    let configs: Vec<RunConfig> = threads_list
+        .iter()
+        .map(|&threads| opts.config(spec.clone(), Scheme::StackTrack, threads))
+        .collect();
+    let results = opts.batch("fig3_fig4", &configs);
 
     let mut aborts = Table::new(
         "Figure 3 — List: HTM aborts (StackTrack)",
@@ -178,9 +209,7 @@ pub fn fig3_fig4(opts: &BenchOpts) -> Vec<RunResult> {
         "Figure 4 — List: splits per op and split lengths (StackTrack)",
         &["threads", "avg splits/op", "avg split length"],
     );
-
-    for threads in opts.sweep() {
-        let r = run(&opts.config(spec.clone(), Scheme::StackTrack, threads));
+    for (&threads, r) in threads_list.iter().zip(&results) {
         let segs = r.tx_committed.max(1) as f64;
         aborts.row(vec![
             threads.to_string(),
@@ -194,10 +223,7 @@ pub fn fig3_fig4(opts: &BenchOpts) -> Vec<RunResult> {
             fmt_f(r.avg_splits_per_op),
             fmt_f(r.avg_split_length),
         ]);
-        results.push(r);
-        eprint!(".");
     }
-    eprintln!();
     aborts.print();
     splits.print();
     persist(&opts.out, "fig3_fig4", &results, &[aborts, splits]);
@@ -214,36 +240,34 @@ pub fn fig5_slowpath(opts: &BenchOpts) -> Vec<RunResult> {
         .filter(|&t| t <= opts.max_threads)
         .collect();
 
-    let mut results = Vec::new();
-    let mut table = Table::new(
-        "Figure 5 — SkipList: forced slow-path fraction (relative throughput, Slow-0 = 100%)",
-        &["threads", "Slow-0", "Slow-10", "Slow-50", "Slow-100"],
-    );
-
+    let mut configs = Vec::new();
     for &threads in &threads_list {
-        let mut row = vec![threads.to_string()];
-        let mut baseline = None;
         for &frac in &fractions {
             let mut config = opts.config(spec.clone(), Scheme::StackTrack, threads);
             config.st_config = StConfig {
                 forced_slow_prob: frac,
                 ..StConfig::default()
             };
-            let r = run(&config);
-            let rel = match baseline {
-                None => {
-                    baseline = Some(r.ops_per_sec.max(1.0));
-                    100.0
-                }
-                Some(base) => 100.0 * r.ops_per_sec / base,
-            };
-            row.push(format!("{rel:.1}%"));
-            results.push(r);
+            configs.push(config);
+        }
+    }
+    let results = opts.batch("fig5_slowpath", &configs);
+
+    let mut table = Table::new(
+        "Figure 5 — SkipList: forced slow-path fraction (relative throughput, Slow-0 = 100%)",
+        &["threads", "Slow-0", "Slow-10", "Slow-50", "Slow-100"],
+    );
+    let mut groups = results.chunks(fractions.len());
+    for &threads in &threads_list {
+        let group = groups.next().expect("one group per thread count");
+        let baseline = group[0].ops_per_sec.max(1.0);
+        let mut row = vec![threads.to_string()];
+        row.push("100.0%".to_string());
+        for r in &group[1..] {
+            row.push(format!("{:.1}%", 100.0 * r.ops_per_sec / baseline));
         }
         table.row(row);
-        eprint!(".");
     }
-    eprintln!();
     table.print();
     persist(&opts.out, "fig5_slowpath", &results, &[table]);
     results
@@ -253,10 +277,30 @@ pub fn fig5_slowpath(opts: &BenchOpts) -> Vec<RunResult> {
 /// every 10 frees), inspected depth, retries, and scan penalty.
 pub fn scan_overhead(opts: &BenchOpts) -> Vec<RunResult> {
     let spec = opts.spec(WorkloadSpec::paper_skiplist());
-    let mut results = Vec::new();
-    let mut tables = Vec::new();
+    let threads_list = opts.sweep();
+    let groups = [1usize, 10];
 
-    for max_free in [1usize, 10] {
+    let mut configs = Vec::new();
+    for &max_free in &groups {
+        for &threads in &threads_list {
+            let mut config = opts.config(spec.clone(), Scheme::StackTrack, threads);
+            config.st_config = StConfig {
+                max_free: max_free - 1, // scan when free set exceeds this
+                // One stack walk per scan batch (the paper's measured
+                // amortization implies this shape; see section 5.2's
+                // "free procedure optimization").
+                scan_mode: ScanMode::Hashed,
+                ..StConfig::default()
+            };
+            configs.push(config);
+        }
+    }
+    let results = opts.batch("scan_overhead", &configs);
+
+    let mut tables = Vec::new();
+    let mut chunks = results.chunks(threads_list.len());
+    for &max_free in &groups {
+        let group = chunks.next().expect("one group per scan frequency");
         let mut table = Table::new(
             format!("Scan behaviour — SkipList, scan per {max_free} free call(s)"),
             &[
@@ -268,17 +312,7 @@ pub fn scan_overhead(opts: &BenchOpts) -> Vec<RunResult> {
                 "penalty %",
             ],
         );
-        for threads in opts.sweep() {
-            let mut config = opts.config(spec.clone(), Scheme::StackTrack, threads);
-            config.st_config = StConfig {
-                max_free: max_free - 1, // scan when free set exceeds this
-                // One stack walk per scan batch (the paper's measured
-                // amortization implies this shape; see section 5.2's
-                // "free procedure optimization").
-                scan_mode: ScanMode::Hashed,
-                ..StConfig::default()
-            };
-            let r = run(&config);
+        for (&threads, r) in threads_list.iter().zip(group) {
             table.row(vec![
                 threads.to_string(),
                 fmt_ops(r.ops_per_sec),
@@ -287,12 +321,9 @@ pub fn scan_overhead(opts: &BenchOpts) -> Vec<RunResult> {
                 r.scan_retries.to_string(),
                 fmt_f(r.scan_penalty_pct),
             ]);
-            results.push(r);
-            eprint!(".");
         }
         tables.push(table);
     }
-    eprintln!();
     for t in &tables {
         t.print();
     }
@@ -309,27 +340,26 @@ pub fn ablation_predictor(opts: &BenchOpts) -> Vec<RunResult> {
         ("fixed-10", fixed_split(10)),
         ("fixed-50", fixed_split(50)),
     ];
-    let mut results = Vec::new();
+    let threads_list: Vec<usize> = [1usize, 2, 4, 8, 12, 16]
+        .into_iter()
+        .filter(|&t| t <= opts.max_threads)
+        .collect();
+
+    let mut configs = Vec::new();
+    for &threads in &threads_list {
+        for (_, st) in &variants {
+            let mut config = opts.config(spec.clone(), Scheme::StackTrack, threads);
+            config.st_config = st.clone();
+            configs.push(config);
+        }
+    }
+    let results = opts.batch("ablation_predictor", &configs);
+
     let mut table = Table::new(
         "Ablation — split-length predictor (List, StackTrack, ops/s)",
         &["threads", "adaptive", "fixed-1", "fixed-10", "fixed-50"],
     );
-    for threads in [1usize, 2, 4, 8, 12, 16] {
-        if threads > opts.max_threads {
-            continue;
-        }
-        let mut row = vec![threads.to_string()];
-        for (_, st) in &variants {
-            let mut config = opts.config(spec.clone(), Scheme::StackTrack, threads);
-            config.st_config = st.clone();
-            let r = run(&config);
-            row.push(fmt_ops(r.ops_per_sec));
-            results.push(r);
-        }
-        table.row(row);
-        eprint!(".");
-    }
-    eprintln!();
+    fill_grid(&mut table, &threads_list, variants.len(), &results);
     table.print();
     persist(&opts.out, "ablation_predictor", &results, &[table]);
     results
@@ -347,52 +377,61 @@ fn fixed_split(len: u32) -> StConfig {
     }
 }
 
+/// Appends one `threads | ops/s...` row per thread count, consuming
+/// `results` in groups of `group` (the standard ablation grid shape).
+fn fill_grid(table: &mut Table, threads_list: &[usize], group: usize, results: &[RunResult]) {
+    let mut chunks = results.chunks(group);
+    for &threads in threads_list {
+        let group = chunks.next().expect("one result group per thread count");
+        let mut row = vec![threads.to_string()];
+        row.extend(group.iter().map(|r| fmt_ops(r.ops_per_sec)));
+        table.row(row);
+    }
+}
+
 /// Ablation 3 (DESIGN.md): register-file exposure on/off.
 pub fn ablation_regfile(opts: &BenchOpts) -> Vec<RunResult> {
     let spec = opts.spec(WorkloadSpec::paper_list());
-    let mut results = Vec::new();
-    let mut table = Table::new(
-        "Ablation — register-file exposure (List, StackTrack, ops/s)",
-        &["threads", "exposed", "suppressed"],
-    );
-    for threads in [1usize, 2, 4, 8, 16] {
-        if threads > opts.max_threads {
-            continue;
-        }
-        let mut row = vec![threads.to_string()];
+    let threads_list: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= opts.max_threads)
+        .collect();
+
+    let mut configs = Vec::new();
+    for &threads in &threads_list {
         for expose in [true, false] {
             let mut config = opts.config(spec.clone(), Scheme::StackTrack, threads);
             config.st_config = StConfig {
                 expose_registers: expose,
                 ..StConfig::default()
             };
-            let r = run(&config);
-            row.push(fmt_ops(r.ops_per_sec));
-            results.push(r);
+            configs.push(config);
         }
-        table.row(row);
-        eprint!(".");
     }
-    eprintln!();
+    let results = opts.batch("ablation_regfile", &configs);
+
+    let mut table = Table::new(
+        "Ablation — register-file exposure (List, StackTrack, ops/s)",
+        &["threads", "exposed", "suppressed"],
+    );
+    fill_grid(&mut table, &threads_list, 2, &results);
     table.print();
     persist(&opts.out, "ablation_regfile", &results, &[table]);
     results
 }
 
-/// Ablation 1 (DESIGN.md): linear vs hashed `SCAN_AND_FREE`.
+/// Ablation 1 (DESIGN.md): linear vs hashed vs batched `SCAN_AND_FREE`.
 pub fn ablation_scanmode(opts: &BenchOpts) -> Vec<RunResult> {
     let spec = opts.spec(WorkloadSpec::paper_list());
-    let mut results = Vec::new();
-    let mut table = Table::new(
-        "Ablation — scan strategy (List, StackTrack, ops/s)",
-        &["threads", "linear", "hashed"],
-    );
-    for threads in [1usize, 2, 4, 8, 16] {
-        if threads > opts.max_threads {
-            continue;
-        }
-        let mut row = vec![threads.to_string()];
-        for mode in [ScanMode::Linear, ScanMode::Hashed] {
+    let modes = [ScanMode::Linear, ScanMode::Hashed, ScanMode::Batched];
+    let threads_list: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= opts.max_threads)
+        .collect();
+
+    let mut configs = Vec::new();
+    for &threads in &threads_list {
+        for &mode in &modes {
             let mut config = opts.config(spec.clone(), Scheme::StackTrack, threads);
             config.st_config = StConfig {
                 scan_mode: mode,
@@ -400,14 +439,16 @@ pub fn ablation_scanmode(opts: &BenchOpts) -> Vec<RunResult> {
                 max_free: 1,
                 ..StConfig::default()
             };
-            let r = run(&config);
-            row.push(fmt_ops(r.ops_per_sec));
-            results.push(r);
+            configs.push(config);
         }
-        table.row(row);
-        eprint!(".");
     }
-    eprintln!();
+    let results = opts.batch("ablation_scanmode", &configs);
+
+    let mut table = Table::new(
+        "Ablation — scan strategy (List, StackTrack, ops/s)",
+        &["threads", "linear", "hashed", "batched"],
+    );
+    fill_grid(&mut table, &threads_list, modes.len(), &results);
     table.print();
     persist(&opts.out, "ablation_scanmode", &results, &[table]);
     results
@@ -417,25 +458,25 @@ pub fn ablation_scanmode(opts: &BenchOpts) -> Vec<RunResult> {
 /// "upper bound" claim).
 pub fn ablation_refcount(opts: &BenchOpts) -> Vec<RunResult> {
     let spec = opts.spec(WorkloadSpec::paper_list());
-    let mut results = Vec::new();
+    let schemes = [Scheme::None, Scheme::Hazard, Scheme::RefCount];
+    let threads_list: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= opts.max_threads)
+        .collect();
+
+    let mut configs = Vec::new();
+    for &threads in &threads_list {
+        for &scheme in &schemes {
+            configs.push(opts.config(spec.clone(), scheme, threads));
+        }
+    }
+    let results = opts.batch("ablation_refcount", &configs);
+
     let mut table = Table::new(
         "Ablation — RefCount vs Hazards vs Original (List, ops/s)",
         &["threads", "Original", "Hazards", "RefCount"],
     );
-    for threads in [1usize, 2, 4, 8] {
-        if threads > opts.max_threads {
-            continue;
-        }
-        let mut row = vec![threads.to_string()];
-        for scheme in [Scheme::None, Scheme::Hazard, Scheme::RefCount] {
-            let r = run(&opts.config(spec.clone(), scheme, threads));
-            row.push(fmt_ops(r.ops_per_sec));
-            results.push(r);
-        }
-        table.row(row);
-        eprint!(".");
-    }
-    eprintln!();
+    fill_grid(&mut table, &threads_list, schemes.len(), &results);
     table.print();
     persist(&opts.out, "ablation_refcount", &results, &[table]);
     results
@@ -447,27 +488,36 @@ pub fn ablation_refcount(opts: &BenchOpts) -> Vec<RunResult> {
 pub fn ablation_dta_k(opts: &BenchOpts) -> Vec<RunResult> {
     let spec = opts.spec(WorkloadSpec::paper_list());
     let ks = [4u32, 10, 20, 50];
-    let mut results = Vec::new();
+    let threads_list: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= opts.max_threads)
+        .collect();
+
+    let mut configs = Vec::new();
+    for &threads in &threads_list {
+        for &k in &ks {
+            let mut config = opts.config(spec.clone(), Scheme::Dta, threads);
+            config.reclaim_config.dta_k = k;
+            configs.push(config);
+        }
+    }
+    let results = opts.batch("ablation_dta_k", &configs);
+
     let mut table = Table::new(
         "Ablation — DTA anchor period K (List, ops/s | garbage nodes)",
         &["threads", "K=4", "K=10", "K=20", "K=50"],
     );
-    for threads in [1usize, 2, 4, 8, 16] {
-        if threads > opts.max_threads {
-            continue;
-        }
+    let mut chunks = results.chunks(ks.len());
+    for &threads in &threads_list {
+        let group = chunks.next().expect("one group per thread count");
         let mut row = vec![threads.to_string()];
-        for &k in &ks {
-            let mut config = opts.config(spec.clone(), Scheme::Dta, threads);
-            config.reclaim_config.dta_k = k;
-            let r = run(&config);
-            row.push(format!("{} | {}", fmt_ops(r.ops_per_sec), r.garbage));
-            results.push(r);
-        }
+        row.extend(
+            group
+                .iter()
+                .map(|r| format!("{} | {}", fmt_ops(r.ops_per_sec), r.garbage)),
+        );
         table.row(row);
-        eprint!(".");
     }
-    eprintln!();
     table.print();
     persist(&opts.out, "ablation_dta_k", &results, &[table]);
     results
@@ -492,21 +542,25 @@ pub fn robustness(opts: &BenchOpts) -> Vec<RunResult> {
         .clone()
         .unwrap_or_else(|| Scheme::all().to_vec());
 
-    let mut results = Vec::new();
-    let mut series: Vec<(Scheme, Vec<u64>)> = Vec::new();
-    for &scheme in &schemes {
-        let mut config = opts.config(spec.clone(), scheme, threads);
-        config.faults = FaultPlan::default().stall(stalled, stall_at, stall_for);
-        config.garbage_samples = SAMPLES;
-        let r = run(&config);
-        let ts: Vec<u64> = (1..=SAMPLES)
-            .map(|k| r.metrics.counter(&format!("reclaim.garbage_ts.{k:02}")))
-            .collect();
-        series.push((scheme, ts));
-        results.push(r);
-        eprint!(".");
-    }
-    eprintln!();
+    let configs: Vec<RunConfig> = schemes
+        .iter()
+        .map(|&scheme| {
+            let mut config = opts.config(spec.clone(), scheme, threads);
+            config.faults = FaultPlan::default().stall(stalled, stall_at, stall_for);
+            config.garbage_samples = SAMPLES;
+            config
+        })
+        .collect();
+    let results = opts.batch("robustness", &configs);
+
+    let series: Vec<Vec<u64>> = results
+        .iter()
+        .map(|r| {
+            (1..=SAMPLES)
+                .map(|k| r.metrics.counter(&format!("reclaim.garbage_ts.{k:02}")))
+                .collect()
+        })
+        .collect();
 
     let mut columns = vec!["t (ms)".to_string()];
     columns.extend(schemes.iter().map(|s| s.name().to_string()));
@@ -524,7 +578,7 @@ pub fn robustness(opts: &BenchOpts) -> Vec<RunResult> {
     for k in 0..SAMPLES {
         let t_ms = opts.duration_ms as f64 * (k + 1) as f64 / SAMPLES as f64;
         let mut row = vec![fmt_f(t_ms)];
-        row.extend(series.iter().map(|(_, ts)| ts[k].to_string()));
+        row.extend(series.iter().map(|ts| ts[k].to_string()));
         table.row(row);
     }
     table.print();

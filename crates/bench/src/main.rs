@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! st-bench <subcommand> [--ms N] [--warmup N] [--seed N] [--scale N] [--threads N] [--out DIR]
-//!                       [--schemes A,B,...]
+//!                       [--schemes A,B,...] [--jobs N] [--timing-out FILE]
 //!
 //! Subcommands:
 //!   fig1-list fig1-skiplist fig2-queue fig2-hash
@@ -16,27 +16,27 @@
 //! Every subcommand prints its table(s) and writes JSON + markdown under
 //! `--out` (default `results/`), plus a versioned full-metrics snapshot
 //! (`<name>.metrics.json`, schema in docs/METRICS.md). `check-metrics`
-//! validates existing snapshot files against the current schema. See
-//! EXPERIMENTS.md for the mapping to the paper's figures.
+//! validates existing snapshot files against the current schema.
+//! `--jobs N` fans the sweep across N worker threads without changing any
+//! artifact byte (docs/PERF.md); `--timing-out FILE` writes a host
+//! wall-clock report per configuration. See EXPERIMENTS.md for the
+//! mapping to the paper's figures.
 
-mod checkcmd;
-mod experiment;
-mod figures;
-mod report;
-mod workload;
-
-use figures::BenchOpts;
+use st_bench::figures::{self, BenchOpts};
+use st_bench::{checkcmd, report, sweep};
 use st_reclaim::Scheme;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: st-bench <fig1-list|fig1-skiplist|fig2-queue|fig2-hash|fig3-aborts|fig4-splits|\
          fig5-slowpath|scan-overhead|ablation-predictor|ablation-regfile|ablation-scanmode|\
          ablation-refcount|extra-rbtree|robustness|all|check|check-metrics> [--ms N] [--seed N] \
-         [--scale N] [--threads N] [--out DIR] [--schemes A,B,...] (see `check --help` style \
-         flags in docs/TESTING.md)"
+         [--scale N] [--threads N] [--out DIR] [--schemes A,B,...] [--jobs N] \
+         [--timing-out FILE] (see `check --help` style flags in docs/TESTING.md)"
     );
     ExitCode::from(2)
 }
@@ -56,6 +56,7 @@ fn main() -> ExitCode {
 
     let mut opts = BenchOpts::default();
     let mut ms_set = false;
+    let mut timing_out: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -93,7 +94,16 @@ fn main() -> ExitCode {
                 Ok(v) => opts.warmup_ms = v,
                 Err(code) => return code,
             },
+            "--jobs" => match parse_int(flag, value) {
+                Ok(0) => {
+                    eprintln!("--jobs must be at least 1");
+                    return usage();
+                }
+                Ok(v) => opts.jobs = v as usize,
+                Err(code) => return code,
+            },
             "--out" => opts.out = PathBuf::from(value),
+            "--timing-out" => timing_out = Some(PathBuf::from(value)),
             "--schemes" => {
                 let parsed: Result<Vec<Scheme>, String> =
                     value.split(',').map(|s| s.trim().parse()).collect();
@@ -112,6 +122,10 @@ fn main() -> ExitCode {
         }
         i += 2;
     }
+
+    let sink = timing_out.as_ref().map(|_| Arc::new(sweep::TimingSink::new()));
+    opts.timing = sink.clone();
+    let started = Instant::now();
 
     match cmd.as_str() {
         "fig1-list" => drop(figures::fig1_list(&opts)),
@@ -138,6 +152,22 @@ fn main() -> ExitCode {
         "all" => figures::all(&opts),
         _ => return usage(),
     }
+
+    if let (Some(path), Some(sink)) = (timing_out, sink) {
+        let total_ms = started.elapsed().as_secs_f64() * 1e3;
+        let doc = sweep::timing_report(&cmd, opts.jobs, total_ms, &sink.rows());
+        if let Err(e) = std::fs::write(&path, format!("{}\n", doc.to_pretty_string())) {
+            eprintln!("{}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "timing report: {} ({} configs, {:.0} ms total, {} jobs)",
+            path.display(),
+            sink.rows().len(),
+            total_ms,
+            opts.jobs
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -160,16 +190,24 @@ fn check_metrics(paths: &[String]) -> ExitCode {
         };
         match report::parse_metrics_snapshot(&text) {
             Ok(runs) => {
-                for (scheme, structure, threads, reg) in &runs {
+                for run in &runs {
                     println!(
-                        "{path}: {scheme}/{structure} x{threads}: {} metrics, \
-                         {} aborts attributed",
-                        reg.len(),
+                        "{path}: {}/{} x{}: {} metrics, {} aborts attributed, \
+                         {} per-thread rows",
+                        run.scheme,
+                        run.structure,
+                        run.threads,
+                        run.metrics.len(),
                         st_obs::AbortCause::ALL
                             .iter()
-                            .map(|c| reg.counter(&format!("st.aborts.{c}")))
+                            .map(|c| run.metrics.counter(&format!("st.aborts.{c}")))
                             .sum::<u64>(),
+                        run.per_thread.len(),
                     );
+                }
+                if let Err(e) = report::validate_per_thread(&runs) {
+                    eprintln!("{path}: invalid per_thread envelope: {e}");
+                    failed = true;
                 }
                 match report::validate_garbage_series(&runs) {
                     Ok(0) => {}

@@ -6,7 +6,7 @@
 //! (`<name>.metrics.json`) carrying the complete [`MetricsRegistry`] of each
 //! run, schema documented in `docs/METRICS.md`.
 
-use crate::experiment::RunResult;
+use crate::experiment::{PerThread, RunResult};
 use st_obs::{Json, MetricsRegistry, SCHEMA_VERSION};
 use std::fs;
 use std::path::Path;
@@ -101,7 +101,8 @@ pub fn fmt_f(v: f64) -> String {
 ///
 /// Shape (see `docs/METRICS.md`):
 /// `{"schema_version": N, "name": ..., "runs": [{scheme, structure,
-/// threads, duration_ms, metrics: {...}}, ...]}`.
+/// threads, duration_ms, per_thread: [{thread, ops, busy_cycles,
+/// garbage}, ...], metrics: {...}}, ...]}`.
 pub fn metrics_snapshot(name: &str, results: &[RunResult]) -> Json {
     let mut doc = Json::obj();
     doc.set("schema_version", SCHEMA_VERSION);
@@ -114,6 +115,8 @@ pub fn metrics_snapshot(name: &str, results: &[RunResult]) -> Json {
             run.set("structure", r.structure.as_str());
             run.set("threads", r.threads);
             run.set("duration_ms", r.duration_ms);
+            let rows: Vec<Json> = r.per_thread.iter().map(PerThread::to_json).collect();
+            run.set("per_thread", Json::Arr(rows));
             run.set("metrics", r.metrics.to_json());
             run
         })
@@ -122,13 +125,33 @@ pub fn metrics_snapshot(name: &str, results: &[RunResult]) -> Json {
     doc
 }
 
+/// One run parsed back out of a `<name>.metrics.json` snapshot.
+#[derive(Debug, Clone)]
+pub struct ParsedRun {
+    /// Scheme display name.
+    pub scheme: String,
+    /// Structure display name.
+    pub structure: String,
+    /// Simulated thread count.
+    pub threads: usize,
+    /// The `per_thread` envelope rows, in file order.
+    pub per_thread: Vec<PerThread>,
+    /// The full metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+impl ParsedRun {
+    fn label(&self) -> String {
+        format!("{}/{}", self.scheme, self.structure)
+    }
+}
+
 /// Parses a `<name>.metrics.json` document back into per-run registries.
 ///
-/// Returns `(scheme, structure, threads, registry)` per run; rejects
-/// documents from a different schema version.
-pub fn parse_metrics_snapshot(
-    text: &str,
-) -> Result<Vec<(String, String, usize, MetricsRegistry)>, String> {
+/// Rejects documents from a different schema version. A run's
+/// `per_thread` rows are parsed structurally here; cross-field
+/// consistency is [`validate_per_thread`]'s job.
+pub fn parse_metrics_snapshot(text: &str) -> Result<Vec<ParsedRun>, String> {
     let doc = Json::parse(text).map_err(|e| e.to_string())?;
     let version = doc
         .get("schema_version")
@@ -155,11 +178,70 @@ pub fn parse_metrics_snapshot(
                 .get("threads")
                 .and_then(Json::as_u64)
                 .ok_or("run missing 'threads'")? as usize;
+            let per_thread = run
+                .get("per_thread")
+                .and_then(Json::as_arr)
+                .ok_or("run missing 'per_thread' (schema v2 envelope)")?
+                .iter()
+                .map(parse_per_thread_row)
+                .collect::<Result<Vec<PerThread>, String>>()?;
             let metrics = run.get("metrics").ok_or("run missing 'metrics'")?;
             let reg = MetricsRegistry::from_json(metrics).map_err(|e| e.to_string())?;
-            Ok((field("scheme")?, field("structure")?, threads, reg))
+            Ok(ParsedRun {
+                scheme: field("scheme")?,
+                structure: field("structure")?,
+                threads,
+                per_thread,
+                metrics: reg,
+            })
         })
         .collect()
+}
+
+fn parse_per_thread_row(row: &Json) -> Result<PerThread, String> {
+    let num = |k: &str| {
+        row.get(k)
+            .and_then(Json::as_u64)
+            .ok_or(format!("per_thread row missing '{k}'"))
+    };
+    Ok(PerThread {
+        thread: num("thread")? as usize,
+        ops: num("ops")?,
+        busy_cycles: num("busy_cycles")?,
+        garbage: num("garbage")?,
+    })
+}
+
+/// Validates the schema-v2 `per_thread` envelope of every parsed run:
+/// one row per simulated thread, ids contiguous from 0 in file order,
+/// and the rows' `ops` summing to the run's `run.total_ops` counter.
+pub fn validate_per_thread(runs: &[ParsedRun]) -> Result<(), String> {
+    for run in runs {
+        let label = run.label();
+        if run.per_thread.len() != run.threads {
+            return Err(format!(
+                "{label}: {} per_thread rows for {} threads",
+                run.per_thread.len(),
+                run.threads
+            ));
+        }
+        for (i, row) in run.per_thread.iter().enumerate() {
+            if row.thread != i {
+                return Err(format!(
+                    "{label}: per_thread ids not contiguous: expected {i}, found {}",
+                    row.thread
+                ));
+            }
+        }
+        let ops: u64 = run.per_thread.iter().map(|r| r.ops).sum();
+        let total = run.metrics.counter("run.total_ops");
+        if ops != total {
+            return Err(format!(
+                "{label}: per_thread ops sum to {ops} but run.total_ops is {total}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Validates the `reclaim.garbage_ts.NN` gauge series of a parsed
@@ -174,14 +256,12 @@ pub fn parse_metrics_snapshot(
 /// so a short or gapped series means a truncated or hand-edited
 /// snapshot). Returns the common sample count, 0 when no run carries
 /// the series.
-pub fn validate_garbage_series(
-    runs: &[(String, String, usize, MetricsRegistry)],
-) -> Result<u64, String> {
+pub fn validate_garbage_series(runs: &[ParsedRun]) -> Result<u64, String> {
     let mut common: Option<(u64, String)> = None;
-    for (scheme, structure, _, reg) in runs {
-        let run = format!("{scheme}/{structure}");
+    for parsed in runs {
+        let run = parsed.label();
         let mut indices = Vec::new();
-        for (key, metric) in reg.iter() {
+        for (key, metric) in parsed.metrics.iter() {
             let Some(suffix) = key.strip_prefix("reclaim.garbage_ts.") else {
                 continue;
             };
@@ -271,7 +351,16 @@ mod tests {
         let mut metrics = MetricsRegistry::new();
         metrics.add("st.ops", 123);
         metrics.add("st.aborts.conflict", 7);
+        metrics.add("run.total_ops", 123);
         metrics.record_n("st.segment_length", 16, 40);
+        let per_thread = (0..4)
+            .map(|thread| PerThread {
+                thread,
+                ops: if thread == 0 { 33 } else { 30 },
+                busy_cycles: 1_000_000,
+                garbage: 1,
+            })
+            .collect();
         RunResult {
             scheme: "stacktrack".into(),
             structure: "list".into(),
@@ -302,6 +391,7 @@ mod tests {
             scan_penalty_pct: 0.5,
             garbage: 4,
             live_words: 4096,
+            per_thread,
             metrics,
         }
     }
@@ -312,13 +402,57 @@ mod tests {
         let doc = metrics_snapshot("fig_demo", &results);
         let parsed = parse_metrics_snapshot(&doc.to_pretty_string()).unwrap();
         assert_eq!(parsed.len(), 1);
-        let (scheme, structure, threads, reg) = &parsed[0];
-        assert_eq!(scheme, "stacktrack");
-        assert_eq!(structure, "list");
-        assert_eq!(*threads, 4);
-        assert_eq!(reg, &results[0].metrics);
-        assert_eq!(reg.counter("st.aborts.conflict"), 7);
-        assert_eq!(reg.histogram("st.segment_length").unwrap().count(), 40);
+        let run = &parsed[0];
+        assert_eq!(run.scheme, "stacktrack");
+        assert_eq!(run.structure, "list");
+        assert_eq!(run.threads, 4);
+        assert_eq!(run.metrics, results[0].metrics);
+        assert_eq!(run.metrics.counter("st.aborts.conflict"), 7);
+        assert_eq!(
+            run.metrics.histogram("st.segment_length").unwrap().count(),
+            40
+        );
+        assert_eq!(run.per_thread, results[0].per_thread);
+        assert_eq!(validate_per_thread(&parsed), Ok(()));
+    }
+
+    #[test]
+    fn per_thread_envelope_is_required() {
+        let doc = metrics_snapshot("fig_demo", &[sample_result()])
+            .to_string()
+            .replace("\"per_thread\":", "\"per_thread_gone\":");
+        let err = parse_metrics_snapshot(&doc).unwrap_err();
+        assert!(err.contains("per_thread"), "{err}");
+    }
+
+    #[test]
+    fn per_thread_rejects_row_count_mismatch() {
+        let mut result = sample_result();
+        result.per_thread.pop();
+        let doc = metrics_snapshot("fig_demo", &[result]);
+        let parsed = parse_metrics_snapshot(&doc.to_string()).unwrap();
+        let err = validate_per_thread(&parsed).unwrap_err();
+        assert!(err.contains("3 per_thread rows for 4 threads"), "{err}");
+    }
+
+    #[test]
+    fn per_thread_rejects_non_contiguous_ids() {
+        let mut result = sample_result();
+        result.per_thread[2].thread = 9;
+        let doc = metrics_snapshot("fig_demo", &[result]);
+        let parsed = parse_metrics_snapshot(&doc.to_string()).unwrap();
+        let err = validate_per_thread(&parsed).unwrap_err();
+        assert!(err.contains("not contiguous"), "{err}");
+    }
+
+    #[test]
+    fn per_thread_rejects_ops_mismatch() {
+        let mut result = sample_result();
+        result.per_thread[0].ops += 1;
+        let doc = metrics_snapshot("fig_demo", &[result]);
+        let parsed = parse_metrics_snapshot(&doc.to_string()).unwrap();
+        let err = validate_per_thread(&parsed).unwrap_err();
+        assert!(err.contains("run.total_ops"), "{err}");
     }
 
     #[test]
@@ -341,10 +475,22 @@ mod tests {
                 for (key, value) in points.iter() {
                     metrics.set(key, *value);
                 }
+                let rows: Vec<Json> = (0..2usize)
+                    .map(|thread| {
+                        PerThread {
+                            thread,
+                            ops: 0,
+                            busy_cycles: 0,
+                            garbage: 0,
+                        }
+                        .to_json()
+                    })
+                    .collect();
                 let mut run = Json::obj();
                 run.set("scheme", *scheme);
                 run.set("structure", "list");
                 run.set("threads", 2u64);
+                run.set("per_thread", Json::Arr(rows));
                 run.set("metrics", metrics);
                 run
             })

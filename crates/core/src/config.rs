@@ -9,6 +9,13 @@ pub enum ScanMode {
     /// The section 5.2 optimization: walk every thread once, hashing all
     /// scanned words, then probe each candidate against the hash set.
     Hashed,
+    /// The default: walk every thread once and binary-search each scanned
+    /// word against a sorted slice of the candidate batch, marking hits in
+    /// a bitmap. Same single-pass shape as [`ScanMode::Hashed`] but the
+    /// per-word probe is `O(log max_free)` compares over a contiguous
+    /// slice instead of a hash-table lookup, and the batch index is
+    /// rebuilt in place from reused buffers (no per-scan allocation).
+    Batched,
 }
 
 /// Tunable parameters of the StackTrack runtime.
@@ -67,7 +74,7 @@ impl Default for StConfig {
             max_free: 10,
             slow_fail_threshold: 3,
             forced_slow_prob: 0.0,
-            scan_mode: ScanMode::Linear,
+            scan_mode: ScanMode::Batched,
             interior_pointers: false,
             expose_registers: true,
             scan_chunk_words: 24,

@@ -87,7 +87,52 @@ enum State {
     HashedJudge {
         cand: usize,
     },
+    /// Batched lookup, phase 1: walk every thread once, binary-searching
+    /// each word against the sorted candidate index.
+    BatchedCollect {
+        thread: usize,
+        insp: Option<Inspection>,
+    },
+    /// Batched lookup, phase 2: read each candidate's verdict off the hit
+    /// bitmap.
+    BatchedJudge {
+        cand: usize,
+    },
     Finished,
+}
+
+/// Scratch buffers a [`ScanJob`] works in, recycled across scans so the
+/// steady state allocates nothing: the hot path of a long run is
+/// retire → batch → scan → retire again, and each of these vectors (and
+/// the hash table) keeps its capacity from one scan to the next.
+#[derive(Debug, Default)]
+pub(crate) struct ScanBuffers {
+    /// Candidate base addresses, sorted for binary search ([`ScanMode::Batched`]).
+    sorted: Vec<Word>,
+    /// Hit flags parallel to `sorted` ([`ScanMode::Batched`]).
+    hits: Vec<bool>,
+    /// Scanned-word set ([`ScanMode::Hashed`]).
+    table: HashSet<Word>,
+    /// Candidates that survived the scan (drained back to the free set).
+    survivors: Vec<Retired>,
+    /// An emptied candidates vector, handed back as the next free set's
+    /// storage.
+    spare: Vec<Retired>,
+}
+
+impl ScanBuffers {
+    /// Takes the recycled candidates vector (empty, capacity retained) to
+    /// serve as the next free-set storage.
+    pub(crate) fn take_spare(&mut self) -> Vec<Retired> {
+        std::mem::take(&mut self.spare)
+    }
+
+    fn reset(&mut self) {
+        self.sorted.clear();
+        self.hits.clear();
+        self.table.clear();
+        self.survivors.clear();
+    }
 }
 
 /// A resumable `SCAN_AND_FREE` over a batch of candidates.
@@ -98,17 +143,39 @@ pub(crate) struct ScanJob {
     slow_active: bool,
     interior: bool,
     chunk: u64,
-    table: HashSet<Word>,
-    survivors: Vec<Retired>,
+    bufs: ScanBuffers,
+    probe_cycles: Cycles,
     words_scanned: u64,
 }
 
+/// Compares a binary search over `n` sorted candidates costs (charged per
+/// probed word in [`ScanMode::Batched`]).
+fn search_compares(n: usize) -> u64 {
+    u64::from(n.max(1).ilog2()) + 1
+}
+
+/// Charges `compares` candidate-comparison steps to the CPU and the job's
+/// probe accounting (reported as `scan.candidate_probe_cycles`).
+fn charge_probe(cpu: &mut Cpu, acc: &mut Cycles, compares: u64) {
+    let cost = cpu.costs.local_op * compares;
+    cpu.charge(cost);
+    *acc += cost;
+}
+
 impl ScanJob {
-    /// Builds a job over `candidates` (all already unlinked).
-    pub(crate) fn new(rt: &StRuntime, cpu: &mut Cpu, candidates: Vec<Retired>) -> Self {
+    /// Builds a job over `candidates` (all already unlinked), working in
+    /// the recycled `bufs`.
+    pub(crate) fn new(
+        rt: &StRuntime,
+        cpu: &mut Cpu,
+        candidates: Vec<Retired>,
+        mut bufs: ScanBuffers,
+    ) -> Self {
         debug_assert!(!candidates.is_empty());
+        bufs.reset();
         // Check the global slow-path counter once, up front (paper 5.4).
         let slow_active = rt.heap().load(cpu, rt.slow_count, 0) != 0;
+        let mut probe_cycles = 0;
         let state = match rt.config.scan_mode {
             ScanMode::Linear => State::Linear {
                 cand: 0,
@@ -120,6 +187,23 @@ impl ScanJob {
                 thread: 0,
                 insp: None,
             },
+            ScanMode::Batched => {
+                // Build the sorted candidate index up front; sorting the
+                // batch costs n·log n compares, charged to the scanning
+                // thread like every other probe.
+                bufs.sorted.extend(candidates.iter().map(|r| r.addr.raw()));
+                bufs.sorted.sort_unstable();
+                bufs.hits.resize(bufs.sorted.len(), false);
+                charge_probe(
+                    cpu,
+                    &mut probe_cycles,
+                    candidates.len() as u64 * search_compares(candidates.len()),
+                );
+                State::BatchedCollect {
+                    thread: 0,
+                    insp: None,
+                }
+            }
         };
         Self {
             candidates,
@@ -127,8 +211,8 @@ impl ScanJob {
             slow_active,
             interior: rt.config.interior_pointers,
             chunk: rt.config.scan_chunk_words.max(1),
-            table: HashSet::new(),
-            survivors: Vec::new(),
+            bufs,
+            probe_cycles,
             words_scanned: 0,
         }
     }
@@ -148,6 +232,8 @@ impl ScanJob {
         self.words_scanned += stats.scan_words - words_before;
         if done {
             stats.scan_depths.record(self.words_scanned);
+            stats.scan_probe_cycles += self.probe_cycles;
+            stats.candidate_probe_cycles.record(self.probe_cycles);
         }
         done
     }
@@ -167,7 +253,7 @@ impl ScanJob {
                 if *found || *thread >= rt.max_threads() {
                     // Verdict for this candidate.
                     if *found {
-                        self.survivors.push(target);
+                        self.bufs.survivors.push(target);
                         stats.survivors += 1;
                     } else {
                         rt.engine.free_object(cpu, target.addr);
@@ -183,6 +269,7 @@ impl ScanJob {
                     return false;
                 }
                 let interior = self.interior;
+                let probe = &mut self.probe_cycles;
                 match step_inspection(
                     rt,
                     cpu,
@@ -191,7 +278,10 @@ impl ScanJob {
                     *thread,
                     self.slow_active,
                     self.chunk,
-                    &mut |rt, cpu, word| matches_candidate(rt, cpu, interior, target.addr, word),
+                    &mut |rt, cpu, word| {
+                        charge_probe(cpu, probe, 1);
+                        matches_candidate(rt, cpu, interior, target.addr, word)
+                    },
                 ) {
                     InspectStep::Skip | InspectStep::ThreadDone { hit: false } => {
                         *thread += 1;
@@ -211,7 +301,8 @@ impl ScanJob {
                     return false;
                 }
                 let interior = self.interior;
-                let table = &mut self.table;
+                let table = &mut self.bufs.table;
+                let probe = &mut self.probe_cycles;
                 match step_inspection(
                     rt,
                     cpu,
@@ -222,9 +313,11 @@ impl ScanJob {
                     self.chunk,
                     &mut |rt, cpu, word| {
                         let stripped = word & !TAG_MASK;
+                        charge_probe(cpu, probe, 1);
                         table.insert(stripped);
                         if interior {
                             if let Some(base) = resolve_base(rt, cpu, stripped) {
+                                charge_probe(cpu, probe, 1);
                                 table.insert(base.raw());
                             }
                         }
@@ -244,8 +337,79 @@ impl ScanJob {
                     self.state = State::Finished;
                     return true;
                 };
-                if self.table.contains(&target.addr.raw()) {
-                    self.survivors.push(target);
+                charge_probe(cpu, &mut self.probe_cycles, 1);
+                if self.bufs.table.contains(&target.addr.raw()) {
+                    self.bufs.survivors.push(target);
+                    stats.survivors += 1;
+                } else {
+                    rt.engine.free_object(cpu, target.addr);
+                    stats.frees_completed += 1;
+                    stats
+                        .free_latency
+                        .record(cpu.now().saturating_sub(target.retired_at));
+                }
+                *cand += 1;
+                false
+            }
+            State::BatchedCollect { thread, insp } => {
+                if *thread >= rt.max_threads() {
+                    self.state = State::BatchedJudge { cand: 0 };
+                    return false;
+                }
+                let interior = self.interior;
+                let compares = search_compares(self.bufs.sorted.len());
+                let sorted = &self.bufs.sorted;
+                let hits = &mut self.bufs.hits;
+                let probe = &mut self.probe_cycles;
+                match step_inspection(
+                    rt,
+                    cpu,
+                    stats,
+                    insp,
+                    *thread,
+                    self.slow_active,
+                    self.chunk,
+                    &mut |rt, cpu, word| {
+                        let stripped = word & !TAG_MASK;
+                        charge_probe(cpu, probe, compares);
+                        if let Ok(i) = sorted.binary_search(&stripped) {
+                            hits[i] = true;
+                        }
+                        if interior {
+                            if let Some(base) = resolve_base(rt, cpu, stripped) {
+                                charge_probe(cpu, probe, compares);
+                                if let Ok(i) = sorted.binary_search(&base.raw()) {
+                                    hits[i] = true;
+                                }
+                            }
+                        }
+                        false // the verdict is read off the bitmap later
+                    },
+                ) {
+                    InspectStep::Skip | InspectStep::ThreadDone { .. } => {
+                        *thread += 1;
+                        *insp = None;
+                    }
+                    InspectStep::InProgress => {}
+                }
+                false
+            }
+            State::BatchedJudge { cand } => {
+                let Some(&target) = self.candidates.get(*cand) else {
+                    self.state = State::Finished;
+                    return true;
+                };
+                charge_probe(
+                    cpu,
+                    &mut self.probe_cycles,
+                    search_compares(self.bufs.sorted.len()),
+                );
+                let hit = match self.bufs.sorted.binary_search(&target.addr.raw()) {
+                    Ok(i) => self.bufs.hits[i],
+                    Err(_) => false,
+                };
+                if hit {
+                    self.bufs.survivors.push(target);
                     stats.survivors += 1;
                 } else {
                     rt.engine.free_object(cpu, target.addr);
@@ -261,11 +425,15 @@ impl ScanJob {
         }
     }
 
-    /// Candidates that survived (a reference was found); the caller puts
-    /// them back in its free set.
-    pub(crate) fn take_survivors(&mut self) -> Vec<Retired> {
+    /// Completes the job: survivors (candidates with a found reference) are
+    /// appended to `free_set`, and the scratch — including the emptied
+    /// candidates vector — is returned for the next scan to reuse.
+    pub(crate) fn finish_into(mut self, free_set: &mut Vec<Retired>) -> ScanBuffers {
         debug_assert!(matches!(self.state, State::Finished));
-        std::mem::take(&mut self.survivors)
+        free_set.append(&mut self.bufs.survivors);
+        self.candidates.clear();
+        self.bufs.spare = self.candidates;
+        self.bufs
     }
 }
 
@@ -440,19 +608,21 @@ mod tests {
 
     fn drive(rt: &Arc<StRuntime>, candidates: Vec<Addr>) -> Vec<Addr> {
         let mut cpu = rt.test_cpu(3);
-        let mut job = ScanJob::new(rt, &mut cpu, retired(&candidates));
+        let mut job = ScanJob::new(rt, &mut cpu, retired(&candidates), ScanBuffers::default());
         let mut stats = StThreadStats::default();
         let mut rounds = 0;
         while !job.advance(rt, &mut cpu, &mut stats) {
             rounds += 1;
             assert!(rounds < 100_000, "scan must terminate");
         }
-        job.take_survivors().into_iter().map(|r| r.addr).collect()
+        let mut survivors = Vec::new();
+        job.finish_into(&mut survivors);
+        survivors.into_iter().map(|r| r.addr).collect()
     }
 
     #[test]
     fn unreferenced_candidates_are_freed_referenced_survive() {
-        for mode in [ScanMode::Linear, ScanMode::Hashed] {
+        for mode in [ScanMode::Linear, ScanMode::Hashed, ScanMode::Batched] {
             let rt = runtime(mode, false, 4);
             let heap = rt.heap().clone();
             let held = heap.alloc_untimed(2).unwrap();
@@ -530,25 +700,73 @@ mod tests {
     }
 
     #[test]
-    fn hashed_mode_collects_once_for_many_candidates() {
-        // With N candidates, hashed mode's inspected word count stays flat
-        // while linear mode's grows with N.
+    fn single_pass_modes_collect_once_for_many_candidates() {
+        // With N candidates, the single-pass modes' inspected word counts
+        // stay flat while linear mode's grows with N.
         let count_words = |mode: ScanMode, n: u64| {
             let rt = runtime(mode, false, 64);
             let heap = rt.heap().clone();
             plant(&rt, 0, &[1, 2, 3, 4, 5, 6, 7, 8]);
             let candidates: Vec<Addr> = (0..n).map(|_| heap.alloc_untimed(2).unwrap()).collect();
             let mut cpu = rt.test_cpu(3);
-            let mut job = ScanJob::new(&rt, &mut cpu, retired(&candidates));
+            let mut job = ScanJob::new(&rt, &mut cpu, retired(&candidates), ScanBuffers::default());
             let mut stats = StThreadStats::default();
             while !job.advance(&rt, &mut cpu, &mut stats) {}
             stats.scan_words
         };
         let linear_1 = count_words(ScanMode::Linear, 1);
         let linear_8 = count_words(ScanMode::Linear, 8);
-        let hashed_1 = count_words(ScanMode::Hashed, 1);
-        let hashed_8 = count_words(ScanMode::Hashed, 8);
         assert!(linear_8 >= 8 * linear_1, "linear scales with candidates");
-        assert_eq!(hashed_8, hashed_1, "hashed walks the stacks once");
+        for mode in [ScanMode::Hashed, ScanMode::Batched] {
+            let one = count_words(mode, 1);
+            let eight = count_words(mode, 8);
+            assert_eq!(eight, one, "{mode:?} walks the stacks once");
+        }
+    }
+
+    #[test]
+    fn every_mode_records_probe_cycles() {
+        for mode in [ScanMode::Linear, ScanMode::Hashed, ScanMode::Batched] {
+            let rt = runtime(mode, false, 8);
+            let heap = rt.heap().clone();
+            let node = heap.alloc_untimed(2).unwrap();
+            plant(&rt, 0, &[node.raw()]);
+            let mut cpu = rt.test_cpu(3);
+            let mut job = ScanJob::new(&rt, &mut cpu, retired(&[node]), ScanBuffers::default());
+            let mut stats = StThreadStats::default();
+            while !job.advance(&rt, &mut cpu, &mut stats) {}
+            assert!(stats.scan_probe_cycles > 0, "{mode:?} charges probes");
+            assert_eq!(
+                stats.candidate_probe_cycles.count(),
+                1,
+                "{mode:?} records one histogram sample per scan"
+            );
+        }
+    }
+
+    #[test]
+    fn finish_into_recycles_the_buffers() {
+        let rt = runtime(ScanMode::Batched, false, 8);
+        let heap = rt.heap().clone();
+        let held = heap.alloc_untimed(2).unwrap();
+        let loose = heap.alloc_untimed(2).unwrap();
+        plant(&rt, 0, &[held.raw()]);
+        let mut cpu = rt.test_cpu(3);
+        let candidates = retired(&[held, loose]);
+        let candidate_cap = candidates.capacity();
+        let mut job = ScanJob::new(&rt, &mut cpu, candidates, ScanBuffers::default());
+        let mut stats = StThreadStats::default();
+        while !job.advance(&rt, &mut cpu, &mut stats) {}
+        let mut free_set = Vec::new();
+        let mut bufs = job.finish_into(&mut free_set);
+        assert_eq!(free_set.len(), 1, "the referenced candidate survives");
+        assert_eq!(free_set[0].addr, held);
+        let spare = bufs.take_spare();
+        assert!(spare.is_empty());
+        assert_eq!(
+            spare.capacity(),
+            candidate_cap,
+            "the candidates vector is handed back for the next free set"
+        );
     }
 }

@@ -41,6 +41,9 @@ pub struct StThreadStats {
     pub survivors: u64,
     /// Virtual cycles spent inside scans.
     pub scan_cycles: Cycles,
+    /// Virtual cycles spent probing scanned words against the candidate
+    /// batch (index build + lookups), across all scans.
+    pub scan_probe_cycles: Cycles,
     /// Thread inspections performed.
     pub threads_inspected: u64,
     /// Segment aborts attributed by cause (the canonical taxonomy).
@@ -51,6 +54,9 @@ pub struct StThreadStats {
     pub scan_depths: LogHistogram,
     /// Distribution of retire-to-free latency, in virtual cycles.
     pub free_latency: LogHistogram,
+    /// Distribution of candidate-probe cycles per completed scan (the
+    /// `scan.candidate_probe_cycles` metric).
+    pub candidate_probe_cycles: LogHistogram,
 }
 
 impl StThreadStats {
@@ -87,11 +93,16 @@ impl StThreadStats {
             frees_completed: self.frees_completed + o.frees_completed,
             survivors: self.survivors + o.survivors,
             scan_cycles: self.scan_cycles + o.scan_cycles,
+            scan_probe_cycles: self.scan_probe_cycles + o.scan_probe_cycles,
             threads_inspected: self.threads_inspected + o.threads_inspected,
             abort_causes: self.abort_causes.merged(&o.abort_causes),
             seg_lengths: merged_hist(&self.seg_lengths, &o.seg_lengths),
             scan_depths: merged_hist(&self.scan_depths, &o.scan_depths),
             free_latency: merged_hist(&self.free_latency, &o.free_latency),
+            candidate_probe_cycles: merged_hist(
+                &self.candidate_probe_cycles,
+                &o.candidate_probe_cycles,
+            ),
         }
     }
 
@@ -110,11 +121,13 @@ impl StThreadStats {
         reg.add("st.frees_completed", self.frees_completed);
         reg.add("st.survivors", self.survivors);
         reg.add("st.scan_cycles", self.scan_cycles);
+        reg.add("st.scan_probe_cycles", self.scan_probe_cycles);
         reg.add("st.threads_inspected", self.threads_inspected);
         self.abort_causes.report(reg, "st");
         reg.record_hist("st.segment_length", &self.seg_lengths);
         reg.record_hist("st.scan_depth", &self.scan_depths);
         reg.record_hist("st.free_latency_cycles", &self.free_latency);
+        reg.record_hist("scan.candidate_probe_cycles", &self.candidate_probe_cycles);
     }
 }
 
@@ -201,17 +214,24 @@ mod tests {
         let mut s = StThreadStats {
             ops: 5,
             scans: 1,
+            scan_probe_cycles: 42,
             ..Default::default()
         };
         s.seg_lengths.record(4);
         s.scan_depths.record(64);
         s.free_latency.record(900);
+        s.candidate_probe_cycles.record(42);
         let mut reg = MetricsRegistry::new();
         s.report(&mut reg);
         assert_eq!(reg.counter("st.ops"), 5);
         assert_eq!(reg.counter("st.aborts.preempted"), 0);
+        assert_eq!(reg.counter("st.scan_probe_cycles"), 42);
         assert_eq!(reg.histogram("st.segment_length").unwrap().count(), 1);
         assert_eq!(reg.histogram("st.scan_depth").unwrap().count(), 1);
         assert_eq!(reg.histogram("st.free_latency_cycles").unwrap().sum(), 900);
+        assert_eq!(
+            reg.histogram("scan.candidate_probe_cycles").unwrap().sum(),
+            42
+        );
     }
 }

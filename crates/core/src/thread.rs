@@ -1,7 +1,7 @@
 //! The per-thread StackTrack executor: split engine, slow path, and
 //! the `FREE` entry point.
 
-use crate::free::{Retired, ScanJob};
+use crate::free::{Retired, ScanBuffers, ScanJob};
 use crate::layout::{
     OFF_ACTIVE, OFF_OPER_COUNTER, OFF_OP_ID, OFF_REFSET, OFF_REFSET_COUNT, OFF_REGISTERS,
     OFF_SLOW_FLAG, OFF_SPLITS, OFF_STACK, OFF_STACK_DEPTH, OFF_STAGED, OFF_STAGED_COUNT,
@@ -75,6 +75,10 @@ pub struct StThread {
     /// segment is live means the scheduler preempted us mid-transaction.
     seg_switches: u64,
     job: Option<ScanJob>,
+    /// Scan scratch recycled across jobs (free-set storage, the sorted
+    /// candidate index, hit flags, hash table): steady-state reclamation
+    /// allocates nothing.
+    scan_bufs: ScanBuffers,
     stats: StThreadStats,
 }
 
@@ -116,6 +120,7 @@ impl StThread {
             op_used_slow: false,
             seg_switches: 0,
             job: None,
+            scan_bufs: ScanBuffers::default(),
             stats: StThreadStats::default(),
         }
     }
@@ -323,8 +328,7 @@ impl StThread {
         if self.free_set.is_empty() {
             return;
         }
-        let candidates = std::mem::take(&mut self.free_set);
-        self.job = Some(ScanJob::new(&self.rt, cpu, candidates));
+        self.start_scan(cpu);
         self.mode = Mode::Reclaim(Resume::Idle);
         while self.idle_work_pending() {
             self.step_idle(cpu);
@@ -649,17 +653,26 @@ impl StThread {
             retired_at: cpu.now(),
         });
         if self.free_set.len() > self.rt.config.max_free && self.job.is_none() {
-            let candidates = std::mem::take(&mut self.free_set);
-            self.job = Some(ScanJob::new(&self.rt, cpu, candidates));
+            self.start_scan(cpu);
         }
+    }
+
+    /// Moves the free set into a new [`ScanJob`], recycling the previous
+    /// scan's buffers (the emptied candidates vector becomes the new
+    /// free-set storage, so the hot path allocates nothing).
+    fn start_scan(&mut self, cpu: &mut Cpu) {
+        let spare = self.scan_bufs.take_spare();
+        let candidates = std::mem::replace(&mut self.free_set, spare);
+        let bufs = std::mem::take(&mut self.scan_bufs);
+        self.job = Some(ScanJob::new(&self.rt, cpu, candidates, bufs));
     }
 
     fn step_reclaim(&mut self, cpu: &mut Cpu) {
         let rt = self.rt.clone();
         let job = self.job.as_mut().expect("reclaim mode without a job");
         if job.advance(&rt, cpu, &mut self.stats) {
-            let mut job = self.job.take().expect("job present");
-            self.free_set.extend(job.take_survivors());
+            let job = self.job.take().expect("job present");
+            self.scan_bufs = job.finish_into(&mut self.free_set);
             self.stats.scans += 1;
             match self.mode {
                 Mode::Reclaim(Resume::Idle) => self.mode = Mode::Idle,

@@ -43,7 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cause;
 pub mod hist;
@@ -59,5 +59,7 @@ pub use registry::{Metric, MetricsRegistry};
 ///
 /// Bump when a key is renamed, a unit changes, or the snapshot envelope
 /// gains/loses required fields; consumers (`tools/update_experiments.py`,
-/// external dashboards) key their parsing off this number.
-pub const SCHEMA_VERSION: u64 = 1;
+/// external dashboards) key their parsing off this number. History:
+/// v1 — initial envelope; v2 — runs carry a required `per_thread` array
+/// (thread, ops, busy_cycles, garbage per simulated thread).
+pub const SCHEMA_VERSION: u64 = 2;

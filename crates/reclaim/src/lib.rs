@@ -32,7 +32,7 @@
 //! [`SchemeFactory::builder`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod api;
 pub mod dta;

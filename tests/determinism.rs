@@ -80,6 +80,44 @@ fn every_scheme_times_every_fault_kind_is_byte_identical() {
     }
 }
 
+/// The parallel sweep scheduler's contract end-to-end: one figure driver
+/// run serially (`--jobs 1`) and once with four workers must persist
+/// byte-identical artifacts — the flat JSON-lines summary, the full
+/// metrics snapshot, and the rendered markdown (docs/PERF.md).
+#[test]
+fn parallel_sweep_artifacts_are_byte_identical_to_serial() {
+    use st_bench::figures::{ablation_scanmode, BenchOpts};
+
+    let base = std::env::temp_dir().join(format!(
+        "st-sweep-determinism-{}",
+        std::process::id()
+    ));
+    let run = |jobs: usize, tag: &str| {
+        let opts = BenchOpts {
+            duration_ms: 1,
+            scale: 100,
+            max_threads: 2,
+            out: base.join(tag),
+            jobs,
+            ..BenchOpts::default()
+        };
+        ablation_scanmode(&opts);
+        let read = |name: &str| {
+            std::fs::read(opts.out.join(name))
+                .unwrap_or_else(|e| panic!("{tag}/{name}: {e}"))
+        };
+        (
+            read("ablation_scanmode.json"),
+            read("ablation_scanmode.metrics.json"),
+            read("ablation_scanmode.md"),
+        )
+    };
+    let serial = run(1, "serial");
+    let parallel = run(4, "parallel");
+    assert_eq!(serial, parallel, "artifacts must not depend on --jobs");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 #[test]
 fn every_scheme_is_deterministic() {
     for scheme in [

@@ -4,7 +4,10 @@
 Keeps the prose; replaces only table bodies (matched by their header
 rows). Run after `st-bench all --ms 10 --out results`,
 `st-bench fig3-fig4 --ms 10 --warmup 60 --out results/warmed` and
-`st-bench robustness --out results`.
+`st-bench robustness --out results`. Any of those can take `--jobs N`
+to fan configurations across worker threads — the artifacts this tool
+reads are byte-identical either way (see docs/PERF.md), so parallel
+regeneration never perturbs the refreshed tables.
 
 Scheme and structure names are never re-spelled here: every column label
 and row key comes from the snapshots themselves, which carry the Rust
@@ -15,7 +18,7 @@ import json
 import sys
 
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def load(name, base="results"):
