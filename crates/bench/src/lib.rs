@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod auditcmd;
 pub mod checkcmd;
 pub mod experiment;
 pub mod figures;

@@ -11,6 +11,7 @@
 //!   extra-rbtree robustness all
 //!   check-metrics FILE...
 //!   check [--structures a,b] [--mode dfs|random] [--mutate M] [--replay TOKEN] ...
+//!   audit [--structures a,b] [--schemes A,B] [--budget-ms N] [--faults on|off] ...
 //! ```
 //!
 //! Every subcommand prints its table(s) and writes JSON + markdown under
@@ -23,7 +24,7 @@
 //! mapping to the paper's figures.
 
 use st_bench::figures::{self, BenchOpts};
-use st_bench::{checkcmd, report, sweep};
+use st_bench::{auditcmd, checkcmd, report, sweep};
 use st_reclaim::Scheme;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,7 +35,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: st-bench <fig1-list|fig1-skiplist|fig2-queue|fig2-hash|fig3-aborts|fig4-splits|\
          fig5-slowpath|scan-overhead|ablation-predictor|ablation-regfile|ablation-scanmode|\
-         ablation-refcount|extra-rbtree|robustness|all|check|check-metrics> [--ms N] [--seed N] \
+         ablation-refcount|extra-rbtree|robustness|all|check|check-metrics|audit> [--ms N] [--seed N] \
          [--scale N] [--threads N] [--out DIR] [--schemes A,B,...] [--jobs N] \
          [--timing-out FILE] (see `check --help` style flags in docs/TESTING.md)"
     );
@@ -52,6 +53,9 @@ fn main() -> ExitCode {
     }
     if cmd == "check" {
         return checkcmd::run(&args[1..]);
+    }
+    if cmd == "audit" {
+        return auditcmd::run(&args[1..]);
     }
 
     let mut opts = BenchOpts::default();
@@ -123,7 +127,9 @@ fn main() -> ExitCode {
         i += 2;
     }
 
-    let sink = timing_out.as_ref().map(|_| Arc::new(sweep::TimingSink::new()));
+    let sink = timing_out
+        .as_ref()
+        .map(|_| Arc::new(sweep::TimingSink::new()));
     opts.timing = sink.clone();
     let started = Instant::now();
 
@@ -214,6 +220,14 @@ fn check_metrics(paths: &[String]) -> ExitCode {
                     Ok(n) => println!("{path}: garbage_ts series consistent ({n} samples/run)"),
                     Err(e) => {
                         eprintln!("{path}: invalid garbage_ts series: {e}");
+                        failed = true;
+                    }
+                }
+                match report::validate_audit(&runs) {
+                    Ok(0) => {}
+                    Ok(n) => println!("{path}: audit section consistent ({n} runs)"),
+                    Err(e) => {
+                        eprintln!("{path}: invalid audit section: {e}");
                         failed = true;
                     }
                 }

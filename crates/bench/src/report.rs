@@ -302,6 +302,70 @@ pub fn validate_garbage_series(runs: &[ParsedRun]) -> Result<u64, String> {
     Ok(common.map_or(0, |(n, _)| n))
 }
 
+/// Validates the `audit.*` counter section of a parsed snapshot (written
+/// by `st-bench audit`, see `docs/AUDIT.md`).
+///
+/// A run carries the section iff any of its metric keys starts with
+/// `audit.`. For such a run: every `audit.*` key must be a counter from
+/// the canonical vocabulary in [`st_obs::audit`], the core counters
+/// (`audit.episodes`, `audit.retires`, `audit.frees`,
+/// `audit.violations`) must all be present, `audit.episodes` must be
+/// nonzero (a combination that never soaked proves nothing), and
+/// `audit.violations` must equal the sum of the per-class
+/// `audit.violations.*` counters. Returns the number of runs carrying
+/// the section, 0 when the snapshot is not an audit snapshot.
+pub fn validate_audit(runs: &[ParsedRun]) -> Result<u64, String> {
+    use st_obs::audit;
+    const CORE: [&str; 4] = [
+        audit::EPISODES,
+        audit::RETIRES,
+        audit::FREES,
+        audit::VIOLATIONS,
+    ];
+    let mut audited = 0;
+    for parsed in runs {
+        let run = parsed.label();
+        let mut present: Vec<String> = Vec::new();
+        for (key, metric) in parsed.metrics.iter() {
+            if !key.starts_with("audit.") {
+                continue;
+            }
+            if matches!(metric, st_obs::Metric::Histogram(_)) {
+                return Err(format!("{run}: {key} is a histogram, expected a counter"));
+            }
+            if !CORE.contains(&key) && !audit::VIOLATION_COUNTERS.contains(&key) {
+                return Err(format!(
+                    "{run}: unknown audit counter {key} (not in the st_obs::audit vocabulary)"
+                ));
+            }
+            present.push(key.to_string());
+        }
+        if present.is_empty() {
+            continue;
+        }
+        audited += 1;
+        for key in CORE {
+            if !present.iter().any(|k| k == key) {
+                return Err(format!("{run}: audit section missing {key}"));
+            }
+        }
+        if parsed.metrics.counter(audit::EPISODES) == 0 {
+            return Err(format!("{run}: audit.episodes is zero"));
+        }
+        let total = parsed.metrics.counter(audit::VIOLATIONS);
+        let by_class: u64 = audit::VIOLATION_COUNTERS
+            .iter()
+            .map(|&k| parsed.metrics.counter(k))
+            .sum();
+        if total != by_class {
+            return Err(format!(
+                "{run}: audit.violations is {total} but the per-class counters sum to {by_class}"
+            ));
+        }
+    }
+    Ok(audited)
+}
+
 /// Persists raw results as JSON lines under `out_dir/name.json`, the full
 /// metrics snapshot under `out_dir/name.metrics.json`, and the rendered
 /// table as markdown under `out_dir/name.md`.
@@ -572,6 +636,119 @@ mod tests {
         assert_ne!(good, bad, "replacement did not apply");
         let err = parse_metrics_snapshot(&bad).unwrap_err();
         assert!(err.contains("unsigned"), "{err}");
+    }
+
+    /// A hand-built audit snapshot: one run whose metrics are exactly
+    /// `pairs` (plus the envelope-required `run.total_ops`).
+    fn audit_snapshot_text(pairs: &[(&str, u64)]) -> String {
+        let mut doc = Json::obj();
+        doc.set("schema_version", SCHEMA_VERSION);
+        let mut metrics = Json::obj();
+        metrics.set("run.total_ops", 0u64);
+        for (key, value) in pairs {
+            metrics.set(key, *value);
+        }
+        let rows: Vec<Json> = (0..2usize)
+            .map(|thread| {
+                PerThread {
+                    thread,
+                    ops: 0,
+                    busy_cycles: 0,
+                    garbage: 0,
+                }
+                .to_json()
+            })
+            .collect();
+        let mut run = Json::obj();
+        run.set("scheme", "Hazards");
+        run.set("structure", "list");
+        run.set("threads", 2u64);
+        run.set("per_thread", Json::Arr(rows));
+        run.set("metrics", metrics);
+        doc.set("runs", Json::Arr(vec![run]));
+        doc.to_string()
+    }
+
+    fn clean_audit_pairs() -> Vec<(&'static str, u64)> {
+        use st_obs::audit;
+        let mut pairs = vec![
+            (audit::EPISODES, 5),
+            (audit::RETIRES, 40),
+            (audit::FREES, 40),
+            (audit::VIOLATIONS, 0),
+        ];
+        pairs.extend(audit::VIOLATION_COUNTERS.iter().map(|&k| (k, 0)));
+        pairs
+    }
+
+    #[test]
+    fn audit_section_accepts_a_clean_run() {
+        let text = audit_snapshot_text(&clean_audit_pairs());
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        assert_eq!(validate_audit(&runs), Ok(1));
+    }
+
+    #[test]
+    fn audit_section_is_optional() {
+        let text = garbage_snapshot(&[("Epoch", &[])]);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        assert_eq!(validate_audit(&runs), Ok(0));
+    }
+
+    #[test]
+    fn audit_section_rejects_violation_sum_mismatch() {
+        use st_obs::audit;
+        let mut pairs = clean_audit_pairs();
+        for (key, value) in pairs.iter_mut() {
+            if *key == audit::VIOLATIONS {
+                *value = 3;
+            }
+            if *key == audit::V_LEAK {
+                *value = 2;
+            }
+        }
+        let text = audit_snapshot_text(&pairs);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        let err = validate_audit(&runs).unwrap_err();
+        assert!(err.contains("sum to 2"), "{err}");
+    }
+
+    #[test]
+    fn audit_section_rejects_missing_core_counter() {
+        use st_obs::audit;
+        let pairs: Vec<(&str, u64)> = clean_audit_pairs()
+            .into_iter()
+            .filter(|(k, _)| *k != audit::RETIRES)
+            .collect();
+        let text = audit_snapshot_text(&pairs);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        let err = validate_audit(&runs).unwrap_err();
+        assert!(err.contains("missing audit.retires"), "{err}");
+    }
+
+    #[test]
+    fn audit_section_rejects_unknown_counters() {
+        let mut pairs = clean_audit_pairs();
+        pairs.push(("audit.violations.typo", 1));
+        let text = audit_snapshot_text(&pairs);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        let err = validate_audit(&runs).unwrap_err();
+        assert!(err.contains("unknown audit counter"), "{err}");
+    }
+
+    #[test]
+    fn audit_section_rejects_zero_episodes() {
+        use st_obs::audit;
+        let mut pairs = clean_audit_pairs();
+        for (key, value) in pairs.iter_mut() {
+            if *key == audit::EPISODES {
+                *value = 0;
+            }
+        }
+        let text = audit_snapshot_text(&pairs);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        let err = validate_audit(&runs).unwrap_err();
+        assert!(err.contains("audit.episodes is zero"), "{err}");
     }
 
     #[test]

@@ -68,7 +68,12 @@ impl TimingSink {
 /// "configs": [{figure, scheme, structure, threads, host_ms}, ...]}`.
 /// `total_host_ms` is end-to-end wall clock (includes table rendering and
 /// persistence, not just the summed simulations).
-pub fn timing_report(command: &str, jobs: usize, total_host_ms: f64, rows: &[ConfigTiming]) -> Json {
+pub fn timing_report(
+    command: &str,
+    jobs: usize,
+    total_host_ms: f64,
+    rows: &[ConfigTiming],
+) -> Json {
     let mut doc = Json::obj();
     doc.set("command", command);
     doc.set("jobs", jobs);

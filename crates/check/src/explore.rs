@@ -148,6 +148,20 @@ fn failure_from(
     }
 }
 
+/// Shrinks a failing schedule found *outside* [`check`] — e.g. by the
+/// audit harness's randomized soak — to a minimal replayable [`Failure`].
+/// Returns the failure and the number of extra schedules executed while
+/// shrinking.
+pub fn shrink_failure(
+    config: &CheckConfig,
+    deviations: BTreeMap<u64, usize>,
+    outcome: ScheduleOutcome,
+) -> (Failure, u64) {
+    let mut runs = 0;
+    let failure = failure_from(config, deviations, outcome, &mut runs);
+    (failure, runs)
+}
+
 /// Explores schedules of `config` per `explore`; stops at the first
 /// failing schedule (shrunk to a minimal replay token) or when the
 /// budget is exhausted.

@@ -16,7 +16,7 @@ use st_machine::{
     CostModel, Cpu, Cycles, FaultPlan, Pcg32, SimConfig, StepOutcome, Topology, Worker,
 };
 use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory, SchemeThread};
-use st_simheap::{Heap, HeapConfig};
+use st_simheap::{Heap, HeapConfig, LedgerStats};
 use st_simhtm::{HtmConfig, HtmEngine};
 use st_structures::history::{check_linearizable, DsOp, HistoryRecorder, SpecKind};
 use st_structures::{hash, list, queue, skiplist};
@@ -90,7 +90,7 @@ impl std::str::FromStr for Structure {
 }
 
 /// Protocol mutations the checker can inject to prove its oracles have
-/// teeth (see `docs/TESTING.md`).
+/// teeth (see `docs/TESTING.md` and `docs/AUDIT.md`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mutation {
     /// Protocols intact.
@@ -102,6 +102,14 @@ pub enum Mutation {
     /// to the next step boundary, un-protecting the node across a
     /// scheduling point.
     DeferHazardPublish,
+    /// StackTrack: swallow one scan verdict that would free a candidate
+    /// (the block is neither freed nor kept as a survivor). The heap
+    /// ledger must report it as a leak at teardown.
+    SkipFree,
+    /// Hazard pointers: issue the first retire twice, planting a
+    /// double-retire (and eventually a double free) the heap ledger must
+    /// catch.
+    DoubleRetire,
 }
 
 impl Mutation {
@@ -111,6 +119,8 @@ impl Mutation {
             Mutation::None => "none",
             Mutation::SkipSplitsRecheck => "splits",
             Mutation::DeferHazardPublish => "hazard",
+            Mutation::SkipFree => "skipfree",
+            Mutation::DoubleRetire => "dretire",
         }
     }
 }
@@ -129,8 +139,10 @@ impl std::str::FromStr for Mutation {
             "none" => Ok(Mutation::None),
             "splits" => Ok(Mutation::SkipSplitsRecheck),
             "hazard" => Ok(Mutation::DeferHazardPublish),
+            "skipfree" => Ok(Mutation::SkipFree),
+            "dretire" => Ok(Mutation::DoubleRetire),
             _ => Err(format!(
-                "unknown mutation {s:?} (expected none, splits, or hazard)"
+                "unknown mutation {s:?} (expected none, splits, hazard, skipfree, or dretire)"
             )),
         }
     }
@@ -157,6 +169,9 @@ pub struct CheckConfig {
     /// Scheduler step budget per schedule; pending operations at the
     /// limit are allowed (the linearizability checker handles them).
     pub step_limit: u64,
+    /// Deterministic fault schedule applied to every schedule of this
+    /// config (the audit harness soaks with stalls and storms enabled).
+    pub faults: FaultPlan,
 }
 
 impl Default for CheckConfig {
@@ -170,6 +185,7 @@ impl Default for CheckConfig {
             seed: 1,
             mutation: Mutation::None,
             step_limit: 60_000,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -179,6 +195,9 @@ impl Default for CheckConfig {
 pub enum Violation {
     /// The heap's use-after-free oracle fired.
     Uaf(String),
+    /// The heap's lifecycle ledger fired (double retire, double free,
+    /// free-before-retire, or leak-at-teardown; see `docs/AUDIT.md`).
+    Ledger(String),
     /// The recorded history has no valid linearization.
     NonLinearizable(String),
     /// The run panicked (e.g. a poison dereference).
@@ -189,6 +208,7 @@ impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::Uaf(m) => write!(f, "use-after-free: {m}"),
+            Violation::Ledger(m) => write!(f, "ledger: {m}"),
             Violation::NonLinearizable(m) => write!(f, "linearizability: {m}"),
             Violation::Panic(m) => write!(f, "panic: {m}"),
         }
@@ -213,6 +233,15 @@ pub struct ScheduleOutcome {
     /// (diagnostic: nonzero means the schedule opened the torn-snapshot
     /// window the `splits` protocol guards).
     pub scan_retries: u64,
+    /// Whether every scripted operation (plus the pre-population) invoked
+    /// and responded. False under kills, stalls that outlast the step
+    /// budget, or a mid-run panic — the cases where leak-at-teardown
+    /// cannot be judged.
+    pub all_ops_completed: bool,
+    /// Completed operations per thread (audit metrics rows).
+    pub per_thread_ops: Vec<u64>,
+    /// Aggregate heap-ledger counters for this schedule.
+    pub ledger: LedgerStats,
 }
 
 /// The shared structure of a run (a cloneable shape).
@@ -357,6 +386,7 @@ pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) 
         ..ReclaimConfig::default()
     };
     rc.mutation_defer_hazard_publish = config.mutation == Mutation::DeferHazardPublish;
+    rc.mutation_double_retire = config.mutation == Mutation::DoubleRetire;
     let st_config = StConfig {
         // Short segments and fine-grained interruptible scans maximize
         // the schedule points where the consistency protocol matters.
@@ -373,6 +403,7 @@ pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) 
         // mask scan misses from the explorer.
         expose_registers: false,
         mutation_skip_splits_recheck: config.mutation == Mutation::SkipSplitsRecheck,
+        mutation_skip_one_free: config.mutation == Mutation::SkipFree,
         ..StConfig::default()
     };
     let factory = SchemeFactory::builder(config.scheme)
@@ -383,6 +414,10 @@ pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) 
         .build();
 
     heap.set_uaf_oracle(true);
+    // The lifecycle ledger tracks everything allocated from here on —
+    // structure nodes included — so retire/free pairing and teardown
+    // leaks are judged per block (see docs/AUDIT.md).
+    heap.set_ledger_oracle(true);
     for (base, words) in factory.protection_roots() {
         heap.add_uaf_root(base, words);
     }
@@ -431,6 +466,8 @@ pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) 
         }
     }
 
+    let prepop_ops = recorder.history().len() as u64;
+
     let workers: Vec<ScriptWorker> = (0..config.threads)
         .map(|t| ScriptWorker {
             th: factory.thread(t),
@@ -448,7 +485,7 @@ pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) 
         seed: config.seed,
         duration: Cycles::MAX / 2,
         step_limit: Some(config.step_limit),
-        faults: FaultPlan::default(),
+        faults: config.faults.clone(),
         controller: None,
     }
     .with_controller(controller.clone());
@@ -483,11 +520,35 @@ pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) 
     for v in heap.uaf_violations() {
         violations.push(Violation::Uaf(v.to_string()));
     }
+    // Event-time ledger findings (double retire/free, free-before-retire)
+    // are unconditional: they are wrong whenever they happen.
+    for v in heap.ledger_violations() {
+        violations.push(Violation::Ledger(v.to_string()));
+    }
+    let panicked = panic_msg.is_some();
     if let Some(msg) = panic_msg {
         violations.push(Violation::Panic(msg));
     }
     let history = recorder.history();
     let completed_ops = history.iter().filter(|r| r.completed()).count() as u64;
+    let mut per_thread_ops = vec![0u64; config.threads];
+    for r in &history {
+        if r.completed() && r.thread < per_thread_ops.len() {
+            per_thread_ops[r.thread] += 1;
+        }
+    }
+    // Leak-at-teardown is only judged on a run that finished cleanly:
+    // every scripted op responded (no kill/stall/step-limit cutoff left a
+    // thread holding references or undrained limbo) and nothing panicked.
+    // `Scheme::None` leaks by design — it is the audit harness's positive
+    // reference, not a defect.
+    let all_ops_completed =
+        completed_ops == prepop_ops + config.threads as u64 * config.ops_per_thread as u64;
+    if all_ops_completed && !panicked && config.scheme != Scheme::None {
+        for v in heap.ledger_leaks() {
+            violations.push(Violation::Ledger(v.to_string()));
+        }
+    }
     if let Err(e) = check_linearizable(config.structure.spec(), &history) {
         violations.push(Violation::NonLinearizable(e.to_string()));
     }
@@ -499,5 +560,8 @@ pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) 
         completed_ops,
         scans,
         scan_retries,
+        all_ops_completed,
+        per_thread_ops,
+        ledger: heap.ledger_stats(),
     }
 }

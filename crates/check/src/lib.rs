@@ -36,7 +36,9 @@ pub mod harness;
 pub mod schedule;
 pub mod token;
 
-pub use explore::{check, replay, CheckReport, ExploreConfig, ExploreMode, Failure};
+pub use explore::{
+    check, replay, shrink_failure, CheckReport, ExploreConfig, ExploreMode, Failure,
+};
 pub use harness::{run_schedule, CheckConfig, Mutation, ScheduleOutcome, Structure, Violation};
 pub use schedule::{Decision, RecordingController};
 pub use token::ReplayToken;

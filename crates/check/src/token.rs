@@ -10,10 +10,16 @@
 //! Format (all fields positional, colon-separated):
 //!
 //! ```text
-//! stck1:<structure>:<scheme>:t<threads>:o<ops>:k<keys>:s<seed>:m<mutation>:<i>=<t>,...|-
+//! stck1:<structure>:<scheme>:t<threads>:o<ops>:k<keys>:s<seed>:m<mutation>[:f<faults>]:<i>=<t>,...|-
 //! ```
+//!
+//! The optional `f` field carries the config's [`FaultPlan`] as
+//! `;`-separated events — `S<t>@<at>+<for>` (stall), `P<ctx>@<at>+<for>`
+//! (preemption storm), `K<t>@<at>` (kill) — and is omitted when the plan
+//! is empty, so pre-fault tokens keep parsing unchanged.
 
 use crate::harness::{CheckConfig, Mutation, Structure};
+use st_machine::{FaultEvent, FaultPlan};
 use st_reclaim::Scheme;
 use std::collections::BTreeMap;
 
@@ -26,6 +32,79 @@ pub struct ReplayToken {
     pub deviations: BTreeMap<u64, usize>,
 }
 
+/// Renders a fault plan as the token's `f` field payload.
+fn fault_spec(plan: &FaultPlan) -> String {
+    plan.events()
+        .iter()
+        .map(|e| match *e {
+            FaultEvent::Stall {
+                thread,
+                at_cycle,
+                for_cycles,
+            } => format!("S{thread}@{at_cycle}+{for_cycles}"),
+            FaultEvent::PreemptionStorm {
+                ctx,
+                at_cycle,
+                for_cycles,
+            } => format!("P{ctx}@{at_cycle}+{for_cycles}"),
+            FaultEvent::Kill { thread, at_cycle } => format!("K{thread}@{at_cycle}"),
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Parses the `f` field payload back into a fault plan.
+fn parse_fault_spec(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    for ev in spec.split(';') {
+        let (kind, rest) = ev.split_at(ev.len().min(1));
+        let (target, timing) = rest
+            .split_once('@')
+            .ok_or_else(|| format!("bad fault event {ev:?} (expected <kind><target>@<timing>)"))?;
+        let target = target
+            .parse::<usize>()
+            .map_err(|e| format!("bad fault target in {ev:?}: {e}"))?;
+        let parse_cycles = |s: &str, what: &str| {
+            s.parse::<u64>()
+                .map_err(|e| format!("bad fault {what} in {ev:?}: {e}"))
+        };
+        match kind {
+            "K" => {
+                plan.push(FaultEvent::Kill {
+                    thread: target,
+                    at_cycle: parse_cycles(timing, "time")?,
+                });
+            }
+            "S" | "P" => {
+                let (at, dur) = timing
+                    .split_once('+')
+                    .ok_or_else(|| format!("bad fault window {ev:?} (expected @<at>+<for>)"))?;
+                let at_cycle = parse_cycles(at, "time")?;
+                let for_cycles = parse_cycles(dur, "duration")?;
+                plan.push(if kind == "S" {
+                    FaultEvent::Stall {
+                        thread: target,
+                        at_cycle,
+                        for_cycles,
+                    }
+                } else {
+                    FaultEvent::PreemptionStorm {
+                        ctx: target,
+                        at_cycle,
+                        for_cycles,
+                    }
+                });
+            }
+            _ => {
+                return Err(format!(
+                    "unknown fault kind in {ev:?} (expected S, P, or K)"
+                ))
+            }
+        }
+    }
+    Ok(plan)
+}
+
 impl std::fmt::Display for ReplayToken {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let c = &self.config;
@@ -34,6 +113,9 @@ impl std::fmt::Display for ReplayToken {
             "stck1:{}:{}:t{}:o{}:k{}:s{}:m{}:",
             c.structure, c.scheme, c.threads, c.ops_per_thread, c.key_range, c.seed, c.mutation
         )?;
+        if !c.faults.is_empty() {
+            write!(f, "f{}:", fault_spec(&c.faults))?;
+        }
         if self.deviations.is_empty() {
             f.write_str("-")
         } else {
@@ -83,7 +165,14 @@ impl std::str::FromStr for ReplayToken {
             .map_err(|e| format!("bad seed: {e}"))?;
         let mutation: Mutation =
             tagged(field(&mut parts, "mutation")?, 'm', "mutation")?.parse()?;
-        let devs_str = field(&mut parts, "deviations")?;
+        // Optional fault field: deviations start with a digit or '-', so a
+        // leading 'f' is unambiguous.
+        let mut devs_str = field(&mut parts, "deviations")?;
+        let mut faults = FaultPlan::default();
+        if let Some(spec) = devs_str.strip_prefix('f') {
+            faults = parse_fault_spec(spec)?;
+            devs_str = field(&mut parts, "deviations")?;
+        }
         let mut deviations = BTreeMap::new();
         if devs_str != "-" {
             for pair in devs_str.split(',') {
@@ -110,6 +199,7 @@ impl std::str::FromStr for ReplayToken {
                 key_range,
                 seed,
                 mutation,
+                faults,
                 ..CheckConfig::default()
             },
             deviations,
@@ -150,6 +240,47 @@ mod tests {
         let text = token.to_string();
         assert!(text.ends_with(":-"), "{text}");
         assert_eq!(text.parse::<ReplayToken>().unwrap(), token);
+    }
+
+    #[test]
+    fn fault_plans_round_trip() {
+        let token = ReplayToken {
+            config: CheckConfig {
+                faults: FaultPlan::new()
+                    .stall(1, 5_000, 2_500)
+                    .storm(0, 100, 40)
+                    .kill(2, 9_000),
+                ..CheckConfig::default()
+            },
+            deviations: BTreeMap::from([(7, 0)]),
+        };
+        let text = token.to_string();
+        assert_eq!(
+            text,
+            "stck1:list:StackTrack:t3:o4:k6:s1:mnone:fS1@5000+2500;P0@100+40;K2@9000:7=0"
+        );
+        assert_eq!(text.parse::<ReplayToken>().unwrap(), token);
+    }
+
+    #[test]
+    fn pre_fault_tokens_still_parse() {
+        // A token minted before the fault field existed.
+        let token: ReplayToken = "stck1:list:StackTrack:t3:o4:k6:s1:mnone:3=1"
+            .parse()
+            .unwrap();
+        assert!(token.config.faults.is_empty());
+        assert_eq!(token.deviations, BTreeMap::from([(3, 1)]));
+    }
+
+    #[test]
+    fn bad_fault_specs_are_rejected() {
+        for text in [
+            "stck1:list:StackTrack:t3:o4:k6:s1:mnone:fX1@2:-",
+            "stck1:list:StackTrack:t3:o4:k6:s1:mnone:fS1@2:-", // stall missing +for
+            "stck1:list:StackTrack:t3:o4:k6:s1:mnone:fS@2+3:-",
+        ] {
+            assert!(text.parse::<ReplayToken>().is_err(), "{text}");
+        }
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct StConfig {
     /// mutation tests flip this to prove the use-after-free oracle detects
     /// the resulting unsound frees.
     pub mutation_skip_splits_recheck: bool,
+    /// **Mutation knob for the audit harness — never enable in real
+    /// runs.** Swallows the first scan verdict that would free a
+    /// candidate (one-shot per runtime): the block is neither freed nor
+    /// kept as a survivor, so the heap-ledger oracle must report it as a
+    /// leak at teardown.
+    pub mutation_skip_one_free: bool,
 }
 
 impl Default for StConfig {
@@ -79,6 +85,7 @@ impl Default for StConfig {
             expose_registers: true,
             scan_chunk_words: 24,
             mutation_skip_splits_recheck: false,
+            mutation_skip_one_free: false,
         }
     }
 }

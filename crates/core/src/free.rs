@@ -168,7 +168,7 @@ impl ScanJob {
     pub(crate) fn new(
         rt: &StRuntime,
         cpu: &mut Cpu,
-        candidates: Vec<Retired>,
+        mut candidates: Vec<Retired>,
         mut bufs: ScanBuffers,
     ) -> Self {
         debug_assert!(!candidates.is_empty());
@@ -176,6 +176,20 @@ impl ScanJob {
         // Check the global slow-path counter once, up front (paper 5.4).
         let slow_active = rt.heap().load(cpu, rt.slow_count, 0) != 0;
         let mut probe_cycles = 0;
+        // A base address can land in one batch twice (the allocator reuses
+        // it between two retires of the same free set). Duplicates corrupt
+        // every mode's verdict: Linear and Hashed judge each copy
+        // independently (double free), and the Batched index's binary
+        // search over a sorted-with-duplicates slice can set the hit flag
+        // on one twin while the judge reads the other, freeing a block a
+        // frame still references. Collapse to the first occurrence — the
+        // earliest retire — before building any index.
+        if candidates.len() > 1 {
+            let table = &mut bufs.table;
+            candidates.retain(|r| table.insert(r.addr.raw()));
+            table.clear();
+            charge_probe(cpu, &mut probe_cycles, candidates.len() as u64);
+        }
         let state = match rt.config.scan_mode {
             ScanMode::Linear => State::Linear {
                 cand: 0,
@@ -256,11 +270,7 @@ impl ScanJob {
                         self.bufs.survivors.push(target);
                         stats.survivors += 1;
                     } else {
-                        rt.engine.free_object(cpu, target.addr);
-                        stats.frees_completed += 1;
-                        stats
-                            .free_latency
-                            .record(cpu.now().saturating_sub(target.retired_at));
+                        free_candidate(rt, cpu, stats, target);
                     }
                     *cand += 1;
                     *thread = 0;
@@ -342,11 +352,7 @@ impl ScanJob {
                     self.bufs.survivors.push(target);
                     stats.survivors += 1;
                 } else {
-                    rt.engine.free_object(cpu, target.addr);
-                    stats.frees_completed += 1;
-                    stats
-                        .free_latency
-                        .record(cpu.now().saturating_sub(target.retired_at));
+                    free_candidate(rt, cpu, stats, target);
                 }
                 *cand += 1;
                 false
@@ -412,11 +418,7 @@ impl ScanJob {
                     self.bufs.survivors.push(target);
                     stats.survivors += 1;
                 } else {
-                    rt.engine.free_object(cpu, target.addr);
-                    stats.frees_completed += 1;
-                    stats
-                        .free_latency
-                        .record(cpu.now().saturating_sub(target.retired_at));
+                    free_candidate(rt, cpu, stats, target);
                 }
                 *cand += 1;
                 false
@@ -435,6 +437,22 @@ impl ScanJob {
         self.bufs.spare = self.candidates;
         self.bufs
     }
+}
+
+/// Frees a candidate no inspection found a reference to — the one shared
+/// exit of all three scan modes' judge phases — unless the one-shot
+/// skip-free mutation swallows it, in which case the block is neither
+/// freed nor kept as a survivor and the heap-ledger oracle must flag it
+/// as a leak at teardown.
+fn free_candidate(rt: &StRuntime, cpu: &mut Cpu, stats: &mut StThreadStats, target: Retired) {
+    if rt.consume_skip_free() {
+        return;
+    }
+    rt.engine.free_object(cpu, target.addr);
+    stats.frees_completed += 1;
+    stats
+        .free_latency
+        .record(cpu.now().saturating_sub(target.retired_at));
 }
 
 enum InspectStep {
@@ -634,6 +652,80 @@ mod tests {
             assert!(heap.is_live(held), "{mode:?}");
             assert!(!heap.is_live(loose), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn duplicate_candidates_in_one_batch_free_once() {
+        // Allocator reuse can retire the same base address twice into one
+        // free set. Without dedup, Linear/Hashed double-free it (allocator
+        // panic) and Batched can free a block a frame still references.
+        for mode in [ScanMode::Linear, ScanMode::Hashed, ScanMode::Batched] {
+            let rt = runtime(mode, false, 8);
+            let heap = rt.heap().clone();
+            let reused = heap.alloc_untimed(2).unwrap();
+            let held = heap.alloc_untimed(2).unwrap();
+            plant(&rt, 0, &[held.raw()]);
+
+            let survivors = drive(&rt, vec![reused, held, reused]);
+            assert_eq!(survivors, vec![held], "{mode:?}");
+            assert!(!heap.is_live(reused), "{mode:?}: freed exactly once");
+            assert!(heap.is_live(held), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_referenced_candidates_survive_once() {
+        for mode in [ScanMode::Linear, ScanMode::Hashed, ScanMode::Batched] {
+            let rt = runtime(mode, false, 8);
+            let heap = rt.heap().clone();
+            let held = heap.alloc_untimed(2).unwrap();
+            plant(&rt, 0, &[held.raw()]);
+
+            let survivors = drive(&rt, vec![held, held]);
+            assert_eq!(survivors, vec![held], "{mode:?}: one copy survives");
+            assert!(heap.is_live(held), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn skip_free_mutation_swallows_exactly_one_candidate() {
+        let heap = Arc::new(Heap::new(HeapConfig {
+            capacity_words: 1 << 18,
+            ..HeapConfig::default()
+        }));
+        let engine = Arc::new(HtmEngine::new(heap, HtmConfig::default(), 4));
+        let rt = StRuntime::new(
+            engine,
+            StConfig {
+                scan_mode: ScanMode::Batched,
+                scan_chunk_words: 8,
+                mutation_skip_one_free: true,
+                ..StConfig::default()
+            },
+            4,
+        );
+        let heap = rt.heap().clone();
+        heap.set_ledger_oracle(true);
+        let a = heap.alloc_untimed(2).unwrap();
+        let b = heap.alloc_untimed(2).unwrap();
+        let mut cpu = rt.test_cpu(3);
+        heap.note_retire(3, cpu.now(), a);
+        heap.note_retire(3, cpu.now(), b);
+
+        let mut job = ScanJob::new(&rt, &mut cpu, retired(&[a, b]), ScanBuffers::default());
+        let mut stats = StThreadStats::default();
+        while !job.advance(&rt, &mut cpu, &mut stats) {}
+        let mut survivors = Vec::new();
+        job.finish_into(&mut survivors);
+
+        assert!(
+            survivors.is_empty(),
+            "the swallowed block is not a survivor"
+        );
+        assert_eq!(stats.frees_completed, 1, "one of two verdicts freed");
+        let leaks = heap.ledger_leaks();
+        assert_eq!(leaks.len(), 1, "the ledger sees the swallowed block");
+        assert_eq!(leaks[0].kind, st_simheap::LedgerKind::Leak);
     }
 
     #[test]

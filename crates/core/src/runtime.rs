@@ -6,6 +6,7 @@ use crate::thread::StThread;
 use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
 use st_simheap::{Addr, Heap};
 use st_simhtm::HtmEngine;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Global state shared by all StackTrack threads.
@@ -22,6 +23,9 @@ pub struct StRuntime {
     pub(crate) activity: Addr,
     pub(crate) slow_count: Addr,
     pub(crate) max_threads: usize,
+    /// One-shot arming of [`StConfig::mutation_skip_one_free`]: the first
+    /// scan verdict that would free a candidate swallows it instead.
+    skip_free_armed: AtomicBool,
 }
 
 impl StRuntime {
@@ -38,13 +42,22 @@ impl StRuntime {
         let slow_count = heap
             .alloc_untimed(1)
             .expect("heap too small for the slow-path counter");
+        let skip_free_armed = AtomicBool::new(config.mutation_skip_one_free);
         Arc::new(Self {
             engine,
             config,
             activity,
             slow_count,
             max_threads,
+            skip_free_armed,
         })
+    }
+
+    /// Consumes the one-shot skip-free mutation: `true` exactly once per
+    /// runtime when [`StConfig::mutation_skip_one_free`] is set, `false`
+    /// otherwise.
+    pub(crate) fn consume_skip_free(&self) -> bool {
+        self.config.mutation_skip_one_free && self.skip_free_armed.swap(false, Ordering::Relaxed)
     }
 
     /// The heap underneath the engine.

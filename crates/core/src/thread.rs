@@ -291,7 +291,7 @@ impl StThread {
                 // published; return them to the heap.
                 let heap = self.rt.heap().clone();
                 for a in std::mem::take(&mut self.seg_allocs) {
-                    heap.free(cpu, a);
+                    heap.free_unpublished(cpu, a);
                 }
                 self.staged.clear();
             }
@@ -484,7 +484,7 @@ impl StThread {
         // return them to the heap.
         let heap = self.rt.heap().clone();
         for a in std::mem::take(&mut self.seg_allocs) {
-            heap.free(cpu, a);
+            heap.free_unpublished(cpu, a);
         }
 
         self.restore_from_committed();
@@ -575,7 +575,11 @@ impl StThread {
         self.refset_mirror.clear();
         heap.store(cpu, self.ctx, OFF_REFSET_COUNT, 0);
         heap.store(cpu, self.ctx, OFF_SLOW_FLAG, 0);
-        heap.fetch_add(cpu, self.rt.slow_count, 0, 1u64.wrapping_neg());
+        let prev = heap.fetch_add(cpu, self.rt.slow_count, 0, 1u64.wrapping_neg());
+        debug_assert!(
+            prev >= 1,
+            "slow_count underflow: slow_commit without a matching enter_slow"
+        );
         heap.fence(cpu);
     }
 
@@ -648,6 +652,7 @@ impl StThread {
     /// batch exceeds `max_free`.
     fn free(&mut self, cpu: &mut Cpu, ptr: Addr) {
         self.stats.free_calls += 1;
+        self.rt.heap().note_retire(cpu.thread_id, cpu.now(), ptr);
         self.free_set.push(Retired {
             addr: ptr,
             retired_at: cpu.now(),

@@ -298,6 +298,50 @@ fn forced_slow_path_completes_and_restores_counter() {
 }
 
 #[test]
+fn abandon_mid_slow_path_restores_the_counter() {
+    // Teardown can catch a thread inside the software slow path; the
+    // abandon must pair enter_slow's increment of the global counter, or
+    // every future scan pays the slow-path-active penalty forever.
+    let rt = runtime_with(
+        StConfig {
+            forced_slow_prob: 1.0,
+            ..StConfig::default()
+        },
+        1,
+    );
+    let mut th = rt.register_thread(0);
+    let mut cpu = rt.test_cpu(0);
+    let heap = rt.heap().clone();
+    let cell = heap.alloc_untimed(1).unwrap();
+
+    th.begin_op(&mut cpu, 0, 1);
+    let mut body = |m: &mut dyn stacktrack::OpMem, cpu: &mut st_machine::Cpu| {
+        let i = m.get_local(cpu, 0);
+        m.set_local(cpu, 0, i + 1);
+        m.store(cpu, cell, 0, i)?;
+        Ok(Step::Continue) // never finishes on its own
+    };
+    for _ in 0..4 {
+        assert!(th.step_op(&mut cpu, &mut body).is_none());
+    }
+    assert_eq!(rt.slow_path_count(), 1, "mid-op: the slow path is active");
+
+    th.abandon_op(&mut cpu);
+    assert_eq!(
+        rt.slow_path_count(),
+        0,
+        "abandon mid-slow-path must decrement the global counter"
+    );
+
+    // The thread stays usable after the abandon.
+    let v = th.run_op(&mut cpu, 1, 1, &mut |m, cpu| {
+        m.load(cpu, cell, 0).map(Step::Done)
+    });
+    assert_eq!(v, 3, "the abandoned op's last committed store is visible");
+    assert_eq!(rt.slow_path_count(), 0);
+}
+
+#[test]
 fn hopeless_segments_fall_back_to_the_slow_path() {
     // Every transactional access aborts spuriously: limits shrink to 1,
     // then the fallback threshold trips and the op finishes in software.

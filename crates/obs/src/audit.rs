@@ -1,0 +1,52 @@
+//! Canonical names of the `audit.*` counters.
+//!
+//! The heap-ledger audit harness (`st-bench audit`, see `docs/AUDIT.md`)
+//! writes one schema-v2 metrics snapshot per soak, with one run per
+//! structure × scheme combination. These constants are the complete
+//! `audit.*` vocabulary; `st-bench check-metrics` validates snapshots
+//! against it, so additions here must be mirrored in `docs/METRICS.md`.
+
+/// Soak episodes executed for this run's combination.
+pub const EPISODES: &str = "audit.episodes";
+
+/// Retire events the heap ledger observed across all episodes.
+pub const RETIRES: &str = "audit.retires";
+
+/// Free events the heap ledger observed across all episodes.
+pub const FREES: &str = "audit.frees";
+
+/// Total oracle findings (sum of the `audit.violations.*` counters).
+pub const VIOLATIONS: &str = "audit.violations";
+
+/// Double-retire findings (one block retired twice without a free).
+pub const V_DOUBLE_RETIRE: &str = "audit.violations.double_retire";
+
+/// Double-free findings (one block freed twice without a reallocation).
+pub const V_DOUBLE_FREE: &str = "audit.violations.double_free";
+
+/// Free-before-retire findings (a published block freed while live).
+pub const V_FREE_BEFORE_RETIRE: &str = "audit.violations.free_before_retire";
+
+/// Leak-at-teardown findings (retired, never freed, clean teardown).
+pub const V_LEAK: &str = "audit.violations.leak";
+
+/// Use-after-free findings from the heap's UAF oracle.
+pub const V_UAF: &str = "audit.violations.uaf";
+
+/// Differential findings: the recorded history has no linearization
+/// against the structure's sequential specification.
+pub const V_DIFFERENTIAL: &str = "audit.violations.differential";
+
+/// Episodes that panicked (e.g. a poison dereference).
+pub const V_PANIC: &str = "audit.violations.panic";
+
+/// Every violation counter, in reporting order.
+pub const VIOLATION_COUNTERS: [&str; 7] = [
+    V_DOUBLE_RETIRE,
+    V_DOUBLE_FREE,
+    V_FREE_BEFORE_RETIRE,
+    V_LEAK,
+    V_UAF,
+    V_DIFFERENTIAL,
+    V_PANIC,
+];

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod audit;
 pub mod cause;
 pub mod hist;
 pub mod json;

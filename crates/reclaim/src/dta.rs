@@ -247,6 +247,7 @@ impl OpMem for DtaThread {
         // Stamp with the *new* era: an anchor ordered after this retire
         // reads at least this value.
         let stamp = self.heap.fetch_add(cpu, self.globals.era, 0, 1) + 1;
+        self.heap.note_retire(cpu.thread_id, cpu.now(), addr);
         self.limbo.push((addr, stamp));
         if self.limbo.len() > self.batch {
             self.sweep(cpu);

@@ -249,7 +249,8 @@ impl OpMem for EpochThread {
             .expect("simulated heap exhausted; enlarge HeapConfig::capacity_words")
     }
 
-    fn retire(&mut self, _cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+        self.heap.note_retire(cpu.thread_id, cpu.now(), addr);
         self.limbo.push(addr);
         Ok(())
     }

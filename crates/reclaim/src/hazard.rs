@@ -79,6 +79,10 @@ pub struct HazardThread {
     defer_publish: bool,
     /// Publications deferred by the mutation: `(slot index, value)`.
     pending_publish: Vec<(u64, Word)>,
+    /// **Mutation knob for the audit harness.** One-shot: the first
+    /// retire is issued twice, planting a double-retire the heap ledger
+    /// must catch (and, once both copies drain, a double free).
+    double_retire: bool,
     /// Scans performed (statistics).
     pub scans: u64,
 }
@@ -86,13 +90,15 @@ pub struct HazardThread {
 impl HazardThread {
     /// Creates the executor for thread slot `thread_id`. `retire_batch`
     /// overrides the scan threshold when non-zero; `defer_publish` enables
-    /// the validation-disabling mutation (model-checker use only).
+    /// the validation-disabling mutation, `double_retire` the one-shot
+    /// retire-twice mutation (checker/audit use only).
     pub fn new(
         globals: Arc<HazardGlobals>,
         heap: Arc<Heap>,
         thread_id: usize,
         retire_batch: usize,
         defer_publish: bool,
+        double_retire: bool,
     ) -> Self {
         Self {
             globals,
@@ -106,6 +112,7 @@ impl HazardThread {
             retire_batch,
             defer_publish,
             pending_publish: Vec::new(),
+            double_retire,
             scans: 0,
         }
     }
@@ -212,7 +219,13 @@ impl OpMem for HazardThread {
     }
 
     fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+        self.heap.note_retire(cpu.thread_id, cpu.now(), addr);
         self.rlist.push(addr);
+        if std::mem::take(&mut self.double_retire) {
+            // Seeded defect: the same node enters the retired list twice.
+            self.heap.note_retire(cpu.thread_id, cpu.now(), addr);
+            self.rlist.push(addr);
+        }
         if self.rlist.len() >= self.scan_trigger() {
             self.scan(cpu);
         }
@@ -309,7 +322,7 @@ mod tests {
     #[test]
     fn protected_load_publishes_hazard_and_fences() {
         let (globals, heap) = setup(1);
-        let mut th = HazardThread::new(globals.clone(), heap.clone(), 0, 0, false);
+        let mut th = HazardThread::new(globals.clone(), heap.clone(), 0, 0, false, false);
         let mut cpu = test_cpu(0);
         let cell = heap.alloc_untimed(1).unwrap();
         let x = heap.alloc_untimed(2).unwrap();
@@ -331,8 +344,8 @@ mod tests {
     #[test]
     fn hazarded_node_survives_scan() {
         let (globals, heap) = setup(2);
-        let mut holder = HazardThread::new(globals.clone(), heap.clone(), 0, 0, false);
-        let mut reclaimer = HazardThread::new(globals.clone(), heap.clone(), 1, 0, false);
+        let mut holder = HazardThread::new(globals.clone(), heap.clone(), 0, 0, false, false);
+        let mut reclaimer = HazardThread::new(globals.clone(), heap.clone(), 1, 0, false, false);
         let mut cpu_h = test_cpu(0);
         let mut cpu_r = test_cpu(1);
 
@@ -367,7 +380,7 @@ mod tests {
     fn scan_triggers_at_threshold() {
         let (globals, heap) = setup(1);
         let threshold = globals.scan_threshold();
-        let mut th = HazardThread::new(globals, heap.clone(), 0, 0, false);
+        let mut th = HazardThread::new(globals, heap.clone(), 0, 0, false, false);
         let mut cpu = test_cpu(0);
 
         for i in 0..threshold {
@@ -387,7 +400,7 @@ mod tests {
     #[test]
     fn teardown_frees_everything() {
         let (globals, heap) = setup(1);
-        let mut th = HazardThread::new(globals, heap.clone(), 0, 0, false);
+        let mut th = HazardThread::new(globals, heap.clone(), 0, 0, false, false);
         let mut cpu = test_cpu(0);
         let n = heap.alloc_untimed(2).unwrap();
         th.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
@@ -401,7 +414,7 @@ mod tests {
     #[test]
     fn null_loads_skip_the_protocol() {
         let (globals, heap) = setup(1);
-        let mut th = HazardThread::new(globals, heap.clone(), 0, 0, false);
+        let mut th = HazardThread::new(globals, heap.clone(), 0, 0, false, false);
         let mut cpu = test_cpu(0);
         let cell = heap.alloc_untimed(1).unwrap();
         th.begin_op(&mut cpu, 0, 0);

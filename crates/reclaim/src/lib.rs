@@ -172,6 +172,11 @@ pub struct ReclaimConfig {
     /// race Michael's protocol closes. `st-check`'s mutation tests flip
     /// this to prove the use-after-free oracle has teeth.
     pub mutation_defer_hazard_publish: bool,
+    /// **Mutation knob for the audit harness — never enable in real
+    /// runs.** Makes a hazard-pointer thread's first retire enter the
+    /// retired list twice (one-shot), seeding the double-retire /
+    /// double-free defect the heap-ledger oracle must catch.
+    pub mutation_double_retire: bool,
 }
 
 impl Default for ReclaimConfig {
@@ -183,6 +188,7 @@ impl Default for ReclaimConfig {
             dta_freeze_lag: 128,
             epoch_wait_budget: 2_500_000,
             mutation_defer_hazard_publish: false,
+            mutation_double_retire: false,
         }
     }
 }
@@ -352,6 +358,7 @@ impl SchemeFactory {
                 thread_id,
                 self.config.retire_batch,
                 self.config.mutation_defer_hazard_publish,
+                self.config.mutation_double_retire,
             )),
             SchemeGlobals::Dta(globals) => Box::new(dta::DtaThread::new(
                 globals.clone(),

@@ -182,6 +182,9 @@ impl OpMem for RcThread {
 
     fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
         self.charge_rmw(cpu);
+        // Before the possible immediate free below, so the ledger sees
+        // retire → free in order.
+        self.heap.note_retire(cpu.thread_id, cpu.now(), addr);
         let free_now = {
             let mut counts = self.globals.counts.lock().unwrap();
             let e = counts.entry(addr.raw()).or_default();

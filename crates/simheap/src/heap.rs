@@ -4,6 +4,7 @@ use crate::addr::{Addr, Word};
 use crate::alloc::{AllocError, AllocStats, Allocator};
 use crate::traffic::Traffic;
 use st_machine::Cpu;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -88,6 +89,91 @@ struct UafState {
     violations: Vec<UafViolation>,
 }
 
+/// What the heap-ledger oracle caught (see `docs/AUDIT.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerKind {
+    /// The same block was retired twice without an intervening free —
+    /// downstream this becomes a double free once both retirements drain.
+    DoubleRetire,
+    /// The block was freed while the ledger already recorded it freed.
+    /// Recorded *before* the allocator's own double-free panic, so a
+    /// harness that catches the panic still sees the attribution.
+    DoubleFree,
+    /// The block was freed through the retire-aware path without ever
+    /// being retired — a scheme bypassed its own deferral pipeline.
+    FreeBeforeRetire,
+    /// At teardown the block was still retired-but-not-freed (reported by
+    /// [`Heap::ledger_leaks`], with the retiring thread and cycle).
+    Leak,
+}
+
+impl std::fmt::Display for LedgerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LedgerKind::DoubleRetire => "double-retire",
+            LedgerKind::DoubleFree => "double-free",
+            LedgerKind::FreeBeforeRetire => "free-before-retire",
+            LedgerKind::Leak => "leak-at-teardown",
+        })
+    }
+}
+
+/// One recorded lifecycle violation. Like [`UafViolation`], recording does
+/// not stop the simulation; a harness collects and attributes afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerViolation {
+    /// Violation class.
+    pub kind: LedgerKind,
+    /// Simulated thread that performed the offending (or for
+    /// [`LedgerKind::Leak`], the original retiring) event.
+    pub thread: usize,
+    /// Base address of the affected block.
+    pub base: Addr,
+    /// Virtual cycle of the offending event (for leaks, of the retire).
+    pub cycle: u64,
+}
+
+impl std::fmt::Display for LedgerViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: block {:?}, thread {}, cycle {}",
+            self.kind, self.base, self.thread, self.cycle
+        )
+    }
+}
+
+/// Lifecycle position of one tracked block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockState {
+    Live,
+    Retired { thread: usize, cycle: u64 },
+    Freed,
+}
+
+/// Aggregate ledger counters for metrics snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerStats {
+    /// Blocks currently tracked as live.
+    pub live: u64,
+    /// Blocks currently tracked as retired (not yet freed).
+    pub retired: u64,
+    /// Blocks currently tracked as freed.
+    pub freed: u64,
+    /// Retire events observed since the ledger was enabled.
+    pub retire_events: u64,
+    /// Free events observed since the ledger was enabled.
+    pub free_events: u64,
+}
+
+#[derive(Debug, Default)]
+struct LedgerBook {
+    blocks: BTreeMap<u64, BlockState>,
+    violations: Vec<LedgerViolation>,
+    retire_events: u64,
+    free_events: u64,
+}
+
 /// Heap sizing and behaviour knobs.
 #[derive(Debug, Clone)]
 pub struct HeapConfig {
@@ -144,6 +230,10 @@ pub struct Heap {
     /// locking so a disabled oracle costs one relaxed atomic load.
     uaf_enabled: AtomicBool,
     uaf: Mutex<UafState>,
+    /// Fast-path flag for the lifecycle ledger, same discipline as
+    /// `uaf_enabled`.
+    ledger_enabled: AtomicBool,
+    ledger: Mutex<LedgerBook>,
 }
 
 impl Heap {
@@ -160,6 +250,8 @@ impl Heap {
             config,
             uaf_enabled: AtomicBool::new(false),
             uaf: Mutex::new(UafState::default()),
+            ledger_enabled: AtomicBool::new(false),
+            ledger: Mutex::new(LedgerBook::default()),
         }
     }
 
@@ -281,6 +373,7 @@ impl Heap {
             self.cell(addr, off).store(0, Ordering::Relaxed);
         }
         self.uaf_check_reexposure(cpu.thread_id, addr, block);
+        self.ledger_on_alloc(addr);
         Ok(addr)
     }
 
@@ -297,6 +390,7 @@ impl Heap {
         for off in 0..block {
             self.cell(addr, off).store(0, Ordering::Relaxed);
         }
+        self.ledger_on_alloc(addr);
         Ok(addr)
     }
 
@@ -309,8 +403,34 @@ impl Heap {
     ///
     /// # Panics
     ///
-    /// Panics on double free or on a never-allocated address.
+    /// Panics on a never-allocated address, and on double free when the
+    /// lifecycle ledger is disabled. With the ledger armed a double free
+    /// of a tracked block is *recorded and absorbed* instead: the audit
+    /// oracle's job is to report the defect with attribution, and
+    /// re-freeing would corrupt the allocator's free lists before the
+    /// report could be read.
     pub fn free(&self, cpu: &mut Cpu, addr: Addr) {
+        if self.ledger_on_free(cpu.thread_id, cpu.now(), addr, true) {
+            return;
+        }
+        self.free_inner(cpu, addr);
+    }
+
+    /// Frees a block that was never published to other threads (e.g. an
+    /// allocation rolled back by an aborted segment).
+    ///
+    /// Identical to [`Heap::free`] except that the lifecycle ledger does
+    /// not require a prior retire: unpublished blocks are reclaimed
+    /// directly by their allocating thread, which is the one legitimate
+    /// free-without-retire path.
+    pub fn free_unpublished(&self, cpu: &mut Cpu, addr: Addr) {
+        if self.ledger_on_free(cpu.thread_id, cpu.now(), addr, false) {
+            return;
+        }
+        self.free_inner(cpu, addr);
+    }
+
+    fn free_inner(&self, cpu: &mut Cpu, addr: Addr) {
         cpu.charge(cpu.costs.free);
         cpu.counters.frees += 1;
         let block = {
@@ -417,6 +537,147 @@ impl Heap {
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle ledger (allocated → retired → freed audit oracle).
+    // ------------------------------------------------------------------
+
+    /// Enables or disables the heap-ledger oracle.
+    ///
+    /// While enabled, every allocation registers its block as live, every
+    /// retire reported via [`Heap::note_retire`] moves it to retired, and
+    /// every [`Heap::free`] moves it to freed — recording a
+    /// [`LedgerViolation`] on any out-of-order transition (double retire,
+    /// double free, free before retire). Blocks allocated while the ledger
+    /// was disabled are untracked and exempt, so enabling the oracle
+    /// *before* building structures and thread contexts gives full
+    /// coverage. Recording never stops the run.
+    pub fn set_ledger_oracle(&self, enabled: bool) {
+        self.ledger_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Reports that `thread` retired the block based at `addr` at virtual
+    /// cycle `cycle`. Reclamation schemes call this where they accept a
+    /// block into their deferral pipeline (limbo list, hazard retire list,
+    /// free set, ...). A retire of an already-retired or already-freed
+    /// block records [`LedgerKind::DoubleRetire`].
+    pub fn note_retire(&self, thread: usize, cycle: u64, addr: Addr) {
+        if !self.ledger_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut book = self.ledger.lock().unwrap();
+        book.retire_events += 1;
+        match book.blocks.get(&addr.raw()) {
+            Some(BlockState::Retired { .. }) | Some(BlockState::Freed) => {
+                book.violations.push(LedgerViolation {
+                    kind: LedgerKind::DoubleRetire,
+                    thread,
+                    base: addr,
+                    cycle,
+                });
+            }
+            // Untracked blocks (allocated before the ledger was enabled)
+            // join the pipeline at their first observed event.
+            Some(BlockState::Live) | None => {
+                book.blocks
+                    .insert(addr.raw(), BlockState::Retired { thread, cycle });
+            }
+        }
+    }
+
+    /// Lifecycle violations recorded since the ledger was enabled
+    /// (excluding leaks, which only exist relative to a teardown point —
+    /// see [`Heap::ledger_leaks`]).
+    pub fn ledger_violations(&self) -> Vec<LedgerViolation> {
+        self.ledger.lock().unwrap().violations.clone()
+    }
+
+    /// Blocks currently retired but never freed, as [`LedgerKind::Leak`]
+    /// violations attributed to the retiring thread and cycle.
+    ///
+    /// Only meaningful after teardown of a scheme that promises to drain
+    /// its deferral pipeline; a truncated or faulted run legitimately
+    /// holds retired blocks, so the caller decides when to ask.
+    pub fn ledger_leaks(&self) -> Vec<LedgerViolation> {
+        let book = self.ledger.lock().unwrap();
+        book.blocks
+            .iter()
+            .filter_map(|(&raw, state)| match state {
+                BlockState::Retired { thread, cycle } => Some(LedgerViolation {
+                    kind: LedgerKind::Leak,
+                    thread: *thread,
+                    base: Addr::from_raw(raw),
+                    cycle: *cycle,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Aggregate ledger counters (for `audit.*` metrics snapshots).
+    pub fn ledger_stats(&self) -> LedgerStats {
+        let book = self.ledger.lock().unwrap();
+        let mut stats = LedgerStats {
+            retire_events: book.retire_events,
+            free_events: book.free_events,
+            ..LedgerStats::default()
+        };
+        for state in book.blocks.values() {
+            match state {
+                BlockState::Live => stats.live += 1,
+                BlockState::Retired { .. } => stats.retired += 1,
+                BlockState::Freed => stats.freed += 1,
+            }
+        }
+        stats
+    }
+
+    /// Registers an allocation with the ledger (block becomes live,
+    /// superseding any record of the address's previous lifetime).
+    fn ledger_on_alloc(&self, addr: Addr) {
+        if !self.ledger_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.ledger
+            .lock()
+            .unwrap()
+            .blocks
+            .insert(addr.raw(), BlockState::Live);
+    }
+
+    /// Registers a free with the ledger. `expect_retired` distinguishes
+    /// the normal reclamation path (retire must have happened) from the
+    /// unpublished-rollback path ([`Heap::free_unpublished`]). Returns
+    /// `true` when the free was a recorded double free, in which case the
+    /// caller must *not* touch the allocator: the block is already on a
+    /// free list (or reallocated to someone else), and the oracle's
+    /// contract is to report the defect, not to let it corrupt the heap.
+    fn ledger_on_free(&self, thread: usize, cycle: u64, addr: Addr, expect_retired: bool) -> bool {
+        if !self.ledger_enabled.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut book = self.ledger.lock().unwrap();
+        book.free_events += 1;
+        let kind = match book.blocks.get(&addr.raw()) {
+            Some(BlockState::Freed) => Some(LedgerKind::DoubleFree),
+            Some(BlockState::Live) if expect_retired => Some(LedgerKind::FreeBeforeRetire),
+            // Untracked blocks are exempt (allocated before enabling).
+            _ => None,
+        };
+        let absorbed = matches!(kind, Some(LedgerKind::DoubleFree));
+        if let Some(kind) = kind {
+            book.violations.push(LedgerViolation {
+                kind,
+                thread,
+                base: addr,
+                cycle,
+            });
+        }
+        if !absorbed {
+            book.blocks.insert(addr.raw(), BlockState::Freed);
+        }
+        absorbed
     }
 
     // ------------------------------------------------------------------
@@ -619,6 +880,149 @@ mod tests {
         heap.free(&mut c, b);
         let _ = heap.alloc(&mut c, 2).unwrap();
         assert_eq!(heap.uaf_violations().len(), 1, "no new violation");
+    }
+
+    #[test]
+    fn ledger_tracks_the_clean_lifecycle() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        heap.set_ledger_oracle(true);
+        let a = heap.alloc(&mut c, 2).unwrap();
+        heap.note_retire(0, c.now(), a);
+        heap.free(&mut c, a);
+        assert!(heap.ledger_violations().is_empty());
+        assert!(heap.ledger_leaks().is_empty());
+        let stats = heap.ledger_stats();
+        assert_eq!(stats.retire_events, 1);
+        assert_eq!(stats.free_events, 1);
+        assert_eq!(stats.freed, 1);
+    }
+
+    #[test]
+    fn ledger_flags_double_retire() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        heap.set_ledger_oracle(true);
+        let a = heap.alloc(&mut c, 2).unwrap();
+        heap.note_retire(0, 10, a);
+        heap.note_retire(1, 20, a);
+        let v = heap.ledger_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, LedgerKind::DoubleRetire);
+        assert_eq!(v[0].thread, 1);
+        assert_eq!(v[0].base, a);
+        assert_eq!(v[0].cycle, 20);
+    }
+
+    #[test]
+    fn ledger_flags_free_before_retire() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        heap.set_ledger_oracle(true);
+        let a = heap.alloc(&mut c, 2).unwrap();
+        heap.free(&mut c, a);
+        let v = heap.ledger_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, LedgerKind::FreeBeforeRetire);
+    }
+
+    #[test]
+    fn ledger_exempts_unpublished_rollback_frees() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        heap.set_ledger_oracle(true);
+        let a = heap.alloc(&mut c, 2).unwrap();
+        heap.free_unpublished(&mut c, a);
+        assert!(heap.ledger_violations().is_empty());
+    }
+
+    #[test]
+    fn ledger_records_and_absorbs_a_double_free() {
+        let heap = Arc::new(Heap::new(HeapConfig::small()));
+        let mut c = cpu();
+        heap.set_ledger_oracle(true);
+        let a = heap.alloc(&mut c, 2).unwrap();
+        heap.note_retire(0, c.now(), a);
+        heap.free(&mut c, a);
+        // With the ledger armed the second free is recorded with full
+        // attribution and absorbed: it must not reach the allocator,
+        // whose free lists already hold (or re-issued) the block.
+        heap.free(&mut c, a);
+        let v = heap.ledger_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, LedgerKind::DoubleFree);
+        // The absorbed free did not double-insert into a free list: the
+        // address can be reallocated and freed exactly once again.
+        let b = heap.alloc(&mut c, 2).unwrap();
+        assert_eq!(b, a, "small heap re-issues the freed block");
+        heap.note_retire(0, c.now(), b);
+        heap.free(&mut c, b);
+        assert_eq!(heap.ledger_violations().len(), 1, "clean second lifetime");
+    }
+
+    #[test]
+    fn allocator_still_panics_on_double_free_without_the_ledger() {
+        let heap = Arc::new(Heap::new(HeapConfig::small()));
+        let mut c = cpu();
+        let a = heap.alloc(&mut c, 2).unwrap();
+        heap.free(&mut c, a);
+        let h = heap.clone();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut c2 = cpu();
+            h.free(&mut c2, a);
+        }));
+        assert!(panicked.is_err(), "unledgered double free stays loud");
+    }
+
+    #[test]
+    fn ledger_reports_retired_but_unfreed_blocks_as_leaks() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        heap.set_ledger_oracle(true);
+        let a = heap.alloc(&mut c, 2).unwrap();
+        let b = heap.alloc(&mut c, 2).unwrap();
+        heap.note_retire(1, 42, a);
+        heap.note_retire(0, 43, b);
+        heap.free(&mut c, b);
+        let leaks = heap.ledger_leaks();
+        assert_eq!(leaks.len(), 1);
+        assert_eq!(leaks[0].kind, LedgerKind::Leak);
+        assert_eq!(leaks[0].base, a);
+        assert_eq!(leaks[0].thread, 1);
+        assert_eq!(leaks[0].cycle, 42);
+        // Live-but-unretired blocks are not leaks: nodes still reachable
+        // in a structure at teardown are legitimately alive.
+        assert_eq!(heap.ledger_stats().live, 0);
+    }
+
+    #[test]
+    fn ledger_is_silent_when_disabled_and_exempts_prior_blocks() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        let a = heap.alloc(&mut c, 2).unwrap(); // untracked: pre-enable
+        heap.set_ledger_oracle(true);
+        heap.free(&mut c, a); // no free-before-retire for untracked blocks
+        assert!(heap.ledger_violations().is_empty());
+        heap.set_ledger_oracle(false);
+        let b = heap.alloc(&mut c, 2).unwrap();
+        heap.free(&mut c, b);
+        assert!(heap.ledger_violations().is_empty());
+        assert_eq!(heap.ledger_stats().free_events, 1);
+    }
+
+    #[test]
+    fn ledger_recycled_block_starts_a_fresh_lifetime() {
+        let heap = Heap::new(HeapConfig::small());
+        let mut c = cpu();
+        heap.set_ledger_oracle(true);
+        let a = heap.alloc(&mut c, 2).unwrap();
+        heap.note_retire(0, 1, a);
+        heap.free(&mut c, a);
+        let b = heap.alloc(&mut c, 2).unwrap();
+        assert_eq!(b, a, "size-class free list recycles the block");
+        heap.note_retire(0, 2, b);
+        heap.free(&mut c, b);
+        assert!(heap.ledger_violations().is_empty(), "no stale double-free");
     }
 
     #[test]

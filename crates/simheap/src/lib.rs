@@ -29,5 +29,8 @@ pub mod tagged;
 pub mod traffic;
 
 pub use addr::{Addr, Word, NULL};
-pub use heap::{Heap, HeapConfig, HeapStats, UafKind, UafViolation, POISON};
+pub use heap::{
+    Heap, HeapConfig, HeapStats, LedgerKind, LedgerStats, LedgerViolation, UafKind, UafViolation,
+    POISON,
+};
 pub use tagged::TaggedPtr;

@@ -88,10 +88,7 @@ fn every_scheme_times_every_fault_kind_is_byte_identical() {
 fn parallel_sweep_artifacts_are_byte_identical_to_serial() {
     use st_bench::figures::{ablation_scanmode, BenchOpts};
 
-    let base = std::env::temp_dir().join(format!(
-        "st-sweep-determinism-{}",
-        std::process::id()
-    ));
+    let base = std::env::temp_dir().join(format!("st-sweep-determinism-{}", std::process::id()));
     let run = |jobs: usize, tag: &str| {
         let opts = BenchOpts {
             duration_ms: 1,
@@ -103,8 +100,7 @@ fn parallel_sweep_artifacts_are_byte_identical_to_serial() {
         };
         ablation_scanmode(&opts);
         let read = |name: &str| {
-            std::fs::read(opts.out.join(name))
-                .unwrap_or_else(|e| panic!("{tag}/{name}: {e}"))
+            std::fs::read(opts.out.join(name)).unwrap_or_else(|e| panic!("{tag}/{name}: {e}"))
         };
         (
             read("ablation_scanmode.json"),

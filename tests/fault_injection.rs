@@ -3,9 +3,13 @@
 
 mod common;
 
-use common::{build_env, check_instance, run_mix_faulted, snapshot, stall_storm_plan, Target, MS};
+use common::{
+    build_env, build_env_cfg, check_instance, run_mix_faulted, snapshot, stall_storm_plan, Target,
+    MS,
+};
 use st_machine::FaultPlan;
-use st_reclaim::Scheme;
+use st_reclaim::{ReclaimConfig, Scheme};
+use st_structures::skiplist;
 
 /// The tentpole guarantee: one seed plus one fault plan is one execution.
 /// Two runs must agree on every metric, byte for byte.
@@ -87,6 +91,48 @@ fn killed_thread_leaves_structure_sound() {
         assert!(survivors > 0, "{scheme:?}: survivors made no progress");
         check_instance(&env);
     }
+}
+
+/// Epoch recovery after a transient stall: while one thread is parked
+/// mid-operation every reclaimer burns its wait budget, abandons the
+/// snapshot, and hoards limbo. Once the straggler resumes, each reclaimer
+/// must re-arm from a *fresh* deadline (not the expired one) and drain —
+/// a stale `give_up_at` would make every post-resume wait give up
+/// immediately and the hoard would never shrink.
+#[test]
+fn epoch_garbage_drains_after_a_stall_resumes() {
+    let mut rc = ReclaimConfig {
+        hazard_slots: 2 * skiplist::MAX_LEVEL + 2,
+        ..ReclaimConfig::default()
+    };
+    // A quarter-millisecond budget: cheap to burn during the stall, and
+    // several re-arm opportunities fit in the post-resume window.
+    rc.epoch_wait_budget = MS / 4;
+    let plan = |stall_for| FaultPlan::default().stall(0, MS / 2, stall_for);
+    let garbage = |workers: &[common::MixWorker]| -> u64 {
+        workers
+            .iter()
+            .map(|w| w.executor().outstanding_garbage())
+            .sum()
+    };
+
+    // Reference: the straggler never comes back, so limbo hoards to the end.
+    let env = build_env_cfg(Target::List, Scheme::Epoch, 4, 150, 19, rc.clone());
+    let (_report, workers) = run_mix_faulted(&env, 4, 4, 300, 19, plan(10 * MS));
+    let hoarded = garbage(&workers);
+    assert!(hoarded > 0, "a run-long stall must hoard limbo garbage");
+
+    // Same seed, but the stall ends mid-run: 2.5 virtual ms of recovery.
+    let env = build_env_cfg(Target::List, Scheme::Epoch, 4, 150, 19, rc);
+    let (report, workers) = run_mix_faulted(&env, 4, 4, 300, 19, plan(MS));
+    assert_eq!(report.faults.stalls, 1);
+    let drained = garbage(&workers);
+    assert!(
+        drained < hoarded / 5,
+        "reclaimers must drain after the straggler resumes \
+         (post-resume garbage {drained} vs hoarded {hoarded})"
+    );
+    check_instance(&env);
 }
 
 /// A preemption storm on one context slows its tenants but the run stays
