@@ -280,10 +280,10 @@ pub fn audit_snapshot(name: &str, budget_ms: u64, combos: &[ComboSummary]) -> Js
 fn usage() -> ExitCode {
     eprintln!(
         "usage: st-bench audit [--structures list,hash,queue,skiplist] \
-         [--schemes None,Hazards,Epoch,StackTrack,DTA,RefCount] [--budget-ms N] \
+         [--schemes None,Hazards,Epoch,StackTrack,DTA,RefCount,NBR,Hyaline] [--budget-ms N] \
          [--episodes N] [--threads N] [--ops N] [--keys N] [--seed N] \
          [--faults on|off] [--percent N] \
-         [--mutate none|splits|hazard|skipfree|dretire] [--out DIR]"
+         [--mutate none|splits|hazard|skipfree|dretire|nbrskip|hyadrop] [--out DIR]"
     );
     ExitCode::from(2)
 }

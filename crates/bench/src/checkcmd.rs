@@ -5,7 +5,8 @@
 //! st-bench check [--structures a,b] [--schemes A,B] [--mode dfs|random]
 //!                [--depth N] [--preemptions N] [--percent N] [--schedules N]
 //!                [--threads N] [--ops N] [--keys N] [--seed N]
-//!                [--mutate none|splits|hazard] [--replay TOKEN]
+//!                [--mutate none|splits|hazard|skipfree|dretire|nbrskip|hyadrop]
+//!                [--replay TOKEN]
 //! ```
 //!
 //! With `--replay`, runs exactly one schedule from a token printed by an
@@ -25,7 +26,8 @@ fn usage() -> ExitCode {
         "usage: st-bench check [--structures list,hash,queue,skiplist] \
          [--schemes StackTrack,Epoch] [--mode dfs|random] [--depth N] \
          [--preemptions N] [--percent N] [--schedules N] [--threads N] \
-         [--ops N] [--keys N] [--seed N] [--mutate none|splits|hazard] \
+         [--ops N] [--keys N] [--seed N] \
+         [--mutate none|splits|hazard|skipfree|dretire|nbrskip|hyadrop] \
          [--replay TOKEN]"
     );
     ExitCode::from(2)

@@ -132,6 +132,8 @@ pub fn fig1_list(opts: &BenchOpts) -> Vec<RunResult> {
             Scheme::Epoch,
             Scheme::StackTrack,
             Scheme::Dta,
+            Scheme::Nbr,
+            Scheme::Hyaline,
         ],
     )
 }
@@ -148,6 +150,8 @@ pub fn fig1_skiplist(opts: &BenchOpts) -> Vec<RunResult> {
             Scheme::Hazard,
             Scheme::Epoch,
             Scheme::StackTrack,
+            Scheme::Nbr,
+            Scheme::Hyaline,
         ],
     )
 }
@@ -164,6 +168,8 @@ pub fn fig2_queue(opts: &BenchOpts) -> Vec<RunResult> {
             Scheme::Hazard,
             Scheme::Epoch,
             Scheme::StackTrack,
+            Scheme::Nbr,
+            Scheme::Hyaline,
         ],
     )
 }
@@ -180,6 +186,8 @@ pub fn fig2_hash(opts: &BenchOpts) -> Vec<RunResult> {
             Scheme::Hazard,
             Scheme::Epoch,
             Scheme::StackTrack,
+            Scheme::Nbr,
+            Scheme::Hyaline,
         ],
     )
 }
@@ -599,6 +607,8 @@ pub fn extra_rbtree(opts: &BenchOpts) -> Vec<RunResult> {
             Scheme::Hazard,
             Scheme::Epoch,
             Scheme::StackTrack,
+            Scheme::Nbr,
+            Scheme::Hyaline,
         ],
     )
 }

@@ -231,6 +231,14 @@ fn check_metrics(paths: &[String]) -> ExitCode {
                         failed = true;
                     }
                 }
+                match report::validate_scheme_counters(&runs) {
+                    Ok(0) => {}
+                    Ok(n) => println!("{path}: scheme counter families consistent ({n} runs)"),
+                    Err(e) => {
+                        eprintln!("{path}: invalid scheme counters: {e}");
+                        failed = true;
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("{path}: invalid snapshot: {e}");

@@ -366,6 +366,85 @@ pub fn validate_audit(runs: &[ParsedRun]) -> Result<u64, String> {
     Ok(audited)
 }
 
+/// Per-scheme counter families: every `scheme.*` key a scheme's
+/// `report_metrics` may emit, keyed by the scheme's display name
+/// (StackTrack reports `st.*` statistics instead and owns no family;
+/// schema in `docs/METRICS.md`, per-scheme semantics in
+/// `docs/SCHEMES.md`).
+const SCHEME_FAMILIES: [(&str, &[&str]); 7] = [
+    ("Original", &["scheme.none.leaked"]),
+    ("Epoch", &["scheme.epoch.freed"]),
+    ("Hazards", &["scheme.hazard.scans"]),
+    (
+        "DTA",
+        &[
+            "scheme.dta.anchors",
+            "scheme.dta.freezes",
+            "scheme.dta.recoveries",
+        ],
+    ),
+    ("RefCount", &["scheme.rc.freed"]),
+    (
+        "NBR",
+        &[
+            "scheme.nbr.neutralizations",
+            "scheme.nbr.signals_sent",
+            "scheme.nbr.freed",
+        ],
+    ),
+    (
+        "Hyaline",
+        &[
+            "scheme.hyaline.dispatches",
+            "scheme.hyaline.batch_handoffs",
+            "scheme.hyaline.freed",
+        ],
+    ),
+];
+
+/// Validates the `scheme.*` counter section of every parsed run: each
+/// key must be a counter from the canonical per-scheme vocabulary
+/// (`SCHEME_FAMILIES`), and a run may only carry the family its own
+/// scheme owns — a Hazards run reporting `scheme.epoch.freed` means the
+/// snapshot's runs were mislabeled or cross-wired. Returns the number
+/// of runs carrying at least one scheme counter.
+pub fn validate_scheme_counters(runs: &[ParsedRun]) -> Result<u64, String> {
+    let mut carrying = 0;
+    for parsed in runs {
+        let run = parsed.label();
+        let own: Option<&[&str]> = SCHEME_FAMILIES
+            .iter()
+            .find(|(name, _)| *name == parsed.scheme)
+            .map(|(_, keys)| *keys);
+        let mut any = false;
+        for (key, metric) in parsed.metrics.iter() {
+            if !key.starts_with("scheme.") {
+                continue;
+            }
+            if matches!(metric, st_obs::Metric::Histogram(_)) {
+                return Err(format!("{run}: {key} is a histogram, expected a counter"));
+            }
+            any = true;
+            if !SCHEME_FAMILIES.iter().any(|(_, keys)| keys.contains(&key)) {
+                return Err(format!(
+                    "{run}: unknown scheme counter {key} (not in any scheme's vocabulary)"
+                ));
+            }
+            if let Some(own) = own {
+                if !own.contains(&key) {
+                    return Err(format!(
+                        "{run}: counter {key} belongs to another scheme's family"
+                    ));
+                }
+            }
+        }
+        if any {
+            carrying += 1;
+        }
+    }
+    Ok(carrying)
+}
+
 /// Persists raw results as JSON lines under `out_dir/name.json`, the full
 /// metrics snapshot under `out_dir/name.metrics.json`, and the rendered
 /// table as markdown under `out_dir/name.md`.
@@ -749,6 +828,70 @@ mod tests {
         let runs = parse_metrics_snapshot(&text).unwrap();
         let err = validate_audit(&runs).unwrap_err();
         assert!(err.contains("audit.episodes is zero"), "{err}");
+    }
+
+    /// A snapshot with one run labeled `scheme` whose metrics are exactly
+    /// `pairs` (plus the envelope-required `run.total_ops`).
+    fn scheme_snapshot_text(scheme: &str, pairs: &[(&str, u64)]) -> String {
+        let mut doc = Json::obj();
+        doc.set("schema_version", SCHEMA_VERSION);
+        let mut metrics = Json::obj();
+        metrics.set("run.total_ops", 0u64);
+        for (key, value) in pairs {
+            metrics.set(key, *value);
+        }
+        let rows: Vec<Json> = (0..2usize)
+            .map(|thread| {
+                PerThread {
+                    thread,
+                    ops: 0,
+                    busy_cycles: 0,
+                    garbage: 0,
+                }
+                .to_json()
+            })
+            .collect();
+        let mut run = Json::obj();
+        run.set("scheme", scheme);
+        run.set("structure", "list");
+        run.set("threads", 2u64);
+        run.set("per_thread", Json::Arr(rows));
+        run.set("metrics", metrics);
+        doc.set("runs", Json::Arr(vec![run]));
+        doc.to_string()
+    }
+
+    #[test]
+    fn scheme_counters_accept_every_family() {
+        for (scheme, keys) in SCHEME_FAMILIES {
+            let pairs: Vec<(&str, u64)> = keys.iter().map(|&k| (k, 3)).collect();
+            let text = scheme_snapshot_text(scheme, &pairs);
+            let runs = parse_metrics_snapshot(&text).unwrap();
+            assert_eq!(validate_scheme_counters(&runs), Ok(1), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn scheme_counters_are_optional() {
+        let text = scheme_snapshot_text("StackTrack", &[("st.splits", 2)]);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        assert_eq!(validate_scheme_counters(&runs), Ok(0));
+    }
+
+    #[test]
+    fn scheme_counters_reject_unknown_keys() {
+        let text = scheme_snapshot_text("NBR", &[("scheme.nbr.typo", 1)]);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        let err = validate_scheme_counters(&runs).unwrap_err();
+        assert!(err.contains("unknown scheme counter"), "{err}");
+    }
+
+    #[test]
+    fn scheme_counters_reject_cross_wired_families() {
+        let text = scheme_snapshot_text("Hyaline", &[("scheme.nbr.freed", 1)]);
+        let runs = parse_metrics_snapshot(&text).unwrap();
+        let err = validate_scheme_counters(&runs).unwrap_err();
+        assert!(err.contains("another scheme's family"), "{err}");
     }
 
     #[test]

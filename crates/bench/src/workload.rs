@@ -619,6 +619,10 @@ impl Worker for BenchWorker {
             self.th.teardown(cpu);
         }
     }
+
+    fn neutralize(&mut self, cpu: &mut Cpu) {
+        self.th.neutralize(cpu);
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,14 @@ pub enum Mutation {
     /// double-retire (and eventually a double free) the heap ledger must
     /// catch.
     DoubleRetire,
+    /// NBR: ignore delivered neutralization signals, leaving the read
+    /// phase's stale locals live across the reclaimer's free (the classic
+    /// missed-signal bug; the use-after-free oracle must catch it).
+    NbrSkipRestart,
+    /// Hyaline: the dispatching thread skips its own reference decrement
+    /// on the first batch, so the batch's count never reaches zero and
+    /// the ledger reports its nodes as leaks at teardown.
+    HyalineDropDecrement,
 }
 
 impl Mutation {
@@ -121,6 +129,8 @@ impl Mutation {
             Mutation::DeferHazardPublish => "hazard",
             Mutation::SkipFree => "skipfree",
             Mutation::DoubleRetire => "dretire",
+            Mutation::NbrSkipRestart => "nbrskip",
+            Mutation::HyalineDropDecrement => "hyadrop",
         }
     }
 }
@@ -141,8 +151,11 @@ impl std::str::FromStr for Mutation {
             "hazard" => Ok(Mutation::DeferHazardPublish),
             "skipfree" => Ok(Mutation::SkipFree),
             "dretire" => Ok(Mutation::DoubleRetire),
+            "nbrskip" => Ok(Mutation::NbrSkipRestart),
+            "hyadrop" => Ok(Mutation::HyalineDropDecrement),
             _ => Err(format!(
-                "unknown mutation {s:?} (expected none, splits, hazard, skipfree, or dretire)"
+                "unknown mutation {s:?} (expected none, splits, hazard, skipfree, \
+                 dretire, nbrskip, or hyadrop)"
             )),
         }
     }
@@ -338,6 +351,10 @@ impl Worker for ScriptWorker {
     fn finish(&mut self, cpu: &mut Cpu) {
         self.th.teardown(cpu);
     }
+
+    fn neutralize(&mut self, cpu: &mut Cpu) {
+        self.th.neutralize(cpu);
+    }
 }
 
 /// Generates thread `t`'s script.
@@ -387,6 +404,8 @@ pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) 
     };
     rc.mutation_defer_hazard_publish = config.mutation == Mutation::DeferHazardPublish;
     rc.mutation_double_retire = config.mutation == Mutation::DoubleRetire;
+    rc.mutation_nbr_skip_restart = config.mutation == Mutation::NbrSkipRestart;
+    rc.mutation_hyaline_drop_decrement = config.mutation == Mutation::HyalineDropDecrement;
     let st_config = StConfig {
         // Short segments and fine-grained interruptible scans maximize
         // the schedule points where the consistency protocol matters.

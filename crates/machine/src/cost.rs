@@ -57,6 +57,12 @@ pub struct CostModel {
     /// Register-to-register / local bookkeeping step (checkpoint counter
     /// increment and similar).
     pub local_op: Cycles,
+    /// Inter-thread signal, charged twice: to the sender per raise (the
+    /// `pthread_kill` syscall) and to the receiver when the scheduler
+    /// delivers pending signals before its next step (kernel-to-handler
+    /// transition). This is the per-neutralization cost that NBR
+    /// amortizes by batching retires between signal broadcasts.
+    pub signal_deliver: Cycles,
     /// Direct cost of a context switch, charged when a quantum expires and
     /// another thread is waiting on the same hardware context.
     pub context_switch: Cycles,
@@ -83,6 +89,7 @@ impl Default for CostModel {
             alloc: 120,
             free: 90,
             local_op: 1,
+            signal_deliver: 2_500,
             context_switch: 30_000,
             quantum: 2_000_000,
         }
@@ -108,6 +115,7 @@ impl CostModel {
             alloc: c,
             free: c,
             local_op: c,
+            signal_deliver: c,
             context_switch: c,
             quantum: 1_000_000,
         }
@@ -126,6 +134,10 @@ mod tests {
         assert!(m.htm_abort > m.htm_commit);
         assert!(m.context_switch > m.fence * 100);
         assert!(m.quantum > m.context_switch);
+        // A signal is far pricier than a fence (why NBR batches retires
+        // between broadcasts) but cheaper than a full context switch.
+        assert!(m.signal_deliver > m.fence * 10);
+        assert!(m.signal_deliver < m.context_switch);
     }
 
     #[test]

@@ -75,6 +75,50 @@ impl ActivityBoard {
     }
 }
 
+/// Shared board of pending inter-thread signals.
+///
+/// Models POSIX-style per-thread signals at the granularity the simulator
+/// needs for neutralization-based reclamation: any thread may raise a
+/// signal against any other through its [`Cpu`], and the scheduler delivers
+/// all pending signals to a thread immediately before its next step (the
+/// simulated analogue of "the handler runs before the next instruction").
+/// Raises against out-of-range targets are ignored, so a board is safe to
+/// share across differently sized runs.
+#[derive(Debug)]
+pub struct SignalBoard {
+    pending: Vec<AtomicU64>,
+}
+
+impl SignalBoard {
+    /// Creates a board for `threads` simulated threads.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pending: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Raises one signal against `target` (ignored if out of range).
+    pub fn raise(&self, target: usize) {
+        if let Some(slot) = self.pending.get(target) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drains and returns the number of signals pending against `target`.
+    pub fn take(&self, target: usize) -> u64 {
+        self.pending
+            .get(target)
+            .map_or(0, |slot| slot.swap(0, Ordering::Relaxed))
+    }
+
+    /// Signals currently pending against `target`, without draining.
+    pub fn pending(&self, target: usize) -> u64 {
+        self.pending
+            .get(target)
+            .map_or(0, |slot| slot.load(Ordering::Relaxed))
+    }
+}
+
 /// A small direct-mapped model of the thread's private cache, used only
 /// to decide whether an access pays the cold-miss charge.
 #[derive(Debug)]
@@ -127,6 +171,7 @@ pub struct Cpu {
     pub counters: EventCounters,
     now: Cell<Cycles>,
     cache: MiniCache,
+    signals: Arc<SignalBoard>,
 }
 
 impl Cpu {
@@ -147,7 +192,30 @@ impl Cpu {
             counters: EventCounters::default(),
             now: Cell::new(0),
             cache: MiniCache::new(512),
+            // Unattached zero-size board: raises and takes are no-ops until
+            // the scheduler (or a test) attaches a shared board.
+            signals: Arc::new(SignalBoard::new(0)),
         }
+    }
+
+    /// Attaches the shared signal board of the run. The simulator calls
+    /// this for every thread it hosts; contexts built directly (scratch
+    /// CPUs, teardown helpers) keep the default inert board.
+    pub fn attach_signals(&mut self, board: Arc<SignalBoard>) {
+        self.signals = board;
+    }
+
+    /// Raises a neutralization signal against `target` (no-op when no
+    /// board is attached or `target` is out of range).
+    pub fn raise_signal(&self, target: usize) {
+        self.signals.raise(target);
+    }
+
+    /// Drains this thread's pending signals, returning how many were
+    /// raised since the last delivery. Called by the scheduler before each
+    /// step; also usable directly by tests driving a worker by hand.
+    pub fn take_signals(&self) -> u64 {
+        self.signals.take(self.thread_id)
     }
 
     /// Models one cache access to `line`, charging the cold-miss cost on a
@@ -258,6 +326,33 @@ mod tests {
         );
         c4.publish_footprint(33);
         assert_eq!(c0.sibling_footprint(), 33);
+    }
+
+    #[test]
+    fn signal_board_roundtrip() {
+        let board = Arc::new(SignalBoard::new(2));
+        let mut a = cpu(0);
+        let mut b = cpu(1);
+        a.attach_signals(board.clone());
+        b.attach_signals(board.clone());
+
+        // Unraised: nothing to take.
+        assert_eq!(b.take_signals(), 0);
+        a.raise_signal(1);
+        a.raise_signal(1);
+        assert_eq!(board.pending(1), 2);
+        assert_eq!(b.take_signals(), 2, "both raises coalesce into one take");
+        assert_eq!(b.take_signals(), 0, "take drains the slot");
+
+        // Out-of-range targets are ignored, not a panic.
+        a.raise_signal(99);
+    }
+
+    #[test]
+    fn unattached_board_is_inert() {
+        let c = cpu(0);
+        c.raise_signal(0);
+        assert_eq!(c.take_signals(), 0);
     }
 
     #[test]

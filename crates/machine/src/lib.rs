@@ -32,7 +32,7 @@ pub mod sched;
 pub mod topology;
 
 pub use cost::CostModel;
-pub use cpu::{Cpu, EventCounters};
+pub use cpu::{Cpu, EventCounters, SignalBoard};
 pub use fault::{FaultEvent, FaultPlan, FaultStats};
 pub use rng::Pcg32;
 pub use sched::{

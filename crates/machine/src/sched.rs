@@ -49,6 +49,15 @@ pub trait Worker {
     /// retired by a [`crate::FaultEvent::Kill`] — a crashed thread does not
     /// run its teardown.
     fn finish(&mut self, _cpu: &mut Cpu) {}
+
+    /// Delivered when another thread raised a signal against this one via
+    /// [`Cpu::raise_signal`] (the NBR neutralization path). The scheduler
+    /// calls this immediately before the victim's next step, after its
+    /// fault checks — the simulated analogue of a POSIX handler running
+    /// before the next user instruction. Because steps are atomic basic
+    /// blocks, a handler here observes only committed state. Default:
+    /// ignore the signal.
+    fn neutralize(&mut self, _cpu: &mut Cpu) {}
 }
 
 impl<W: Worker + ?Sized> Worker for Box<W> {
@@ -58,6 +67,10 @@ impl<W: Worker + ?Sized> Worker for Box<W> {
 
     fn finish(&mut self, cpu: &mut Cpu) {
         (**self).finish(cpu)
+    }
+
+    fn neutralize(&mut self, cpu: &mut Cpu) {
+        (**self).neutralize(cpu)
     }
 }
 
@@ -226,6 +239,7 @@ impl Simulator {
         let topo = self.config.topology;
         let costs = Arc::new(self.config.costs.clone());
         let board = Arc::new(ActivityBoard::new(topo.hw_contexts()));
+        let signals = Arc::new(crate::cpu::SignalBoard::new(workers.len()));
         let n = workers.len();
 
         let mut threads: Vec<ThreadState<W>> = workers
@@ -233,8 +247,10 @@ impl Simulator {
             .enumerate()
             .map(|(i, worker)| {
                 let hw = HwContext::new(&topo, topo.place(i));
+                let mut cpu = Cpu::new(i, hw, costs.clone(), board.clone(), self.config.seed);
+                cpu.attach_signals(signals.clone());
                 ThreadState {
-                    cpu: Cpu::new(i, hw, costs.clone(), board.clone(), self.config.seed),
+                    cpu,
                     worker,
                     ops: 0,
                     finished: false,
@@ -388,6 +404,16 @@ impl Simulator {
                 }
             }
             steps += 1;
+
+            // Signal delivery: pending signals are handed to the victim
+            // before its next step, like a kernel running the handler on
+            // the way back to user space. Coalesced raises cost one
+            // delivery; a parked thread receives on its wake-up step.
+            if threads[t].cpu.take_signals() > 0 {
+                let th = &mut threads[t];
+                th.cpu.charge(costs.signal_deliver);
+                th.worker.neutralize(&mut th.cpu);
+            }
 
             let before = threads[t].cpu.now();
             let th = &mut threads[t];
@@ -649,6 +675,110 @@ mod tests {
         let report = sim.run_with(1, |_| Box::new(Clockwork { per_op: 20_000 }));
         let expect = report.total_ops() as f64 * 100.0;
         assert!((report.ops_per_second() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn raised_signals_reach_the_victim_before_its_next_step() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        type Log = Rc<RefCell<Vec<&'static str>>>;
+
+        struct Sender {
+            log: Log,
+            sent: bool,
+        }
+        impl Worker for Sender {
+            fn step(&mut self, cpu: &mut Cpu) -> StepOutcome {
+                cpu.charge(1000);
+                if self.sent {
+                    return StepOutcome::Finished;
+                }
+                self.sent = true;
+                self.log.borrow_mut().push("raise");
+                cpu.raise_signal(1);
+                StepOutcome::Progress
+            }
+        }
+
+        struct Victim {
+            log: Log,
+        }
+        impl Worker for Victim {
+            fn step(&mut self, cpu: &mut Cpu) -> StepOutcome {
+                cpu.charge(1000);
+                self.log.borrow_mut().push("step");
+                StepOutcome::OpDone
+            }
+            fn neutralize(&mut self, _cpu: &mut Cpu) {
+                self.log.borrow_mut().push("neutralize");
+            }
+        }
+
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let sim = Simulator::new(config(10_000));
+        let (_, _) = sim.run(vec![
+            Box::new(Sender {
+                log: log.clone(),
+                sent: false,
+            }) as Box<dyn Worker>,
+            Box::new(Victim { log: log.clone() }),
+        ]);
+
+        let log = log.borrow();
+        let raises = log.iter().filter(|&&e| e == "raise").count();
+        let deliveries = log.iter().filter(|&&e| e == "neutralize").count();
+        assert_eq!(raises, 1);
+        assert_eq!(deliveries, 1, "one raise, one delivery: {log:?}");
+        let raise_at = log.iter().position(|&e| e == "raise").unwrap();
+        let deliver_at = log.iter().position(|&e| e == "neutralize").unwrap();
+        assert!(
+            deliver_at > raise_at,
+            "delivery cannot precede the raise: {log:?}"
+        );
+        assert!(
+            !log[raise_at + 1..deliver_at].contains(&"step"),
+            "the victim stepped between raise and delivery: {log:?}"
+        );
+    }
+
+    #[test]
+    fn coalesced_signals_cost_one_delivery() {
+        struct Spammer {
+            left: u32,
+        }
+        impl Worker for Spammer {
+            fn step(&mut self, cpu: &mut Cpu) -> StepOutcome {
+                cpu.charge(10);
+                if self.left == 0 {
+                    return StepOutcome::Finished;
+                }
+                self.left -= 1;
+                cpu.raise_signal(1);
+                StepOutcome::Progress
+            }
+        }
+        struct Counter {
+            hits: std::rc::Rc<std::cell::Cell<u64>>,
+        }
+        impl Worker for Counter {
+            fn step(&mut self, cpu: &mut Cpu) -> StepOutcome {
+                // Run slowly so several raises land between two steps.
+                cpu.charge(100);
+                StepOutcome::OpDone
+            }
+            fn neutralize(&mut self, _cpu: &mut Cpu) {
+                self.hits.set(self.hits.get() + 1);
+            }
+        }
+        let hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let sim = Simulator::new(config(5_000));
+        let (_, _) = sim.run(vec![
+            Box::new(Spammer { left: 20 }) as Box<dyn Worker>,
+            Box::new(Counter { hits: hits.clone() }),
+        ]);
+        let h = hits.get();
+        assert!(h >= 1, "at least one delivery must have happened");
+        assert!(h < 20, "back-to-back raises must coalesce (got {h})");
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub trait SchemeThread {
         }
     }
 
+    /// Handles a neutralization signal delivered by the scheduler
+    /// ([`st_machine::Worker::neutralize`] forwards here). Only NBR reacts
+    /// — a signal caught in its restartable read phase abandons the
+    /// current attempt; every other scheme ignores inter-thread signals.
+    fn neutralize(&mut self, _cpu: &mut Cpu) {}
+
     /// Retired nodes not yet returned to the allocator.
     fn outstanding_garbage(&self) -> u64;
 

@@ -28,6 +28,17 @@
 //! - [`stacktrack_impl`]: the adapter that lets
 //!   [`stacktrack::StThread`] be driven through the same trait.
 //!
+//! Two post-paper schemes extend the comparison beyond the paper's six
+//! (see `docs/SCHEMES.md` and the "Beyond the paper" section of
+//! EXPERIMENTS.md):
+//!
+//! - [`nbr`]: neutralization-based reclamation — fence-free restartable
+//!   read phases, reservations only across write phases, and reclaimers
+//!   that signal instead of waiting (delivered through the scheduler's
+//!   [`st_machine::SignalBoard`]).
+//! - [`hyaline`]: snapshot-free per-retire reference batching with
+//!   handoff lists and a birth-era robustness bound.
+//!
 //! Pick a scheme with [`Scheme`] and build per-thread executors with
 //! [`SchemeFactory::builder`].
 
@@ -38,6 +49,8 @@ pub mod api;
 pub mod dta;
 pub mod epoch;
 pub mod hazard;
+pub mod hyaline;
+pub mod nbr;
 pub mod none;
 pub mod refcount;
 pub mod stacktrack_impl;
@@ -87,6 +100,10 @@ pub enum Scheme {
     RefCount,
     /// StackTrack.
     StackTrack,
+    /// Neutralization-based reclamation (beyond-the-paper extra).
+    Nbr,
+    /// Hyaline reference batching (beyond-the-paper extra).
+    Hyaline,
 }
 
 impl Scheme {
@@ -99,11 +116,14 @@ impl Scheme {
             Scheme::Dta => "DTA",
             Scheme::RefCount => "RefCount",
             Scheme::StackTrack => "StackTrack",
+            Scheme::Nbr => "NBR",
+            Scheme::Hyaline => "Hyaline",
         }
     }
 
-    /// All schemes, in the paper's plotting order.
-    pub fn all() -> [Scheme; 6] {
+    /// All schemes: the paper's six in plotting order, then the
+    /// beyond-the-paper extras.
+    pub fn all() -> [Scheme; 8] {
         [
             Scheme::None,
             Scheme::Hazard,
@@ -111,6 +131,8 @@ impl Scheme {
             Scheme::StackTrack,
             Scheme::Dta,
             Scheme::RefCount,
+            Scheme::Nbr,
+            Scheme::Hyaline,
         ]
     }
 }
@@ -134,6 +156,8 @@ impl std::str::FromStr for Scheme {
             "dta" => Ok(Scheme::Dta),
             "refcount" | "rc" => Ok(Scheme::RefCount),
             "stacktrack" => Ok(Scheme::StackTrack),
+            "nbr" => Ok(Scheme::Nbr),
+            "hyaline" => Ok(Scheme::Hyaline),
             _ => Err(format!(
                 "unknown scheme {s:?} (expected one of: {})",
                 Scheme::all().map(|s| s.name()).join(", ")
@@ -177,6 +201,20 @@ pub struct ReclaimConfig {
     /// retired list twice (one-shot), seeding the double-retire /
     /// double-free defect the heap-ledger oracle must catch.
     pub mutation_double_retire: bool,
+    /// Hyaline: retires aggregated into one dispatched batch. Smaller
+    /// batches reclaim sooner but dispatch (and hand off) more often.
+    pub hyaline_batch: usize,
+    /// **Mutation knob for the model checker — never enable in real
+    /// runs.** NBR's neutralization handler ignores the signal instead of
+    /// restarting the read phase, so a traversal keeps dereferencing
+    /// pointers the signaling reclaimer just freed — the use-after-free
+    /// the restart protocol exists to prevent.
+    pub mutation_nbr_skip_restart: bool,
+    /// **Mutation knob for the audit harness — never enable in real
+    /// runs.** One-shot: a Hyaline thread's first dispatch skips its own
+    /// reference decrement, so that batch's counter never reaches zero
+    /// and its nodes leak — the defect the heap-ledger oracle must catch.
+    pub mutation_hyaline_drop_decrement: bool,
 }
 
 impl Default for ReclaimConfig {
@@ -189,6 +227,9 @@ impl Default for ReclaimConfig {
             epoch_wait_budget: 2_500_000,
             mutation_defer_hazard_publish: false,
             mutation_double_retire: false,
+            hyaline_batch: 8,
+            mutation_nbr_skip_restart: false,
+            mutation_hyaline_drop_decrement: false,
         }
     }
 }
@@ -211,6 +252,10 @@ enum SchemeGlobals {
     RefCount(Arc<refcount::RcGlobals>),
     /// The StackTrack runtime.
     StackTrack(Arc<StRuntime>),
+    /// NBR reservation slots.
+    Nbr(Arc<nbr::NbrGlobals>),
+    /// Hyaline eras, slots, and handoff lists.
+    Hyaline(Arc<hyaline::HyalineGlobals>),
 }
 
 /// Configures and creates a [`SchemeFactory`].
@@ -285,6 +330,15 @@ impl SchemeFactoryBuilder {
                 self.st_config,
                 self.max_threads,
             )),
+            Scheme::Nbr => SchemeGlobals::Nbr(Arc::new(nbr::NbrGlobals::new(
+                engine.heap(),
+                self.max_threads,
+                self.config.hazard_slots,
+            ))),
+            Scheme::Hyaline => SchemeGlobals::Hyaline(Arc::new(hyaline::HyalineGlobals::new(
+                engine.heap(),
+                self.max_threads,
+            ))),
         };
         SchemeFactory {
             scheme: self.scheme,
@@ -331,12 +385,14 @@ impl SchemeFactory {
 
     /// Precise protection-publication regions for the heap's ABA
     /// re-exposure oracle: heap words that, while holding a pointer,
-    /// forbid recycling its block. Only hazard pointers publish such a
-    /// region today — the other schemes protect via epochs/anchors or
-    /// scannable thread contexts, which legitimately hold stale values.
+    /// forbid recycling its block. Hazard pointers and NBR publish such
+    /// regions (hazard slots, write-phase reservations) — the other
+    /// schemes protect via epochs/anchors/eras or scannable thread
+    /// contexts, which legitimately hold stale values.
     pub fn protection_roots(&self) -> Vec<(st_simheap::Addr, u64)> {
         match &self.globals {
             SchemeGlobals::Hazard(globals) => vec![globals.region()],
+            SchemeGlobals::Nbr(globals) => vec![globals.region()],
             _ => Vec::new(),
         }
     }
@@ -374,6 +430,24 @@ impl SchemeFactory {
                 self.config.hazard_slots,
             )),
             SchemeGlobals::StackTrack(rt) => Box::new(rt.register_thread(thread_id)),
+            SchemeGlobals::Nbr(globals) => Box::new(nbr::NbrThread::new(
+                globals.clone(),
+                self.engine.heap().clone(),
+                thread_id,
+                self.config.retire_batch,
+                self.config.mutation_nbr_skip_restart,
+            )),
+            SchemeGlobals::Hyaline(globals) => Box::new(hyaline::HyalineThread::new(
+                globals.clone(),
+                self.engine.heap().clone(),
+                thread_id,
+                if self.config.retire_batch > 0 {
+                    self.config.retire_batch
+                } else {
+                    self.config.hyaline_batch
+                },
+                self.config.mutation_hyaline_drop_decrement,
+            )),
         }
     }
 }

@@ -1,0 +1,599 @@
+//! NBR: neutralization-based reclamation (Singh, Brown, Prokopec), the
+//! first "beyond the paper" comparator.
+//!
+//! NBR splits every operation into a *read phase* and a *write phase*. The
+//! read phase traverses with **no per-hop protection at all** — no hazard
+//! fence, no anchor, nothing — because it is restartable: a reclaimer that
+//! wants memory back sends every peer a signal, and a peer caught in its
+//! read phase simply abandons the traversal and starts the operation over.
+//! Only at the transition to the write phase (the first store/CAS/retire
+//! against shared memory) does a thread publish the handful of pointers
+//! the write phase will dereference into per-thread *reservation* slots,
+//! with a single fence. A reclaimer therefore never waits: it broadcasts
+//! the neutralization signal, scans the reservation slots, and immediately
+//! frees every retired node no reservation covers.
+//!
+//! In this simulator the signal is delivered by the scheduler
+//! ([`st_machine::SignalBoard`]): the handler
+//! ([`SchemeThread::neutralize`]) runs before the victim's next step, the
+//! exact analogue of a POSIX handler running before the next user
+//! instruction. Because each step is an atomic basic block, the victim can
+//! never be "mid-dereference" when neutralized — which is the same
+//! argument real NBR makes at instruction granularity. Restarting is
+//! trivial for the scheme-neutral operation bodies: all live state sits in
+//! declared local slots, so zeroing them re-enters the body at its first
+//! phase; allocations made by the abandoned attempt are returned through
+//! the heap's unpublished-free path, keeping the ledger exact.
+//!
+//! The robustness story mirrors hazard pointers (a stalled or dead reader
+//! pins at most its reservation slots' worth of nodes — in its read phase,
+//! nothing at all) while the common-case read path costs the same as
+//! epoch-based reclamation. The price is the signal broadcast, amortized
+//! by batching retires ([`NbrGlobals::scan_threshold`]).
+
+use crate::api::{expect_step, SchemeThread};
+use st_machine::Cpu;
+use st_simheap::tagged::TAG_MASK;
+use st_simheap::{Addr, Heap, Word};
+use st_simhtm::Abort;
+use stacktrack::layout::STACK_SLOTS;
+use stacktrack::{OpBody, OpMem, Step};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Shared NBR state: the reservation-slot matrix, one block of
+/// `slots_per_thread` words per thread (padded against false sharing).
+#[derive(Debug)]
+pub struct NbrGlobals {
+    slots: Addr,
+    max_threads: usize,
+    slots_per_thread: usize,
+    stride: usize,
+}
+
+impl NbrGlobals {
+    /// Allocates the reservation matrix for `max_threads` threads with
+    /// `slots_per_thread` reservations each (sized like hazard slots: one
+    /// per guard the deepest operation body declares).
+    pub fn new(heap: &Arc<Heap>, max_threads: usize, slots_per_thread: usize) -> Self {
+        let stride = slots_per_thread.next_multiple_of(8);
+        let slots = heap
+            .alloc_untimed((max_threads * stride).max(1))
+            .expect("heap too small for NBR reservations");
+        Self {
+            slots,
+            max_threads,
+            slots_per_thread,
+            stride,
+        }
+    }
+
+    /// Retires between signal broadcasts: the same amortization shape as
+    /// Michael's scan threshold, which also bounds the garbage a stalled
+    /// peer can pin.
+    pub fn scan_threshold(&self) -> usize {
+        2 * self.max_threads * self.slots_per_thread
+    }
+
+    /// The reservation matrix as a `(base, words)` region for the heap's
+    /// ABA re-exposure oracle: while a reservation holds a pointer, the
+    /// block it names must not be recycled.
+    pub fn region(&self) -> (Addr, u64) {
+        (self.slots, (self.max_threads * self.stride) as u64)
+    }
+}
+
+/// Per-thread NBR executor.
+pub struct NbrThread {
+    globals: Arc<NbrGlobals>,
+    heap: Arc<Heap>,
+    thread_id: usize,
+    locals: [Word; STACK_SLOTS],
+    slots: usize,
+    active: bool,
+    /// `true` once the current operation crossed into its write phase
+    /// (reservations published, restarts refused).
+    in_write_phase: bool,
+    /// Pointer last seen through each guard, kept thread-local during the
+    /// read phase and published wholesale at the write-phase transition.
+    guard_vals: [Word; 64],
+    used_guards: u64,
+    /// Blocks allocated by the current attempt; returned via
+    /// [`Heap::free_unpublished`] if the attempt is neutralized.
+    fresh: Vec<Addr>,
+    limbo: Vec<Addr>,
+    /// Limbo size that triggers a broadcast + scan; 0 means
+    /// [`NbrGlobals::scan_threshold`].
+    retire_batch: usize,
+    /// **Mutation knob for the model checker — never enable in real
+    /// runs.** The neutralization handler ignores the signal instead of
+    /// restarting, so the thread keeps traversing through pointers the
+    /// signaling reclaimer has already freed — the exact bug class the
+    /// restart protocol exists to prevent.
+    skip_restart: bool,
+    /// Restarts taken in the neutralization handler (statistics).
+    pub neutralizations: u64,
+    /// Signals broadcast as a reclaimer (statistics).
+    pub signals_sent: u64,
+    /// Nodes returned to the allocator (statistics).
+    pub freed: u64,
+}
+
+impl NbrThread {
+    /// Creates the executor for thread slot `thread_id`. `retire_batch`
+    /// overrides the broadcast threshold when non-zero; `skip_restart`
+    /// enables the ignore-neutralization mutation (checker use only).
+    pub fn new(
+        globals: Arc<NbrGlobals>,
+        heap: Arc<Heap>,
+        thread_id: usize,
+        retire_batch: usize,
+        skip_restart: bool,
+    ) -> Self {
+        Self {
+            globals,
+            heap,
+            thread_id,
+            locals: [0; STACK_SLOTS],
+            slots: 0,
+            active: false,
+            in_write_phase: false,
+            guard_vals: [0; 64],
+            used_guards: 0,
+            fresh: Vec::new(),
+            limbo: Vec::new(),
+            retire_batch,
+            skip_restart,
+            neutralizations: 0,
+            signals_sent: 0,
+            freed: 0,
+        }
+    }
+
+    fn trigger(&self) -> usize {
+        if self.retire_batch > 0 {
+            self.retire_batch
+        } else {
+            self.globals.scan_threshold()
+        }
+    }
+
+    fn slot_index(&self, guard: usize) -> u64 {
+        assert!(
+            guard < self.globals.slots_per_thread,
+            "NBR guard {guard} out of range"
+        );
+        (self.thread_id * self.globals.stride + guard) as u64
+    }
+
+    /// The read-to-write transition: publish every pointer the read phase
+    /// collected into this thread's reservation slots, with one fence.
+    /// From here on the operation refuses neutralization.
+    fn enter_write_phase(&mut self, cpu: &mut Cpu) {
+        if self.in_write_phase {
+            return;
+        }
+        let mut used = self.used_guards;
+        while used != 0 {
+            let g = used.trailing_zeros() as usize;
+            used &= used - 1;
+            let slot = self.slot_index(g);
+            self.heap
+                .store(cpu, self.globals.slots, slot, self.guard_vals[g]);
+        }
+        self.heap.fence(cpu);
+        self.in_write_phase = true;
+    }
+
+    /// Clears this thread's published reservations (cheap stores; the
+    /// slots only carry values while an operation is in its write phase).
+    fn clear_reservations(&mut self, cpu: &mut Cpu) {
+        if !self.in_write_phase {
+            return;
+        }
+        let mut used = self.used_guards;
+        while used != 0 {
+            let g = used.trailing_zeros() as usize;
+            used &= used - 1;
+            let slot = self.slot_index(g);
+            self.heap.store(cpu, self.globals.slots, slot, 0);
+        }
+    }
+
+    /// The reclaimer path: broadcast the neutralization signal to every
+    /// peer, scan the reservation matrix, and free whatever no reservation
+    /// covers — no waiting, no acknowledgment.
+    fn broadcast_and_reclaim(&mut self, cpu: &mut Cpu) {
+        let syscall = cpu.costs.signal_deliver;
+        for t in 0..self.globals.max_threads {
+            if t == self.thread_id {
+                continue;
+            }
+            cpu.raise_signal(t);
+            cpu.charge(syscall);
+            self.signals_sent += 1;
+        }
+        let mut reserved: HashSet<Word> =
+            HashSet::with_capacity(self.globals.max_threads * self.globals.slots_per_thread);
+        for t in 0..self.globals.max_threads {
+            for g in 0..self.globals.slots_per_thread {
+                let i = (t * self.globals.stride + g) as u64;
+                let r = self.heap.load(cpu, self.globals.slots, i);
+                if r != 0 {
+                    reserved.insert(r);
+                }
+            }
+        }
+        let retired = std::mem::take(&mut self.limbo);
+        for node in retired {
+            if reserved.contains(&node.raw()) {
+                self.limbo.push(node);
+            } else {
+                self.heap.free(cpu, node);
+                self.freed += 1;
+            }
+        }
+    }
+}
+
+impl OpMem for NbrThread {
+    fn load(&mut self, cpu: &mut Cpu, addr: Addr, off: u64) -> Result<Word, Abort> {
+        Ok(self.heap.load(cpu, addr, off))
+    }
+
+    /// Read phase: a plain load — the pointer is only recorded locally
+    /// (restartability is the protection). Write phase: publish + fence,
+    /// hazard-style, since restarts are refused from here on.
+    fn load_ptr(
+        &mut self,
+        cpu: &mut Cpu,
+        addr: Addr,
+        off: u64,
+        guard: usize,
+    ) -> Result<Word, Abort> {
+        let v = self.heap.load(cpu, addr, off);
+        if v & !TAG_MASK == 0 {
+            return Ok(v);
+        }
+        self.guard_vals[guard] = v & !TAG_MASK;
+        self.used_guards |= 1 << guard;
+        if self.in_write_phase {
+            let slot = self.slot_index(guard);
+            self.heap
+                .store(cpu, self.globals.slots, slot, v & !TAG_MASK);
+            self.heap.fence(cpu);
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, cpu: &mut Cpu, addr: Addr, off: u64, value: Word) -> Result<(), Abort> {
+        // Initializing a private, not-yet-linked allocation is still part
+        // of the restartable read phase; any other store is a write intent.
+        if !self.fresh.contains(&addr) {
+            self.enter_write_phase(cpu);
+        }
+        self.heap.store(cpu, addr, off, value);
+        Ok(())
+    }
+
+    fn cas(
+        &mut self,
+        cpu: &mut Cpu,
+        addr: Addr,
+        off: u64,
+        expected: Word,
+        new: Word,
+    ) -> Result<Result<Word, Word>, Abort> {
+        if !self.fresh.contains(&addr) {
+            self.enter_write_phase(cpu);
+        }
+        Ok(self.heap.cas(cpu, addr, off, expected, new))
+    }
+
+    fn alloc(&mut self, cpu: &mut Cpu, words: usize) -> Addr {
+        let addr = self
+            .heap
+            .alloc(cpu, words)
+            .expect("simulated heap exhausted; enlarge HeapConfig::capacity_words");
+        self.fresh.push(addr);
+        addr
+    }
+
+    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+        // A retire is a write intent by definition (the unlink it follows
+        // certainly was); entering the write phase here keeps the
+        // retire-then-restart double-retire impossible by construction.
+        self.enter_write_phase(cpu);
+        self.heap.note_retire(cpu.thread_id, cpu.now(), addr);
+        self.limbo.push(addr);
+        if self.limbo.len() >= self.trigger() {
+            self.broadcast_and_reclaim(cpu);
+        }
+        Ok(())
+    }
+
+    fn protect(&mut self, cpu: &mut Cpu, guard: usize, value: Word) {
+        self.guard_vals[guard] = value & !TAG_MASK;
+        self.used_guards |= 1 << guard;
+        if self.in_write_phase {
+            let slot = self.slot_index(guard);
+            self.heap
+                .store(cpu, self.globals.slots, slot, value & !TAG_MASK);
+        }
+    }
+
+    fn get_local(&mut self, _cpu: &mut Cpu, slot: usize) -> Word {
+        assert!(slot < self.slots, "undeclared local slot {slot}");
+        self.locals[slot]
+    }
+
+    fn set_local(&mut self, _cpu: &mut Cpu, slot: usize, value: Word) {
+        assert!(slot < self.slots, "undeclared local slot {slot}");
+        self.locals[slot] = value;
+    }
+}
+
+impl SchemeThread for NbrThread {
+    fn begin_op(&mut self, _cpu: &mut Cpu, _op_id: u32, slots: usize) {
+        assert!(!self.active, "operation already active");
+        assert!(slots <= STACK_SLOTS);
+        self.slots = slots;
+        self.locals[..slots].fill(0);
+        self.active = true;
+        self.in_write_phase = false;
+        self.used_guards = 0;
+        debug_assert!(self.fresh.is_empty());
+    }
+
+    fn step_op(&mut self, cpu: &mut Cpu, body: &mut OpBody<'_>) -> Option<Word> {
+        assert!(self.active, "step_op without an active operation");
+        match expect_step(body(self, cpu)) {
+            Step::Continue => None,
+            Step::Done(v) => {
+                self.clear_reservations(cpu);
+                self.used_guards = 0;
+                self.in_write_phase = false;
+                self.fresh.clear();
+                self.active = false;
+                Some(v)
+            }
+        }
+    }
+
+    /// The neutralization handler. A signal caught outside an operation or
+    /// past the write-phase transition is ignored (the reservations cover
+    /// the write phase); a signal caught in the read phase abandons the
+    /// attempt: locals are zeroed (the body restarts from its first
+    /// phase), attempt-private allocations go back to the allocator, and
+    /// the collected guards are forgotten.
+    fn neutralize(&mut self, cpu: &mut Cpu) {
+        if !self.active || self.in_write_phase {
+            return;
+        }
+        if self.skip_restart {
+            // Seeded defect: pretend the handler never ran. The traversal
+            // keeps its stale locals and walks into freed memory.
+            return;
+        }
+        self.neutralizations += 1;
+        self.locals[..self.slots].fill(0);
+        self.used_guards = 0;
+        for addr in std::mem::take(&mut self.fresh) {
+            self.heap.free_unpublished(cpu, addr);
+        }
+    }
+
+    fn outstanding_garbage(&self) -> u64 {
+        self.limbo.len() as u64
+    }
+
+    fn report_metrics(&self, reg: &mut st_obs::MetricsRegistry) {
+        reg.add("reclaim.outstanding_garbage", self.outstanding_garbage());
+        reg.add("scheme.nbr.neutralizations", self.neutralizations);
+        reg.add("scheme.nbr.signals_sent", self.signals_sent);
+        reg.add("scheme.nbr.freed", self.freed);
+    }
+
+    fn teardown(&mut self, cpu: &mut Cpu) {
+        if !self.limbo.is_empty() {
+            self.broadcast_and_reclaim(cpu);
+        }
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "NBR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{test_cpu, test_env};
+    use st_machine::SignalBoard;
+
+    fn setup(threads: usize) -> (Arc<NbrGlobals>, Arc<Heap>) {
+        let (heap, _) = test_env();
+        let globals = Arc::new(NbrGlobals::new(&heap, threads, 4));
+        (globals, heap)
+    }
+
+    #[test]
+    fn read_phase_loads_pay_no_fence() {
+        let (globals, heap) = setup(1);
+        let mut th = NbrThread::new(globals, heap.clone(), 0, 0, false);
+        let mut cpu = test_cpu(0);
+        let cell = heap.alloc_untimed(1).unwrap();
+        let x = heap.alloc_untimed(2).unwrap();
+        heap.poke(cell, 0, x.raw());
+
+        th.begin_op(&mut cpu, 0, 0);
+        let fences = cpu.counters.fences;
+        let mut body = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            let v = m.load_ptr(cpu, cell, 0, 0)?;
+            Ok(Step::Done(v))
+        };
+        assert_eq!(th.step_op(&mut cpu, &mut body), Some(x.raw()));
+        assert_eq!(cpu.counters.fences, fences, "read phase is fence-free");
+    }
+
+    #[test]
+    fn first_shared_store_publishes_reservations() {
+        let (globals, heap) = setup(1);
+        let mut th = NbrThread::new(globals.clone(), heap.clone(), 0, 0, false);
+        let mut cpu = test_cpu(0);
+        let cell = heap.alloc_untimed(1).unwrap();
+        let x = heap.alloc_untimed(2).unwrap();
+        heap.poke(cell, 0, x.raw());
+
+        th.begin_op(&mut cpu, 0, 0);
+        let mut body = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            let v = m.load_ptr(cpu, cell, 0, 1)?;
+            // No publication yet...
+            m.store(cpu, cell, 0, v)?; // ...until the first shared store.
+            Ok(Step::Continue)
+        };
+        let fences = cpu.counters.fences;
+        th.step_op(&mut cpu, &mut body);
+        assert!(th.in_write_phase);
+        assert!(cpu.counters.fences > fences, "transition costs one fence");
+        assert_eq!(heap.peek(globals.slots, 1), x.raw(), "reservation live");
+
+        let mut fin = |_: &mut dyn OpMem, _: &mut Cpu| Ok(Step::Done(0));
+        th.step_op(&mut cpu, &mut fin);
+        assert_eq!(heap.peek(globals.slots, 1), 0, "cleared at op end");
+    }
+
+    #[test]
+    fn reclaimer_frees_immediately_and_respects_reservations() {
+        let (globals, heap) = setup(2);
+        let mut writer = NbrThread::new(globals.clone(), heap.clone(), 0, 0, false);
+        let mut reclaimer = NbrThread::new(globals.clone(), heap.clone(), 1, 1, false);
+        let mut cpu_w = test_cpu(0);
+        let mut cpu_r = test_cpu(1);
+
+        let cell = heap.alloc_untimed(1).unwrap();
+        let x = heap.alloc_untimed(2).unwrap();
+        let y = heap.alloc_untimed(2).unwrap();
+        heap.poke(cell, 0, x.raw());
+
+        // Writer enters its write phase holding a reservation on X.
+        writer.begin_op(&mut cpu_w, 0, 0);
+        let mut hold = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            let v = m.load_ptr(cpu, cell, 0, 0)?;
+            m.store(cpu, cell, 0, v)?;
+            Ok(Step::Continue)
+        };
+        writer.step_op(&mut cpu_w, &mut hold);
+
+        // Reclaimer (batch 1) retires X and Y: Y is freed on the spot,
+        // X survives because the writer's reservation covers it.
+        reclaimer.run_op(&mut cpu_r, 0, 0, &mut |m, cpu| {
+            m.retire(cpu, x)?;
+            Ok(Step::Done(0))
+        });
+        reclaimer.run_op(&mut cpu_r, 0, 0, &mut |m, cpu| {
+            m.retire(cpu, y)?;
+            Ok(Step::Done(0))
+        });
+        assert!(heap.is_live(x), "reserved node must survive");
+        assert!(!heap.is_live(y), "unreserved node freed without waiting");
+        assert_eq!(reclaimer.outstanding_garbage(), 1);
+
+        // Writer finishes; the next broadcast frees X too.
+        let mut fin = |_: &mut dyn OpMem, _: &mut Cpu| Ok(Step::Done(0));
+        writer.step_op(&mut cpu_w, &mut fin);
+        reclaimer.teardown(&mut cpu_r);
+        assert!(!heap.is_live(x));
+        assert_eq!(reclaimer.outstanding_garbage(), 0);
+    }
+
+    #[test]
+    fn neutralize_restarts_a_read_phase_attempt() {
+        let (globals, heap) = setup(1);
+        let mut th = NbrThread::new(globals, heap.clone(), 0, 0, false);
+        let mut cpu = test_cpu(0);
+
+        th.begin_op(&mut cpu, 0, 2);
+        let mut first = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            m.set_local(cpu, 0, 7);
+            let n = m.alloc(cpu, 2);
+            m.set_local(cpu, 1, n.raw());
+            Ok(Step::Continue)
+        };
+        th.step_op(&mut cpu, &mut first);
+        let fresh = Addr::from_raw(th.locals[1]);
+        assert!(heap.is_live(fresh));
+
+        th.neutralize(&mut cpu);
+        assert_eq!(th.neutralizations, 1);
+        assert_eq!(th.locals[0], 0, "locals zeroed: body restarts");
+        assert!(!heap.is_live(fresh), "abandoned allocation returned");
+
+        // The body re-runs from scratch and completes.
+        let mut retry = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            let v = m.get_local(cpu, 0);
+            Ok(Step::Done(v))
+        };
+        assert_eq!(th.step_op(&mut cpu, &mut retry), Some(0));
+    }
+
+    #[test]
+    fn neutralize_is_refused_in_the_write_phase_and_when_idle() {
+        let (globals, heap) = setup(1);
+        let mut th = NbrThread::new(globals, heap.clone(), 0, 0, false);
+        let mut cpu = test_cpu(0);
+
+        // Idle: ignored.
+        th.neutralize(&mut cpu);
+        assert_eq!(th.neutralizations, 0);
+
+        // Write phase: ignored, locals keep their values.
+        let cell = heap.alloc_untimed(1).unwrap();
+        th.begin_op(&mut cpu, 0, 1);
+        let mut body = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            m.set_local(cpu, 0, 9);
+            m.store(cpu, cell, 0, 1)?;
+            Ok(Step::Continue)
+        };
+        th.step_op(&mut cpu, &mut body);
+        th.neutralize(&mut cpu);
+        assert_eq!(th.neutralizations, 0);
+        assert_eq!(th.locals[0], 9, "write phase refuses the restart");
+    }
+
+    #[test]
+    fn broadcast_raises_signals_against_every_peer() {
+        let (globals, heap) = setup(3);
+        let board = Arc::new(SignalBoard::new(3));
+        let mut th = NbrThread::new(globals, heap.clone(), 0, 1, false);
+        let mut cpu = test_cpu(0);
+        cpu.attach_signals(board.clone());
+
+        let n = heap.alloc_untimed(2).unwrap();
+        th.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
+            m.retire(cpu, n)?;
+            Ok(Step::Done(0))
+        });
+        assert_eq!(th.signals_sent, 2);
+        assert_eq!(board.pending(0), 0, "no self-signal");
+        assert_eq!(board.pending(1), 1);
+        assert_eq!(board.pending(2), 1);
+        assert!(!heap.is_live(n), "freed without waiting for an ack");
+    }
+
+    #[test]
+    fn skip_restart_mutation_keeps_stale_locals() {
+        let (globals, heap) = setup(1);
+        let mut th = NbrThread::new(globals, heap.clone(), 0, 0, true);
+        let mut cpu = test_cpu(0);
+        th.begin_op(&mut cpu, 0, 1);
+        let mut body = |m: &mut dyn OpMem, cpu: &mut Cpu| {
+            m.set_local(cpu, 0, 5);
+            Ok(Step::Continue)
+        };
+        th.step_op(&mut cpu, &mut body);
+        th.neutralize(&mut cpu);
+        assert_eq!(th.locals[0], 5, "mutation ignores the signal");
+        assert_eq!(th.neutralizations, 0);
+    }
+}

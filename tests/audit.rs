@@ -125,7 +125,7 @@ fn intact_schemes_soak_clean_at_the_same_budget() {
         ..AuditOpts::default()
     };
     let combos = soak(&opts);
-    assert_eq!(combos.len(), 12);
+    assert_eq!(combos.len(), 16);
     for c in &combos {
         assert!(
             c.failure.is_none(),

@@ -228,6 +228,10 @@ impl Worker for MixWorker {
             None => StepOutcome::Progress,
         }
     }
+
+    fn neutralize(&mut self, cpu: &mut Cpu) {
+        self.th.neutralize(cpu);
+    }
 }
 
 /// Runs `threads` mixed workers for `duration_ms` virtual milliseconds and

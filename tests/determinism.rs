@@ -64,6 +64,8 @@ fn every_scheme_times_every_fault_kind_is_byte_identical() {
         Scheme::Hazard,
         Scheme::StackTrack,
         Scheme::Dta,
+        Scheme::Nbr,
+        Scheme::Hyaline,
     ] {
         for (kind, mk_plan) in &kinds {
             let run = || {

@@ -63,6 +63,40 @@ fn hazard_config(mutation: Mutation) -> CheckConfig {
     }
 }
 
+/// Workload for the NBR mutation: the same shape as the hazard race. NBR
+/// frees retired nodes the instant no reservation covers them, counting
+/// on neutralization to restart any read-phase traversal left holding a
+/// stale pointer — so ignoring the signal reopens the identical
+/// unprotected-traversal-vs-immediate-free window.
+fn nbr_config(mutation: Mutation) -> CheckConfig {
+    CheckConfig {
+        structure: Structure::List,
+        scheme: Scheme::Nbr,
+        threads: 3,
+        ops_per_thread: 6,
+        key_range: 4,
+        seed: 1,
+        mutation,
+        ..CheckConfig::default()
+    }
+}
+
+/// Workload for the Hyaline mutation: seed 104's two deletes of the
+/// prepopulated keys guarantee a retire — and thus a batch dispatch — on
+/// every schedule, including the no-deviation one.
+fn hyaline_config(mutation: Mutation) -> CheckConfig {
+    CheckConfig {
+        structure: Structure::List,
+        scheme: Scheme::Hyaline,
+        threads: 2,
+        ops_per_thread: 1,
+        key_range: 4,
+        seed: 104,
+        mutation,
+        ..CheckConfig::default()
+    }
+}
+
 fn is_uaf(v: &Violation) -> bool {
     matches!(v, Violation::Uaf(_))
 }
@@ -75,7 +109,13 @@ fn intact_protocols_pass_dfs_and_random_exploration() {
         Structure::Queue,
         Structure::SkipList,
     ] {
-        for scheme in [Scheme::StackTrack, Scheme::Epoch, Scheme::Hazard] {
+        for scheme in [
+            Scheme::StackTrack,
+            Scheme::Epoch,
+            Scheme::Hazard,
+            Scheme::Nbr,
+            Scheme::Hyaline,
+        ] {
             let config = CheckConfig {
                 structure,
                 scheme,
@@ -162,6 +202,65 @@ fn mutated_hazard_validation_is_detected_by_dfs() {
     assert!(
         report.passed(),
         "intact hazard validation flagged a violation: {:?}",
+        report.failure
+    );
+}
+
+#[test]
+fn mutated_nbr_neutralization_is_detected_by_dfs() {
+    // An NBR thread that swallows its neutralization signal keeps
+    // traversing through locals the signaling reclaimer has already
+    // freed — the scheme has no other protection in the read phase, so
+    // the use-after-free oracle must fire within the default bounds.
+    let report = check(&nbr_config(Mutation::NbrSkipRestart), &deep_dfs());
+    let failure = report
+        .failure
+        .expect("nbr mutation survived bounded exploration");
+    assert!(
+        failure.violations.iter().any(is_uaf),
+        "expected a use-after-free, got {:?}",
+        failure.violations
+    );
+
+    // Intact, the scheduler delivers the signal before the victim's next
+    // step, the traversal restarts, and the same exploration is clean.
+    let report = check(&nbr_config(Mutation::None), &deep_dfs());
+    assert!(
+        report.passed(),
+        "intact NBR flagged a violation: {:?}",
+        report.failure
+    );
+}
+
+#[test]
+fn mutated_hyaline_decrement_is_detected_by_dfs() {
+    // Dropping the dispatcher's own reference decrement strands the first
+    // batch at a positive count forever: its nodes are never freed and
+    // the heap ledger reports them as leaks at teardown. The defect is
+    // schedule-independent, so shrinking strips every deviation.
+    let report = check(&hyaline_config(Mutation::HyalineDropDecrement), &deep_dfs());
+    let failure = report
+        .failure
+        .expect("hyaline mutation survived bounded exploration");
+    assert!(
+        failure
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Ledger(_))),
+        "expected a ledger leak, got {:?}",
+        failure.violations
+    );
+    assert!(
+        failure.token.deviations.is_empty(),
+        "a schedule-independent leak should shrink to no deviations, \
+         kept {:?}",
+        failure.token.deviations
+    );
+
+    let report = check(&hyaline_config(Mutation::None), &deep_dfs());
+    assert!(
+        report.passed(),
+        "intact Hyaline flagged a violation: {:?}",
         report.failure
     );
 }

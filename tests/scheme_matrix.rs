@@ -53,6 +53,8 @@ matrix_test!(list_dta_8, Target::List, Scheme::Dta, 8);
 matrix_test!(list_refcount_4, Target::List, Scheme::RefCount, 4);
 matrix_test!(list_stacktrack_8, Target::List, Scheme::StackTrack, 8);
 matrix_test!(list_stacktrack_16, Target::List, Scheme::StackTrack, 16);
+matrix_test!(list_nbr_8, Target::List, Scheme::Nbr, 8);
+matrix_test!(list_hyaline_8, Target::List, Scheme::Hyaline, 8);
 
 // Skip list.
 matrix_test!(skiplist_original_8, Target::SkipList, Scheme::None, 8);
@@ -70,6 +72,8 @@ matrix_test!(
     Scheme::StackTrack,
     16
 );
+matrix_test!(skiplist_nbr_8, Target::SkipList, Scheme::Nbr, 8);
+matrix_test!(skiplist_hyaline_8, Target::SkipList, Scheme::Hyaline, 8);
 
 // Queue.
 matrix_test!(queue_original_8, Target::Queue, Scheme::None, 8);
@@ -77,6 +81,8 @@ matrix_test!(queue_epoch_8, Target::Queue, Scheme::Epoch, 8);
 matrix_test!(queue_hazard_8, Target::Queue, Scheme::Hazard, 8);
 matrix_test!(queue_stacktrack_8, Target::Queue, Scheme::StackTrack, 8);
 matrix_test!(queue_stacktrack_16, Target::Queue, Scheme::StackTrack, 16);
+matrix_test!(queue_nbr_8, Target::Queue, Scheme::Nbr, 8);
+matrix_test!(queue_hyaline_8, Target::Queue, Scheme::Hyaline, 8);
 
 /// Total retired-but-unfreed nodes at the deadline of a run whose last
 /// thread stalls from 30 % of the way in until past the deadline.
@@ -129,9 +135,57 @@ fn stalled_reader_bounds_garbage_except_for_epoch() {
     );
 }
 
+/// Like [`garbage_under_stalled_reader`], but the stall begins at a fixed
+/// absolute time (1 ms) instead of a fraction of the run, so growing the
+/// duration only lengthens the stalled tail — it does not let more nodes
+/// be born before the victim's protection state freezes.
+fn garbage_with_fixed_stall(scheme: Scheme, duration_ms: u64) -> u64 {
+    const MS: u64 = CYCLES_PER_SECOND / 1000;
+    let threads = 4;
+    let env = build_env(Target::List, scheme, threads, 200, 42);
+    let plan = FaultPlan::default().stall(threads - 1, MS, u64::MAX / 2);
+    let (_report, workers) = run_mix_faulted(&env, threads, duration_ms, 400, 42, plan);
+    check_instance(&env);
+    workers
+        .iter()
+        .map(|w| w.executor().outstanding_garbage())
+        .sum()
+}
+
+/// The two "beyond the paper" schemes extend the bounded column of the
+/// robustness contrast. NBR: a reader stalled in its read phase has
+/// published nothing, so reclaimers free around it; the backlog is capped
+/// by the per-thread broadcast threshold (2 * threads * slots ≈ 816 here)
+/// regardless of how long the stall lasts. Hyaline: the stalled reader's
+/// published era is frozen at the stall, so batch dispatch skips it for
+/// every batch whose nodes were all born later — it pins only batches
+/// containing nodes born before the freeze, a set the stall length cannot
+/// grow. Epoch under the identical fixed-start stall hoards linearly.
+#[test]
+fn stalled_reader_bounds_nbr_and_hyaline_garbage() {
+    const CAP: u64 = 900;
+    for scheme in [Scheme::Nbr, Scheme::Hyaline] {
+        let mid = garbage_with_fixed_stall(scheme, 8);
+        let long = garbage_with_fixed_stall(scheme, 16);
+        assert!(
+            mid <= CAP && long <= CAP,
+            "{scheme:?}: garbage must stay bounded under a stalled reader \
+             (8ms -> {mid}, 16ms -> {long}, cap {CAP})"
+        );
+    }
+    let epoch = garbage_with_fixed_stall(Scheme::Epoch, 16);
+    assert!(
+        epoch > 2 * CAP,
+        "epoch should hoard far past the bounded schemes' cap under the \
+         same fixed-start stall (got {epoch})"
+    );
+}
+
 // Hash table.
 matrix_test!(hash_original_8, Target::Hash, Scheme::None, 8);
 matrix_test!(hash_epoch_8, Target::Hash, Scheme::Epoch, 8);
 matrix_test!(hash_hazard_8, Target::Hash, Scheme::Hazard, 8);
 matrix_test!(hash_stacktrack_8, Target::Hash, Scheme::StackTrack, 8);
 matrix_test!(hash_refcount_4, Target::Hash, Scheme::RefCount, 4);
+matrix_test!(hash_nbr_8, Target::Hash, Scheme::Nbr, 8);
+matrix_test!(hash_hyaline_8, Target::Hash, Scheme::Hyaline, 8);

@@ -73,17 +73,19 @@ def replace_table(text, header, new_rows):
 def main():
     text = open("EXPERIMENTS.md").read()
 
-    # Figure 1a.
+    # Figure 1a (the paper's five schemes plus the beyond-the-paper pair).
     rows = load("fig1_list")
     new = []
     for t in [1, 2, 4, 8, 9, 12, 16]:
         cells = [str(t)] + [
             ops_fmt(by(rows, threads=t, scheme=s)["ops_per_sec"])
-            for s in ["Original", "Hazards", "Epoch", "StackTrack", "DTA"]
+            for s in ["Original", "Hazards", "Epoch", "StackTrack", "DTA", "NBR", "Hyaline"]
         ]
         new.append("| " + " | ".join(cells) + " |\n")
     text = replace_table(
-        text, "| threads | Original | Hazards | Epoch | StackTrack | DTA |\n", new
+        text,
+        "| threads | Original | Hazards | Epoch | StackTrack | DTA | NBR | Hyaline |\n",
+        new,
     )
 
     # Figures 1b, 2a, 2b share the same header; patch in document order.
@@ -92,7 +94,7 @@ def main():
         ("fig2_queue", [1, 2, 3, 8, 9, 16]),
         ("fig2_hash", [1, 4, 8, 9, 16]),
     ]
-    header4 = "| threads | Original | Hazards | Epoch | StackTrack |\n"
+    header4 = "| threads | Original | Hazards | Epoch | StackTrack | NBR | Hyaline |\n"
     pos = 0
     for name, tlist in specs:
         rows = load(name)
@@ -100,7 +102,7 @@ def main():
         for t in tlist:
             cells = [str(t)] + [
                 ops_fmt(by(rows, threads=t, scheme=s)["ops_per_sec"])
-                for s in ["Original", "Hazards", "Epoch", "StackTrack"]
+                for s in ["Original", "Hazards", "Epoch", "StackTrack", "NBR", "Hyaline"]
             ]
             new.append("| " + " | ".join(cells) + " |\n")
         idx = text.index(header4, pos)
@@ -194,6 +196,33 @@ def main():
         ]
         new.append("| " + " | ".join(cells) + " |\n")
     text = replace_table(text, header, new)
+
+    # Beyond the paper: garbage bounds under the robustness stall — peak
+    # and deadline backlog per scheme, from the same garbage_ts series.
+    new = []
+    for r in runs:
+        ts = [r["metrics"][f"reclaim.garbage_ts.{k:02d}"] for k in range(1, n_samples + 1)]
+        new.append(f"| {r['scheme']} | {max(ts)} | {ts[-1]} |\n")
+    text = replace_table(
+        text, "| scheme | peak backlog (nodes) | backlog at deadline |\n", new
+    )
+
+    # Beyond the paper: what each scheme pays at 8 threads on the list —
+    # throughput, HTM abort classes, and the memory-ordering traffic.
+    rows = load("fig1_list")
+    new = []
+    for s in ["Original", "Hazards", "Epoch", "StackTrack", "DTA", "NBR", "Hyaline"]:
+        r = by(rows, threads=8, scheme=s)
+        new.append(
+            f"| {s} | {ops_fmt(r['ops_per_sec'])} | {r['aborts_conflict']:,} "
+            f"| {r['aborts_capacity']:,} | {r['fences']:,} | {r['cas_ops']:,} "
+            f"| {r['garbage']} |\n"
+        )
+    text = replace_table(
+        text,
+        "| scheme | ops/s (8T) | HTM conflict | HTM capacity | fences | CAS | garbage |\n",
+        new,
+    )
 
     # Predictor ablation: groups of 4 per thread (adaptive, f1, f10, f50).
     rows = load("ablation_predictor")
