@@ -12,6 +12,9 @@
 //! `cargo bench -- --test` passes, and what CI runs) does one iteration per
 //! benchmark as a smoke test.
 
+// Micro-benchmarks drive the raw `OpMem` surface on purpose — the
+// typed `st_reclaim::mem` wrappers would measure the same calls.
+#![allow(deprecated)]
 use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
 use st_simheap::{Heap, HeapConfig};
 use st_simhtm::{util::U64Set, HtmConfig, HtmEngine};

@@ -48,9 +48,7 @@ impl RunConfig {
     /// (only possible by mutating a built spec's public fields).
     pub fn new(spec: WorkloadSpec, scheme: Scheme, threads: usize, duration_ms: u64) -> Self {
         spec.validate().expect("invalid workload spec");
-        let mut reclaim_config = ReclaimConfig::default();
-        // Guard budget for the deepest structure (skip list).
-        reclaim_config.hazard_slots = 2 * st_structures::skiplist::MAX_LEVEL + 2;
+        let reclaim_config = ReclaimConfig::default();
         Self {
             spec,
             scheme,
@@ -216,6 +214,9 @@ pub fn run(config: &RunConfig) -> RunResult {
         .max_threads(config.threads)
         .reclaim_config(config.reclaim_config.clone())
         .st_config(config.st_config.clone())
+        // Guard slots derived from the structures' declared requirements
+        // (the matrix maximum, so layout is identical for every row).
+        .guard_requirement(st_structures::max_guard_requirement())
         .build();
     let instance = Arc::new(StructureInstance::build(&config.spec, &heap, config.seed));
 

@@ -393,7 +393,6 @@ pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) 
         config.threads,
     ));
     let mut rc = ReclaimConfig {
-        hazard_slots: skiplist::SKIP_GUARDS,
         // Reclaim promptly: a batch of one puts every free inside the
         // explored window instead of deferring it past the race.
         retire_batch: 1,
@@ -430,6 +429,7 @@ pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) 
         .max_threads(config.threads)
         .reclaim_config(rc)
         .st_config(st_config)
+        .guard_requirement(st_structures::max_guard_requirement())
         .build();
 
     heap.set_uaf_oracle(true);

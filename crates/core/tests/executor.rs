@@ -1,6 +1,10 @@
 //! End-to-end tests of the StackTrack executor: split engine, FREE/scan,
 //! slow path, and the safety protocols of paper sections 5.2-5.6.
 
+// These tests drive the StackTrack executor through the raw `OpMem`
+// surface it implements — the layer beneath the typed `st_reclaim::mem`
+// API structures use.
+#![allow(deprecated)]
 use st_simheap::{Addr, Heap, HeapConfig};
 use st_simhtm::{HtmConfig, HtmEngine};
 use stacktrack::{ScanMode, StConfig, StRuntime, Step};

@@ -6,6 +6,9 @@
 //! no registry access, and explicit seeds make failures replayable by
 //! construction.
 
+// Substrate-level property tests exercise the raw `OpMem` surface —
+// the layer beneath the typed `st_reclaim::mem` API structures use.
+#![allow(deprecated)]
 use st_machine::rng::Pcg32;
 use st_simheap::{Heap, HeapConfig};
 use st_simhtm::{HtmConfig, HtmEngine};

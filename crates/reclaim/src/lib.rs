@@ -50,6 +50,7 @@ pub mod dta;
 pub mod epoch;
 pub mod hazard;
 pub mod hyaline;
+pub mod mem;
 pub mod nbr;
 pub mod none;
 pub mod refcount;
@@ -268,6 +269,7 @@ pub struct SchemeFactoryBuilder {
     max_threads: usize,
     config: ReclaimConfig,
     st_config: StConfig,
+    guard_requirement: Option<mem::GuardRequirement>,
 }
 
 impl SchemeFactoryBuilder {
@@ -297,16 +299,33 @@ impl SchemeFactoryBuilder {
         self
     }
 
+    /// Derives [`ReclaimConfig::hazard_slots`] from a structure's declared
+    /// [`mem::GuardRequirement`] instead of a hand-computed count.
+    ///
+    /// Harnesses that drive several structures through one factory pass
+    /// the [`mem::GuardRequirement::max`] of their requirements. Applied
+    /// in [`SchemeFactoryBuilder::build`], overriding whatever
+    /// [`SchemeFactoryBuilder::reclaim_config`] carried — declare the
+    /// requirement once, next to the structure's node layout, and the
+    /// guard-slot sizing can never drift out of sync with it.
+    pub fn guard_requirement(mut self, requirement: mem::GuardRequirement) -> Self {
+        self.guard_requirement = Some(requirement);
+        self
+    }
+
     /// Constructs the factory, allocating only the selected scheme's
     /// shared state.
     ///
     /// # Panics
     ///
     /// Panics if [`SchemeFactoryBuilder::engine`] was not provided.
-    pub fn build(self) -> SchemeFactory {
+    pub fn build(mut self) -> SchemeFactory {
         let engine = self
             .engine
             .expect("SchemeFactoryBuilder requires .engine()");
+        if let Some(requirement) = self.guard_requirement {
+            self.config.hazard_slots = requirement.guards();
+        }
         let globals = match self.scheme {
             Scheme::None => SchemeGlobals::None,
             Scheme::Epoch => SchemeGlobals::Epoch(Arc::new(epoch::EpochGlobals::new(
@@ -366,6 +385,7 @@ impl SchemeFactory {
             max_threads: 1,
             config: ReclaimConfig::default(),
             st_config: StConfig::default(),
+            guard_requirement: None,
         }
     }
 

@@ -1,0 +1,804 @@
+//! The typed smart-pointer reclamation API.
+//!
+//! Structures used to be hand-wired to the reclaim layer through raw
+//! guard indices (`G_PREV`/`G_CUR` constants rotated by hand) and untyped
+//! [`OpMem::protect`]/[`OpMem::retire`] calls on raw words — each new
+//! scheme × structure pairing worked only because a human re-audited every
+//! protection point. This module replaces that convention with *types*,
+//! in the shape of the reclamation-interface literature (Meyer & Wolff,
+//! PAPERS.md) and the `conquer-reclaim` Treiber exemplar (SNIPPETS.md):
+//!
+//! | Type | Meaning | Enforced by |
+//! |------|---------|-------------|
+//! | [`Atomic<N>`] | a shared pointer word (a node link or a root) | loads go through scheme protection ([`OpMem::load_ptr`]) |
+//! | [`Shared<'g, N>`] | a protected borrow of a node | tied to its [`Guard`]'s borrow — cannot outlive or out-rotate it |
+//! | [`Owned<N>`] | a freshly allocated, unpublished node | consumed by publication; its drop path is [`OpMem::free_unpublished`] |
+//! | [`Unlinked<N>`] | proof that a node was atomically unlinked | move-only; the **only** way to reach retire |
+//!
+//! Where `conquer-reclaim` makes the reclaimer a type parameter
+//! (`Atomic<T, R>`), this repository dispatches it at runtime: the same
+//! operation body runs under every [`crate::SchemeThread`], and the typed
+//! layer compiles down to the *identical* [`OpMem`] instruction sequence
+//! the hand-wired code issued — same calls, same order, same cycle
+//! charges — so all eight schemes compose with zero per-scheme code and
+//! the committed benchmark figures stay byte-identical. The node type
+//! parameter `N` ([`NodeType`]) carries the layout instead.
+//!
+//! # Guards and the step machine
+//!
+//! Operation bodies are basic-block step closures: every block re-enters
+//! from shadow-stack locals, and scheme-side guard state persists across
+//! blocks. The typed layer mirrors that split:
+//!
+//! - Within a block, a [`GuardPool`] hands out [`Guard`] handles in
+//!   declaration order (deterministic indices — the typed replacement for
+//!   the `G_*` constants). [`Guard::shield`] announces a pointer and
+//!   returns a [`Shared`] borrow; re-shielding needs `&mut Guard`, which
+//!   the borrow checker refuses while a previous [`Shared`] is alive.
+//! - Across blocks, pointers persist as words in shadow locals;
+//!   [`Guard::assume_protected`] re-materializes the borrow in the next
+//!   block. This is the one trust point of the API (see its docs) — it
+//!   asserts what the previous block's types already proved.
+//!
+//! # Oracle attachment
+//!
+//! The typed layer is the generic hook point for the checker's oracles,
+//! for any structure written against it, with no per-structure wiring:
+//!
+//! - **Use-after-free:** every deref ([`Shared::read`], [`Atomic::load`])
+//!   funnels through [`OpMem::load`]/[`OpMem::load_ptr`], which the
+//!   simulated heap's poison and speculative-read oracles instrument.
+//! - **Heap ledger:** every retirement funnels through
+//!   [`Unlinked::retire`] → [`OpMem::retire`], whose scheme
+//!   implementations report the pipeline-acceptance point to the heap's
+//!   lifecycle ledger; [`Owned`] tokens dropped without being published
+//!   or [`Owned::dispose`]d surface as leak-at-teardown.
+//!
+//! See `docs/MEMORY_API.md` for the full type map, lifetime rules, and
+//! the migration guide from raw guards.
+
+use st_machine::Cpu;
+use st_simheap::{Addr, TaggedPtr, Word};
+use st_simhtm::Abort;
+use stacktrack::OpMem;
+use std::marker::PhantomData;
+
+/// Declares a node layout: how many heap words one node occupies.
+///
+/// Implemented by zero-sized marker types (one per structure node kind),
+/// which parameterize [`Atomic`], [`Shared`], [`Owned`], and [`Unlinked`]
+/// so links of different structures cannot be mixed up.
+///
+/// ```
+/// use st_reclaim::mem::NodeType;
+///
+/// /// `[key, next]` — a Harris-list node.
+/// #[derive(Clone, Copy)]
+/// struct ListNode;
+/// impl NodeType for ListNode {
+///     const WORDS: usize = 2;
+/// }
+/// assert_eq!(ListNode::WORDS, 2);
+/// ```
+pub trait NodeType: Copy {
+    /// Node size in heap words.
+    const WORDS: usize;
+}
+
+/// How many guard slots a structure's operations need at once.
+///
+/// Declared once per structure (next to its node layout) and consumed by
+/// [`crate::SchemeFactoryBuilder::guard_requirement`], which derives
+/// [`crate::ReclaimConfig::hazard_slots`] from it — replacing the
+/// `2 * MAX_LEVEL + 2` arithmetic that used to be copy-pasted into every
+/// harness. Harnesses that run several structures (or must keep a
+/// determinism contract with committed results) combine requirements with
+/// [`GuardRequirement::max`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardRequirement {
+    guards: usize,
+}
+
+impl GuardRequirement {
+    /// A requirement of `guards` simultaneous guard slots.
+    pub const fn new(guards: usize) -> Self {
+        Self { guards }
+    }
+
+    /// The number of guard slots required.
+    pub const fn guards(self) -> usize {
+        self.guards
+    }
+
+    /// The pointwise maximum of two requirements (for harnesses driving
+    /// more than one structure through one factory).
+    pub const fn max(self, other: Self) -> Self {
+        Self {
+            guards: if self.guards >= other.guards {
+                self.guards
+            } else {
+                other.guards
+            },
+        }
+    }
+}
+
+/// Hands out the operation's [`Guard`] handles in declaration order.
+///
+/// Created fresh at the top of every basic block (it is plain bookkeeping
+/// — no simulated work, no cycle charges): because handles are taken in
+/// the same order each block, each guard re-acquires the same slot index
+/// its protections were published under in earlier blocks.
+pub struct GuardPool {
+    next: usize,
+    limit: usize,
+}
+
+impl GuardPool {
+    /// A pool sized by the structure's declared requirement.
+    pub fn new(requirement: GuardRequirement) -> Self {
+        Self {
+            next: 0,
+            limit: requirement.guards(),
+        }
+    }
+
+    /// Takes the next guard handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool's declared requirement is exhausted — the
+    /// structure is using more simultaneous guards than it declared, the
+    /// bug the requirement exists to catch at the first test run instead
+    /// of as a silent out-of-range hazard slot.
+    pub fn guard(&mut self) -> Guard {
+        assert!(
+            self.next < self.limit,
+            "guard requirement exhausted: operation takes more than {} guards",
+            self.limit
+        );
+        let index = self.next;
+        self.next += 1;
+        Guard { index }
+    }
+}
+
+/// One per-operation protection slot, owned by the operation body.
+///
+/// A guard covers **one pointer at a time**. Announcing a pointer
+/// ([`Guard::shield`], or an [`Atomic::load`] through the guard) returns
+/// a [`Shared`] borrow tied to this guard; announcing a *different*
+/// pointer requires `&mut Guard` again, so the borrow checker rejects any
+/// use of the stale borrow afterwards — the typed form of the rule that
+/// rotating a guard slot invalidates what it used to protect.
+pub struct Guard {
+    index: usize,
+}
+
+impl Guard {
+    /// The underlying scheme guard-slot index (deterministic: pool
+    /// declaration order).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Announces an **already-protected or immortal** pointer word in
+    /// this guard, returning the protected borrow.
+    ///
+    /// Compiles to exactly one [`OpMem::protect`]: the value must still
+    /// be covered — by another guard, by being a never-reclaimed root
+    /// (sentinels), or by the enclosing scheme's stronger mechanism — for
+    /// the fence-free re-announcement to be sound, exactly as the raw
+    /// call required. Tag bits may be present; schemes strip them.
+    pub fn shield<'g, N: NodeType>(
+        &'g mut self,
+        mem: &mut Mem<'_, '_>,
+        word: Word,
+    ) -> Shared<'g, N> {
+        #[allow(deprecated)] // the typed API is the sanctioned caller
+        mem.op.protect(mem.cpu, self.index, word);
+        Shared {
+            ptr: TaggedPtr::from_word(word),
+            _guard: PhantomData,
+            _node: PhantomData,
+        }
+    }
+
+    /// Re-materializes a borrow for a pointer **this guard already
+    /// protects**, without re-announcing it (no simulated work).
+    ///
+    /// This is the bridge across basic-block boundaries — and the one
+    /// trust point of the typed API. The contract: `word` was shielded
+    /// into (or loaded through) this guard in an earlier block of the
+    /// same operation and the guard has not been rotated since; the
+    /// caller typically just read it back from the shadow local it was
+    /// stored to in that block. Passing any other word reintroduces the
+    /// unprotected-deref bug class the API exists to prevent, so treat
+    /// every call site as a (small, local) proof obligation.
+    pub fn assume_protected<'g, N: NodeType>(&'g self, word: Word) -> Shared<'g, N> {
+        Shared {
+            ptr: TaggedPtr::from_word(word),
+            _guard: PhantomData,
+            _node: PhantomData,
+        }
+    }
+}
+
+/// The typed view over one basic block's [`OpMem`] + [`Cpu`] pair.
+///
+/// Constructed at the top of the block from the body's two arguments;
+/// every typed operation borrows it mutably and compiles to exactly one
+/// raw [`OpMem`] call.
+pub struct Mem<'m, 'c> {
+    op: &'m mut dyn OpMem,
+    cpu: &'c mut Cpu,
+}
+
+impl<'m, 'c> Mem<'m, 'c> {
+    /// Wraps the body's raw arguments.
+    pub fn new(op: &'m mut dyn OpMem, cpu: &'c mut Cpu) -> Self {
+        Self { op, cpu }
+    }
+
+    /// Reads shadow-stack local `slot` ([`OpMem::get_local`]).
+    pub fn local(&mut self, slot: usize) -> Word {
+        self.op.get_local(self.cpu, slot)
+    }
+
+    /// Writes shadow-stack local `slot` ([`OpMem::set_local`]).
+    pub fn set_local(&mut self, slot: usize, value: Word) {
+        self.op.set_local(self.cpu, slot, value);
+    }
+
+    /// Allocates a zeroed, unpublished node ([`OpMem::alloc`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap is exhausted (a configuration error,
+    /// as for the raw call).
+    pub fn alloc<N: NodeType>(&mut self) -> Owned<N> {
+        let addr = self.op.alloc(self.cpu, N::WORDS);
+        Owned {
+            addr,
+            _node: PhantomData,
+        }
+    }
+
+    /// The simulated CPU (for body-side randomness or cycle queries;
+    /// never needed for memory operations, which all charge through the
+    /// typed methods).
+    pub fn cpu(&mut self) -> &mut Cpu {
+        self.cpu
+    }
+}
+
+/// A typed shared pointer **location**: a heap word holding a (possibly
+/// mark-tagged) pointer to an `N` node.
+///
+/// Obtained from a protected node's link field ([`Shared::link`]) or from
+/// a never-reclaimed root ([`Atomic::root`]). Copyable — it names a
+/// place, not a protection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Atomic<N: NodeType> {
+    base: Addr,
+    off: u64,
+    _node: PhantomData<N>,
+}
+
+impl<N: NodeType> Atomic<N> {
+    /// The pointer word at `base + off`, where `base` is a structure
+    /// **root** (a sentinel or anchor that is never retired, so reading
+    /// through it needs no protection of `base` itself).
+    pub fn root(base: Addr, off: u64) -> Self {
+        Self {
+            base,
+            off,
+            _node: PhantomData,
+        }
+    }
+
+    /// Loads the pointer through scheme protection into `guard`
+    /// ([`OpMem::load_ptr`]): hazard-style schemes publish, fence, and
+    /// revalidate internally; the returned borrow is protected for as
+    /// long as the guard is not rotated.
+    pub fn load<'g>(
+        &self,
+        mem: &mut Mem<'_, '_>,
+        guard: &'g mut Guard,
+    ) -> Result<Shared<'g, N>, Abort> {
+        let word = mem.op.load_ptr(mem.cpu, self.base, self.off, guard.index)?;
+        Ok(Shared {
+            ptr: TaggedPtr::from_word(word),
+            _guard: PhantomData,
+            _node: PhantomData,
+        })
+    }
+
+    /// Raw-word compare-and-swap on the location ([`OpMem::cas`]):
+    /// `Ok(Ok(prev))` on success, `Ok(Err(actual))` on mismatch.
+    ///
+    /// For tag flips (Harris delete marks) and other in-place updates
+    /// that neither unlink nor publish a node — it can never mint an
+    /// [`Unlinked`] token or consume an [`Owned`] one.
+    pub fn cas_word(
+        &self,
+        mem: &mut Mem<'_, '_>,
+        expected: Word,
+        new: Word,
+    ) -> Result<Result<Word, Word>, Abort> {
+        mem.op.cas(mem.cpu, self.base, self.off, expected, new)
+    }
+
+    /// The unlinking compare-and-swap: swings this location past
+    /// `victim` (from `victim`'s address word to `new`), and on success
+    /// mints the **unique proof of unlink** — the only value in the API
+    /// from which retire is reachable.
+    ///
+    /// On mismatch returns the actual word; the victim stays linked and
+    /// no token exists, so it cannot be retired.
+    pub fn cas_unlink(
+        &self,
+        mem: &mut Mem<'_, '_>,
+        victim: Shared<'_, N>,
+        new: Word,
+    ) -> Result<Result<Unlinked<N>, Word>, Abort> {
+        match mem
+            .op
+            .cas(mem.cpu, self.base, self.off, victim.ptr.word(), new)?
+        {
+            Ok(_prev) => Ok(Ok(Unlinked {
+                addr: victim.ptr.addr(),
+                _node: PhantomData,
+            })),
+            Err(actual) => Ok(Err(actual)),
+        }
+    }
+
+    /// The publishing compare-and-swap: installs the unpublished `node`
+    /// (consuming its [`Owned`] token — once other threads can reach it,
+    /// the unpublished drop path is gone forever). On mismatch the token
+    /// comes back with the actual word, for retry or disposal.
+    pub fn cas_publish(
+        &self,
+        mem: &mut Mem<'_, '_>,
+        expected: Word,
+        node: Owned<N>,
+    ) -> Result<Result<(), (Owned<N>, Word)>, Abort> {
+        match mem
+            .op
+            .cas(mem.cpu, self.base, self.off, expected, node.addr.raw())?
+        {
+            Ok(_prev) => Ok(Ok(())),
+            Err(actual) => Ok(Err((node, actual))),
+        }
+    }
+}
+
+/// A protected borrow of an `N` node (possibly carrying the Harris
+/// deletion mark), valid for `'g` — the borrow of the [`Guard`] that
+/// protects it.
+///
+/// Not `Copy`/`Clone`: consuming operations ([`Atomic::cas_unlink`])
+/// take it by value, ending the guard borrow so the guard can rotate.
+#[derive(Debug)]
+pub struct Shared<'g, N: NodeType> {
+    ptr: TaggedPtr,
+    _guard: PhantomData<&'g Guard>,
+    _node: PhantomData<N>,
+}
+
+impl<'g, N: NodeType> Shared<'g, N> {
+    /// The raw pointer word, tag bits included.
+    pub fn word(&self) -> Word {
+        self.ptr.word()
+    }
+
+    /// The node address, tag bits stripped.
+    pub fn addr(&self) -> Addr {
+        self.ptr.addr()
+    }
+
+    /// The node address as an (untagged) pointer word — what gets stored
+    /// into shadow locals and shielded into rotating guards.
+    pub fn addr_word(&self) -> Word {
+        self.ptr.addr().raw()
+    }
+
+    /// Whether the Harris deletion mark is set on this pointer.
+    pub fn marked(&self) -> bool {
+        self.ptr.marked()
+    }
+
+    /// Whether the address part is null.
+    pub fn is_null(&self) -> bool {
+        self.ptr.is_null()
+    }
+
+    /// The underlying tagged-pointer view.
+    pub fn tagged(&self) -> TaggedPtr {
+        self.ptr
+    }
+
+    /// Reads a data word of the node ([`OpMem::load`]) — the typed deref.
+    /// Every read through a `Shared` is what the heap's poison and
+    /// speculative-read use-after-free oracles instrument.
+    pub fn read(&self, mem: &mut Mem<'_, '_>, off: u64) -> Result<Word, Abort> {
+        mem.op.load(mem.cpu, self.ptr.addr(), off)
+    }
+
+    /// The node's link field at word `off`, as a typed location pointing
+    /// at `M` nodes — protected access to the node makes naming its
+    /// fields safe.
+    pub fn link<M: NodeType>(&self, off: u64) -> Atomic<M> {
+        Atomic {
+            base: self.ptr.addr(),
+            off,
+            _node: PhantomData,
+        }
+    }
+}
+
+/// A freshly allocated node no other thread can reach yet.
+///
+/// Move-only: publication ([`Atomic::cas_publish`]) consumes it, and the
+/// not-published drop path is [`Owned::dispose`] →
+/// [`OpMem::free_unpublished`]. A token abandoned without either (other
+/// than by [`Owned::stash`]ing it to a shadow local for a later block) is
+/// a leak, and shows up as exactly that in the heap ledger's
+/// leak-at-teardown oracle.
+#[derive(Debug)]
+pub struct Owned<N: NodeType> {
+    addr: Addr,
+    _node: PhantomData<N>,
+}
+
+impl<N: NodeType> Owned<N> {
+    /// The node address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The address as a pointer word (for link stores and stashing).
+    pub fn word(&self) -> Word {
+        self.addr.raw()
+    }
+
+    /// Initializes a word of the unpublished node ([`OpMem::store`]).
+    pub fn store(&self, mem: &mut Mem<'_, '_>, off: u64, value: Word) -> Result<(), Abort> {
+        mem.op.store(mem.cpu, self.addr, off, value)
+    }
+
+    /// Consumes the token into a plain word for a shadow local — the
+    /// step-machine bridge for keeping an unpublished node across basic
+    /// blocks (e.g. retrying a lost insert without reallocating).
+    /// Re-materialize it with [`Owned::unstash`] in a later block.
+    pub fn stash(self) -> Word {
+        self.addr.raw()
+    }
+
+    /// Re-materializes a token stashed by [`Owned::stash`]; `None` for
+    /// the zero word (no node stashed). The contract mirrors
+    /// [`Guard::assume_protected`]: the word must come from a stash of
+    /// the same operation, still unpublished.
+    pub fn unstash(word: Word) -> Option<Self> {
+        if word == 0 {
+            None
+        } else {
+            Some(Self {
+                addr: Addr::from_raw(word),
+                _node: PhantomData,
+            })
+        }
+    }
+
+    /// Returns the never-published node to the allocator
+    /// ([`OpMem::free_unpublished`]) — the drop path for a node whose
+    /// publication was abandoned (duplicate key found, operation gave
+    /// up).
+    pub fn dispose(self, mem: &mut Mem<'_, '_>) -> Result<(), Abort> {
+        mem.op.free_unpublished(mem.cpu, self.addr)
+    }
+}
+
+/// The unique proof that a node was atomically unlinked — and therefore
+/// the **only** way to reach [`OpMem::retire`].
+///
+/// Minted solely by [`Atomic::cas_unlink`] on CAS success; move-only, so
+/// the node can be retired at most once (a second retire is a
+/// use-of-moved-value compile error — see the `compile_fail` tests in
+/// this module's documentation tests and `docs/MEMORY_API.md`).
+#[derive(Debug)]
+#[must_use = "an unlinked node must be retired (or the structure leaks it)"]
+pub struct Unlinked<N: NodeType> {
+    addr: Addr,
+    _node: PhantomData<N>,
+}
+
+impl<N: NodeType> Unlinked<N> {
+    /// The unlinked node's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Hands the node to the reclamation scheme ([`OpMem::retire`]),
+    /// consuming the proof. Must run in the same basic block as the
+    /// unlink CAS (the raw contract, unchanged: StackTrack commits the
+    /// segment to make unlink + retire atomic).
+    ///
+    /// This consumption point is where the heap-ledger oracle attaches
+    /// generically: every scheme's `retire` implementation reports the
+    /// pipeline-acceptance to the heap's lifecycle ledger.
+    pub fn retire(self, mem: &mut Mem<'_, '_>) -> Result<(), Abort> {
+        #[allow(deprecated)] // the typed API is the sanctioned caller
+        mem.op.retire(mem.cpu, self.addr)
+    }
+}
+
+/// # Compile-time contracts
+///
+/// The properties the types enforce, as `compile_fail` doctests (run by
+/// `cargo test --doc`; CI builds docs with `-D warnings`).
+///
+/// An [`Unlinked`] token cannot be retired twice — the second retire is a
+/// use of a moved value:
+///
+/// ```compile_fail,E0382
+/// use st_reclaim::mem::{Mem, NodeType, Unlinked};
+///
+/// #[derive(Clone, Copy)]
+/// struct Node;
+/// impl NodeType for Node {
+///     const WORDS: usize = 2;
+/// }
+///
+/// fn double_retire(mem: &mut Mem<'_, '_>, u: Unlinked<Node>) -> Result<(), st_simhtm::Abort> {
+///     u.retire(mem)?;
+///     u.retire(mem)?; // ERROR: use of moved value `u`
+///     Ok(())
+/// }
+/// ```
+///
+/// A [`Shared`] borrow cannot outlive its [`Guard`]:
+///
+/// ```compile_fail,E0597
+/// use st_reclaim::mem::{Guard, GuardPool, GuardRequirement, NodeType, Shared};
+///
+/// #[derive(Clone, Copy)]
+/// struct Node;
+/// impl NodeType for Node {
+///     const WORDS: usize = 2;
+/// }
+///
+/// fn escape() -> Shared<'static, Node> {
+///     let mut pool = GuardPool::new(GuardRequirement::new(1));
+///     let guard = pool.guard();
+///     guard.assume_protected::<Node>(8) // ERROR: `guard` does not live long enough
+/// }
+/// ```
+///
+/// Rotating a guard ([`Guard::shield`] needs `&mut Guard`) invalidates
+/// the borrow it used to protect:
+///
+/// ```compile_fail,E0502
+/// use st_reclaim::mem::{Guard, Mem, NodeType};
+///
+/// #[derive(Clone, Copy)]
+/// struct Node;
+/// impl NodeType for Node {
+///     const WORDS: usize = 2;
+/// }
+///
+/// fn rotate_invalidates(mem: &mut Mem<'_, '_>, g: &mut Guard) -> u64 {
+///     let first = g.assume_protected::<Node>(8);
+///     let _second = g.shield::<Node>(mem, 16); // rotates the guard...
+///     first.word() // ERROR: `first` still borrows `g`
+/// }
+/// ```
+///
+/// And an [`Owned`] token is consumed by publication — no path retains it
+/// afterwards:
+///
+/// ```compile_fail,E0382
+/// use st_reclaim::mem::{Atomic, Mem, NodeType, Owned};
+///
+/// #[derive(Clone, Copy)]
+/// struct Node;
+/// impl NodeType for Node {
+///     const WORDS: usize = 2;
+/// }
+///
+/// fn publish_then_touch(
+///     mem: &mut Mem<'_, '_>,
+///     link: Atomic<Node>,
+///     node: Owned<Node>,
+/// ) -> Result<(), st_simhtm::Abort> {
+///     link.cas_publish(mem, 0, node)?;
+///     node.store(mem, 0, 7)?; // ERROR: use of moved value `node`
+///     Ok(())
+/// }
+/// ```
+pub mod contracts {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{test_cpu, test_env};
+    use crate::{Scheme, SchemeFactory};
+    use st_simhtm::{HtmConfig, HtmEngine};
+    use stacktrack::Step;
+    use std::sync::Arc;
+
+    #[derive(Clone, Copy)]
+    struct PairNode;
+    impl NodeType for PairNode {
+        const WORDS: usize = 2;
+    }
+
+    #[test]
+    fn guard_requirement_max_and_pool_order() {
+        let small = GuardRequirement::new(2);
+        let big = GuardRequirement::new(5);
+        assert_eq!(small.max(big), big);
+        assert_eq!(big.max(small), big);
+        assert_eq!(big.guards(), 5);
+
+        let mut pool = GuardPool::new(GuardRequirement::new(3));
+        assert_eq!(pool.guard().index(), 0);
+        assert_eq!(pool.guard().index(), 1);
+        assert_eq!(pool.guard().index(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "guard requirement exhausted")]
+    fn pool_enforces_declared_requirement() {
+        let mut pool = GuardPool::new(GuardRequirement::new(1));
+        let _a = pool.guard();
+        let _b = pool.guard();
+    }
+
+    /// The typed surface compiles to the identical raw call sequence: a
+    /// hazard-pointer executor (the scheme with the most observable
+    /// protection protocol) sees the same publications, fences, and
+    /// retires through the typed API as through hand-written raw calls.
+    #[test]
+    fn typed_calls_match_raw_calls_under_hazards() {
+        let (heap, _) = test_env();
+        let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
+        let factory = SchemeFactory::builder(Scheme::Hazard)
+            .engine(engine)
+            .max_threads(1)
+            .guard_requirement(GuardRequirement::new(3))
+            .build();
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+
+        // A two-node chain: root -> a -> b.
+        let root = heap.alloc_untimed(1).unwrap();
+        let a = heap.alloc_untimed(2).unwrap();
+        let b = heap.alloc_untimed(2).unwrap();
+        heap.poke(root, 0, a.raw());
+        heap.poke(a, 0, 0xa_0);
+        heap.poke(a, 1, b.raw());
+
+        // Typed traversal: load a through a guard, read its key, load its
+        // next, unlink a, retire it through the minted proof.
+        let result = th.run_op(&mut cpu, 0, 0, &mut |op, cpu| {
+            let mut mem = Mem::new(op, cpu);
+            let mut pool = GuardPool::new(GuardRequirement::new(3));
+            let mut g_cur = pool.guard();
+            let mut g_next = pool.guard();
+
+            let head = Atomic::<PairNode>::root(root, 0);
+            let cur = head.load(&mut mem, &mut g_cur)?;
+            assert_eq!(cur.addr(), a);
+            assert!(!cur.marked());
+            let key = cur.read(&mut mem, 0)?;
+            assert_eq!(key, 0xa_0);
+            let next = cur.link::<PairNode>(1).load(&mut mem, &mut g_next)?;
+            assert_eq!(next.addr(), b);
+
+            match head.cas_unlink(&mut mem, cur, next.addr_word())? {
+                Ok(unlinked) => {
+                    assert_eq!(unlinked.addr(), a);
+                    unlinked.retire(&mut mem)?;
+                }
+                Err(actual) => panic!("unexpected CAS mismatch: {actual:#x}"),
+            }
+            Ok(Step::Done(1))
+        });
+        assert_eq!(result, 1);
+        assert_eq!(heap.peek(root, 0), b.raw());
+        assert_eq!(th.outstanding_garbage(), 1, "retire reached the scheme");
+        th.teardown(&mut cpu);
+        assert!(!heap.is_live(a), "retired node freed at teardown");
+    }
+
+    #[test]
+    fn owned_publish_and_dispose_paths() {
+        let (heap, _) = test_env();
+        let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
+        let factory = SchemeFactory::builder(Scheme::Hazard)
+            .engine(engine)
+            .max_threads(1)
+            .guard_requirement(GuardRequirement::new(1))
+            .build();
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+        let root = heap.alloc_untimed(1).unwrap();
+
+        // Publish path: the Owned token is consumed by the winning CAS.
+        let published = th.run_op(&mut cpu, 0, 0, &mut |op, cpu| {
+            let mut mem = Mem::new(op, cpu);
+            let node = mem.alloc::<PairNode>();
+            node.store(&mut mem, 0, 42)?;
+            let link = Atomic::<PairNode>::root(root, 0);
+            match link.cas_publish(&mut mem, 0, node)? {
+                Ok(()) => Ok(Step::Done(1)),
+                Err((lost, _actual)) => {
+                    lost.dispose(&mut mem)?;
+                    Ok(Step::Done(0))
+                }
+            }
+        });
+        assert_eq!(published, 1);
+        let installed = Addr::from_raw(heap.peek(root, 0));
+        assert_eq!(heap.peek(installed, 0), 42);
+
+        // Dispose path: a lost CAS hands the token back for disposal.
+        let live_before = heap.stats().alloc.live_objects;
+        let published = th.run_op(&mut cpu, 0, 0, &mut |op, cpu| {
+            let mut mem = Mem::new(op, cpu);
+            let node = mem.alloc::<PairNode>();
+            let link = Atomic::<PairNode>::root(root, 0);
+            match link.cas_publish(&mut mem, 0, node)? {
+                Ok(()) => Ok(Step::Done(1)),
+                Err((lost, actual)) => {
+                    assert_eq!(actual, installed.raw());
+                    lost.dispose(&mut mem)?;
+                    Ok(Step::Done(0))
+                }
+            }
+        });
+        assert_eq!(published, 0, "second publish must lose");
+        th.teardown(&mut cpu);
+        assert_eq!(
+            heap.stats().alloc.live_objects,
+            live_before,
+            "disposed node returned to the allocator"
+        );
+    }
+
+    #[test]
+    fn stash_round_trips_across_blocks() {
+        let (heap, _) = test_env();
+        let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
+        let factory = SchemeFactory::builder(Scheme::None)
+            .engine(engine)
+            .max_threads(1)
+            .guard_requirement(GuardRequirement::new(1))
+            .build();
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+
+        assert!(Owned::<PairNode>::unstash(0).is_none());
+        let got = th.run_op(&mut cpu, 0, 1, &mut |op, cpu| {
+            let mut mem = Mem::new(op, cpu);
+            match Owned::<PairNode>::unstash(mem.local(0)) {
+                None => {
+                    let node = mem.alloc::<PairNode>();
+                    node.store(&mut mem, 0, 7)?;
+                    let word = node.stash();
+                    mem.set_local(0, word);
+                    Ok(Step::Continue)
+                }
+                Some(node) => {
+                    let addr = node.addr();
+                    node.dispose(&mut mem)?;
+                    Ok(Step::Done(addr.raw()))
+                }
+            }
+        });
+        assert_ne!(got, 0);
+        th.teardown(&mut cpu);
+    }
+}

@@ -264,6 +264,9 @@ impl SchemeThread for RcThread {
 }
 
 #[cfg(test)]
+// Scheme tests drive the raw `OpMem` surface the executor implements —
+// the layer beneath the typed `mem` API structures use.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::test_support::{test_cpu, test_env};

@@ -49,6 +49,9 @@ impl SchemeThread for StThread {
 }
 
 #[cfg(test)]
+// Scheme tests drive the raw `OpMem` surface the executor implements —
+// the layer beneath the typed `mem` API structures use.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use st_simheap::{Heap, HeapConfig};

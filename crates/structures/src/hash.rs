@@ -2,14 +2,25 @@
 //! paper's hash benchmark ("a lock-free hash-table based on the Harris
 //! lock-free list"). No resizing: the bucket count is fixed at build time,
 //! which matches the evaluation's fixed 10K-key configuration.
+//!
+//! Every operation runs on exactly one bucket list, so the table inherits
+//! the list's typed-API port (`st_reclaim::mem`) and its guard
+//! requirement wholesale — see [`guard_requirement`].
 
 use crate::list::{self, ListShape, LIST_SLOTS};
 use st_machine::Cpu;
+use st_reclaim::mem::GuardRequirement;
 use st_reclaim::SchemeThread;
 use st_simheap::Heap;
 use st_simhtm::Abort;
 use stacktrack::{OpMem, Step};
 use std::sync::Arc;
+
+/// The table's declared guard requirement: identical to the list's, since
+/// each operation is one bucket-list operation.
+pub const fn guard_requirement() -> GuardRequirement {
+    list::guard_requirement()
+}
 
 /// The shared shape of the table: one list shape per bucket.
 #[derive(Debug, Clone)]

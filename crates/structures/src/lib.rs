@@ -15,8 +15,16 @@
 //! [`stacktrack::opmem`]): one closure call performs roughly one pointer
 //! hop, the granularity at which StackTrack injects split checkpoints. The
 //! same bodies run unchanged under every reclamation scheme in
-//! `st-reclaim`; scheme-specific protection happens inside
-//! `load_ptr`/`protect`/`retire`.
+//! `st-reclaim`. The list and hash table are written against the typed
+//! reclamation API (`st_reclaim::mem` — typed guards, `Shared` borrows,
+//! `Unlinked` retire proofs; see docs/MEMORY_API.md); the skip list,
+//! queue, and red-black tree still use the deprecated raw
+//! `load_ptr`/`protect`/`retire` surface and carry a module-level
+//! migration note.
+//!
+//! Each structure declares its guard requirement (`guard_requirement()`
+//! next to its node layout); harnesses that drive the whole matrix
+//! through one factory size guard slots with [`max_guard_requirement`].
 //!
 //! # Conventions
 //!
@@ -43,13 +51,29 @@ pub use queue::MsQueue;
 pub use rbtree::RbTree;
 pub use skiplist::SkipList;
 
+/// The pointwise maximum of every structure's declared guard requirement
+/// — what a harness that drives any structure through one factory passes
+/// to `SchemeFactoryBuilder::guard_requirement`.
+///
+/// Using the maximum (the skip list's, today) for every structure keeps
+/// guard-table layout — and therefore heap addresses, stripe-conflict
+/// patterns, and the committed deterministic figures — identical across
+/// structures; per-structure requirements are still the right bound for
+/// single-structure harnesses that don't carry that contract.
+pub const fn max_guard_requirement() -> st_reclaim::mem::GuardRequirement {
+    list::guard_requirement()
+        .max(hash::guard_requirement())
+        .max(queue::guard_requirement())
+        .max(skiplist::guard_requirement())
+        .max(rbtree::guard_requirement())
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
     use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory};
     use st_simheap::{Heap, HeapConfig};
     use st_simhtm::{HtmConfig, HtmEngine};
-    use stacktrack::StConfig;
     use std::sync::Arc;
 
     /// A test heap (no factory).
@@ -68,13 +92,11 @@ pub(crate) mod testutil {
     ) -> (SchemeFactory, Arc<Heap>) {
         let (heap, ()) = scheme_env();
         let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), threads));
-        let mut rc = ReclaimConfig::default();
-        // Enough guards for the deepest structure (skip list).
-        rc.hazard_slots = 2 * crate::skiplist::MAX_LEVEL + 2;
         let factory = SchemeFactory::builder(scheme)
             .engine(engine)
             .max_threads(threads)
-            .reclaim_config(rc)
+            .reclaim_config(ReclaimConfig::default())
+            .guard_requirement(crate::max_guard_requirement())
             .build();
         (factory, heap)
     }

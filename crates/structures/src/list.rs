@@ -6,8 +6,18 @@
 //! Node layout (2 words): `[key, next]`, with the deletion mark in bit 0
 //! of `next`. The list is bracketed by sentinels with keys `0` and
 //! `u64::MAX`.
+//!
+//! Operation bodies are written against the typed reclamation API
+//! (`st_reclaim::mem`, see docs/MEMORY_API.md): protections are typed
+//! guard handles from a per-block [`mem::GuardPool`] (sized by
+//! [`guard_requirement`]), nodes are reached through [`mem::Shared`]
+//! borrows, and the unlink CAS mints the [`mem::Unlinked`] token that is
+//! the only path to retire. Every typed call compiles to the identical
+//! raw `OpMem` instruction the hand-wired code issued, so schedules,
+//! cycle counts, and the committed figures are unchanged.
 
 use st_machine::Cpu;
+use st_reclaim::mem::{self, Guard, GuardPool, GuardRequirement, Mem, NodeType, Owned};
 use st_reclaim::SchemeThread;
 use st_simheap::{Addr, Heap, TaggedPtr, Word};
 use st_simhtm::Abort;
@@ -33,6 +43,22 @@ pub const LIST_SLOTS: usize = 7;
 /// Guard slots used by list operations.
 pub const LIST_GUARDS: usize = 3;
 
+/// Node-layout marker typing the list's [`mem::Atomic`] links and
+/// [`mem::Shared`] borrows.
+#[derive(Debug, Clone, Copy)]
+pub struct ListNode;
+
+impl NodeType for ListNode {
+    const WORDS: usize = NODE_WORDS;
+}
+
+/// The list's declared guard requirement: `prev`/`cur`/`next` protected
+/// at once. Consumed by `SchemeFactoryBuilder::guard_requirement` to
+/// derive `ReclaimConfig::hazard_slots`.
+pub const fn guard_requirement() -> GuardRequirement {
+    GuardRequirement::new(LIST_GUARDS)
+}
+
 // Local slot assignment.
 const PHASE: usize = 0;
 const PREV: usize = 1;
@@ -41,11 +67,6 @@ const NEXT: usize = 3;
 const NODE: usize = 4;
 const CKEY: usize = 5;
 const CONT: usize = 6;
-
-// Guard assignment (rotated with `protect`).
-const G_PREV: usize = 0;
-const G_CUR: usize = 1;
-const G_NEXT: usize = 2;
 
 // Phases.
 const P_FIND_START: Word = 0;
@@ -159,16 +180,24 @@ impl ListShape {
 /// One step of Michael's `find`: leaves `PREV`/`CUR`/`NEXT`/`CKEY` locals
 /// describing the first unmarked node with key >= `key`, then jumps to the
 /// continuation phase stored in `CONT`. Returns the `Step` for this block.
-fn find_step(shape: ListShape, key: u64, m: &mut dyn OpMem, cpu: &mut Cpu) -> Result<Step, Abort> {
-    let phase = m.get_local(cpu, PHASE);
+fn find_step(
+    shape: ListShape,
+    key: u64,
+    mem: &mut Mem<'_, '_>,
+    g_prev: &mut Guard,
+    g_cur: &mut Guard,
+    g_next: &mut Guard,
+) -> Result<Step, Abort> {
+    let phase = mem.local(PHASE);
     if phase == P_FIND_START {
         let head = shape.head;
-        let cur = m.load_ptr(cpu, head, NODE_NEXT, G_CUR)?;
-        // The head sentinel is never deleted, so its next is unmarked.
-        m.protect(cpu, G_PREV, head.raw());
-        m.set_local(cpu, PREV, head.raw());
-        m.set_local(cpu, CUR, cur);
-        m.set_local(cpu, PHASE, P_FIND_STEP);
+        let cur = mem::Atomic::<ListNode>::root(head, NODE_NEXT).load(mem, g_cur)?;
+        // The head sentinel is never deleted and never reclaimed, so its
+        // next is unmarked and its own word may be shielded root-style.
+        g_prev.shield::<ListNode>(mem, head.raw());
+        mem.set_local(PREV, head.raw());
+        mem.set_local(CUR, cur.word());
+        mem.set_local(PHASE, P_FIND_STEP);
         return Ok(Step::Continue);
     }
     if phase == P_FIND_ADVANCE {
@@ -180,52 +209,61 @@ fn find_step(shape: ListShape, key: u64, m: &mut dyn OpMem, cpu: &mut Cpu) -> Re
         // shifted into a lower (possibly already-scanned) slot without
         // touching any heap word a concurrent reclaimer wrote — the
         // torn-snapshot window the scan's consistency re-read rejects.
-        let cur = m.get_local(cpu, CUR);
-        let next = TaggedPtr::from_word(m.get_local(cpu, NEXT));
-        m.protect(cpu, G_PREV, cur);
-        m.protect(cpu, G_CUR, next.addr().raw());
-        m.set_local(cpu, PREV, cur);
-        m.set_local(cpu, CUR, next.addr().raw());
-        m.set_local(cpu, PHASE, P_FIND_STEP);
+        // Both values are still covered by the guards they rotate out of,
+        // which is what licenses the fence-free `shield`.
+        let cur = mem.local(CUR);
+        let next = TaggedPtr::from_word(mem.local(NEXT));
+        g_prev.shield::<ListNode>(mem, cur);
+        g_cur.shield::<ListNode>(mem, next.addr().raw());
+        mem.set_local(PREV, cur);
+        mem.set_local(CUR, next.addr().raw());
+        mem.set_local(PHASE, P_FIND_STEP);
         return Ok(Step::Continue);
     }
     debug_assert_eq!(phase, P_FIND_STEP);
 
-    let prev = Addr::from_raw(m.get_local(cpu, PREV));
-    let cur = Addr::from_raw(m.get_local(cpu, CUR));
-    let ckey = m.load(cpu, cur, NODE_KEY)?;
-    let next = TaggedPtr::from_word(m.load_ptr(cpu, cur, NODE_NEXT, G_NEXT)?);
+    // Re-materialize the borrows the previous block left protected in
+    // these guards (the words come straight from the shadow locals that
+    // block stored).
+    let prev = g_prev.assume_protected::<ListNode>(mem.local(PREV));
+    let cur = g_cur.assume_protected::<ListNode>(mem.local(CUR));
+    let ckey = cur.read(mem, NODE_KEY)?;
+    let next = cur.link::<ListNode>(NODE_NEXT).load(mem, g_next)?;
 
     if next.marked() {
         // `cur` is logically deleted: help unlink it. The winner of this
-        // CAS is the unique retirer.
-        match m.cas(cpu, prev, NODE_NEXT, cur.raw(), next.addr().raw())? {
-            Ok(_) => {
-                m.retire(cpu, cur)?;
-                m.protect(cpu, G_CUR, next.addr().raw());
-                m.set_local(cpu, CUR, next.addr().raw());
+        // CAS holds the `Unlinked` proof and is the unique retirer.
+        let next_word = next.addr_word();
+        match prev
+            .link::<ListNode>(NODE_NEXT)
+            .cas_unlink(mem, cur, next_word)?
+        {
+            Ok(unlinked) => {
+                unlinked.retire(mem)?;
+                g_cur.shield::<ListNode>(mem, next_word);
+                mem.set_local(CUR, next_word);
             }
             Err(_) => {
                 // prev moved under us: restart the search.
-                m.set_local(cpu, PHASE, P_FIND_START);
+                mem.set_local(PHASE, P_FIND_START);
             }
         }
         return Ok(Step::Continue);
     }
 
     if ckey >= key {
-        m.set_local(cpu, NEXT, next.word());
-        m.set_local(cpu, CKEY, ckey);
-        let cont = m.get_local(cpu, CONT);
-        m.set_local(cpu, PHASE, cont);
+        mem.set_local(NEXT, next.word());
+        mem.set_local(CKEY, ckey);
+        let cont = mem.local(CONT);
+        mem.set_local(PHASE, cont);
         return Ok(Step::Continue);
     }
 
     // Not found yet: stash the successor and advance in the next block.
-    // (`next.addr` stays guarded by G_NEXT across the boundary, so the
+    // (`next` stays protected by its guard across the boundary, so the
     // split is hazard-safe: every retained pointer keeps a guard.)
-    m.set_local(cpu, NEXT, next.word());
-    m.set_local(cpu, PHASE, P_FIND_ADVANCE);
+    mem.set_local(NEXT, next.word());
+    mem.set_local(PHASE, P_FIND_ADVANCE);
     Ok(Step::Continue)
 }
 
@@ -239,16 +277,21 @@ pub fn contains_body(
 ) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
     assert!(key > 0 && key < u64::MAX, "key range");
     move |m, cpu| {
-        let phase = m.get_local(cpu, PHASE);
+        let mut mem = Mem::new(m, cpu);
+        let mut guards = GuardPool::new(guard_requirement());
+        let mut g_prev = guards.guard();
+        let mut g_cur = guards.guard();
+        let mut g_next = guards.guard();
+        let phase = mem.local(PHASE);
         match phase {
             P_FIND_START | P_FIND_STEP | P_FIND_ADVANCE => {
                 if phase == P_FIND_START {
-                    m.set_local(cpu, CONT, P_DONE_OK);
+                    mem.set_local(CONT, P_DONE_OK);
                 }
-                find_step(shape, key, m, cpu)
+                find_step(shape, key, &mut mem, &mut g_prev, &mut g_cur, &mut g_next)
             }
             P_DONE_OK => {
-                let found = m.get_local(cpu, CKEY) == key;
+                let found = mem.local(CKEY) == key;
                 Ok(Step::Done(u64::from(found)))
             }
             other => unreachable!("contains phase {other}"),
@@ -263,42 +306,52 @@ pub fn insert_body(
 ) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
     assert!(key > 0 && key < u64::MAX, "key range");
     move |m, cpu| {
-        let phase = m.get_local(cpu, PHASE);
+        let mut mem = Mem::new(m, cpu);
+        let mut guards = GuardPool::new(guard_requirement());
+        let mut g_prev = guards.guard();
+        let mut g_cur = guards.guard();
+        let mut g_next = guards.guard();
+        let phase = mem.local(PHASE);
         match phase {
             P_FIND_START | P_FIND_STEP | P_FIND_ADVANCE => {
                 if phase == P_FIND_START {
-                    m.set_local(cpu, CONT, P_INSERT);
+                    mem.set_local(CONT, P_INSERT);
                 }
-                find_step(shape, key, m, cpu)
+                find_step(shape, key, &mut mem, &mut g_prev, &mut g_cur, &mut g_next)
             }
             P_INSERT => {
-                if m.get_local(cpu, CKEY) == key {
-                    // Already present; release a node kept from a failed
-                    // attempt (never published, so retire is safe).
-                    let node = m.get_local(cpu, NODE);
-                    if node != 0 {
-                        m.retire(cpu, Addr::from_raw(node))?;
-                        m.set_local(cpu, NODE, 0);
+                if mem.local(CKEY) == key {
+                    // Already present; dispose of a node kept from a
+                    // failed attempt (never published, so the unpublished
+                    // drop path applies).
+                    if let Some(node) = Owned::<ListNode>::unstash(mem.local(NODE)) {
+                        node.dispose(&mut mem)?;
+                        mem.set_local(NODE, 0);
                     }
                     return Ok(Step::Done(0));
                 }
-                let prev = Addr::from_raw(m.get_local(cpu, PREV));
-                let cur = m.get_local(cpu, CUR);
-                let node = match m.get_local(cpu, NODE) {
-                    0 => {
-                        let node = m.alloc(cpu, NODE_WORDS);
-                        m.store(cpu, node, NODE_KEY, key)?;
-                        m.set_local(cpu, NODE, node.raw());
+                let prev = g_prev.assume_protected::<ListNode>(mem.local(PREV));
+                let cur = mem.local(CUR);
+                let node = match Owned::<ListNode>::unstash(mem.local(NODE)) {
+                    None => {
+                        let node = mem.alloc::<ListNode>();
+                        node.store(&mut mem, NODE_KEY, key)?;
+                        mem.set_local(NODE, node.word());
                         node
                     }
-                    raw => Addr::from_raw(raw),
+                    Some(node) => node,
                 };
-                m.store(cpu, node, NODE_NEXT, cur)?;
-                match m.cas(cpu, prev, NODE_NEXT, cur, node.raw())? {
-                    Ok(_) => Ok(Step::Done(1)),
-                    Err(_) => {
-                        // Lost the race; search again, keeping the node.
-                        m.set_local(cpu, PHASE, P_FIND_START);
+                node.store(&mut mem, NODE_NEXT, cur)?;
+                match prev
+                    .link::<ListNode>(NODE_NEXT)
+                    .cas_publish(&mut mem, cur, node)?
+                {
+                    Ok(()) => Ok(Step::Done(1)),
+                    Err((lost, _actual)) => {
+                        // Lost the race; search again, keeping the node
+                        // (its word is already stashed in the NODE local).
+                        let _ = lost.stash();
+                        mem.set_local(PHASE, P_FIND_START);
                         Ok(Step::Continue)
                     }
                 }
@@ -315,54 +368,63 @@ pub fn delete_body(
 ) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
     assert!(key > 0 && key < u64::MAX, "key range");
     move |m, cpu| {
-        let phase = m.get_local(cpu, PHASE);
+        let mut mem = Mem::new(m, cpu);
+        let mut guards = GuardPool::new(guard_requirement());
+        let mut g_prev = guards.guard();
+        let mut g_cur = guards.guard();
+        let mut g_next = guards.guard();
+        let phase = mem.local(PHASE);
         match phase {
             P_FIND_START | P_FIND_STEP | P_FIND_ADVANCE => {
-                if phase == P_FIND_START && m.get_local(cpu, CONT) == 0 {
-                    m.set_local(cpu, CONT, P_DELETE_MARK);
+                if phase == P_FIND_START && mem.local(CONT) == 0 {
+                    mem.set_local(CONT, P_DELETE_MARK);
                 }
-                find_step(shape, key, m, cpu)
+                find_step(shape, key, &mut mem, &mut g_prev, &mut g_cur, &mut g_next)
             }
             P_DELETE_MARK => {
-                if m.get_local(cpu, CKEY) != key {
+                if mem.local(CKEY) != key {
                     return Ok(Step::Done(0));
                 }
-                let cur = Addr::from_raw(m.get_local(cpu, CUR));
-                let next = TaggedPtr::from_word(m.get_local(cpu, NEXT));
+                let cur = g_cur.assume_protected::<ListNode>(mem.local(CUR));
+                let next = TaggedPtr::from_word(mem.local(NEXT));
                 debug_assert!(!next.marked());
-                match m.cas(
-                    cpu,
-                    cur,
-                    NODE_NEXT,
+                // Logical delete is a tag flip, not an unlink: `cas_word`
+                // can never mint an `Unlinked` proof.
+                match cur.link::<ListNode>(NODE_NEXT).cas_word(
+                    &mut mem,
                     next.word(),
                     next.with_mark(true).word(),
                 )? {
                     Ok(_) => {
-                        m.set_local(cpu, PHASE, P_DELETE_UNLINK);
+                        mem.set_local(PHASE, P_DELETE_UNLINK);
                         Ok(Step::Continue)
                     }
                     Err(_) => {
                         // Someone moved `cur.next` (insert after cur, or a
                         // competing delete): search again.
-                        m.set_local(cpu, PHASE, P_FIND_START);
+                        mem.set_local(PHASE, P_FIND_START);
                         Ok(Step::Continue)
                     }
                 }
             }
             P_DELETE_UNLINK => {
-                let prev = Addr::from_raw(m.get_local(cpu, PREV));
-                let cur = Addr::from_raw(m.get_local(cpu, CUR));
-                let next = TaggedPtr::from_word(m.get_local(cpu, NEXT));
-                match m.cas(cpu, prev, NODE_NEXT, cur.raw(), next.addr().raw())? {
-                    Ok(_) => {
-                        m.retire(cpu, cur)?;
+                let prev = g_prev.assume_protected::<ListNode>(mem.local(PREV));
+                let cur = g_cur.assume_protected::<ListNode>(mem.local(CUR));
+                let next = TaggedPtr::from_word(mem.local(NEXT));
+                match prev.link::<ListNode>(NODE_NEXT).cas_unlink(
+                    &mut mem,
+                    cur,
+                    next.addr().raw(),
+                )? {
+                    Ok(unlinked) => {
+                        unlinked.retire(&mut mem)?;
                         Ok(Step::Done(1))
                     }
                     Err(_) => {
                         // Let the helping find unlink it; rerun the search
                         // purely for physical cleanup, then report success.
-                        m.set_local(cpu, CONT, P_DONE_OK);
-                        m.set_local(cpu, PHASE, P_FIND_START);
+                        mem.set_local(CONT, P_DONE_OK);
+                        mem.set_local(PHASE, P_FIND_START);
                         Ok(Step::Continue)
                     }
                 }

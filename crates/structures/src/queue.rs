@@ -8,7 +8,15 @@
 //!
 //! Values must be non-zero; `dequeue` returns 0 for "empty".
 
+// MIGRATION NOTE: not yet ported to the typed reclamation API
+// (`st_reclaim::mem`); this module still drives the deprecated raw
+// `protect`/`retire` surface. Port as for crate::list — the dequeue's
+// head-swing CAS is the `cas_unlink` that mints the old dummy's
+// `Unlinked` proof — see docs/MEMORY_API.md.
+#![allow(deprecated)]
+
 use st_machine::Cpu;
+use st_reclaim::mem::GuardRequirement;
 use st_reclaim::SchemeThread;
 use st_simheap::{Addr, Heap, Word};
 use st_simhtm::Abort;
@@ -38,6 +46,11 @@ const A_TAIL: u64 = 1;
 pub const QUEUE_SLOTS: usize = 2;
 /// Guard slots used by queue operations.
 pub const QUEUE_GUARDS: usize = 3;
+
+/// The queue's declared guard requirement: head, tail, and next guards.
+pub const fn guard_requirement() -> GuardRequirement {
+    GuardRequirement::new(QUEUE_GUARDS)
+}
 
 const NODE: usize = 1;
 

@@ -25,7 +25,15 @@
 //! delete fixup scribbles `parent` into it, which is why it is a real
 //! node).
 
+// MIGRATION NOTE: not yet ported to the typed reclamation API
+// (`st_reclaim::mem`); this module still drives the deprecated raw
+// `protect`/`retire` surface. Port as for crate::list — the single-writer
+// delete owns the unlink, so its retire maps to one `Unlinked` proof —
+// see docs/MEMORY_API.md.
+#![allow(deprecated)]
+
 use st_machine::Cpu;
+use st_reclaim::mem::GuardRequirement;
 use st_reclaim::SchemeThread;
 use st_simheap::{Addr, Heap, Word};
 use st_simhtm::Abort;
@@ -63,6 +71,12 @@ const A_ROOT: u64 = 1;
 pub const RB_SLOTS: usize = 2;
 /// Guard slots used by tree operations.
 pub const RB_GUARDS: usize = 2;
+
+/// The tree's declared guard requirement: the descending search's
+/// current-node guard plus one working guard.
+pub const fn guard_requirement() -> GuardRequirement {
+    GuardRequirement::new(RB_GUARDS)
+}
 
 const CUR: usize = 0;
 

@@ -14,7 +14,16 @@
 //! the full `preds`/`succs` arrays, which is why
 //! [`stacktrack::layout::STACK_SLOTS`] is sized the way it is.
 
+// MIGRATION NOTE: not yet ported to the typed reclamation API
+// (`st_reclaim::mem`); this module still drives the deprecated raw
+// `protect`/`retire` surface. Port as for crate::list — typed guard
+// handles from a `GuardPool` sized by `guard_requirement()`, `Shared`
+// borrows per level, `Unlinked` minted by the bottom-level unlink — see
+// docs/MEMORY_API.md.
+#![allow(deprecated)]
+
 use st_machine::{Cpu, Pcg32};
+use st_reclaim::mem::GuardRequirement;
 use st_reclaim::SchemeThread;
 use st_simheap::{Addr, Heap, TaggedPtr, Word};
 use st_simhtm::Abort;
@@ -42,6 +51,14 @@ pub const NODE_NEXT0: u64 = 2;
 pub const SKIP_SLOTS: usize = 10 + 2 * MAX_LEVEL;
 /// Guard slots used by skip-list operations.
 pub const SKIP_GUARDS: usize = 2 * MAX_LEVEL + 2;
+
+/// The skip list's declared guard requirement: per-level predecessor and
+/// traversal guards, one working guard, one pinning the operation's own
+/// node. The deepest requirement in the crate — what
+/// [`crate::max_guard_requirement`] resolves to.
+pub const fn guard_requirement() -> GuardRequirement {
+    GuardRequirement::new(SKIP_GUARDS)
+}
 
 // Local slot assignment.
 const PHASE: usize = 0;

@@ -11,6 +11,10 @@
 //!
 //! Run with: `cargo run --release --example hidden_pointers`
 
+// This demo drives the raw `OpMem` surface on purpose: it shows the
+// scanner resolving interior pointers, below the typed `st_reclaim::mem`
+// API structures use.
+#![allow(deprecated)]
 use st_machine::Cpu;
 use st_simheap::{Addr, Heap, HeapConfig};
 use st_simhtm::{HtmConfig, HtmEngine};

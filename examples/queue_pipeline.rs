@@ -11,11 +11,11 @@
 //! Run with: `cargo run --release --example queue_pipeline`
 
 use st_machine::{Cpu, SimConfig, Simulator, StepOutcome, Worker};
-use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory, SchemeThread};
+use st_reclaim::{Scheme, SchemeFactory, SchemeThread};
 use st_simheap::{Heap, HeapConfig};
 use st_simhtm::{HtmConfig, HtmEngine};
 use st_structures::queue::{self, QueueShape};
-use stacktrack::{OpBody, StConfig};
+use stacktrack::OpBody;
 use std::sync::Arc;
 
 const THREADS: usize = 8;
@@ -72,6 +72,9 @@ fn run_scheme(scheme: Scheme) {
     let factory = SchemeFactory::builder(scheme)
         .engine(engine)
         .max_threads(THREADS)
+        // A single-structure harness can size guard slots from the one
+        // structure it drives.
+        .guard_requirement(queue::guard_requirement())
         .build();
     let shape = QueueShape::new_untimed(&heap);
     for i in 0..64 {

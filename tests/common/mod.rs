@@ -47,9 +47,14 @@ pub enum Instance {
 /// Builds an environment for `scheme` with `threads` slots and default
 /// scheme tuning.
 pub fn build_env(target: Target, scheme: Scheme, threads: usize, initial: u64, seed: u64) -> Env {
-    let mut rc = ReclaimConfig::default();
-    rc.hazard_slots = 2 * skiplist::MAX_LEVEL + 2;
-    build_env_cfg(target, scheme, threads, initial, seed, rc)
+    build_env_cfg(
+        target,
+        scheme,
+        threads,
+        initial,
+        seed,
+        ReclaimConfig::default(),
+    )
 }
 
 /// Builds an environment with explicit scheme tuning.
@@ -70,6 +75,9 @@ pub fn build_env_cfg(
         .engine(engine.clone())
         .max_threads(threads)
         .reclaim_config(rc)
+        // Guard slots derived from the structures' declared requirements
+        // rather than hand-computed per harness.
+        .guard_requirement(st_structures::max_guard_requirement())
         .build();
 
     let mut rng = st_machine::Pcg32::new_stream(seed, 0x7e57);

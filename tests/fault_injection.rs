@@ -9,7 +9,6 @@ use common::{
 };
 use st_machine::FaultPlan;
 use st_reclaim::{ReclaimConfig, Scheme};
-use st_structures::skiplist;
 
 /// The tentpole guarantee: one seed plus one fault plan is one execution.
 /// Two runs must agree on every metric, byte for byte.
@@ -101,10 +100,9 @@ fn killed_thread_leaves_structure_sound() {
 /// immediately and the hoard would never shrink.
 #[test]
 fn epoch_garbage_drains_after_a_stall_resumes() {
-    let mut rc = ReclaimConfig {
-        hazard_slots: 2 * skiplist::MAX_LEVEL + 2,
-        ..ReclaimConfig::default()
-    };
+    // Guard slots come from the structures' declared requirements, via
+    // `guard_requirement` in `build_env_cfg`.
+    let mut rc = ReclaimConfig::default();
     // A quarter-millisecond budget: cheap to burn during the stall, and
     // several re-arm opportunities fit in the post-resume window.
     rc.epoch_wait_budget = MS / 4;

@@ -101,6 +101,38 @@ fn is_uaf(v: &Violation) -> bool {
     matches!(v, Violation::Uaf(_))
 }
 
+/// The typed-API smoke: the Harris list runs on `st_reclaim::mem`
+/// (typed guards, `Shared` borrows, `Unlinked` retire proofs — see
+/// docs/MEMORY_API.md), and the checker's oracles attach at that layer
+/// generically — every `Shared` deref funnels through the instrumented
+/// `load`/`load_ptr` the UAF oracle watches, and every `Unlinked::retire`
+/// through the `retire` the heap ledger records. Deep-bound exploration
+/// under the two schemes with the most distinctive protection protocols
+/// (StackTrack segment scans, NBR neutralization signals) must stay
+/// clean with no per-structure oracle wiring.
+#[test]
+fn typed_list_is_clean_under_stacktrack_and_nbr_at_deep_bounds() {
+    for scheme in [Scheme::StackTrack, Scheme::Nbr] {
+        let config = CheckConfig {
+            structure: Structure::List,
+            scheme,
+            threads: 2,
+            ops_per_thread: 2,
+            key_range: 4,
+            seed: 104,
+            mutation: Mutation::None,
+            ..CheckConfig::default()
+        };
+        let report = check(&config, &deep_dfs());
+        assert!(
+            report.passed(),
+            "typed list under {scheme:?} violated an oracle: {:?}",
+            report.failure
+        );
+        assert!(report.schedules_run > 0);
+    }
+}
+
 #[test]
 fn intact_protocols_pass_dfs_and_random_exploration() {
     for structure in [
