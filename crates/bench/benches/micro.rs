@@ -12,10 +12,8 @@
 //! `cargo bench -- --test` passes, and what CI runs) does one iteration per
 //! benchmark as a smoke test.
 
-// Micro-benchmarks drive the raw `OpMem` surface on purpose — the
-// typed `st_reclaim::mem` wrappers would measure the same calls.
-#![allow(deprecated)]
 use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
+use st_reclaim::mem::{Mem, NodeType};
 use st_simheap::{Heap, HeapConfig};
 use st_simhtm::{util::U64Set, HtmConfig, HtmEngine};
 use st_structures::list::{self, ListShape};
@@ -204,6 +202,14 @@ fn bench_list_op(h: &Harness) {
     });
 }
 
+/// The two-word throwaway node the scan benchmark retires.
+#[derive(Debug, Clone, Copy)]
+struct ScanNode;
+
+impl NodeType for ScanNode {
+    const WORDS: usize = 2;
+}
+
 fn bench_scan_modes(h: &Harness) {
     // Ablation 1: linear (Algorithm 1 as printed) vs hashed scan, with 8
     // registered threads to inspect and a batch of 16 candidates.
@@ -227,11 +233,14 @@ fn bench_scan_modes(h: &Harness) {
                 );
                 let mut threads: Vec<_> = (0..8).map(|t| rt.register_thread(t)).collect();
                 let mut cpu = rt.test_cpu(0);
-                // 16 retired nodes in thread 0's free set.
+                // 16 retired nodes in thread 0's free set (a dispose of a
+                // never-published node routes through the same retire
+                // pipeline).
                 for _ in 0..16 {
                     threads[0].run_op(&mut cpu, 0, 1, &mut |m, cpu| {
-                        let n = m.alloc(cpu, 2);
-                        m.retire(cpu, n)?;
+                        let mut mem = Mem::new(m, cpu);
+                        let n = mem.alloc::<ScanNode>();
+                        n.dispose(&mut mem)?;
                         Ok(Step::Done(0))
                     });
                 }

@@ -23,7 +23,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: st-bench check [--structures list,hash,queue,skiplist] \
+        "usage: st-bench check [--structures list,hash,queue,skiplist,rbtree] \
          [--schemes StackTrack,Epoch] [--mode dfs|random] [--depth N] \
          [--preemptions N] [--percent N] [--schedules N] [--threads N] \
          [--ops N] [--keys N] [--seed N] \
@@ -53,12 +53,7 @@ impl Default for CheckOpts {
     fn default() -> Self {
         let base = CheckConfig::default();
         CheckOpts {
-            structures: vec![
-                Structure::List,
-                Structure::Hash,
-                Structure::Queue,
-                Structure::SkipList,
-            ],
+            structures: Structure::all().to_vec(),
             schemes: vec![Scheme::StackTrack, Scheme::Epoch],
             dfs: true,
             depth: 12,

@@ -19,12 +19,13 @@ use st_reclaim::{ReclaimConfig, Scheme, SchemeFactory, SchemeThread};
 use st_simheap::{Heap, HeapConfig, LedgerStats};
 use st_simhtm::{HtmConfig, HtmEngine};
 use st_structures::history::{check_linearizable, DsOp, HistoryRecorder, SpecKind};
-use st_structures::{hash, list, queue, skiplist};
+use st_structures::{hash, list, queue, rbtree, skiplist};
 use stacktrack::{OpBody, StConfig};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-/// The four structures of the paper's evaluation.
+/// The four structures of the paper's evaluation, plus its running
+/// example (the red-black tree of Algorithm 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Structure {
     /// Harris linked list.
@@ -35,16 +36,19 @@ pub enum Structure {
     Queue,
     /// Fraser-Harris skip list.
     SkipList,
+    /// Single-writer red-black tree with transactional readers.
+    RbTree,
 }
 
 impl Structure {
-    /// All four, in checking order.
-    pub fn all() -> [Structure; 4] {
+    /// All five, in checking order.
+    pub fn all() -> [Structure; 5] {
         [
             Structure::List,
             Structure::Hash,
             Structure::Queue,
             Structure::SkipList,
+            Structure::RbTree,
         ]
     }
 
@@ -55,6 +59,7 @@ impl Structure {
             Structure::Hash => "hash",
             Structure::Queue => "queue",
             Structure::SkipList => "skiplist",
+            Structure::RbTree => "rbtree",
         }
     }
 
@@ -82,8 +87,9 @@ impl std::str::FromStr for Structure {
             "hash" => Ok(Structure::Hash),
             "queue" => Ok(Structure::Queue),
             "skiplist" | "skip" => Ok(Structure::SkipList),
+            "rbtree" | "rb" => Ok(Structure::RbTree),
             _ => Err(format!(
-                "unknown structure {s:?} (expected list, hash, queue, or skiplist)"
+                "unknown structure {s:?} (expected list, hash, queue, skiplist, or rbtree)"
             )),
         }
     }
@@ -264,6 +270,7 @@ enum Shape {
     Hash(hash::HashShape),
     Queue(queue::QueueShape),
     SkipList(skiplist::SkipShape),
+    RbTree(rbtree::RbShape),
 }
 
 fn body_for(shape: &Shape, op: DsOp) -> (u32, usize, Box<OpBody<'static>>) {
@@ -306,6 +313,21 @@ fn body_for(shape: &Shape, op: DsOp) -> (u32, usize, Box<OpBody<'static>>) {
             2,
             skiplist::SKIP_SLOTS,
             Box::new(skiplist::delete_body(*s, k)),
+        ),
+        (Shape::RbTree(s), DsOp::Contains(k)) => (
+            rbtree::OP_SEARCH,
+            rbtree::RB_SLOTS,
+            Box::new(rbtree::search_body(*s, k)),
+        ),
+        (Shape::RbTree(s), DsOp::Insert(k)) => (
+            rbtree::OP_INSERT,
+            rbtree::RB_SLOTS,
+            Box::new(rbtree::insert_body(*s, k)),
+        ),
+        (Shape::RbTree(s), DsOp::Delete(k)) => (
+            rbtree::OP_DELETE,
+            rbtree::RB_SLOTS,
+            Box::new(rbtree::delete_body(*s, k)),
         ),
         (_, op) => panic!("operation {op} does not fit this structure"),
     }
@@ -355,6 +377,20 @@ impl Worker for ScriptWorker {
     fn neutralize(&mut self, cpu: &mut Cpu) {
         self.th.neutralize(cpu);
     }
+}
+
+/// A standalone CPU for pre-population setup work (never enters the
+/// simulated schedule).
+fn scratch_cpu() -> Cpu {
+    use st_machine::{cpu::ActivityBoard, HwContext};
+    let topo = Topology::haswell();
+    Cpu::new(
+        0,
+        HwContext::new(&topo, 0),
+        Arc::new(CostModel::default()),
+        Arc::new(ActivityBoard::new(topo.hw_contexts())),
+        0x5e7,
+    )
 }
 
 /// Generates thread `t`'s script.
@@ -447,6 +483,7 @@ pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) 
         Structure::Hash => Shape::Hash(hash::HashShape::new_untimed(&heap, 4)),
         Structure::Queue => Shape::Queue(queue::QueueShape::new_untimed(&heap)),
         Structure::SkipList => Shape::SkipList(skiplist::SkipShape::new_untimed(&heap)),
+        Structure::RbTree => Shape::RbTree(rbtree::RbShape::new_untimed(&heap)),
     };
     // Pre-populate (untimed, before the clock starts) and record the
     // set-up operations so the specification starts from the same state.
@@ -481,6 +518,21 @@ pub fn run_schedule(config: &CheckConfig, controller: Arc<RecordingController>) 
                 s.enqueue_untimed(&heap, value);
                 let id = recorder.invoke(0, DsOp::Enqueue(value));
                 recorder.respond(id, 1);
+            }
+        }
+        Shape::RbTree(s) => {
+            // No untimed populate for the tree (balance bookkeeping);
+            // build it through a throwaway writer on a scratch cpu, as
+            // the bench workload does. NoReclaim never frees, so the
+            // setup cannot disturb the oracles armed above.
+            let mut cpu = scratch_cpu();
+            let mut writer = st_reclaim::none::NoReclaimThread::new(heap.clone());
+            for key in [2, 4] {
+                let mut body = rbtree::insert_body(*s, key);
+                if writer.run_op(&mut cpu, rbtree::OP_INSERT, rbtree::RB_SLOTS, &mut body) == 1 {
+                    let id = recorder.invoke(0, DsOp::Insert(key));
+                    recorder.respond(id, 1);
+                }
             }
         }
     }

@@ -55,7 +55,7 @@
 //!     let node = m.alloc(cpu, 2);
 //!     m.store(cpu, node, 0, 42)?;
 //!     m.set_local(cpu, 0, node.raw());
-//!     m.retire(cpu, node)?;
+//!     m.retire_unlinked(cpu, node)?;
 //!     Ok(Step::Done(1))
 //! });
 //! assert_eq!(v, 1);

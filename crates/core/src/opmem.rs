@@ -95,39 +95,34 @@ pub trait OpMem {
     /// non-transactional `FREE`, and the block may be re-executed if that
     /// commit fails).
     ///
-    /// **Deprecated as a structure-facing entry point.** Nothing enforces
-    /// that the caller actually unlinked `addr`, or that it retires it
-    /// exactly once — every raw call site had to be audited by hand.
-    /// Structures reach retirement through `st_reclaim::mem::Unlinked`
-    /// instead, whose move semantics make the unlink proof and the
-    /// at-most-once contract type-checked (`st_reclaim` is the reclaim
-    /// crate; see its `mem` module and `docs/MEMORY_API.md`). The raw
-    /// method remains for the scheme executors that implement it and for
-    /// the not-yet-ported structures (skip list, queue, red-black tree),
-    /// which carry a module-level `allow` and a migration note.
-    #[deprecated(
-        since = "0.1.0",
-        note = "reach retire through the typed `st_reclaim::mem` API \
-                (`Unlinked::retire`); see docs/MEMORY_API.md"
-    )]
-    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort>;
+    /// **Trait-internal.** This is the entry point the scheme executors
+    /// implement; structures never call it directly. Nothing at this level
+    /// enforces that the caller actually unlinked `addr`, or that it
+    /// retires it exactly once — that proof obligation lives in the typed
+    /// layer: structures reach retirement through
+    /// `st_reclaim::mem::Unlinked`, whose move semantics make the unlink
+    /// proof and the at-most-once contract type-checked (`st_reclaim` is
+    /// the reclaim crate; see its `mem` module and `docs/MEMORY_API.md`).
+    /// The only callers outside scheme implementations are the typed
+    /// wrappers in `st_reclaim::mem` and the substrate's own tests.
+    fn retire_unlinked(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort>;
 
     /// Returns a node that was **never published** (no other thread can
     /// hold a reference) straight to the allocator, bypassing the
     /// scheme's deferral pipeline.
     ///
-    /// The default conservatively routes through [`OpMem::retire`]: a
-    /// spurious trip through the reclamation pipeline is always safe, and
-    /// it keeps every scheme's retire/free accounting — and therefore the
-    /// committed benchmark figures — unchanged. Schemes that track
-    /// per-segment allocations (StackTrack's aborted-segment rollback
-    /// already uses the heap-level shortcut internally) may override this
-    /// with a direct `Live -> Freed` transition later. This is the drop
-    /// path of `st_reclaim::mem::Owned`, the typed API's unpublished
-    /// allocation token (`st_reclaim` is the reclaim crate).
+    /// The default conservatively routes through
+    /// [`OpMem::retire_unlinked`]: a spurious trip through the reclamation
+    /// pipeline is always safe, and it keeps every scheme's retire/free
+    /// accounting — and therefore the committed benchmark figures —
+    /// unchanged. Schemes that track per-segment allocations (StackTrack's
+    /// aborted-segment rollback already uses the heap-level shortcut
+    /// internally) may override this with a direct `Live -> Freed`
+    /// transition later. This is the drop path of
+    /// `st_reclaim::mem::Owned`, the typed API's unpublished allocation
+    /// token (`st_reclaim` is the reclaim crate).
     fn free_unpublished(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
-        #[allow(deprecated)]
-        self.retire(cpu, addr)
+        self.retire_unlinked(cpu, addr)
     }
 
     /// Requests a segment boundary at the end of the current basic block.
@@ -173,21 +168,17 @@ pub trait OpMem {
     /// no fence or revalidation is needed (stores retire in order under
     /// TSO). Schemes without per-reference announcements ignore this.
     ///
-    /// **Deprecated as a structure-facing entry point.** Raw guard
-    /// indices made every protection point a hand-audited convention
-    /// (`G_PREV`/`G_CUR` constants rotated by hand). Structures announce
-    /// protections through typed guard handles instead
+    /// **Trait-internal.** This is the entry point the scheme executors
+    /// implement; structures never call it directly. Raw guard indices
+    /// made every protection point a hand-audited convention
+    /// (`G_PREV`/`G_CUR` constants rotated by hand), so structures
+    /// announce protections through typed guard handles instead
     /// (`st_reclaim::mem::Guard::shield`, where `st_reclaim` is the
     /// reclaim crate), which tie each protected borrow to the guard's
-    /// borrow and make slot collisions unrepresentable. The raw method
-    /// remains for the scheme executors that implement it and for the
-    /// not-yet-ported structures (skip list, queue, red-black tree).
-    #[deprecated(
-        since = "0.1.0",
-        note = "announce protections through the typed `st_reclaim::mem` \
-                API (`Guard::shield`); see docs/MEMORY_API.md"
-    )]
-    fn protect(&mut self, _cpu: &mut Cpu, _guard: usize, _value: Word) {}
+    /// borrow and make slot collisions unrepresentable. The only callers
+    /// outside scheme implementations are the typed wrappers in
+    /// `st_reclaim::mem` and the substrate's own tests.
+    fn protect_slot(&mut self, _cpu: &mut Cpu, _guard: usize, _value: Word) {}
 
     /// Reads shadow stack slot `slot`.
     fn get_local(&mut self, cpu: &mut Cpu, slot: usize) -> Word;

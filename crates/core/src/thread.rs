@@ -779,7 +779,7 @@ impl OpMem for StThread {
         addr
     }
 
-    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+    fn retire_unlinked(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
         match self.mode {
             Mode::Fast => {
                 // Stage transactionally; the forced commit below makes the

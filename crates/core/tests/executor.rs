@@ -1,10 +1,6 @@
 //! End-to-end tests of the StackTrack executor: split engine, FREE/scan,
 //! slow path, and the safety protocols of paper sections 5.2-5.6.
 
-// These tests drive the StackTrack executor through the raw `OpMem`
-// surface it implements — the layer beneath the typed `st_reclaim::mem`
-// API structures use.
-#![allow(deprecated)]
 use st_simheap::{Addr, Heap, HeapConfig};
 use st_simhtm::{HtmConfig, HtmEngine};
 use stacktrack::{ScanMode, StConfig, StRuntime, Step};
@@ -88,7 +84,7 @@ fn retire_frees_unreferenced_nodes() {
         let v = th.run_op(&mut cpu, 0, 1, &mut |m, cpu| {
             let n = m.alloc(cpu, 2);
             m.store(cpu, n, 0, 7)?;
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             Ok(Step::Done(n.raw()))
         });
         nodes.push(Addr::from_raw(v));
@@ -119,7 +115,7 @@ fn scan_triggers_automatically_past_max_free() {
     for _ in 0..8 {
         th.run_op(&mut cpu, 0, 1, &mut |m, cpu| {
             let n = m.alloc(cpu, 2);
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             Ok(Step::Done(0))
         });
         while th.idle_work_pending() {
@@ -182,7 +178,7 @@ fn committed_stack_reference_blocks_reclamation() {
         let cur = m.load(cpu, cell, 0)?;
         if cur == x.raw() {
             m.cas(cpu, cell, 0, cur, 0)?.expect("unlink");
-            m.retire(cpu, Addr::from_raw(cur))?;
+            m.retire_unlinked(cpu, Addr::from_raw(cur))?;
         }
         Ok(Step::Done(1))
     });
@@ -248,7 +244,7 @@ fn in_flight_transactional_reader_is_doomed_not_corrupted() {
         let cur = m.load(cpu, cell, 0)?;
         if cur != 0 {
             m.cas(cpu, cell, 0, cur, 0)?.expect("unlink");
-            m.retire(cpu, Addr::from_raw(cur))?;
+            m.retire_unlinked(cpu, Addr::from_raw(cur))?;
         }
         Ok(Step::Done(0))
     });
@@ -428,7 +424,7 @@ fn slow_path_references_block_reclamation() {
         let cur = m.load(cpu, cell, 0)?;
         if cur != 0 {
             m.cas(cpu, cell, 0, cur, 0)?.expect("unlink");
-            m.retire(cpu, Addr::from_raw(cur))?;
+            m.retire_unlinked(cpu, Addr::from_raw(cur))?;
         }
         Ok(Step::Done(0))
     });
@@ -456,7 +452,7 @@ fn hashed_scan_matches_linear_semantics() {
         for _ in 0..6 {
             let v = th.run_op(&mut cpu, 0, 1, &mut |m, cpu| {
                 let n = m.alloc(cpu, 2);
-                m.retire(cpu, n)?;
+                m.retire_unlinked(cpu, n)?;
                 Ok(Step::Done(n.raw()))
             });
             nodes.push(Addr::from_raw(v));
@@ -509,7 +505,7 @@ fn interior_pointers_resolved_when_enabled() {
             let cur = m.load(cpu, cell, 0)?;
             if cur != 0 {
                 m.cas(cpu, cell, 0, cur, 0)?.expect("unlink");
-                m.retire(cpu, Addr::from_raw(cur))?;
+                m.retire_unlinked(cpu, Addr::from_raw(cur))?;
             }
             Ok(Step::Done(0))
         });
@@ -560,7 +556,7 @@ fn register_file_exposure_protects_transient_pointers() {
         let cur = m.load(cpu, cell, 0)?;
         if cur != 0 {
             m.cas(cpu, cell, 0, cur, 0)?.expect("unlink");
-            m.retire(cpu, Addr::from_raw(cur))?;
+            m.retire_unlinked(cpu, Addr::from_raw(cur))?;
         }
         Ok(Step::Done(0))
     });
@@ -602,7 +598,7 @@ fn scan_restarts_when_inspected_thread_commits() {
     // thread's commits.
     reclaimer.run_op(&mut cpu_r, 0, 1, &mut |m, cpu| {
         let n = m.alloc(cpu, 2);
-        m.retire(cpu, n)?;
+        m.retire_unlinked(cpu, n)?;
         Ok(Step::Done(0))
     });
     // Interleave for a while (each busy step commits a segment, tearing

@@ -6,9 +6,6 @@
 //! no registry access, and explicit seeds make failures replayable by
 //! construction.
 
-// Substrate-level property tests exercise the raw `OpMem` surface —
-// the layer beneath the typed `st_reclaim::mem` API structures use.
-#![allow(deprecated)]
 use st_machine::rng::Pcg32;
 use st_simheap::{Heap, HeapConfig};
 use st_simhtm::{HtmConfig, HtmEngine};
@@ -107,7 +104,7 @@ fn executor_survives_arbitrary_abort_rates() {
                 let n = m.alloc(cpu, 2);
                 m.store(cpu, n, 0, i as u64)?;
                 m.set_local(cpu, 0, n.raw());
-                m.retire(cpu, n)?;
+                m.retire_unlinked(cpu, n)?;
                 Ok(Step::Done(1))
             });
             assert_eq!(v, 1, "case {case}");

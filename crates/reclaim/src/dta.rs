@@ -243,7 +243,7 @@ impl OpMem for DtaThread {
             .expect("simulated heap exhausted; enlarge HeapConfig::capacity_words")
     }
 
-    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+    fn retire_unlinked(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
         // Stamp with the *new* era: an anchor ordered after this retire
         // reads at least this value.
         let stamp = self.heap.fetch_add(cpu, self.globals.era, 0, 1) + 1;
@@ -337,7 +337,6 @@ impl SchemeThread for DtaThread {
 #[cfg(test)]
 // Scheme tests drive the raw `OpMem` surface the executor implements —
 // the layer beneath the typed `mem` API structures use.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::test_support::{test_cpu, test_env};
@@ -379,7 +378,7 @@ mod tests {
         // Thread 1 never runs an op (inactive): only A's own anchors
         // matter. Retire, then anchor twice via two more ops.
         a.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, node)?;
+            m.retire_unlinked(cpu, node)?;
             Ok(Step::Done(0))
         });
         assert!(heap.is_live(node), "own anchors too old at retire time");
@@ -403,7 +402,7 @@ mod tests {
         b.begin_op(&mut cpu_b, 0, 0);
 
         a.run_op(&mut cpu_a, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, node)?;
+            m.retire_unlinked(cpu, node)?;
             Ok(Step::Done(0))
         });
         for _ in 0..3 {
@@ -448,7 +447,7 @@ mod tests {
             let node = heap.alloc_untimed(2).unwrap();
             nodes.push(node);
             a.run_op(&mut cpu_a, 0, 0, &mut |m, cpu| {
-                m.retire(cpu, node)?;
+                m.retire_unlinked(cpu, node)?;
                 Ok(Step::Done(0))
             });
         }
@@ -478,7 +477,7 @@ mod tests {
         // Once recovered, B is unfrozen and participates normally again.
         let node = heap.alloc_untimed(2).unwrap();
         a.run_op(&mut cpu_a, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, node)?;
+            m.retire_unlinked(cpu, node)?;
             Ok(Step::Done(0))
         });
         a.teardown(&mut cpu_a);

@@ -249,7 +249,7 @@ impl OpMem for EpochThread {
             .expect("simulated heap exhausted; enlarge HeapConfig::capacity_words")
     }
 
-    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+    fn retire_unlinked(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
         self.heap.note_retire(cpu.thread_id, cpu.now(), addr);
         self.limbo.push(addr);
         Ok(())
@@ -333,7 +333,6 @@ impl SchemeThread for EpochThread {
 #[cfg(test)]
 // Scheme tests drive the raw `OpMem` surface the executor implements —
 // the layer beneath the typed `mem` API structures use.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::test_support::{test_cpu, test_env};
@@ -367,7 +366,7 @@ mod tests {
         // everyone quiescent the first poll clears it.
         let node = heap.alloc_untimed(2).unwrap();
         a.run_op(&mut cpu_a, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, node)?;
+            m.retire_unlinked(cpu, node)?;
             Ok(Step::Done(0))
         });
         assert!(a.idle_work_pending(), "wait armed but not yet polled");
@@ -396,7 +395,7 @@ mod tests {
             let node = heap.alloc_untimed(2).unwrap();
             nodes.push(node);
             a.run_op(&mut cpu_a, 0, 0, &mut |m, cpu| {
-                m.retire(cpu, node)?;
+                m.retire_unlinked(cpu, node)?;
                 Ok(Step::Done(0))
             });
             assert_eq!(a.outstanding_garbage(), i + 1, "hoards while B is live");
@@ -424,11 +423,11 @@ mod tests {
         let na = heap.alloc_untimed(2).unwrap();
         let nb = heap.alloc_untimed(2).unwrap();
         let mut retire_a = |m: &mut dyn OpMem, cpu: &mut Cpu| {
-            m.retire(cpu, na)?;
+            m.retire_unlinked(cpu, na)?;
             Ok(Step::Done(0))
         };
         let mut retire_b = |m: &mut dyn OpMem, cpu: &mut Cpu| {
-            m.retire(cpu, nb)?;
+            m.retire_unlinked(cpu, nb)?;
             Ok(Step::Done(0))
         };
         // Each reclaimer snapshots at its own op boundary, when it is
@@ -448,7 +447,7 @@ mod tests {
         let mut cpu = test_cpu(0);
         let node = heap.alloc_untimed(2).unwrap();
         a.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, node)?;
+            m.retire_unlinked(cpu, node)?;
             Ok(Step::Done(0))
         });
         assert_eq!(a.outstanding_garbage(), 1, "below batch: still in limbo");

@@ -218,7 +218,7 @@ impl OpMem for HazardThread {
             .expect("simulated heap exhausted; enlarge HeapConfig::capacity_words")
     }
 
-    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+    fn retire_unlinked(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
         self.heap.note_retire(cpu.thread_id, cpu.now(), addr);
         self.rlist.push(addr);
         if std::mem::take(&mut self.double_retire) {
@@ -234,7 +234,7 @@ impl OpMem for HazardThread {
 
     /// Copies an already-protected pointer into another hazard slot; no
     /// fence needed (see the trait docs).
-    fn protect(&mut self, cpu: &mut Cpu, guard: usize, value: Word) {
+    fn protect_slot(&mut self, cpu: &mut Cpu, guard: usize, value: Word) {
         let slot = self.guard_index(guard);
         self.heap
             .store(cpu, self.globals.slots, slot, value & !TAG_MASK);
@@ -311,7 +311,6 @@ impl SchemeThread for HazardThread {
 #[cfg(test)]
 // Scheme tests drive the raw `OpMem` surface the executor implements —
 // the layer beneath the typed `mem` API structures use.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::test_support::{test_cpu, test_env};
@@ -389,7 +388,7 @@ mod tests {
         for i in 0..threshold {
             th.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
                 let n = m.alloc(cpu, 2);
-                m.retire(cpu, n)?;
+                m.retire_unlinked(cpu, n)?;
                 Ok(Step::Done(0))
             });
             if i < threshold - 1 {
@@ -407,7 +406,7 @@ mod tests {
         let mut cpu = test_cpu(0);
         let n = heap.alloc_untimed(2).unwrap();
         th.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             Ok(Step::Done(0))
         });
         th.teardown(&mut cpu);

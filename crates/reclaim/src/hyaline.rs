@@ -330,7 +330,7 @@ impl OpMem for HyalineThread {
         addr
     }
 
-    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+    fn retire_unlinked(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
         self.heap.note_retire(cpu.thread_id, cpu.now(), addr);
         self.globals.outstanding[self.thread_id].fetch_add(1, Ordering::Relaxed);
         self.pending.push(addr);
@@ -340,7 +340,7 @@ impl OpMem for HyalineThread {
         Ok(())
     }
 
-    fn protect(&mut self, _cpu: &mut Cpu, _guard: usize, _value: Word) {
+    fn protect_slot(&mut self, _cpu: &mut Cpu, _guard: usize, _value: Word) {
         // Reference batching needs no per-pointer publication.
     }
 
@@ -419,7 +419,6 @@ impl SchemeThread for HyalineThread {
 #[cfg(test)]
 // Scheme tests drive the raw `OpMem` surface the executor implements —
 // the layer beneath the typed `mem` API structures use.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::test_support::{test_cpu, test_env};
@@ -441,7 +440,7 @@ mod tests {
         let mut cpu = test_cpu(0);
         let n = heap.alloc_untimed(2).unwrap();
         th.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             Ok(Step::Done(0))
         });
         assert!(!heap.is_live(n), "no active readers: freed at dispatch");
@@ -473,7 +472,7 @@ mod tests {
 
         // Writer retires X; the batch is handed to the reader, not freed.
         writer.run_op(&mut cpu_w, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, x)?;
+            m.retire_unlinked(cpu, x)?;
             Ok(Step::Done(0))
         });
         assert!(heap.is_live(x), "handed-off batch must stay live");
@@ -506,14 +505,14 @@ mod tests {
         // the reader's slot, so the batch skips it entirely.
         writer.run_op(&mut cpu_w, 0, 0, &mut |m, cpu| {
             let n = m.alloc(cpu, 2);
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             Ok(Step::Done(0))
         });
         // One dispatch already happened inside the op above (batch 1), so
         // the era the node was born under is younger than the reader's.
         writer.run_op(&mut cpu_w, 0, 0, &mut |m, cpu| {
             let n = m.alloc(cpu, 2);
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             Ok(Step::Done(0))
         });
         assert_eq!(
@@ -538,7 +537,7 @@ mod tests {
         // record: it must be handed to every active reader.
         let n = heap.alloc_untimed(2).unwrap();
         writer.run_op(&mut cpu_w, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             Ok(Step::Done(0))
         });
         assert_eq!(writer.batch_handoffs, 1);
@@ -556,7 +555,7 @@ mod tests {
         for i in 0..8u64 {
             let n = heap.alloc_untimed(2).unwrap();
             th.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
-                m.retire(cpu, n)?;
+                m.retire_unlinked(cpu, n)?;
                 Ok(Step::Done(0))
             });
             let expect = (i + 1) / 4;
@@ -575,7 +574,7 @@ mod tests {
 
         let n = heap.alloc_untimed(2).unwrap();
         a.run_op(&mut cpu_a, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             Ok(Step::Done(0))
         });
         assert!(heap.is_live(n), "batch 100 not reached: still pending");
@@ -595,7 +594,7 @@ mod tests {
         let n2 = heap.alloc_untimed(2).unwrap();
         for n in [n1, n2] {
             th.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
-                m.retire(cpu, n)?;
+                m.retire_unlinked(cpu, n)?;
                 Ok(Step::Done(0))
             });
         }

@@ -2,7 +2,7 @@
 //!
 //! Structures used to be hand-wired to the reclaim layer through raw
 //! guard indices (`G_PREV`/`G_CUR` constants rotated by hand) and untyped
-//! [`OpMem::protect`]/[`OpMem::retire`] calls on raw words — each new
+//! [`OpMem::protect_slot`]/[`OpMem::retire_unlinked`] calls on raw words — each new
 //! scheme × structure pairing worked only because a human re-audited every
 //! protection point. This module replaces that convention with *types*,
 //! in the shape of the reclamation-interface literature (Meyer & Wolff,
@@ -49,7 +49,7 @@
 //!   funnels through [`OpMem::load`]/[`OpMem::load_ptr`], which the
 //!   simulated heap's poison and speculative-read oracles instrument.
 //! - **Heap ledger:** every retirement funnels through
-//!   [`Unlinked::retire`] → [`OpMem::retire`], whose scheme
+//!   [`Unlinked::retire`] → [`OpMem::retire_unlinked`], whose scheme
 //!   implementations report the pipeline-acceptance point to the heap's
 //!   lifecycle ledger; [`Owned`] tokens dropped without being published
 //!   or [`Owned::dispose`]d surface as leak-at-teardown.
@@ -185,7 +185,7 @@ impl Guard {
     /// Announces an **already-protected or immortal** pointer word in
     /// this guard, returning the protected borrow.
     ///
-    /// Compiles to exactly one [`OpMem::protect`]: the value must still
+    /// Compiles to exactly one [`OpMem::protect_slot`]: the value must still
     /// be covered — by another guard, by being a never-reclaimed root
     /// (sentinels), or by the enclosing scheme's stronger mechanism — for
     /// the fence-free re-announcement to be sound, exactly as the raw
@@ -195,8 +195,7 @@ impl Guard {
         mem: &mut Mem<'_, '_>,
         word: Word,
     ) -> Shared<'g, N> {
-        #[allow(deprecated)] // the typed API is the sanctioned caller
-        mem.op.protect(mem.cpu, self.index, word);
+        mem.op.protect_slot(mem.cpu, self.index, word);
         Shared {
             ptr: TaggedPtr::from_word(word),
             _guard: PhantomData,
@@ -221,6 +220,42 @@ impl Guard {
             _guard: PhantomData,
             _node: PhantomData,
         }
+    }
+
+    /// Loads the pointer at `base + off` **into this guard**, rotating it
+    /// ([`OpMem::load_ptr`] with this guard's slot).
+    ///
+    /// This is the hand-over-*self* traversal step: the red-black tree's
+    /// search walks root → child → grandchild keeping only one guard,
+    /// loading each child link *out of the node this same guard currently
+    /// protects*. The typed [`Atomic::load`] cannot express that — naming
+    /// the link ([`Shared::link`]) keeps the old borrow alive while the
+    /// load wants `&mut Guard`. `rotate_load` takes the base address as a
+    /// raw [`Addr`] instead, after the old borrow is dead.
+    ///
+    /// The audited contract (the reason this is sound, and the reason it
+    /// is an explicit bridge rather than the default): at the moment of
+    /// the call, `base` must still be **covered** — by this guard's
+    /// not-yet-replaced announcement, by another guard, or by being a
+    /// never-reclaimed root. Hazard-style schemes read `base + off`
+    /// *before* republishing the slot, and stores retire in order under
+    /// TSO, so the base stays protected for the read exactly as in the
+    /// raw rotation idiom ([`OpMem::protect_slot`]'s fence-free
+    /// re-announcement argument). Taking `&mut self` makes the borrow
+    /// checker kill every [`Shared`] this guard handed out before the
+    /// rotation.
+    pub fn rotate_load<'g, N: NodeType>(
+        &'g mut self,
+        mem: &mut Mem<'_, '_>,
+        base: Addr,
+        off: u64,
+    ) -> Result<Shared<'g, N>, Abort> {
+        let word = mem.op.load_ptr(mem.cpu, base, off, self.index)?;
+        Ok(Shared {
+            ptr: TaggedPtr::from_word(word),
+            _guard: PhantomData,
+            _node: PhantomData,
+        })
     }
 }
 
@@ -258,6 +293,31 @@ impl<'m, 'c> Mem<'m, 'c> {
     /// as for the raw call).
     pub fn alloc<N: NodeType>(&mut self) -> Owned<N> {
         let addr = self.op.alloc(self.cpu, N::WORDS);
+        Owned {
+            addr,
+            _node: PhantomData,
+        }
+    }
+
+    /// Allocates a zeroed, unpublished node of `words` words
+    /// ([`OpMem::alloc`]) — the variable-size form of [`Mem::alloc`] for
+    /// layouts whose tail is sized at runtime, like the skip list's
+    /// towers (`2 + height` words, with `N::WORDS` declaring the
+    /// maximum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` exceeds `N::WORDS` (the declared layout is the
+    /// upper bound every reader assumes) or if the simulated heap is
+    /// exhausted (a configuration error, as for the raw call).
+    pub fn alloc_var<N: NodeType>(&mut self, words: usize) -> Owned<N> {
+        assert!(
+            words <= N::WORDS,
+            "alloc_var: {} words exceeds {}-word layout",
+            words,
+            N::WORDS
+        );
+        let addr = self.op.alloc(self.cpu, words);
         Owned {
             addr,
             _node: PhantomData,
@@ -314,6 +374,20 @@ impl<N: NodeType> Atomic<N> {
         })
     }
 
+    /// Loads the pointer word **without announcing a protection**
+    /// ([`OpMem::load`]), returning the raw word.
+    ///
+    /// This is the typed form of a *validation read*: re-reading a
+    /// location to decide whether an earlier snapshot is still current
+    /// (the Michael-Scott queue re-reads the head/tail anchor words this
+    /// way). The word must not be dereferenced — there is no [`Shared`]
+    /// borrow here, and constructing one from the result would need a
+    /// [`Guard`] announcement. Use it only to compare against words that
+    /// are already protected (or to observe nullness/marks).
+    pub fn load_word(&self, mem: &mut Mem<'_, '_>) -> Result<Word, Abort> {
+        mem.op.load(mem.cpu, self.base, self.off)
+    }
+
     /// Raw-word compare-and-swap on the location ([`OpMem::cas`]):
     /// `Ok(Ok(prev))` on success, `Ok(Err(actual))` on mismatch.
     ///
@@ -350,6 +424,36 @@ impl<N: NodeType> Atomic<N> {
                 addr: victim.ptr.addr(),
                 _node: PhantomData,
             })),
+            Err(actual) => Ok(Err(actual)),
+        }
+    }
+
+    /// A **helping** physical unlink: swings this location past `victim`
+    /// exactly like [`Atomic::cas_unlink`], but mints **no**
+    /// [`Unlinked`] proof — the victim is *not* handed to reclamation by
+    /// this call.
+    ///
+    /// For protocols where unlink responsibility and retire
+    /// responsibility are split: in the skip list, any traversal may snip
+    /// a marked node out of an upper level (helping), but only the thread
+    /// whose mark CAS won at the bottom level owns the retire (minted
+    /// through [`Unlinked::assume_unlinked`] once its cleanup pass
+    /// completes). Taking `victim` by reference keeps the borrow alive —
+    /// the caller can keep reading through it, which is exactly right:
+    /// a snipped node is still protected and still readable.
+    ///
+    /// Lowers to the identical single [`OpMem::cas`] as `cas_unlink`.
+    pub fn cas_snip(
+        &self,
+        mem: &mut Mem<'_, '_>,
+        victim: &Shared<'_, N>,
+        new: Word,
+    ) -> Result<Result<(), Word>, Abort> {
+        match mem
+            .op
+            .cas(mem.cpu, self.base, self.off, victim.ptr.word(), new)?
+        {
+            Ok(_prev) => Ok(Ok(())),
             Err(actual) => Ok(Err(actual)),
         }
     }
@@ -501,7 +605,7 @@ impl<N: NodeType> Owned<N> {
 }
 
 /// The unique proof that a node was atomically unlinked — and therefore
-/// the **only** way to reach [`OpMem::retire`].
+/// the **only** way to reach [`OpMem::retire_unlinked`].
 ///
 /// Minted solely by [`Atomic::cas_unlink`] on CAS success; move-only, so
 /// the node can be retired at most once (a second retire is a
@@ -520,17 +624,155 @@ impl<N: NodeType> Unlinked<N> {
         self.addr
     }
 
-    /// Hands the node to the reclamation scheme ([`OpMem::retire`]),
-    /// consuming the proof. Must run in the same basic block as the
-    /// unlink CAS (the raw contract, unchanged: StackTrack commits the
-    /// segment to make unlink + retire atomic).
+    /// Mints the unlink proof from a word, **asserting** the unlink
+    /// happened in this operation — the deferred-ownership bridge, and
+    /// (with [`Guard::assume_protected`]) one of the API's two trust
+    /// points.
+    ///
+    /// Some protocols separate the CAS that *decides* a node's fate from
+    /// the point where its retire becomes safe: in the skip list, the
+    /// bottom-level mark CAS makes its winner the node's sole owner, but
+    /// the owner may only retire after a cleanup search has snipped the
+    /// node out of every level; in the red-black tree, the transplant
+    /// store under the writer lock unlinks the victim without any CAS at
+    /// all. Neither point is a `cas_unlink`, so the proof cannot be
+    /// minted there — this constructor asserts it instead.
+    ///
+    /// The audited contract, with the same rigor as [`Owned::stash`]:
+    /// `word` is a node this operation **won sole unlink responsibility
+    /// for** earlier in the same operation (a mark CAS it won, an
+    /// exclusive-section unlink it performed), every link to the node has
+    /// been severed, and no other code path can mint a proof for the same
+    /// node. Violating any clause reintroduces double-retire or
+    /// retire-while-linked — exactly the bug class the token exists to
+    /// prevent — so treat every call site as a proof obligation and keep
+    /// it next to the protocol step that discharges it.
+    pub fn assume_unlinked(word: Word) -> Self {
+        Self {
+            addr: Addr::from_raw(word),
+            _node: PhantomData,
+        }
+    }
+
+    /// Hands the node to the reclamation scheme
+    /// ([`OpMem::retire_unlinked`]), consuming the proof. Must run in the
+    /// same basic block as the unlink CAS (the raw contract, unchanged:
+    /// StackTrack commits the segment to make unlink + retire atomic).
     ///
     /// This consumption point is where the heap-ledger oracle attaches
-    /// generically: every scheme's `retire` implementation reports the
-    /// pipeline-acceptance to the heap's lifecycle ledger.
+    /// generically: every scheme's `retire_unlinked` implementation
+    /// reports the pipeline-acceptance to the heap's lifecycle ledger.
     pub fn retire(self, mem: &mut Mem<'_, '_>) -> Result<(), Abort> {
-        #[allow(deprecated)] // the typed API is the sanctioned caller
-        mem.op.retire(mem.cpu, self.addr)
+        mem.op.retire_unlinked(mem.cpu, self.addr)
+    }
+}
+
+/// A typed **control word**: a heap word that is state, not a pointer —
+/// a writer lock, a version counter, an anchor flag.
+///
+/// [`Atomic`] deliberately cannot model these (its loads return pointer
+/// borrows and its CASes mint/consume ownership tokens). `Field` is the
+/// escape hatch for the handful of words a structure spins on: plain
+/// loads, stores, and CASes with no protection and no tokens, each
+/// lowering to exactly one raw call. The contract is the caller's: the
+/// word must never be dereferenced as a pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Field {
+    base: Addr,
+    off: u64,
+}
+
+impl Field {
+    /// The control word at `base + off`, where `base` is a structure
+    /// root (never retired, so no protection is needed to address it).
+    pub fn root(base: Addr, off: u64) -> Self {
+        Self { base, off }
+    }
+
+    /// Reads the word ([`OpMem::load`]).
+    pub fn read(&self, mem: &mut Mem<'_, '_>) -> Result<Word, Abort> {
+        mem.op.load(mem.cpu, self.base, self.off)
+    }
+
+    /// Writes the word ([`OpMem::store`]).
+    pub fn write(&self, mem: &mut Mem<'_, '_>, value: Word) -> Result<(), Abort> {
+        mem.op.store(mem.cpu, self.base, self.off, value)
+    }
+
+    /// Compare-and-swap on the word ([`OpMem::cas`]): `Ok(Ok(prev))` on
+    /// success, `Ok(Err(actual))` on mismatch.
+    pub fn cas(
+        &self,
+        mem: &mut Mem<'_, '_>,
+        expected: Word,
+        new: Word,
+    ) -> Result<Result<Word, Word>, Abort> {
+        mem.op.cas(mem.cpu, self.base, self.off, expected, new)
+    }
+}
+
+/// A witness that this operation holds a structure-wide **mutual
+/// exclusion** over `N` nodes — the single-writer bridge, and (with
+/// [`Guard::assume_protected`] and [`Unlinked::assume_unlinked`]) one of
+/// the API's trust points.
+///
+/// The red-black tree serializes writers behind a lock word
+/// ([`Field::cas`] on its anchor): while held, no other writer mutates
+/// the tree, so link updates are plain stores and node reads need no
+/// per-pointer guard announcements. The witness makes that argument a
+/// value: every exclusive read/write/publication names it, so the
+/// soundness of each plain access is traceable to one acquisition point
+/// instead of being diffused through the whole update path.
+///
+/// The audited contract, with the same rigor as [`Owned::stash`]: mint
+/// the witness only after **winning** the exclusion acquisition (the
+/// lock CAS) in this operation, re-mint it in later blocks only while
+/// the lock is still held, and never let it outlive the release store.
+/// Readers may still traverse concurrently — exclusion covers writers
+/// only, so retired nodes still flow through [`Unlinked`] and the
+/// scheme's deferral pipeline, never straight to the allocator.
+#[derive(Debug)]
+pub struct Exclusive<N: NodeType> {
+    _node: PhantomData<N>,
+}
+
+impl<N: NodeType> Exclusive<N> {
+    /// Mints the witness; see the type-level contract.
+    pub fn assume_exclusive() -> Self {
+        Self { _node: PhantomData }
+    }
+
+    /// Reads a word of node `node` ([`OpMem::load`]) under the
+    /// exclusion.
+    pub fn read(&self, mem: &mut Mem<'_, '_>, node: Addr, off: u64) -> Result<Word, Abort> {
+        mem.op.load(mem.cpu, node, off)
+    }
+
+    /// Writes a word of node `node` ([`OpMem::store`]) under the
+    /// exclusion — the plain-store link update exclusion makes sound.
+    pub fn write(
+        &self,
+        mem: &mut Mem<'_, '_>,
+        node: Addr,
+        off: u64,
+        value: Word,
+    ) -> Result<(), Abort> {
+        mem.op.store(mem.cpu, node, off, value)
+    }
+
+    /// Publishes the unpublished `node` by a plain store of its address
+    /// into `base + off` ([`OpMem::store`]), consuming the [`Owned`]
+    /// token — the exclusive-section counterpart of
+    /// [`Atomic::cas_publish`] (no CAS is needed: the witness says no
+    /// competing writer exists).
+    pub fn publish(
+        &self,
+        mem: &mut Mem<'_, '_>,
+        base: Addr,
+        off: u64,
+        node: Owned<N>,
+    ) -> Result<(), Abort> {
+        mem.op.store(mem.cpu, base, off, node.addr.raw())
     }
 }
 
@@ -615,6 +857,55 @@ impl<N: NodeType> Unlinked<N> {
 ///     link.cas_publish(mem, 0, node)?;
 ///     node.store(mem, 0, 7)?; // ERROR: use of moved value `node`
 ///     Ok(())
+/// }
+/// ```
+///
+/// The skip list's contract: a borrow out of a **per-level guard array**
+/// does not survive a rotation of any guard in that array. Indexing
+/// borrows the whole array, so shielding `levels[1]` invalidates the
+/// borrow `levels[0]` handed out — the typed form of "advancing one
+/// level's guards may not keep stale predecessor borrows at another":
+///
+/// ```compile_fail,E0502
+/// use st_reclaim::mem::{Guard, Mem, NodeType};
+///
+/// #[derive(Clone, Copy)]
+/// struct Node;
+/// impl NodeType for Node {
+///     const WORDS: usize = 2;
+/// }
+///
+/// fn rotate_level(mem: &mut Mem<'_, '_>, levels: &mut [Guard; 2]) -> u64 {
+///     let pred = levels[0].assume_protected::<Node>(8);
+///     let _below = levels[1].shield::<Node>(mem, 16); // rotates within the array...
+///     pred.word() // ERROR: `*levels` is also borrowed as immutable
+/// }
+/// ```
+///
+/// The queue's contract: the dequeue head-swing ([`Atomic::cas_unlink`])
+/// consumes the old head's borrow along with minting its [`Unlinked`]
+/// proof — the retiring dummy cannot be read afterwards:
+///
+/// ```compile_fail,E0382
+/// use st_reclaim::mem::{Atomic, Mem, NodeType, Shared};
+///
+/// #[derive(Clone, Copy)]
+/// struct Node;
+/// impl NodeType for Node {
+///     const WORDS: usize = 2;
+/// }
+///
+/// fn touch_old_head(
+///     mem: &mut Mem<'_, '_>,
+///     head: Atomic<Node>,
+///     old_head: Shared<'_, Node>,
+///     next: u64,
+/// ) -> Result<u64, st_simhtm::Abort> {
+///     let unlinked = head.cas_unlink(mem, old_head, next)?;
+///     if let Ok(u) = unlinked {
+///         u.retire(mem)?;
+///     }
+///     old_head.read(mem, 0) // ERROR: use of moved value `old_head`
 /// }
 /// ```
 pub mod contracts {}
@@ -766,6 +1057,170 @@ mod tests {
             live_before,
             "disposed node returned to the allocator"
         );
+    }
+
+    /// The traversal bridges lower to the identical raw calls: a
+    /// hand-over-self walk (`rotate_load`), a validation read
+    /// (`load_word`), a helping snip (`cas_snip`), and a deferred retire
+    /// (`assume_unlinked`) behave exactly like their raw counterparts
+    /// under the hazard-pointer executor.
+    #[test]
+    fn traversal_bridges_match_raw_calls_under_hazards() {
+        let (heap, _) = test_env();
+        let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
+        let factory = SchemeFactory::builder(Scheme::Hazard)
+            .engine(engine)
+            .max_threads(1)
+            .guard_requirement(GuardRequirement::new(2))
+            .build();
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+
+        // A three-node chain: root -> a -> b -> c.
+        let root = heap.alloc_untimed(1).unwrap();
+        let a = heap.alloc_untimed(2).unwrap();
+        let b = heap.alloc_untimed(2).unwrap();
+        let c = heap.alloc_untimed(2).unwrap();
+        heap.poke(root, 0, a.raw());
+        heap.poke(a, 0, 0xa_0);
+        heap.poke(a, 1, b.raw());
+        heap.poke(b, 0, 0xb_0);
+        heap.poke(b, 1, c.raw());
+        heap.poke(c, 0, 0xc_0);
+
+        let result = th.run_op(&mut cpu, 0, 0, &mut |op, cpu| {
+            let mut mem = Mem::new(op, cpu);
+            let mut pool = GuardPool::new(GuardRequirement::new(2));
+            let mut g_cur = pool.guard();
+
+            // Hand-over-self walk: root -> a -> b through one guard.
+            let head = Atomic::<PairNode>::root(root, 0);
+            let cur = head.load(&mut mem, &mut g_cur)?;
+            assert_eq!(cur.addr(), a);
+            let cur_addr = cur.addr();
+            assert_eq!(cur.read(&mut mem, 0)?, 0xa_0);
+            let cur = g_cur.rotate_load::<PairNode>(&mut mem, cur_addr, 1)?;
+            assert_eq!(cur.addr(), b);
+            assert_eq!(cur.read(&mut mem, 0)?, 0xb_0);
+
+            // Validation read: the head word is still a, unprotected.
+            assert_eq!(head.load_word(&mut mem)?, a.raw());
+
+            // Helping snip: swing head past a without minting a proof.
+            let stale = g_cur.assume_protected::<PairNode>(a.raw());
+            match head.cas_snip(&mut mem, &stale, b.raw())? {
+                Ok(()) => {}
+                Err(actual) => panic!("unexpected snip mismatch: {actual:#x}"),
+            }
+            // The victim borrow survives the snip — still readable.
+            assert_eq!(stale.read(&mut mem, 0)?, 0xa_0);
+
+            // Deferred retire: this operation won the snip above, so it
+            // owns the unlink; mint the proof and retire.
+            Unlinked::<PairNode>::assume_unlinked(a.raw()).retire(&mut mem)?;
+            Ok(Step::Done(1))
+        });
+        assert_eq!(result, 1);
+        assert_eq!(heap.peek(root, 0), b.raw());
+        assert_eq!(th.outstanding_garbage(), 1, "retire reached the scheme");
+        th.teardown(&mut cpu);
+        assert!(!heap.is_live(a), "snipped node freed at teardown");
+        assert!(heap.is_live(b), "linked node untouched");
+    }
+
+    /// `Field` and `Exclusive` lower to plain load/store/CAS: a writer
+    /// takes a lock word, publishes a node by plain store, rewires a
+    /// link, and unlocks — the red-black tree's update shape.
+    #[test]
+    fn field_and_exclusive_lower_to_plain_accesses() {
+        let (heap, _) = test_env();
+        let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
+        let factory = SchemeFactory::builder(Scheme::Hazard)
+            .engine(engine)
+            .max_threads(1)
+            .guard_requirement(GuardRequirement::new(1))
+            .build();
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+
+        // Anchor: [lock, root]; one published node with one data word.
+        let anchor = heap.alloc_untimed(2).unwrap();
+        let old = heap.alloc_untimed(2).unwrap();
+        heap.poke(anchor, 1, old.raw());
+        heap.poke(old, 0, 5);
+
+        let result = th.run_op(&mut cpu, 0, 0, &mut |op, cpu| {
+            let mut mem = Mem::new(op, cpu);
+            let lock = Field::root(anchor, 0);
+            match lock.cas(&mut mem, 0, 1)? {
+                Ok(_) => {}
+                Err(actual) => panic!("lock taken: {actual:#x}"),
+            }
+            let excl = Exclusive::<PairNode>::assume_exclusive();
+            let old_word = excl.read(&mut mem, anchor, 1)?;
+            assert_eq!(old_word, old.raw());
+
+            // Publish a replacement by plain store, then unlink the old
+            // node (also a plain store under exclusion) and retire it.
+            let node = mem.alloc::<PairNode>();
+            node.store(&mut mem, 0, 7)?;
+            excl.publish(&mut mem, anchor, 1, node)?;
+            excl.write(&mut mem, Addr::from_raw(old_word), 1, 0)?;
+            Unlinked::<PairNode>::assume_unlinked(old_word).retire(&mut mem)?;
+
+            lock.write(&mut mem, 0)?;
+            assert_eq!(lock.read(&mut mem)?, 0);
+            Ok(Step::Done(1))
+        });
+        assert_eq!(result, 1);
+        let installed = Addr::from_raw(heap.peek(anchor, 1));
+        assert_ne!(installed, old);
+        assert_eq!(heap.peek(installed, 0), 7);
+        th.teardown(&mut cpu);
+        assert!(!heap.is_live(old), "transplanted node freed at teardown");
+    }
+
+    #[test]
+    fn alloc_var_sizes_within_declared_layout() {
+        let (heap, _) = test_env();
+        let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
+        let factory = SchemeFactory::builder(Scheme::None)
+            .engine(engine)
+            .max_threads(1)
+            .guard_requirement(GuardRequirement::new(1))
+            .build();
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+        let got = th.run_op(&mut cpu, 0, 0, &mut |op, cpu| {
+            let mut mem = Mem::new(op, cpu);
+            // A one-word "tower" of the two-word layout.
+            let node = mem.alloc_var::<PairNode>(1);
+            node.store(&mut mem, 0, 9)?;
+            let addr = node.addr();
+            node.dispose(&mut mem)?;
+            Ok(Step::Done(addr.raw()))
+        });
+        assert_ne!(got, 0);
+        th.teardown(&mut cpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "alloc_var")]
+    fn alloc_var_rejects_oversized_requests() {
+        let (heap, _) = test_env();
+        let engine = Arc::new(HtmEngine::new(heap.clone(), HtmConfig::default(), 1));
+        let factory = SchemeFactory::builder(Scheme::None)
+            .engine(engine)
+            .max_threads(1)
+            .guard_requirement(GuardRequirement::new(1))
+            .build();
+        let mut th = factory.thread(0);
+        let mut cpu = test_cpu(0);
+        th.run_op(&mut cpu, 0, 0, &mut |op, cpu| {
+            let mut mem = Mem::new(op, cpu);
+            let _ = mem.alloc_var::<PairNode>(3);
+            Ok(Step::Done(0))
+        });
     }
 
     #[test]

@@ -299,7 +299,7 @@ impl OpMem for NbrThread {
         addr
     }
 
-    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+    fn retire_unlinked(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
         // A retire is a write intent by definition (the unlink it follows
         // certainly was); entering the write phase here keeps the
         // retire-then-restart double-retire impossible by construction.
@@ -312,7 +312,7 @@ impl OpMem for NbrThread {
         Ok(())
     }
 
-    fn protect(&mut self, cpu: &mut Cpu, guard: usize, value: Word) {
+    fn protect_slot(&mut self, cpu: &mut Cpu, guard: usize, value: Word) {
         self.guard_vals[guard] = value & !TAG_MASK;
         self.used_guards |= 1 << guard;
         if self.in_write_phase {
@@ -408,7 +408,6 @@ impl SchemeThread for NbrThread {
 #[cfg(test)]
 // Scheme tests drive the raw `OpMem` surface the executor implements —
 // the layer beneath the typed `mem` API structures use.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::test_support::{test_cpu, test_env};
@@ -491,11 +490,11 @@ mod tests {
         // Reclaimer (batch 1) retires X and Y: Y is freed on the spot,
         // X survives because the writer's reservation covers it.
         reclaimer.run_op(&mut cpu_r, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, x)?;
+            m.retire_unlinked(cpu, x)?;
             Ok(Step::Done(0))
         });
         reclaimer.run_op(&mut cpu_r, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, y)?;
+            m.retire_unlinked(cpu, y)?;
             Ok(Step::Done(0))
         });
         assert!(heap.is_live(x), "reserved node must survive");
@@ -574,7 +573,7 @@ mod tests {
 
         let n = heap.alloc_untimed(2).unwrap();
         th.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             Ok(Step::Done(0))
         });
         assert_eq!(th.signals_sent, 2);

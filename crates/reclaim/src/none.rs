@@ -71,7 +71,7 @@ impl OpMem for NoReclaimThread {
         )
     }
 
-    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+    fn retire_unlinked(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
         // The ledger still sees the retire: the audit harness uses this
         // scheme as its positive leak reference.
         self.heap.note_retire(cpu.thread_id, cpu.now(), addr);
@@ -129,7 +129,6 @@ impl SchemeThread for NoReclaimThread {
 #[cfg(test)]
 // Scheme tests drive the raw `OpMem` surface the executor implements —
 // the layer beneath the typed `mem` API structures use.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::test_support::test_env;
@@ -142,7 +141,7 @@ mod tests {
             let n = m.alloc(cpu, 2);
             m.store(cpu, n, 0, 5)?;
             m.set_local(cpu, 0, n.raw());
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             let n2 = m.get_local(cpu, 0);
             m.load(cpu, Addr::from_raw(n2), 0).map(Step::Done)
         });

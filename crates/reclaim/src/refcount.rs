@@ -180,7 +180,7 @@ impl OpMem for RcThread {
             .expect("simulated heap exhausted; enlarge HeapConfig::capacity_words")
     }
 
-    fn retire(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
+    fn retire_unlinked(&mut self, cpu: &mut Cpu, addr: Addr) -> Result<(), Abort> {
         self.charge_rmw(cpu);
         // Before the possible immediate free below, so the ledger sees
         // retire → free in order.
@@ -205,7 +205,7 @@ impl OpMem for RcThread {
 
     /// Moves a counted reference into another guard: bump the new target,
     /// release the guard's previous one.
-    fn protect(&mut self, cpu: &mut Cpu, guard: usize, value: Word) {
+    fn protect_slot(&mut self, cpu: &mut Cpu, guard: usize, value: Word) {
         self.acquire(cpu, value);
         let old = std::mem::replace(&mut self.guards[guard], value & !TAG_MASK);
         self.release(cpu, old);
@@ -266,7 +266,6 @@ impl SchemeThread for RcThread {
 #[cfg(test)]
 // Scheme tests drive the raw `OpMem` surface the executor implements —
 // the layer beneath the typed `mem` API structures use.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::test_support::{test_cpu, test_env};
@@ -282,7 +281,7 @@ mod tests {
         let mut th = thread(&heap, &globals);
         let user = th.run_op(&mut cpu, 0, 0, &mut |m, cpu| {
             let n = m.alloc(cpu, 2);
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             Ok(Step::Done(n.raw()))
         });
         assert!(!heap.is_live(Addr::from_raw(user)));
@@ -314,7 +313,7 @@ mod tests {
         // Owner unlinks and retires: the holder's count pins the node.
         owner.run_op(&mut cpu2, 0, 0, &mut |m, cpu| {
             m.store(cpu, cell, 0, 0)?;
-            m.retire(cpu, node)?;
+            m.retire_unlinked(cpu, node)?;
             Ok(Step::Done(0))
         });
         assert!(heap.is_live(node));

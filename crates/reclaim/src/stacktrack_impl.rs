@@ -51,7 +51,6 @@ impl SchemeThread for StThread {
 #[cfg(test)]
 // Scheme tests drive the raw `OpMem` surface the executor implements —
 // the layer beneath the typed `mem` API structures use.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use st_simheap::{Heap, HeapConfig};
@@ -76,7 +75,7 @@ mod tests {
         let v = th.run_op(&mut cpu, 0, 1, &mut |m, cpu| {
             let n = m.alloc(cpu, 2);
             m.store(cpu, n, 0, 3)?;
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             Ok(Step::Done(9))
         });
         assert_eq!(v, 9);
@@ -103,7 +102,7 @@ mod tests {
         th.run_op(&mut cpu, 0, 1, &mut |m, cpu| {
             let n = m.alloc(cpu, 2);
             m.store(cpu, n, 0, 3)?;
-            m.retire(cpu, n)?;
+            m.retire_unlinked(cpu, n)?;
             Ok(Step::Done(0))
         });
         assert_eq!(th.outstanding_garbage(), 1);

@@ -15,12 +15,11 @@
 //! [`stacktrack::opmem`]): one closure call performs roughly one pointer
 //! hop, the granularity at which StackTrack injects split checkpoints. The
 //! same bodies run unchanged under every reclamation scheme in
-//! `st-reclaim`. The list and hash table are written against the typed
+//! `st-reclaim`. Every structure is written against the typed
 //! reclamation API (`st_reclaim::mem` — typed guards, `Shared` borrows,
-//! `Unlinked` retire proofs; see docs/MEMORY_API.md); the skip list,
-//! queue, and red-black tree still use the deprecated raw
-//! `load_ptr`/`protect`/`retire` surface and carry a module-level
-//! migration note.
+//! `Unlinked` retire proofs; see docs/MEMORY_API.md); the raw
+//! `protect`/`retire` surface no longer exists outside the scheme
+//! executors themselves.
 //!
 //! Each structure declares its guard requirement (`guard_requirement()`
 //! next to its node layout); harnesses that drive the whole matrix

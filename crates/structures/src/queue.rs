@@ -7,16 +7,14 @@
 //! exactly the reclamation race the paper's queue benchmark stresses.
 //!
 //! Values must be non-zero; `dequeue` returns 0 for "empty".
-
-// MIGRATION NOTE: not yet ported to the typed reclamation API
-// (`st_reclaim::mem`); this module still drives the deprecated raw
-// `protect`/`retire` surface. Port as for crate::list — the dequeue's
-// head-swing CAS is the `cas_unlink` that mints the old dummy's
-// `Unlinked` proof — see docs/MEMORY_API.md.
-#![allow(deprecated)]
+//!
+//! Written against the typed reclamation API (`st_reclaim::mem`): the
+//! dequeue's head-swing CAS is the `cas_unlink` that mints the old
+//! dummy's `Unlinked` proof, and the anchor re-reads that validate a
+//! snapshot are `load_word` validation reads — see docs/MEMORY_API.md.
 
 use st_machine::Cpu;
-use st_reclaim::mem::GuardRequirement;
+use st_reclaim::mem::{Atomic, GuardPool, GuardRequirement, Mem, NodeType, Owned};
 use st_reclaim::SchemeThread;
 use st_simheap::{Addr, Heap, Word};
 use st_simhtm::Abort;
@@ -37,6 +35,13 @@ pub const NODE_NEXT: u64 = 1;
 /// Node size in words.
 pub const NODE_WORDS: usize = 2;
 
+/// The queue's node layout: `[value, next]`.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueNode;
+impl NodeType for QueueNode {
+    const WORDS: usize = NODE_WORDS;
+}
+
 /// Head anchor offset.
 const A_HEAD: u64 = 0;
 /// Tail anchor offset.
@@ -53,10 +58,6 @@ pub const fn guard_requirement() -> GuardRequirement {
 }
 
 const NODE: usize = 1;
-
-const G_HEAD: usize = 0;
-const G_TAIL: usize = 1;
-const G_NEXT: usize = 2;
 
 /// The shared shape of one queue: its anchor block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,35 +113,52 @@ pub fn enqueue_body(
 ) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
     assert_ne!(value, 0, "queue values must be non-zero");
     move |m, cpu| {
-        let anchor = shape.anchor;
+        let mut mem = Mem::new(m, cpu);
+        let mut guards = GuardPool::new(guard_requirement());
+        let mut _g_head = guards.guard();
+        let mut g_tail = guards.guard();
+        let mut g_next = guards.guard();
+        let a_tail = Atomic::<QueueNode>::root(shape.anchor, A_TAIL);
+
         // Allocate once; keep the node across retries in a traced local.
-        let node = match m.get_local(cpu, NODE) {
+        let node_word = match mem.local(NODE) {
             0 => {
-                let node = m.alloc(cpu, NODE_WORDS);
-                m.store(cpu, node, NODE_VALUE, value)?;
-                m.set_local(cpu, NODE, node.raw());
-                node
+                let node = mem.alloc::<QueueNode>();
+                node.store(&mut mem, NODE_VALUE, value)?;
+                let word = node.stash();
+                mem.set_local(NODE, word);
+                word
             }
-            raw => Addr::from_raw(raw),
+            raw => raw,
         };
 
-        let tail = Addr::from_raw(m.load_ptr(cpu, anchor, A_TAIL, G_TAIL)?);
-        let next = m.load_ptr(cpu, tail, NODE_NEXT, G_NEXT)?;
-        if m.load(cpu, anchor, A_TAIL)? != tail.raw() {
+        let tail = a_tail.load(&mut mem, &mut g_tail)?;
+        let next = tail
+            .link::<QueueNode>(NODE_NEXT)
+            .load(&mut mem, &mut g_next)?;
+        if a_tail.load_word(&mut mem)? != tail.addr_word() {
             return Ok(Step::Continue);
         }
-        if next == 0 {
-            match m.cas(cpu, tail, NODE_NEXT, 0, node.raw())? {
-                Ok(_) => {
+        if next.is_null() {
+            let node = Owned::unstash(node_word).expect("node stashed above");
+            match tail
+                .link::<QueueNode>(NODE_NEXT)
+                .cas_publish(&mut mem, 0, node)?
+            {
+                Ok(()) => {
                     // Swing the tail (failure means someone helped).
-                    let _ = m.cas(cpu, anchor, A_TAIL, tail.raw(), node.raw())?;
+                    let _ = a_tail.cas_word(&mut mem, tail.addr_word(), node_word)?;
                     Ok(Step::Done(1))
                 }
-                Err(_) => Ok(Step::Continue),
+                Err((lost, _actual)) => {
+                    // Still unpublished; it stays stashed for the retry.
+                    let _ = lost.stash();
+                    Ok(Step::Continue)
+                }
             }
         } else {
             // Tail lags: help advance it.
-            let _ = m.cas(cpu, anchor, A_TAIL, tail.raw(), next)?;
+            let _ = a_tail.cas_word(&mut mem, tail.addr_word(), next.word())?;
             Ok(Step::Continue)
         }
     }
@@ -151,30 +169,38 @@ pub fn dequeue_body(
     shape: QueueShape,
 ) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
     move |m, cpu| {
-        let anchor = shape.anchor;
-        let head = Addr::from_raw(m.load_ptr(cpu, anchor, A_HEAD, G_HEAD)?);
-        let tail = m.load(cpu, anchor, A_TAIL)?;
-        let next = m.load_ptr(cpu, head, NODE_NEXT, G_NEXT)?;
-        if m.load(cpu, anchor, A_HEAD)? != head.raw() {
+        let mut mem = Mem::new(m, cpu);
+        let mut guards = GuardPool::new(guard_requirement());
+        let mut g_head = guards.guard();
+        let mut _g_tail = guards.guard();
+        let mut g_next = guards.guard();
+        let a_head = Atomic::<QueueNode>::root(shape.anchor, A_HEAD);
+        let a_tail = Atomic::<QueueNode>::root(shape.anchor, A_TAIL);
+
+        let head = a_head.load(&mut mem, &mut g_head)?;
+        let tail = a_tail.load_word(&mut mem)?;
+        let next = head
+            .link::<QueueNode>(NODE_NEXT)
+            .load(&mut mem, &mut g_next)?;
+        if a_head.load_word(&mut mem)? != head.addr_word() {
             return Ok(Step::Continue);
         }
-        if head.raw() == tail {
-            if next == 0 {
+        if head.addr_word() == tail {
+            if next.is_null() {
                 return Ok(Step::Done(0));
             }
             // Tail lags behind a half-finished enqueue: help.
-            let _ = m.cas(cpu, anchor, A_TAIL, tail, next)?;
+            let _ = a_tail.cas_word(&mut mem, tail, next.word())?;
             return Ok(Step::Continue);
         }
-        let next_node = Addr::from_raw(next);
-        let value = m.load(cpu, next_node, NODE_VALUE)?;
-        match m.cas(cpu, anchor, A_HEAD, head.raw(), next)? {
-            Ok(_) => {
+        let value = next.read(&mut mem, NODE_VALUE)?;
+        match a_head.cas_unlink(&mut mem, head, next.word())? {
+            Ok(unlinked) => {
                 // The old dummy is ours to reclaim.
-                m.retire(cpu, head)?;
+                unlinked.retire(&mut mem)?;
                 Ok(Step::Done(value))
             }
-            Err(_) => Ok(Step::Continue),
+            Err(_actual) => Ok(Step::Continue),
         }
     }
 }
@@ -184,16 +210,24 @@ pub fn peek_body(
     shape: QueueShape,
 ) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
     move |m, cpu| {
-        let anchor = shape.anchor;
-        let head = Addr::from_raw(m.load_ptr(cpu, anchor, A_HEAD, G_HEAD)?);
-        let next = m.load_ptr(cpu, head, NODE_NEXT, G_NEXT)?;
-        if m.load(cpu, anchor, A_HEAD)? != head.raw() {
+        let mut mem = Mem::new(m, cpu);
+        let mut guards = GuardPool::new(guard_requirement());
+        let mut g_head = guards.guard();
+        let mut _g_tail = guards.guard();
+        let mut g_next = guards.guard();
+        let a_head = Atomic::<QueueNode>::root(shape.anchor, A_HEAD);
+
+        let head = a_head.load(&mut mem, &mut g_head)?;
+        let next = head
+            .link::<QueueNode>(NODE_NEXT)
+            .load(&mut mem, &mut g_next)?;
+        if a_head.load_word(&mut mem)? != head.addr_word() {
             return Ok(Step::Continue);
         }
-        if next == 0 {
+        if next.is_null() {
             return Ok(Step::Done(0));
         }
-        let value = m.load(cpu, Addr::from_raw(next), NODE_VALUE)?;
+        let value = next.read(&mut mem, NODE_VALUE)?;
         Ok(Step::Done(value))
     }
 }

@@ -24,16 +24,21 @@
 //! per-tree NIL sentinel standing in for leaf children (CLRS style; the
 //! delete fixup scribbles `parent` into it, which is why it is a real
 //! node).
-
-// MIGRATION NOTE: not yet ported to the typed reclamation API
-// (`st_reclaim::mem`); this module still drives the deprecated raw
-// `protect`/`retire` surface. Port as for crate::list — the single-writer
-// delete owns the unlink, so its retire maps to one `Unlinked` proof —
-// see docs/MEMORY_API.md.
-#![allow(deprecated)]
+//!
+//! Written against the typed reclamation API (`st_reclaim::mem`). The
+//! search descends hand-over-self with [`Guard::rotate_load`]; writers
+//! take the anchor lock through [`Field::cas`], mint an
+//! [`Exclusive`] witness for the plain loads and stores of the locked
+//! section, and delete proves its retire with
+//! [`Unlinked::assume_unlinked`] — the single writer owns the unlink it
+//! just performed. Every typed call lowers to the identical raw
+//! [`OpMem`] call the pre-migration code made, so instruction-level
+//! traces (and the committed benchmark figures) are unchanged.
 
 use st_machine::Cpu;
-use st_reclaim::mem::GuardRequirement;
+use st_reclaim::mem::{
+    Atomic, Exclusive, Field, Guard, GuardPool, GuardRequirement, Mem, NodeType, Unlinked,
+};
 use st_reclaim::SchemeThread;
 use st_simheap::{Addr, Heap, Word};
 use st_simhtm::Abort;
@@ -60,6 +65,14 @@ pub const NODE_PARENT: u64 = 4;
 /// Node size in words.
 pub const NODE_WORDS: usize = 5;
 
+/// Type tag for tree nodes in the typed reclamation API.
+#[derive(Debug, Clone, Copy)]
+pub struct RbNode;
+
+impl NodeType for RbNode {
+    const WORDS: usize = NODE_WORDS;
+}
+
 const BLACK: Word = 0;
 const RED: Word = 1;
 
@@ -72,8 +85,8 @@ pub const RB_SLOTS: usize = 2;
 /// Guard slots used by tree operations.
 pub const RB_GUARDS: usize = 2;
 
-/// The tree's declared guard requirement: the descending search's
-/// current-node guard plus one working guard.
+/// The tree's declared guard requirement: the search's root-load guard
+/// plus the hand-over-self descent guard.
 pub const fn guard_requirement() -> GuardRequirement {
     GuardRequirement::new(RB_GUARDS)
 }
@@ -172,23 +185,32 @@ pub fn search_body(
 ) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
     assert!(key > 0 && key < u64::MAX, "key range");
     move |m, cpu| {
-        let cur = m.get_local(cpu, CUR);
+        let mut mem = Mem::new(m, cpu);
+        let mut guards = GuardPool::new(guard_requirement());
+        let mut g_root: Guard = guards.guard();
+        let mut g_cur: Guard = guards.guard();
+        let cur = mem.local(CUR);
         let node = if cur == 0 {
             // SPLIT_START equivalent: load the root.
-            Addr::from_raw(m.load_ptr(cpu, shape.anchor, A_ROOT, 0)?)
+            Atomic::<RbNode>::root(shape.anchor, A_ROOT).load(&mut mem, &mut g_root)?
         } else {
-            Addr::from_raw(cur)
+            // The descent guard still announces `cur` from the previous
+            // block's rotation (the shadow stack replays it on restart).
+            g_cur.assume_protected(cur)
         };
-        if node == shape.nil {
+        if node.addr() == shape.nil {
             return Ok(Step::Done(0));
         }
-        let nkey = m.load(cpu, node, NODE_KEY)?;
+        let nkey = node.read(&mut mem, NODE_KEY)?;
         if nkey == key {
             return Ok(Step::Done(1));
         }
         let side = if key < nkey { NODE_LEFT } else { NODE_RIGHT };
-        let child = m.load_ptr(cpu, node, side, 1)?;
-        m.set_local(cpu, CUR, child);
+        let node_addr = node.addr();
+        // Hand-over-self: the guard protecting `node` rotates onto the
+        // child it reads out of `node`.
+        let child = g_cur.rotate_load::<RbNode>(&mut mem, node_addr, side)?;
+        mem.set_local(CUR, child.word());
         Ok(Step::Continue)
     }
 }
@@ -197,39 +219,52 @@ pub fn search_body(
 // Writer-side helpers (run inside the single mutation block).
 // ----------------------------------------------------------------------
 
-struct W<'a, 'b> {
-    m: &'a mut dyn OpMem,
-    cpu: &'a mut Cpu,
-    shape: &'b RbShape,
+/// The writer's view: the typed memory handle plus the [`Exclusive`]
+/// witness minted after winning the anchor lock. Every plain node access
+/// below names the witness, so its soundness traces to the one lock
+/// acquisition; the anchor's own words (lock, root) go through [`Field`].
+struct W<'m, 'c> {
+    mem: Mem<'m, 'c>,
+    excl: Exclusive<RbNode>,
+    shape: RbShape,
 }
 
 impl W<'_, '_> {
     fn get(&mut self, n: Addr, off: u64) -> Result<Addr, Abort> {
-        Ok(Addr::from_raw(self.m.load(self.cpu, n, off)?))
+        Ok(Addr::from_raw(self.excl.read(&mut self.mem, n, off)?))
     }
 
     fn set(&mut self, n: Addr, off: u64, v: Addr) -> Result<(), Abort> {
-        self.m.store(self.cpu, n, off, v.raw())
+        self.excl.write(&mut self.mem, n, off, v.raw())
     }
 
     fn key(&mut self, n: Addr) -> Result<u64, Abort> {
-        self.m.load(self.cpu, n, NODE_KEY)
+        self.excl.read(&mut self.mem, n, NODE_KEY)
     }
 
     fn color(&mut self, n: Addr) -> Result<Word, Abort> {
-        self.m.load(self.cpu, n, NODE_COLOR)
+        self.excl.read(&mut self.mem, n, NODE_COLOR)
     }
 
     fn set_color(&mut self, n: Addr, c: Word) -> Result<(), Abort> {
-        self.m.store(self.cpu, n, NODE_COLOR, c)
+        self.excl.write(&mut self.mem, n, NODE_COLOR, c)
     }
 
     fn root(&mut self) -> Result<Addr, Abort> {
-        self.get(self.shape.anchor, A_ROOT)
+        Ok(Addr::from_raw(
+            Field::root(self.shape.anchor, A_ROOT).read(&mut self.mem)?,
+        ))
     }
 
     fn set_root(&mut self, n: Addr) -> Result<(), Abort> {
-        self.set(self.shape.anchor, A_ROOT, n)
+        Field::root(self.shape.anchor, A_ROOT).write(&mut self.mem, n.raw())
+    }
+
+    /// Releases the writer lock — the [`Exclusive`] witness must not be
+    /// used past this store (`self` methods all borrow it, so dropping
+    /// `W` right after is the enforcement in practice).
+    fn unlock(&mut self) -> Result<(), Abort> {
+        Field::root(self.shape.anchor, A_LOCK).write(&mut self.mem, 0)
     }
 
     /// Replaces `u` by `v` in `u`'s parent (or the root).
@@ -370,15 +405,19 @@ pub fn insert_body(
 ) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
     assert!(key > 0 && key < u64::MAX, "key range");
     move |m, cpu| {
+        let mut mem = Mem::new(m, cpu);
         // Writer lock: buffered under StackTrack (conflict detection
         // arbitrates), immediate elsewhere (the block is atomic anyway).
-        if m.cas(cpu, shape.anchor, A_LOCK, 0, 1)?.is_err() {
+        if Field::root(shape.anchor, A_LOCK)
+            .cas(&mut mem, 0, 1)?
+            .is_err()
+        {
             return Ok(Step::Continue); // spin
         }
         let mut w = W {
-            m,
-            cpu,
-            shape: &shape,
+            mem,
+            excl: Exclusive::assume_exclusive(),
+            shape,
         };
 
         // Standard BST descent.
@@ -387,28 +426,29 @@ pub fn insert_body(
         while cur != shape.nil {
             let ck = w.key(cur)?;
             if ck == key {
-                w.set(shape.anchor, A_LOCK, Addr(0))?;
+                w.unlock()?;
                 return Ok(Step::Done(0));
             }
             parent = cur;
             cur = w.get(cur, if key < ck { NODE_LEFT } else { NODE_RIGHT })?;
         }
 
-        let node = w.m.alloc(w.cpu, NODE_WORDS);
-        w.m.store(w.cpu, node, NODE_KEY, key)?;
-        w.set_color(node, RED)?;
-        w.set(node, NODE_LEFT, shape.nil)?;
-        w.set(node, NODE_RIGHT, shape.nil)?;
-        w.set(node, NODE_PARENT, parent)?;
+        let node = w.mem.alloc::<RbNode>();
+        node.store(&mut w.mem, NODE_KEY, key)?;
+        node.store(&mut w.mem, NODE_COLOR, RED)?;
+        node.store(&mut w.mem, NODE_LEFT, shape.nil.raw())?;
+        node.store(&mut w.mem, NODE_RIGHT, shape.nil.raw())?;
+        node.store(&mut w.mem, NODE_PARENT, parent.raw())?;
+        let node_addr = node.addr();
         if parent.is_null() {
-            w.set_root(node)?;
+            w.excl.publish(&mut w.mem, shape.anchor, A_ROOT, node)?;
         } else if key < w.key(parent)? {
-            w.set(parent, NODE_LEFT, node)?;
+            w.excl.publish(&mut w.mem, parent, NODE_LEFT, node)?;
         } else {
-            w.set(parent, NODE_RIGHT, node)?;
+            w.excl.publish(&mut w.mem, parent, NODE_RIGHT, node)?;
         }
-        w.insert_fixup(node)?;
-        w.set(shape.anchor, A_LOCK, Addr(0))?;
+        w.insert_fixup(node_addr)?;
+        w.unlock()?;
         Ok(Step::Done(1))
     }
 }
@@ -421,13 +461,17 @@ pub fn delete_body(
 ) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
     assert!(key > 0 && key < u64::MAX, "key range");
     move |m, cpu| {
-        if m.cas(cpu, shape.anchor, A_LOCK, 0, 1)?.is_err() {
+        let mut mem = Mem::new(m, cpu);
+        if Field::root(shape.anchor, A_LOCK)
+            .cas(&mut mem, 0, 1)?
+            .is_err()
+        {
             return Ok(Step::Continue);
         }
         let mut w = W {
-            m,
-            cpu,
-            shape: &shape,
+            mem,
+            excl: Exclusive::assume_exclusive(),
+            shape,
         };
 
         // Find the node.
@@ -440,7 +484,7 @@ pub fn delete_body(
             z = w.get(z, if key < ck { NODE_LEFT } else { NODE_RIGHT })?;
         }
         if z == shape.nil {
-            w.set(shape.anchor, A_LOCK, Addr(0))?;
+            w.unlock()?;
             return Ok(Step::Done(0));
         }
 
@@ -493,9 +537,11 @@ pub fn delete_body(
             w.delete_fixup(x)?;
         }
         // The node cut out of the tree is `z` when y == z, else... also z:
-        // CLRS moves y into z's position, so z is the unlinked node.
-        w.m.retire(w.cpu, z)?;
-        w.m.store(w.cpu, shape.anchor, A_LOCK, 0)?;
+        // CLRS moves y into z's position, so z is the unlinked node. The
+        // single writer performed that unlink under the lock it still
+        // holds, which is exactly the `assume_unlinked` proof obligation.
+        Unlinked::<RbNode>::assume_unlinked(z.raw()).retire(&mut w.mem)?;
+        w.unlock()?;
         Ok(Step::Done(1))
     }
 }

@@ -14,16 +14,15 @@
 //! the full `preds`/`succs` arrays, which is why
 //! [`stacktrack::layout::STACK_SLOTS`] is sized the way it is.
 
-// MIGRATION NOTE: not yet ported to the typed reclamation API
-// (`st_reclaim::mem`); this module still drives the deprecated raw
-// `protect`/`retire` surface. Port as for crate::list — typed guard
-// handles from a `GuardPool` sized by `guard_requirement()`, `Shared`
-// borrows per level, `Unlinked` minted by the bottom-level unlink — see
-// docs/MEMORY_API.md.
-#![allow(deprecated)]
+//! Written against the typed reclamation API (`st_reclaim::mem`): the
+//! per-level guard arrays are `GuardPool` handles in declaration order,
+//! searches snip marked nodes with `cas_snip` (helping — no proof
+//! minted), the bottom-level mark CAS decides ownership, and the owner
+//! mints its `Unlinked` proof with `assume_unlinked` once its cleanup
+//! search has unlinked every level — see docs/MEMORY_API.md.
 
 use st_machine::{Cpu, Pcg32};
-use st_reclaim::mem::GuardRequirement;
+use st_reclaim::mem::{Guard, GuardPool, GuardRequirement, Mem, NodeType, Owned, Unlinked};
 use st_reclaim::SchemeThread;
 use st_simheap::{Addr, Heap, TaggedPtr, Word};
 use st_simhtm::Abort;
@@ -46,6 +45,16 @@ pub const NODE_KEY: u64 = 0;
 pub const NODE_LEVEL: u64 = 1;
 /// First next-pointer word offset.
 pub const NODE_NEXT0: u64 = 2;
+
+/// The skip list's node layout: `[key, level, next_0 .. next_{l-1}]`.
+///
+/// `WORDS` declares the maximum (full-height) tower; actual towers are
+/// `2 + height` words and allocated with `Mem::alloc_var`.
+#[derive(Debug, Clone, Copy)]
+pub struct SkipNode;
+impl NodeType for SkipNode {
+    const WORDS: usize = 2 + MAX_LEVEL;
+}
 
 /// Shadow-stack slots used by skip-list operations.
 pub const SKIP_SLOTS: usize = 10 + 2 * MAX_LEVEL;
@@ -76,15 +85,18 @@ const INS_LVL: usize = 9;
 const PREDS: usize = 10;
 const SUCCS: usize = 10 + MAX_LEVEL;
 
-// Guard assignment.
-const fn g_pred(level: usize) -> usize {
-    level
+// Guard assignment, fixed by `GuardPool` declaration order in every
+// body: `pred[l] = l`, `curr[l] = MAX_LEVEL + l`, work = 2*MAX_LEVEL,
+// node = 2*MAX_LEVEL + 1.
+fn take_guards(pool: &mut GuardPool) -> ([Guard; MAX_LEVEL], [Guard; MAX_LEVEL], Guard, Guard) {
+    // `array::from_fn` fills in ascending index order, so `pred[l]`
+    // always lands on scheme slot `l` (asserted by a unit test below).
+    let pred: [Guard; MAX_LEVEL] = std::array::from_fn(|_| pool.guard());
+    let curr: [Guard; MAX_LEVEL] = std::array::from_fn(|_| pool.guard());
+    let work = pool.guard();
+    let node = pool.guard();
+    (pred, curr, work, node)
 }
-const fn g_curr(level: usize) -> usize {
-    MAX_LEVEL + level
-}
-const G_WORK: usize = 2 * MAX_LEVEL;
-const G_NODE: usize = 2 * MAX_LEVEL + 1;
 
 // Phases.
 const P_SEARCH_START: Word = 0;
@@ -232,88 +244,81 @@ impl SkipShape {
 fn search_step(
     shape: SkipShape,
     key: u64,
-    m: &mut dyn OpMem,
-    cpu: &mut Cpu,
+    mem: &mut Mem<'_, '_>,
+    g_pred: &mut [Guard; MAX_LEVEL],
+    g_curr: &mut [Guard; MAX_LEVEL],
+    g_work: &mut Guard,
 ) -> Result<Step, Abort> {
-    let phase = m.get_local(cpu, PHASE);
+    let phase = mem.local(PHASE);
     if phase == P_SEARCH_START {
         let top = MAX_LEVEL - 1;
-        m.protect(cpu, g_pred(top), shape.head.raw());
-        let curr = TaggedPtr::from_word(m.load_ptr(
-            cpu,
-            shape.head,
-            NODE_NEXT0 + top as u64,
-            g_curr(top),
-        )?);
-        m.set_local(cpu, PRED, shape.head.raw());
-        m.set_local(cpu, CURR, curr.addr().raw());
-        m.set_local(cpu, LVL, top as u64);
-        m.set_local(cpu, PHASE, P_SEARCH_STEP);
+        // The head sentinel is immortal — shielding it is always sound.
+        let pred = g_pred[top].shield::<SkipNode>(mem, shape.head.raw());
+        let curr = pred
+            .link::<SkipNode>(NODE_NEXT0 + top as u64)
+            .load(mem, &mut g_curr[top])?;
+        mem.set_local(PRED, shape.head.raw());
+        mem.set_local(CURR, curr.addr_word());
+        mem.set_local(LVL, top as u64);
+        mem.set_local(PHASE, P_SEARCH_STEP);
         return Ok(Step::Continue);
     }
     debug_assert_eq!(phase, P_SEARCH_STEP);
 
-    let l = m.get_local(cpu, LVL) as usize;
-    let pred = Addr::from_raw(m.get_local(cpu, PRED));
-    let curr = Addr::from_raw(m.get_local(cpu, CURR));
-    let succ = TaggedPtr::from_word(m.load_ptr(cpu, curr, NODE_NEXT0 + l as u64, G_WORK)?);
+    let l = mem.local(LVL) as usize;
+    let pred_word = mem.local(PRED);
+    let curr_word = mem.local(CURR);
+    let curr = g_curr[l].assume_protected::<SkipNode>(curr_word);
+    let succ = curr
+        .link::<SkipNode>(NODE_NEXT0 + l as u64)
+        .load(mem, g_work)?;
 
     if succ.marked() {
-        // `curr` is deleted: snip it out of this level.
-        match m.cas(
-            cpu,
-            pred,
-            NODE_NEXT0 + l as u64,
-            curr.raw(),
-            succ.addr().raw(),
-        )? {
-            Ok(_) => {
-                if std::env::var("SKIP_TRACE").is_ok()
-                    && (pred.raw() == 8072 || succ.addr().raw() == 6632 || curr.raw() == 6632)
-                {
-                    eprintln!(
-                        "[trace t{} ] SNIP l{l}: {pred:?}.next <- {:?} (removing {curr:?})",
-                        cpu.thread_id,
-                        succ.addr()
-                    );
-                }
-                m.protect(cpu, g_curr(l), succ.addr().raw());
-                m.set_local(cpu, CURR, succ.addr().raw());
+        // `curr` is deleted: snip it out of this level — helping only,
+        // so no unlink proof is minted (the bottom-mark winner owns the
+        // retire; see `delete_body`).
+        let pred = g_pred[l].assume_protected::<SkipNode>(pred_word);
+        match pred
+            .link::<SkipNode>(NODE_NEXT0 + l as u64)
+            .cas_snip(mem, &curr, succ.addr_word())?
+        {
+            Ok(()) => {
+                let _ = g_curr[l].shield::<SkipNode>(mem, succ.addr_word());
+                mem.set_local(CURR, succ.addr_word());
             }
-            Err(_) => {
-                m.set_local(cpu, PHASE, P_SEARCH_START);
+            Err(_actual) => {
+                mem.set_local(PHASE, P_SEARCH_START);
             }
         }
         return Ok(Step::Continue);
     }
 
-    let ckey = m.load(cpu, curr, NODE_KEY)?;
+    let ckey = curr.read(mem, NODE_KEY)?;
     if ckey < key {
-        m.protect(cpu, g_pred(l), curr.raw());
-        m.protect(cpu, g_curr(l), succ.addr().raw());
-        m.set_local(cpu, PRED, curr.raw());
-        m.set_local(cpu, CURR, succ.addr().raw());
+        let _ = g_pred[l].shield::<SkipNode>(mem, curr_word);
+        let _ = g_curr[l].shield::<SkipNode>(mem, succ.addr_word());
+        mem.set_local(PRED, curr_word);
+        mem.set_local(CURR, succ.addr_word());
         return Ok(Step::Continue);
     }
 
     // Record this level and descend (or finish).
-    m.set_local(cpu, PREDS + l, pred.raw());
-    m.set_local(cpu, SUCCS + l, curr.raw());
+    mem.set_local(PREDS + l, pred_word);
+    mem.set_local(SUCCS + l, curr_word);
     if l == 0 {
-        m.set_local(cpu, CKEY, ckey);
-        let cont = m.get_local(cpu, CONT);
-        m.set_local(cpu, PHASE, cont);
+        mem.set_local(CKEY, ckey);
+        let cont = mem.local(CONT);
+        mem.set_local(PHASE, cont);
     } else {
         let below = l - 1;
-        m.protect(cpu, g_pred(below), pred.raw());
-        let c = TaggedPtr::from_word(m.load_ptr(
-            cpu,
-            pred,
-            NODE_NEXT0 + below as u64,
-            g_curr(below),
-        )?);
-        m.set_local(cpu, CURR, c.addr().raw());
-        m.set_local(cpu, LVL, below as u64);
+        // The descend re-shields `pred` one level down while it is still
+        // covered by `g_pred[l]`, then loads its link there.
+        let pred_below = g_pred[below].shield::<SkipNode>(mem, pred_word);
+        let c = pred_below
+            .link::<SkipNode>(NODE_NEXT0 + below as u64)
+            .load(mem, &mut g_curr[below])?;
+        mem.set_local(CURR, c.addr_word());
+        mem.set_local(LVL, below as u64);
     }
     Ok(Step::Continue)
 }
@@ -325,15 +330,18 @@ pub fn contains_body(
 ) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
     assert!(key > 0 && key < u64::MAX, "key range");
     move |m, cpu| {
-        let phase = m.get_local(cpu, PHASE);
+        let mut mem = Mem::new(m, cpu);
+        let mut guards = GuardPool::new(guard_requirement());
+        let (mut g_pred, mut g_curr, mut g_work, _g_node) = take_guards(&mut guards);
+        let phase = mem.local(PHASE);
         match phase {
             P_SEARCH_START | P_SEARCH_STEP => {
                 if phase == P_SEARCH_START {
-                    m.set_local(cpu, CONT, P_CONTAINS_DONE);
+                    mem.set_local(CONT, P_CONTAINS_DONE);
                 }
-                search_step(shape, key, m, cpu)
+                search_step(shape, key, &mut mem, &mut g_pred, &mut g_curr, &mut g_work)
             }
-            P_CONTAINS_DONE => Ok(Step::Done(u64::from(m.get_local(cpu, CKEY) == key))),
+            P_CONTAINS_DONE => Ok(Step::Done(u64::from(mem.local(CKEY) == key))),
             other => unreachable!("contains phase {other}"),
         }
     }
@@ -346,50 +354,57 @@ pub fn insert_body(
 ) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
     assert!(key > 0 && key < u64::MAX, "key range");
     move |m, cpu| {
-        let phase = m.get_local(cpu, PHASE);
+        let mut mem = Mem::new(m, cpu);
+        let mut guards = GuardPool::new(guard_requirement());
+        let (mut g_pred, mut g_curr, mut g_work, mut g_node) = take_guards(&mut guards);
+        let phase = mem.local(PHASE);
         match phase {
             P_SEARCH_START | P_SEARCH_STEP => {
-                if phase == P_SEARCH_START && m.get_local(cpu, CONT) == 0 {
-                    m.set_local(cpu, CONT, P_INS_CHECK);
+                if phase == P_SEARCH_START && mem.local(CONT) == 0 {
+                    mem.set_local(CONT, P_INS_CHECK);
                 }
-                search_step(shape, key, m, cpu)
+                search_step(shape, key, &mut mem, &mut g_pred, &mut g_curr, &mut g_work)
             }
             P_INS_CHECK => {
-                if m.get_local(cpu, CKEY) == key {
-                    let node = m.get_local(cpu, NODE);
-                    if node != 0 {
+                if mem.local(CKEY) == key {
+                    let node_word = mem.local(NODE);
+                    if let Some(node) = Owned::<SkipNode>::unstash(node_word) {
                         // Never published; safe to hand back.
-                        m.retire(cpu, Addr::from_raw(node))?;
-                        m.set_local(cpu, NODE, 0);
+                        node.dispose(&mut mem)?;
+                        mem.set_local(NODE, 0);
                     }
                     return Ok(Step::Done(0));
                 }
-                let node = match m.get_local(cpu, NODE) {
-                    0 => {
-                        let h = SkipShape::random_level(&mut cpu.rng);
-                        let node = m.alloc(cpu, 2 + h);
-                        m.store(cpu, node, NODE_KEY, key)?;
-                        m.store(cpu, node, NODE_LEVEL, h as u64)?;
-                        m.protect(cpu, G_NODE, node.raw());
-                        m.set_local(cpu, NODE, node.raw());
-                        m.set_local(cpu, TOPLVL, h as u64);
+                let node = match Owned::<SkipNode>::unstash(mem.local(NODE)) {
+                    None => {
+                        let h = SkipShape::random_level(&mut mem.cpu().rng);
+                        let node = mem.alloc_var::<SkipNode>(2 + h);
+                        node.store(&mut mem, NODE_KEY, key)?;
+                        node.store(&mut mem, NODE_LEVEL, h as u64)?;
+                        // Pin our own tower for the whole operation (it
+                        // is still private, so the shield is sound).
+                        let _ = g_node.shield::<SkipNode>(&mut mem, node.word());
+                        mem.set_local(NODE, node.word());
+                        mem.set_local(TOPLVL, h as u64);
                         node
                     }
-                    raw => Addr::from_raw(raw),
+                    Some(node) => node,
                 };
                 // Aim the unpublished tower at the current successors.
-                let h = m.get_local(cpu, TOPLVL);
+                let h = mem.local(TOPLVL);
                 for l in 0..h as usize {
-                    let succ = m.get_local(cpu, SUCCS + l.min(MAX_LEVEL - 1));
-                    m.store(cpu, node, NODE_NEXT0 + l as u64, succ)?;
+                    let succ = mem.local(SUCCS + l.min(MAX_LEVEL - 1));
+                    node.store(&mut mem, NODE_NEXT0 + l as u64, succ)?;
                 }
-                m.set_local(cpu, PHASE, P_INS_BOTTOM);
+                // Still unpublished; it stays stashed for the next block.
+                let _ = node.stash();
+                mem.set_local(PHASE, P_INS_BOTTOM);
                 Ok(Step::Continue)
             }
             P_INS_BOTTOM => {
-                let node = Addr::from_raw(m.get_local(cpu, NODE));
-                let pred = Addr::from_raw(m.get_local(cpu, PREDS));
-                let succ = m.get_local(cpu, SUCCS);
+                let node_word = mem.local(NODE);
+                let pred_word = mem.local(PREDS);
+                let succ = mem.local(SUCCS);
                 // Never link in front of a marked successor: a deleted
                 // same-key node hidden behind ours would be invisible to
                 // its owner's cleanup search (which stops at the first
@@ -397,66 +412,83 @@ pub fn insert_body(
                 // linked. Re-search instead; the search snips it. The mark
                 // check and the CAS share this block, which the simulated
                 // machine executes atomically (segment granularity).
-                let succ_state =
-                    TaggedPtr::from_word(m.load(cpu, Addr::from_raw(succ), NODE_NEXT0)?);
+                let succ_sh = g_curr[0].assume_protected::<SkipNode>(succ);
+                let succ_state = TaggedPtr::from_word(succ_sh.read(&mut mem, NODE_NEXT0)?);
                 if succ_state.marked() {
-                    m.set_local(cpu, PHASE, P_SEARCH_START);
+                    mem.set_local(PHASE, P_SEARCH_START);
                     return Ok(Step::Continue);
                 }
-                match m.cas(cpu, pred, NODE_NEXT0, succ, node.raw())? {
-                    Ok(_) => {
-                        m.set_local(cpu, INS_LVL, 1);
-                        m.set_local(cpu, PHASE, P_INS_UPPER);
+                let node = Owned::<SkipNode>::unstash(node_word).expect("tower stashed");
+                let pred = g_pred[0].assume_protected::<SkipNode>(pred_word);
+                match pred
+                    .link::<SkipNode>(NODE_NEXT0)
+                    .cas_publish(&mut mem, succ, node)?
+                {
+                    Ok(()) => {
+                        mem.set_local(INS_LVL, 1);
+                        mem.set_local(PHASE, P_INS_UPPER);
                     }
-                    Err(_) => {
-                        m.set_local(cpu, PHASE, P_SEARCH_START);
+                    Err((lost, _actual)) => {
+                        // Still unpublished; it stays stashed for retry.
+                        let _ = lost.stash();
+                        mem.set_local(PHASE, P_SEARCH_START);
                     }
                 }
                 Ok(Step::Continue)
             }
             P_INS_UPPER => {
-                let l = m.get_local(cpu, INS_LVL) as usize;
-                let h = m.get_local(cpu, TOPLVL) as usize;
+                let l = mem.local(INS_LVL) as usize;
+                let h = mem.local(TOPLVL) as usize;
                 if l >= h {
                     return Ok(Step::Done(1));
                 }
-                let node = Addr::from_raw(m.get_local(cpu, NODE));
-                let pred = Addr::from_raw(m.get_local(cpu, PREDS + l));
-                let succ = m.get_local(cpu, SUCCS + l);
-                let cur_next = TaggedPtr::from_word(m.load(cpu, node, NODE_NEXT0 + l as u64)?);
+                // The tower is published (it carries readers), so upper
+                // levels are linked with plain word CASes — no `Owned`
+                // token exists any more.
+                let node_word = mem.local(NODE);
+                let pred_word = mem.local(PREDS + l);
+                let succ = mem.local(SUCCS + l);
+                let node = g_node.assume_protected::<SkipNode>(node_word);
+                let cur_next = TaggedPtr::from_word(node.read(&mut mem, NODE_NEXT0 + l as u64)?);
                 if cur_next.marked() {
                     // Deleted while inserting; the deleter unlinks.
                     return Ok(Step::Done(1));
                 }
                 if cur_next.word() != succ {
                     // Refresh the tower pointer before linking.
-                    let _ = m.cas(cpu, node, NODE_NEXT0 + l as u64, cur_next.word(), succ)?;
+                    let _ = node.link::<SkipNode>(NODE_NEXT0 + l as u64).cas_word(
+                        &mut mem,
+                        cur_next.word(),
+                        succ,
+                    )?;
                     return Ok(Step::Continue);
                 }
                 // Same marked-successor guard as the bottom level (see
                 // P_INS_BOTTOM); checked atomically with the link CAS.
-                let succ_state = TaggedPtr::from_word(m.load(
-                    cpu,
-                    Addr::from_raw(succ),
-                    NODE_NEXT0 + l as u64,
-                )?);
+                let succ_sh = g_curr[l].assume_protected::<SkipNode>(succ);
+                let succ_state =
+                    TaggedPtr::from_word(succ_sh.read(&mut mem, NODE_NEXT0 + l as u64)?);
                 if succ_state.marked() {
-                    m.set_local(cpu, CONT, P_INS_UPPER);
-                    m.set_local(cpu, PHASE, P_SEARCH_START);
+                    mem.set_local(CONT, P_INS_UPPER);
+                    mem.set_local(PHASE, P_SEARCH_START);
                     return Ok(Step::Continue);
                 }
-                match m.cas(cpu, pred, NODE_NEXT0 + l as u64, succ, node.raw())? {
-                    Ok(_) => {
-                        m.set_local(cpu, INS_LVL, l as u64 + 1);
+                let pred = g_pred[l].assume_protected::<SkipNode>(pred_word);
+                match pred
+                    .link::<SkipNode>(NODE_NEXT0 + l as u64)
+                    .cas_word(&mut mem, succ, node_word)?
+                {
+                    Ok(_prev) => {
+                        mem.set_local(INS_LVL, l as u64 + 1);
                         Ok(Step::Continue)
                     }
-                    Err(_) => {
+                    Err(_actual) => {
                         // Stale predecessor: refresh preds/succs and retry
                         // this level. The continuation must come back HERE —
                         // re-entering P_INS_CHECK would find our own linked
                         // node and retire it (a linked-node free).
-                        m.set_local(cpu, CONT, P_INS_UPPER);
-                        m.set_local(cpu, PHASE, P_SEARCH_START);
+                        mem.set_local(CONT, P_INS_UPPER);
+                        mem.set_local(PHASE, P_SEARCH_START);
                         Ok(Step::Continue)
                     }
                 }
@@ -473,26 +505,31 @@ pub fn delete_body(
 ) -> impl FnMut(&mut dyn OpMem, &mut Cpu) -> Result<Step, Abort> + Send + 'static {
     assert!(key > 0 && key < u64::MAX, "key range");
     move |m, cpu| {
-        let phase = m.get_local(cpu, PHASE);
+        let mut mem = Mem::new(m, cpu);
+        let mut guards = GuardPool::new(guard_requirement());
+        let (mut g_pred, mut g_curr, mut g_work, mut g_node) = take_guards(&mut guards);
+        let phase = mem.local(PHASE);
         match phase {
             P_SEARCH_START | P_SEARCH_STEP => {
-                if phase == P_SEARCH_START && m.get_local(cpu, CONT) == 0 {
-                    m.set_local(cpu, CONT, P_DEL_CHECK);
+                if phase == P_SEARCH_START && mem.local(CONT) == 0 {
+                    mem.set_local(CONT, P_DEL_CHECK);
                 }
-                search_step(shape, key, m, cpu)
+                search_step(shape, key, &mut mem, &mut g_pred, &mut g_curr, &mut g_work)
             }
             P_DEL_CHECK => {
-                if m.get_local(cpu, CKEY) != key {
+                if mem.local(CKEY) != key {
                     return Ok(Step::Done(0));
                 }
-                let node = Addr::from_raw(m.get_local(cpu, SUCCS));
-                let h = m.load(cpu, node, NODE_LEVEL)?;
-                m.protect(cpu, G_NODE, node.raw());
-                m.set_local(cpu, NODE, node.raw());
-                m.set_local(cpu, TOPLVL, h);
-                m.set_local(cpu, MARK_LVL, h - 1);
-                m.set_local(
-                    cpu,
+                let node_word = mem.local(SUCCS);
+                let node = g_curr[0].assume_protected::<SkipNode>(node_word);
+                let h = node.read(&mut mem, NODE_LEVEL)?;
+                // Pin the victim for the rest of the operation (it is
+                // still covered by the search's bottom-level guard).
+                let _ = g_node.shield::<SkipNode>(&mut mem, node_word);
+                mem.set_local(NODE, node_word);
+                mem.set_local(TOPLVL, h);
+                mem.set_local(MARK_LVL, h - 1);
+                mem.set_local(
                     PHASE,
                     if h > 1 {
                         P_DEL_MARK_UPPER
@@ -503,58 +540,57 @@ pub fn delete_body(
                 Ok(Step::Continue)
             }
             P_DEL_MARK_UPPER => {
-                let l = m.get_local(cpu, MARK_LVL);
+                let l = mem.local(MARK_LVL);
                 debug_assert!(l >= 1);
-                let node = Addr::from_raw(m.get_local(cpu, NODE));
-                let next = TaggedPtr::from_word(m.load(cpu, node, NODE_NEXT0 + l)?);
+                let node = g_node.assume_protected::<SkipNode>(mem.local(NODE));
+                let next = TaggedPtr::from_word(node.read(&mut mem, NODE_NEXT0 + l)?);
                 let advanced = if next.marked() {
                     true
                 } else {
-                    m.cas(
-                        cpu,
-                        node,
-                        NODE_NEXT0 + l,
-                        next.word(),
-                        next.with_mark(true).word(),
-                    )?
-                    .is_ok()
+                    // A mark is a tag flip in place — `cas_word`, never an
+                    // unlink.
+                    node.link::<SkipNode>(NODE_NEXT0 + l)
+                        .cas_word(&mut mem, next.word(), next.with_mark(true).word())?
+                        .is_ok()
                 };
                 if advanced {
                     if l == 1 {
-                        m.set_local(cpu, PHASE, P_DEL_MARK_BOTTOM);
+                        mem.set_local(PHASE, P_DEL_MARK_BOTTOM);
                     } else {
-                        m.set_local(cpu, MARK_LVL, l - 1);
+                        mem.set_local(MARK_LVL, l - 1);
                     }
                 }
                 Ok(Step::Continue)
             }
             P_DEL_MARK_BOTTOM => {
-                let node = Addr::from_raw(m.get_local(cpu, NODE));
-                let next = TaggedPtr::from_word(m.load(cpu, node, NODE_NEXT0)?);
+                let node = g_node.assume_protected::<SkipNode>(mem.local(NODE));
+                let next = TaggedPtr::from_word(node.read(&mut mem, NODE_NEXT0)?);
                 if next.marked() {
                     // Another deleter won the bottom mark and owns the node.
                     return Ok(Step::Done(0));
                 }
-                match m.cas(
-                    cpu,
-                    node,
-                    NODE_NEXT0,
+                match node.link::<SkipNode>(NODE_NEXT0).cas_word(
+                    &mut mem,
                     next.word(),
                     next.with_mark(true).word(),
                 )? {
-                    Ok(_) => {
+                    Ok(_prev) => {
                         // We own the deletion: snip everywhere via a
                         // cleanup search, then retire.
-                        m.set_local(cpu, CONT, P_DEL_CLEANUP_DONE);
-                        m.set_local(cpu, PHASE, P_SEARCH_START);
+                        mem.set_local(CONT, P_DEL_CLEANUP_DONE);
+                        mem.set_local(PHASE, P_SEARCH_START);
                         Ok(Step::Continue)
                     }
-                    Err(_) => Ok(Step::Continue),
+                    Err(_actual) => Ok(Step::Continue),
                 }
             }
             P_DEL_CLEANUP_DONE => {
-                let node = Addr::from_raw(m.get_local(cpu, NODE));
-                m.retire(cpu, node)?;
+                // This operation won the bottom-level mark CAS (sole
+                // ownership) and its cleanup search confirmed the node is
+                // unlinked from every level — the audited premises of
+                // `assume_unlinked`.
+                let unlinked = Unlinked::<SkipNode>::assume_unlinked(mem.local(NODE));
+                unlinked.retire(&mut mem)?;
                 Ok(Step::Done(1))
             }
             other => unreachable!("delete phase {other}"),
@@ -620,6 +656,23 @@ mod tests {
     use super::*;
     use crate::testutil::{all_scheme_factories, test_cpu};
     use st_reclaim::Scheme;
+
+    #[test]
+    fn guard_declaration_order_matches_scheme_slots() {
+        // The per-level guard arrays must land on the same scheme slots
+        // the raw code used: `pred[l] = l`, `curr[l] = MAX_LEVEL + l`,
+        // then the work and node guards — the declaration-order contract
+        // `take_guards` relies on for byte-identical lowering.
+        let mut pool = GuardPool::new(guard_requirement());
+        let (pred, curr, work, node) = take_guards(&mut pool);
+        for l in 0..MAX_LEVEL {
+            assert_eq!(pred[l].index(), l);
+            assert_eq!(curr[l].index(), MAX_LEVEL + l);
+        }
+        assert_eq!(work.index(), 2 * MAX_LEVEL);
+        assert_eq!(node.index(), 2 * MAX_LEVEL + 1);
+        assert_eq!(SKIP_GUARDS, 2 * MAX_LEVEL + 2);
+    }
 
     #[test]
     fn untimed_population_is_sound() {

@@ -11,15 +11,20 @@
 //!
 //! Run with: `cargo run --release --example hidden_pointers`
 
-// This demo drives the raw `OpMem` surface on purpose: it shows the
-// scanner resolving interior pointers, below the typed `st_reclaim::mem`
-// API structures use.
-#![allow(deprecated)]
 use st_machine::Cpu;
+use st_reclaim::mem::{Atomic, Mem, NodeType, Unlinked};
 use st_simheap::{Addr, Heap, HeapConfig};
 use st_simhtm::{HtmConfig, HtmEngine};
 use stacktrack::{OpMem, StConfig, StRuntime, Step};
 use std::sync::Arc;
+
+/// The 16-word array the demo hides an interior pointer into.
+#[derive(Debug, Clone, Copy)]
+struct ArrayNode;
+
+impl NodeType for ArrayNode {
+    const WORDS: usize = 16;
+}
 
 fn scenario(interior_pointers: bool) -> bool {
     let heap = Arc::new(Heap::new(HeapConfig {
@@ -48,6 +53,9 @@ fn scenario(interior_pointers: bool) -> bool {
     heap.poke(cell, 0, array.raw());
 
     // The holder computes &array[5] and keeps ONLY that interior pointer.
+    // It stays on the raw shadow-stack surface on purpose: the typed API
+    // deliberately has no way to stash an interior pointer — this is the
+    // "hidden pointer" code pattern the scanner must cope with.
     holder.begin_op(&mut cpu_h, 0, 1);
     let mut hold = |m: &mut dyn OpMem, cpu: &mut Cpu| {
         if m.get_local(cpu, 0) == 0 {
@@ -61,13 +69,17 @@ fn scenario(interior_pointers: bool) -> bool {
         holder.step_op(&mut cpu_h, &mut hold);
     }
 
-    // The reclaimer unlinks the array and retires it.
+    // The reclaimer unlinks the array and retires it. It runs unguarded
+    // (StackTrack's transactions protect its own reads), so the unlink is
+    // a raw-word CAS whose victory is the `assume_unlinked` proof.
     use st_reclaim::SchemeThread;
     SchemeThread::run_op(&mut reclaimer, &mut cpu_r, 0, 1, &mut |m, cpu| {
-        let cur = m.load(cpu, cell, 0)?;
+        let mut mem = Mem::new(m, cpu);
+        let a_cell = Atomic::<ArrayNode>::root(cell, 0);
+        let cur = a_cell.load_word(&mut mem)?;
         if cur != 0 {
-            m.cas(cpu, cell, 0, cur, 0)?.expect("unlink");
-            m.retire(cpu, Addr::from_raw(cur))?;
+            a_cell.cas_word(&mut mem, cur, 0)?.expect("unlink");
+            Unlinked::<ArrayNode>::assume_unlinked(cur).retire(&mut mem)?;
         }
         Ok(Step::Done(0))
     });

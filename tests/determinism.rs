@@ -116,6 +116,49 @@ fn parallel_sweep_artifacts_are_byte_identical_to_serial() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// The same contract for the figure drivers over the typed-API ports:
+/// the skip list (figure 1b) and queue (figure 2a) sweeps must persist
+/// byte-identical artifacts at `--jobs 1`, `2`, and `4`. This is the
+/// regression fence for the migration's central claim — every typed
+/// method lowers to the identical raw call sequence, so no artifact
+/// byte may move under any worker fan-out.
+#[test]
+fn typed_structure_figures_are_byte_identical_across_jobs() {
+    use st_bench::experiment::RunResult;
+    use st_bench::figures::{fig1_skiplist, fig2_queue, BenchOpts};
+
+    let figures: [(&str, fn(&BenchOpts) -> Vec<RunResult>, &str); 2] = [
+        ("fig1_skiplist", fig1_skiplist, "fig1_skiplist"),
+        ("fig2_queue", fig2_queue, "fig2_queue"),
+    ];
+    let base = std::env::temp_dir().join(format!("st-fig-determinism-{}", std::process::id()));
+    for (tag, driver, stem) in figures {
+        let run = |jobs: usize| {
+            let opts = BenchOpts {
+                duration_ms: 1,
+                scale: 100,
+                max_threads: 2,
+                out: base.join(format!("{tag}-jobs{jobs}")),
+                jobs,
+                ..BenchOpts::default()
+            };
+            driver(&opts);
+            let read = |name: String| {
+                std::fs::read(opts.out.join(&name)).unwrap_or_else(|e| panic!("{name}: {e}"))
+            };
+            (
+                read(format!("{stem}.json")),
+                read(format!("{stem}.metrics.json")),
+                read(format!("{stem}.md")),
+            )
+        };
+        let jobs1 = run(1);
+        assert_eq!(jobs1, run(2), "{tag}: --jobs 2 must match --jobs 1");
+        assert_eq!(jobs1, run(4), "{tag}: --jobs 4 must match --jobs 1");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 #[test]
 fn every_scheme_is_deterministic() {
     for scheme in [

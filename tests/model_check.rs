@@ -133,6 +133,51 @@ fn typed_list_is_clean_under_stacktrack_and_nbr_at_deep_bounds() {
     }
 }
 
+/// The same smoke for the three structures ported after the list: the
+/// skip list (per-level guard arrays, helping snips, deferred-ownership
+/// retires), the queue (stash/unstash dummy handoff, head-swing
+/// `cas_unlink`), and the red-black tree (lock `Field`, `Exclusive`
+/// writer sections, `assume_unlinked` delete). Deep-bound exploration
+/// under a transactional scheme (StackTrack), a per-pointer scheme
+/// (Hazard), and a batch scheme (Hyaline) must stay clean — the typed
+/// lowering adds no call the oracles do not already watch.
+#[test]
+fn typed_skiplist_is_clean_under_three_schemes_at_deep_bounds() {
+    typed_structure_smoke(Structure::SkipList);
+}
+
+#[test]
+fn typed_queue_is_clean_under_three_schemes_at_deep_bounds() {
+    typed_structure_smoke(Structure::Queue);
+}
+
+#[test]
+fn typed_rbtree_is_clean_under_three_schemes_at_deep_bounds() {
+    typed_structure_smoke(Structure::RbTree);
+}
+
+fn typed_structure_smoke(structure: Structure) {
+    for scheme in [Scheme::StackTrack, Scheme::Hazard, Scheme::Hyaline] {
+        let config = CheckConfig {
+            structure,
+            scheme,
+            threads: 2,
+            ops_per_thread: 2,
+            key_range: 4,
+            seed: 104,
+            mutation: Mutation::None,
+            ..CheckConfig::default()
+        };
+        let report = check(&config, &deep_dfs());
+        assert!(
+            report.passed(),
+            "typed {structure} under {scheme:?} violated an oracle: {:?}",
+            report.failure
+        );
+        assert!(report.schedules_run > 0);
+    }
+}
+
 #[test]
 fn intact_protocols_pass_dfs_and_random_exploration() {
     for structure in [
@@ -140,6 +185,7 @@ fn intact_protocols_pass_dfs_and_random_exploration() {
         Structure::Hash,
         Structure::Queue,
         Structure::SkipList,
+        Structure::RbTree,
     ] {
         for scheme in [
             Scheme::StackTrack,

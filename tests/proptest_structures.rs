@@ -16,20 +16,23 @@
 use st_check::{check, CheckConfig, ExploreConfig, ExploreMode, Structure};
 use st_reclaim::Scheme;
 
-const STRUCTURES: [Structure; 4] = [
+const STRUCTURES: [Structure; 5] = [
     Structure::List,
     Structure::Hash,
     Structure::Queue,
     Structure::SkipList,
+    Structure::RbTree,
 ];
 
-const SCHEMES: [Scheme; 6] = [
+const SCHEMES: [Scheme; 8] = [
     Scheme::None,
     Scheme::Epoch,
     Scheme::Hazard,
     Scheme::Dta,
     Scheme::RefCount,
     Scheme::StackTrack,
+    Scheme::Nbr,
+    Scheme::Hyaline,
 ];
 
 /// DTA is list-only by design; substitute the leak-free baseline

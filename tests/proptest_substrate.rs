@@ -6,9 +6,6 @@
 //! no registry access, and explicit seeds make failures replayable by
 //! construction.
 
-// Substrate-level property tests exercise the raw `OpMem` surface —
-// the layer beneath the typed `st_reclaim::mem` API structures use.
-#![allow(deprecated)]
 use st_machine::rng::Pcg32;
 use st_machine::{cpu::ActivityBoard, CostModel, Cpu, HwContext, Topology};
 use st_simheap::{Addr, Heap, HeapConfig, TaggedPtr};
@@ -178,12 +175,23 @@ fn scanner_has_no_false_negatives() {
                 holder.step_op(&mut cpu_h, &mut hold);
             }
 
+            // The reclaimer runs unguarded (StackTrack's transactions
+            // protect its reads); winning the raw-word unlink CAS is the
+            // `assume_unlinked` proof.
+            use st_reclaim::mem::{Atomic, Mem, NodeType, Unlinked};
             use st_reclaim::SchemeThread;
+            #[derive(Debug, Clone, Copy)]
+            struct TwoWords;
+            impl NodeType for TwoWords {
+                const WORDS: usize = 2;
+            }
             SchemeThread::run_op(&mut reclaimer, &mut cpu_r, 0, 1, &mut |m, cpu| {
-                let cur = m.load(cpu, cell, 0)?;
+                let mut mem = Mem::new(m, cpu);
+                let a_cell = Atomic::<TwoWords>::root(cell, 0);
+                let cur = a_cell.load_word(&mut mem)?;
                 if cur != 0 {
-                    m.cas(cpu, cell, 0, cur, 0)?.expect("unlink");
-                    m.retire(cpu, Addr::from_raw(cur))?;
+                    a_cell.cas_word(&mut mem, cur, 0)?.expect("unlink");
+                    Unlinked::<TwoWords>::assume_unlinked(cur).retire(&mut mem)?;
                 }
                 Ok(Step::Done(0))
             });
