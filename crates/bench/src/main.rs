@@ -10,6 +10,7 @@
 //!   ablation-predictor ablation-regfile ablation-scanmode ablation-refcount
 //!   extra-rbtree robustness all
 //!   check-metrics FILE...
+//!   check-timing FILE...
 //!   check [--structures a,b] [--mode dfs|random] [--mutate M] [--replay TOKEN] ...
 //!   audit [--structures a,b] [--schemes A,B] [--budget-ms N] [--faults on|off] ...
 //! ```
@@ -17,7 +18,8 @@
 //! Every subcommand prints its table(s) and writes JSON + markdown under
 //! `--out` (default `results/`), plus a versioned full-metrics snapshot
 //! (`<name>.metrics.json`, schema in docs/METRICS.md). `check-metrics`
-//! validates existing snapshot files against the current schema.
+//! validates existing snapshot files against the current schema;
+//! `check-timing` does the same for `--timing-out` reports.
 //! `--jobs N` fans the sweep across N worker threads without changing any
 //! artifact byte (docs/PERF.md); `--timing-out FILE` writes a host
 //! wall-clock report per configuration. See EXPERIMENTS.md for the
@@ -35,7 +37,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: st-bench <fig1-list|fig1-skiplist|fig2-queue|fig2-hash|fig3-aborts|fig4-splits|\
          fig5-slowpath|scan-overhead|ablation-predictor|ablation-regfile|ablation-scanmode|\
-         ablation-refcount|extra-rbtree|robustness|all|check|check-metrics|audit> [--ms N] [--seed N] \
+         ablation-refcount|extra-rbtree|robustness|all|check|check-metrics|check-timing|audit> \
+         [--ms N] [--seed N] \
          [--scale N] [--threads N] [--out DIR] [--schemes A,B,...] [--jobs N] \
          [--timing-out FILE] (see `check --help` style flags in docs/TESTING.md)"
     );
@@ -50,6 +53,9 @@ fn main() -> ExitCode {
 
     if cmd == "check-metrics" {
         return check_metrics(&args[1..]);
+    }
+    if cmd == "check-timing" {
+        return check_timing(&args[1..]);
     }
     if cmd == "check" {
         return checkcmd::run(&args[1..]);
@@ -179,6 +185,60 @@ fn main() -> ExitCode {
 
 /// Validates `*.metrics.json` snapshot files against the current schema and
 /// prints a one-line summary per run.
+/// Validates `--timing-out` reports (the `BENCH_sweep.json` schema,
+/// docs/PERF.md) so perf-trajectory records cannot silently drift.
+fn check_timing(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("usage: st-bench check-timing FILE...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let doc = match st_obs::Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path}: invalid JSON: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match sweep::validate_timing_report(&doc) {
+            Ok(n) => {
+                let jobs = doc.get("jobs").and_then(st_obs::Json::as_u64).unwrap_or(0);
+                let cores = doc
+                    .get("host_cores")
+                    .and_then(st_obs::Json::as_u64)
+                    .unwrap_or(0);
+                let total = doc
+                    .get("total_host_ms")
+                    .and_then(st_obs::Json::as_f64)
+                    .unwrap_or(0.0);
+                println!(
+                    "{path}: {n} configs, jobs {jobs}, host_cores {cores}, \
+                     total_host_ms {total:.1}"
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: invalid timing report: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn check_metrics(paths: &[String]) -> ExitCode {
     if paths.is_empty() {
         eprintln!("usage: st-bench check-metrics FILE...");

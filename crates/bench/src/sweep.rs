@@ -95,6 +95,66 @@ pub fn timing_report(
     doc
 }
 
+/// Validates a `--timing-out` report document against the schema
+/// [`timing_report`] writes. Returns the number of config rows.
+///
+/// This is the `check-timing` CLI's core: CI regenerates a small figure
+/// with `--timing-out` and runs this over the result, so schema drift in
+/// the perf-trajectory record (`BENCH_sweep.json`, docs/PERF.md) fails the
+/// build instead of silently breaking comparisons.
+pub fn validate_timing_report(doc: &Json) -> Result<usize, String> {
+    let require_u64 = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing or non-integer \"{key}\""))
+    };
+    doc.get("command")
+        .and_then(Json::as_str)
+        .ok_or("missing or non-string \"command\"")?;
+    let jobs = require_u64("jobs")?;
+    if jobs == 0 {
+        return Err("\"jobs\" must be at least 1".into());
+    }
+    if require_u64("host_cores")? == 0 {
+        return Err("\"host_cores\" must be at least 1".into());
+    }
+    let total = doc
+        .get("total_host_ms")
+        .and_then(Json::as_f64)
+        .ok_or("missing or non-numeric \"total_host_ms\"")?;
+    if !total.is_finite() || total < 0.0 {
+        return Err(format!(
+            "\"total_host_ms\" must be finite and >= 0, got {total}"
+        ));
+    }
+    let configs = doc
+        .get("configs")
+        .and_then(Json::as_arr)
+        .ok_or("missing or non-array \"configs\"")?;
+    if configs.is_empty() {
+        return Err("\"configs\" must not be empty".into());
+    }
+    for (i, row) in configs.iter().enumerate() {
+        for key in ["figure", "scheme", "structure"] {
+            row.get(key)
+                .and_then(Json::as_str)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| format!("config {i}: missing or empty \"{key}\""))?;
+        }
+        if row.get("threads").and_then(Json::as_u64).is_none() {
+            return Err(format!("config {i}: missing or non-integer \"threads\""));
+        }
+        let ms = row
+            .get("host_ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("config {i}: missing or non-numeric \"host_ms\""))?;
+        if !ms.is_finite() || ms < 0.0 {
+            return Err(format!("config {i}: \"host_ms\" must be finite and >= 0"));
+        }
+    }
+    Ok(configs.len())
+}
+
 /// Logical CPUs visible to this process (1 if the query fails).
 pub fn host_cores() -> usize {
     std::thread::available_parallelism()
@@ -254,5 +314,48 @@ mod tests {
             assert!(text.contains(&format!("\"{key}\":")), "missing {key}");
         }
         assert_eq!(doc.get("jobs").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn generated_timing_report_validates() {
+        let rows = [ConfigTiming {
+            figure: "fig1_list".into(),
+            scheme: "stacktrack".into(),
+            structure: "List".into(),
+            threads: 4,
+            host_ms: 12.5,
+        }];
+        let doc = timing_report("all", 2, 99.0, &rows);
+        // Round-trip through text, as check-timing does.
+        let parsed = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(validate_timing_report(&parsed), Ok(1));
+    }
+
+    #[test]
+    fn timing_validation_rejects_bad_shapes() {
+        let reject = |text: &str, needle: &str| {
+            let err = validate_timing_report(&Json::parse(text).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "error {err:?} lacks {needle:?}");
+        };
+        reject("{}", "command");
+        reject(r#"{"command":"all"}"#, "jobs");
+        reject(
+            r#"{"command":"all","jobs":0,"host_cores":1,"total_host_ms":1.0,"configs":[]}"#,
+            "jobs",
+        );
+        reject(
+            r#"{"command":"all","jobs":1,"host_cores":1,"total_host_ms":1.0,"configs":[]}"#,
+            "empty",
+        );
+        reject(
+            r#"{"command":"all","jobs":1,"host_cores":1,"total_host_ms":1.0,
+                "configs":[{"figure":"f","scheme":"s","structure":"x","threads":1}]}"#,
+            "host_ms",
+        );
+        reject(
+            r#"{"command":"all","jobs":1,"host_cores":1,"total_host_ms":1.0,
+                "configs":[{"figure":"f","scheme":"s","threads":1,"host_ms":0.5}]}"#,
+            "structure",
+        );
     }
 }

@@ -105,10 +105,20 @@ impl SignalBoard {
     }
 
     /// Drains and returns the number of signals pending against `target`.
+    ///
+    /// The read-before-swap fast path keeps the common no-signal case a
+    /// plain load. The simulator steps every thread of a run from one OS
+    /// thread, so a raise can never race the check-then-swap; even under a
+    /// hypothetical concurrent raiser the signal is not lost, only
+    /// delivered at the next take.
     pub fn take(&self, target: usize) -> u64 {
-        self.pending
-            .get(target)
-            .map_or(0, |slot| slot.swap(0, Ordering::Relaxed))
+        let Some(slot) = self.pending.get(target) else {
+            return 0;
+        };
+        if slot.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        slot.swap(0, Ordering::Relaxed)
     }
 
     /// Signals currently pending against `target`, without draining.

@@ -202,6 +202,15 @@ impl CompiledFaults {
         }
     }
 
+    /// Whether this compiled plan can never fire: no stalls, kills, or
+    /// storms survived indexing. The scheduler hoists this to skip the
+    /// per-step fault probes entirely on fault-free runs (the common case).
+    pub(crate) fn is_inert(&self) -> bool {
+        self.stalls.iter().all(|s| s.is_empty())
+            && self.kill_at.iter().all(|k| k.is_none())
+            && self.storms.iter().all(|s| s.is_empty())
+    }
+
     /// Whether `thread` must be killed at time `now`.
     pub(crate) fn kill_due(&self, thread: usize, now: Cycles) -> bool {
         self.kill_at[thread].is_some_and(|at| now >= at)

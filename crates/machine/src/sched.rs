@@ -201,12 +201,14 @@ struct ContextState {
 }
 
 /// Removes a context's front thread from its run queue and resumes the next
-/// one (charging the context switch), or marks the context idle.
+/// one (charging the context switch), or marks the context idle. Keeps the
+/// pick scan's candidate-clock cache (`cand[c]`) in sync with the new front.
 fn retire_front<W>(
     ctx: &mut ContextState,
     threads: &mut [ThreadState<W>],
     costs: &CostModel,
     board: &ActivityBoard,
+    cand: &mut [Cycles],
     c: usize,
 ) {
     ctx.queue.pop_front();
@@ -215,8 +217,10 @@ fn retire_front<W>(
         threads[next].cpu.advance_to(resume);
         threads[next].sched_in = threads[next].cpu.now();
         threads[next].cpu.counters.context_switches += 1;
+        cand[c] = threads[next].cpu.now();
     } else {
         board.set_running(c, false);
+        cand[c] = Cycles::MAX;
     }
 }
 
@@ -272,25 +276,59 @@ impl Simulator {
         for (c, ctx) in contexts.iter().enumerate() {
             board.set_running(c, !ctx.queue.is_empty());
         }
+        // Candidate-clock cache: `cand[c]` mirrors the virtual clock of
+        // context `c`'s front thread (`Cycles::MAX` = context idle), so the
+        // per-pick scan reads a flat array instead of chasing
+        // queue-front -> thread -> clock pointers. Every site that changes a
+        // front thread or its clock updates the slot.
+        let mut cand: Vec<Cycles> = contexts
+            .iter()
+            .map(|ctx| {
+                ctx.queue
+                    .front()
+                    .map_or(Cycles::MAX, |&t| threads[t].cpu.now())
+            })
+            .collect();
 
         let deadline = self.config.duration;
         let mut steps: u64 = 0;
         let mut truncated = false;
         let mut faults = CompiledFaults::new(&self.config.faults, n, topo.hw_contexts());
         let mut fstats = FaultStats::default();
-        // Resume time of each stalled thread (`None` = not stalled).
+        // Resume time of each stalled thread (`None` = not stalled), plus a
+        // count of `Some` slots so the fault-free scan skips the whole list.
         let mut parked: Vec<Option<Cycles>> = vec![None; n];
+        let mut n_parked: usize = 0;
 
-        loop {
+        // A run with no fault plan never kills, stalls, or storms; hoist
+        // that fact out of the per-step loop.
+        let faults_inert = faults.is_inert();
+
+        'run: loop {
             // Pick the next event with the smallest virtual time: either the
             // running (front-of-queue) thread of some context, or the wakeup
             // of a stalled thread. Ties go to running threads, then to the
             // lowest index — strictly deterministic.
+            //
+            // `ru_lo`/`ru_hi` bound how long the picked thread provably stays
+            // the pick without re-scanning. The scan visits contexts in index
+            // order, then parked threads, replacing the best only on a
+            // *strictly* smaller time — so a picked context `c` wins again
+            // exactly when its clock is strictly below every earlier-index
+            // candidate (`ru_lo`) and at-or-below every later-index and
+            // parked candidate (`ru_hi`, where ties still go to `c`). While
+            // that holds, the quantum-slice loop below keeps stepping it
+            // (nothing it does can move another candidate's clock or
+            // runnability); otherwise the full deterministic scan re-runs, so
+            // the step sequence is identical to the one-scan-per-step
+            // scheduler.
             #[derive(Clone, Copy)]
             enum Pick {
                 Ctx(usize),
                 Unpark(usize),
             }
+            let mut ru_lo = Cycles::MAX;
+            let mut ru_hi = Cycles::MAX;
             let pick = if let Some(ctrl) = self.config.controller.as_deref() {
                 // Controller mode: every runnable thread is a candidate and
                 // the controller dictates the interleaving (virtual clocks
@@ -315,6 +353,9 @@ impl Simulator {
                 cands.sort_by_key(|&(t, _)| t);
                 let ids: Vec<usize> = cands.iter().map(|&(t, _)| t).collect();
                 let chosen = ctrl.pick(&ids);
+                // Controller mode never batches: every preemption point is
+                // the controller's decision, so re-consult it every step.
+                ru_lo = 0;
                 cands
                     .iter()
                     .find(|&&(t, _)| t == chosen)
@@ -323,31 +364,48 @@ impl Simulator {
                     })
                     .1
             } else {
+                // One scan computes the pick *and* the batch bounds. When
+                // the running best is dethroned, every candidate seen so far
+                // (old best included) sits at an earlier scan position than
+                // the new best, so the whole hi-pool folds into `ru_lo`.
+                // Idle contexts carry `Cycles::MAX` in the cache, which the
+                // deadline filter rejects like any past-deadline clock.
                 let mut best: Option<(Pick, Cycles)> = None;
-                for (c, ctx) in contexts.iter().enumerate() {
-                    let Some(&t) = ctx.queue.front() else {
-                        continue;
-                    };
-                    let now = threads[t].cpu.now();
+                for (c, &now) in cand.iter().enumerate() {
                     if now >= deadline {
                         continue;
                     }
                     if best.map_or(true, |(_, bt)| now < bt) {
+                        if let Some((_, bt)) = best {
+                            ru_lo = ru_lo.min(ru_hi).min(bt);
+                            ru_hi = Cycles::MAX;
+                        }
                         best = Some((Pick::Ctx(c), now));
+                    } else {
+                        ru_hi = ru_hi.min(now);
                     }
                 }
-                for (t, slot) in parked.iter().enumerate() {
-                    let Some(resume) = *slot else {
-                        continue;
-                    };
-                    // A stall outlasting the deadline never wakes up: the
-                    // thread keeps its publications and its clock stays at
-                    // park time.
-                    if resume >= deadline {
-                        continue;
-                    }
-                    if best.map_or(true, |(_, bt)| resume < bt) {
-                        best = Some((Pick::Unpark(t), resume));
+                if n_parked > 0 {
+                    for (t, slot) in parked.iter().enumerate() {
+                        let Some(resume) = *slot else {
+                            continue;
+                        };
+                        // A stall outlasting the deadline never wakes up:
+                        // the thread keeps its publications and its clock
+                        // stays at park time.
+                        if resume >= deadline {
+                            continue;
+                        }
+                        if best.map_or(true, |(_, bt)| resume < bt) {
+                            // The bounds are now stale, but an `Unpark` pick
+                            // never batches, so they are also never read.
+                            best = Some((Pick::Unpark(t), resume));
+                        } else {
+                            // Parked threads are scanned after every
+                            // context, so a picked context wins ties against
+                            // them: non-strict bound.
+                            ru_hi = ru_hi.min(resume);
+                        }
                     }
                 }
                 let Some((pick, _)) = best else {
@@ -359,6 +417,7 @@ impl Simulator {
             let c = match pick {
                 Pick::Unpark(t) => {
                     let resume = parked[t].take().expect("picked parked thread");
+                    n_parked -= 1;
                     let c = topo.place(t);
                     let th = &mut threads[t];
                     // Waking up is a context switch: the clock jumps past the
@@ -372,91 +431,116 @@ impl Simulator {
                     if was_idle {
                         th.sched_in = th.cpu.now();
                         board.set_running(c, true);
+                        cand[c] = th.cpu.now();
                     }
                     continue;
                 }
                 Pick::Ctx(c) => c,
             };
 
+            // Quantum-slice batch: step this context's front thread until a
+            // scheduling boundary — a fault, the quantum, a storm, finish,
+            // the deadline, or its clock crossing the `ru_lo`/`ru_hi`
+            // bounds. Each iteration is byte-for-byte the old per-pick
+            // body; only the outer candidate re-scan between steps is
+            // elided, which is safe because a stepping thread cannot change
+            // any *other* candidate's virtual time or runnability.
             let t = *contexts[c].queue.front().expect("picked nonempty queue");
-            let now = threads[t].cpu.now();
-            if faults.kill_due(t, now) {
-                threads[t].finished = true;
-                threads[t].killed = true;
-                fstats.kills += 1;
-                contexts[c].wall = contexts[c].wall.max(now);
-                retire_front(&mut contexts[c], &mut threads, &costs, &board, c);
-                continue;
-            }
-            if let Some(resume) = faults.take_stall(t, now) {
-                fstats.stalls += 1;
-                fstats.stall_cycles += resume - now;
-                parked[t] = Some(resume);
-                contexts[c].wall = contexts[c].wall.max(now);
-                retire_front(&mut contexts[c], &mut threads, &costs, &board, c);
-                continue;
-            }
-
-            if let Some(limit) = self.config.step_limit {
-                if steps >= limit {
-                    truncated = true;
+            loop {
+                let now = threads[t].cpu.now();
+                if !faults_inert && faults.kill_due(t, now) {
+                    threads[t].finished = true;
+                    threads[t].killed = true;
+                    fstats.kills += 1;
+                    contexts[c].wall = contexts[c].wall.max(now);
+                    retire_front(&mut contexts[c], &mut threads, &costs, &board, &mut cand, c);
                     break;
                 }
-            }
-            steps += 1;
+                if !faults_inert {
+                    if let Some(resume) = faults.take_stall(t, now) {
+                        fstats.stalls += 1;
+                        fstats.stall_cycles += resume - now;
+                        parked[t] = Some(resume);
+                        n_parked += 1;
+                        contexts[c].wall = contexts[c].wall.max(now);
+                        retire_front(&mut contexts[c], &mut threads, &costs, &board, &mut cand, c);
+                        break;
+                    }
+                }
 
-            // Signal delivery: pending signals are handed to the victim
-            // before its next step, like a kernel running the handler on
-            // the way back to user space. Coalesced raises cost one
-            // delivery; a parked thread receives on its wake-up step.
-            if threads[t].cpu.take_signals() > 0 {
-                let th = &mut threads[t];
-                th.cpu.charge(costs.signal_deliver);
-                th.worker.neutralize(&mut th.cpu);
-            }
+                if let Some(limit) = self.config.step_limit {
+                    if steps >= limit {
+                        truncated = true;
+                        break 'run;
+                    }
+                }
+                steps += 1;
 
-            let before = threads[t].cpu.now();
-            let th = &mut threads[t];
-            let outcome = th.worker.step(&mut th.cpu);
-            if th.cpu.now() == before {
-                // Forward-progress backstop: a step always consumes time.
-                th.cpu.charge(1);
-            }
-            match outcome {
-                StepOutcome::OpDone => th.ops += 1,
-                StepOutcome::Finished => th.finished = true,
-                StepOutcome::Progress | StepOutcome::Idle => {}
-            }
-            contexts[c].wall = threads[t].cpu.now();
-
-            let done = threads[t].finished || threads[t].cpu.now() >= deadline;
-            let quantum_up = contexts[c].queue.len() > 1
-                && threads[t].cpu.now() - threads[t].sched_in >= costs.quantum;
-            // An active preemption storm forces a context switch after every
-            // step on this context (interrupt-storm model).
-            let storm = !done && faults.storm_active(c, contexts[c].wall);
-            if storm {
-                fstats.storm_switches += 1;
-            }
-
-            if done {
-                retire_front(&mut contexts[c], &mut threads, &costs, &board, c);
-            } else if quantum_up || storm {
-                if contexts[c].queue.len() > 1 {
-                    contexts[c].queue.rotate_left(1);
-                    let &next = contexts[c].queue.front().expect("rotated nonempty queue");
-                    let resume = contexts[c].wall + costs.context_switch;
-                    threads[next].cpu.advance_to(resume);
-                    threads[next].sched_in = threads[next].cpu.now();
-                    threads[next].cpu.counters.context_switches += 1;
-                } else {
-                    // Sole tenant: the storm still evicts and immediately
-                    // reschedules it, charging the switch to the thread.
+                // Signal delivery: pending signals are handed to the victim
+                // before its next step, like a kernel running the handler on
+                // the way back to user space. Coalesced raises cost one
+                // delivery; a parked thread receives on its wake-up step.
+                if threads[t].cpu.take_signals() > 0 {
                     let th = &mut threads[t];
-                    th.cpu.charge(costs.context_switch);
-                    th.cpu.counters.context_switches += 1;
-                    th.sched_in = th.cpu.now();
-                    contexts[c].wall = th.cpu.now();
+                    th.cpu.charge(costs.signal_deliver);
+                    th.worker.neutralize(&mut th.cpu);
+                }
+
+                let before = threads[t].cpu.now();
+                let th = &mut threads[t];
+                let outcome = th.worker.step(&mut th.cpu);
+                if th.cpu.now() == before {
+                    // Forward-progress backstop: a step always consumes time.
+                    th.cpu.charge(1);
+                }
+                match outcome {
+                    StepOutcome::OpDone => th.ops += 1,
+                    StepOutcome::Finished => th.finished = true,
+                    StepOutcome::Progress | StepOutcome::Idle => {}
+                }
+                contexts[c].wall = threads[t].cpu.now();
+                cand[c] = threads[t].cpu.now();
+
+                let done = threads[t].finished || threads[t].cpu.now() >= deadline;
+                let quantum_up = contexts[c].queue.len() > 1
+                    && threads[t].cpu.now() - threads[t].sched_in >= costs.quantum;
+                // An active preemption storm forces a context switch after
+                // every step on this context (interrupt-storm model).
+                let storm = !done && !faults_inert && faults.storm_active(c, contexts[c].wall);
+                if storm {
+                    fstats.storm_switches += 1;
+                }
+
+                if done {
+                    retire_front(&mut contexts[c], &mut threads, &costs, &board, &mut cand, c);
+                    break;
+                } else if quantum_up || storm {
+                    if contexts[c].queue.len() > 1 {
+                        contexts[c].queue.rotate_left(1);
+                        let &next = contexts[c].queue.front().expect("rotated nonempty queue");
+                        let resume = contexts[c].wall + costs.context_switch;
+                        threads[next].cpu.advance_to(resume);
+                        threads[next].sched_in = threads[next].cpu.now();
+                        threads[next].cpu.counters.context_switches += 1;
+                        cand[c] = threads[next].cpu.now();
+                    } else {
+                        // Sole tenant: the storm still evicts and immediately
+                        // reschedules it, charging the switch to the thread.
+                        let th = &mut threads[t];
+                        th.cpu.charge(costs.context_switch);
+                        th.cpu.counters.context_switches += 1;
+                        th.sched_in = th.cpu.now();
+                        contexts[c].wall = th.cpu.now();
+                        cand[c] = th.cpu.now();
+                    }
+                    break;
+                }
+                // The slice continues only while this thread provably
+                // re-wins the pick: strictly ahead of earlier-scanned
+                // candidates, at-or-ahead of later-scanned ones.
+                let after = threads[t].cpu.now();
+                if after >= ru_lo || after > ru_hi {
+                    break;
                 }
             }
         }

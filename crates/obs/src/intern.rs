@@ -1,0 +1,368 @@
+//! Interned metric ids and flat scratch registries.
+//!
+//! [`MetricsRegistry`] keys every operation by string through a `BTreeMap`,
+//! which is the right shape for snapshots (sorted, diffable) but the wrong
+//! shape for a recording path: every `add`/`record` pays a string compare
+//! walk, and building a key dynamically costs an allocation. This module
+//! splits the two concerns:
+//!
+//! - [`MetricSchema`] interns names once, at registration, into dense
+//!   [`MetricId`]s. Interning is the only place a name is ever resolved.
+//! - [`ScratchRegistry`] is a flat `Vec` indexed by [`MetricId`] — recording
+//!   is an array index, no hashing, no string compares, no allocation
+//!   (after the first touch of a histogram slot). One scratch per thread,
+//!   merged element-wise at report time.
+//! - [`ScratchRegistry::merge_into`] resolves ids back to names exactly
+//!   once per report and feeds the ordinary [`MetricsRegistry`], so the
+//!   JSON snapshot schema and key set are byte-identical to direct
+//!   string-keyed recording (a property the unit tests pin down).
+//!
+//! Merging scratches is element-wise over ids, so the merged result — and
+//! therefore the serialized snapshot — does not depend on merge order.
+
+use crate::hist::LogHistogram;
+use crate::registry::{Metric, MetricsRegistry};
+
+/// A dense handle for an interned metric name.
+///
+/// Valid only with the [`MetricSchema`] that produced it; schemas hand out
+/// ids in registration order starting at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId(u32);
+
+impl MetricId {
+    /// The id's index into schema/scratch storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An intern table from metric name to [`MetricId`].
+///
+/// Built once at registration time (setup, not the hot loop); lookups on
+/// the recording path should never happen — hold on to the returned ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricSchema {
+    names: Vec<String>,
+}
+
+impl MetricSchema {
+    /// An empty schema.
+    pub fn new() -> MetricSchema {
+        MetricSchema::default()
+    }
+
+    /// Interns `name`, returning its id; re-interning an existing name
+    /// returns the same id. Registration-time only — the scan is linear
+    /// because schemas hold a few dozen names, once.
+    pub fn intern(&mut self, name: &str) -> MetricId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return MetricId(i as u32);
+        }
+        let id = MetricId(self.names.len() as u32);
+        self.names.push(String::from(name)); // alloc-gate: allow — one-time registration.
+        id
+    }
+
+    /// The id of an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<MetricId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| MetricId(i as u32))
+    }
+
+    /// The name behind `id`.
+    ///
+    /// # Panics
+    /// If `id` did not come from this schema.
+    pub fn name(&self, id: MetricId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A flat, id-indexed registry for hot-path recording.
+///
+/// Mirrors the [`MetricsRegistry`] API (counter/histogram slots, same
+/// panics on type confusion) but indexes by [`MetricId`]. Use one per
+/// thread and [`ScratchRegistry::merge_into`] a shared string-keyed
+/// registry at report time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScratchRegistry {
+    slots: Vec<Option<Metric>>,
+}
+
+impl ScratchRegistry {
+    /// An empty scratch sized for `schema` (slots grow on demand anyway,
+    /// so a schema that keeps interning stays compatible).
+    pub fn for_schema(schema: &MetricSchema) -> ScratchRegistry {
+        ScratchRegistry {
+            slots: vec![None; schema.len()],
+        }
+    }
+
+    fn slot(&mut self, id: MetricId) -> &mut Option<Metric> {
+        if id.index() >= self.slots.len() {
+            self.slots.resize(id.index() + 1, None);
+        }
+        &mut self.slots[id.index()]
+    }
+
+    /// Adds `n` to the counter `id`, creating it at zero first.
+    ///
+    /// # Panics
+    /// If `id` already holds a histogram.
+    pub fn add(&mut self, id: MetricId, n: u64) {
+        match self.slot(id).get_or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += n,
+            Metric::Histogram(_) => panic!("metric id {id:?} is a histogram, not a counter"),
+        }
+    }
+
+    /// Sets the counter `id` to exactly `n` (gauge semantics).
+    pub fn set(&mut self, id: MetricId, n: u64) {
+        *self.slot(id) = Some(Metric::Counter(n));
+    }
+
+    /// Records one sample into the histogram `id`.
+    pub fn record(&mut self, id: MetricId, value: u64) {
+        self.record_n(id, value, 1);
+    }
+
+    /// Records `n` identical samples into the histogram `id`.
+    ///
+    /// # Panics
+    /// If `id` already holds a counter.
+    pub fn record_n(&mut self, id: MetricId, value: u64, n: u64) {
+        match self
+            .slot(id)
+            .get_or_insert_with(|| Metric::Histogram(LogHistogram::new()))
+        {
+            Metric::Histogram(h) => h.record_n(value, n),
+            Metric::Counter(_) => panic!("metric id {id:?} is a counter, not a histogram"),
+        }
+    }
+
+    /// Merges an existing histogram into the histogram `id`.
+    pub fn record_hist(&mut self, id: MetricId, hist: &LogHistogram) {
+        match self
+            .slot(id)
+            .get_or_insert_with(|| Metric::Histogram(LogHistogram::new()))
+        {
+            Metric::Histogram(h) => h.merge(hist),
+            Metric::Counter(_) => panic!("metric id {id:?} is a counter, not a histogram"),
+        }
+    }
+
+    /// The counter at `id`, or 0 if untouched.
+    pub fn counter(&self, id: MetricId) -> u64 {
+        match self.slots.get(id.index()) {
+            Some(Some(Metric::Counter(c))) => *c,
+            _ => 0,
+        }
+    }
+
+    /// The histogram at `id`, if one was recorded.
+    pub fn histogram(&self, id: MetricId) -> Option<&LogHistogram> {
+        match self.slots.get(id.index()) {
+            Some(Some(Metric::Histogram(h))) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Element-wise merge of another scratch: counters sum, histograms
+    /// merge. Slot-indexed, so merging a set of scratches in any order
+    /// produces the same result (the merge-order determinism the parallel
+    /// report path relies on).
+    ///
+    /// # Panics
+    /// If a slot holds a counter on one side and a histogram on the other.
+    pub fn merge(&mut self, other: &ScratchRegistry) {
+        for (i, slot) in other.slots.iter().enumerate() {
+            let Some(metric) = slot else { continue };
+            let id = MetricId(i as u32);
+            match metric {
+                Metric::Counter(n) => self.add(id, *n),
+                Metric::Histogram(h) => self.record_hist(id, h),
+            }
+        }
+    }
+
+    /// Resolves every touched slot back to its name — once, here, not per
+    /// record — and merges into a string-keyed registry. The result is
+    /// indistinguishable from having recorded through `reg` directly.
+    ///
+    /// # Panics
+    /// If a slot's id was not interned in `schema`, or a key collides with
+    /// a different metric type already in `reg`.
+    pub fn merge_into(&self, schema: &MetricSchema, reg: &mut MetricsRegistry) {
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(metric) = slot else { continue };
+            let name = schema.name(MetricId(i as u32));
+            match metric {
+                Metric::Counter(n) => reg.add(name, *n),
+                Metric::Histogram(h) => reg.record_hist(name, h),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut schema = MetricSchema::new();
+        let a = schema.intern("st.ops");
+        let b = schema.intern("st.scans");
+        let a2 = schema.intern("st.ops");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(schema.len(), 2);
+        assert_eq!(schema.name(a), "st.ops");
+        assert_eq!(schema.lookup("st.scans"), Some(b));
+        assert_eq!(schema.lookup("missing"), None);
+    }
+
+    /// The tentpole contract: recording through interned ids then resolving
+    /// at report time yields the *same keys and same JSON output* as the
+    /// string-keyed registry fed directly.
+    #[test]
+    fn id_and_string_paths_serialize_identically() {
+        let mut schema = MetricSchema::new();
+        let ops = schema.intern("st.ops");
+        let scans = schema.intern("st.scans");
+        let seg = schema.intern("st.segment_length");
+        let gauge = schema.intern("heap.live_words");
+
+        // Interned path: per-thread scratch, resolved once at report time.
+        let mut scratch = ScratchRegistry::for_schema(&schema);
+        scratch.add(ops, 41);
+        scratch.add(ops, 1);
+        scratch.add(scans, 7);
+        scratch.record(seg, 17);
+        scratch.record_n(seg, 3, 2);
+        scratch.set(gauge, 123);
+        let mut via_ids = MetricsRegistry::new();
+        scratch.merge_into(&schema, &mut via_ids);
+
+        // String path: the exact same recording, keyed directly.
+        let mut via_strings = MetricsRegistry::new();
+        via_strings.add("st.ops", 41);
+        via_strings.add("st.ops", 1);
+        via_strings.add("st.scans", 7);
+        via_strings.record("st.segment_length", 17);
+        via_strings.record_n("st.segment_length", 3, 2);
+        via_strings.set("heap.live_words", 123);
+
+        assert_eq!(via_ids, via_strings);
+        assert_eq!(
+            via_ids.to_json().to_string(),
+            via_strings.to_json().to_string(),
+            "snapshot schema must be byte-identical across recording paths"
+        );
+    }
+
+    /// Merging thread-local scratches in any order yields the same merged
+    /// state and the same serialized snapshot.
+    #[test]
+    fn scratch_merge_is_order_independent() {
+        let mut schema = MetricSchema::new();
+        let ops = schema.intern("st.ops");
+        let lat = schema.intern("st.free_latency_cycles");
+
+        let make = |ops_n: u64, samples: &[u64]| {
+            let mut s = ScratchRegistry::for_schema(&schema);
+            s.add(ops, ops_n);
+            for &v in samples {
+                s.record(lat, v);
+            }
+            s
+        };
+        let threads = [make(3, &[10, 900]), make(5, &[2]), make(0, &[7, 7, 4096])];
+
+        // Merge in ascending and descending thread order.
+        let mut fwd = ScratchRegistry::for_schema(&schema);
+        for t in &threads {
+            fwd.merge(t);
+        }
+        let mut rev = ScratchRegistry::for_schema(&schema);
+        for t in threads.iter().rev() {
+            rev.merge(t);
+        }
+        assert_eq!(fwd, rev);
+
+        let (mut reg_fwd, mut reg_rev) = (MetricsRegistry::new(), MetricsRegistry::new());
+        fwd.merge_into(&schema, &mut reg_fwd);
+        rev.merge_into(&schema, &mut reg_rev);
+        assert_eq!(
+            reg_fwd.to_json().to_string(),
+            reg_rev.to_json().to_string(),
+            "report-time snapshot must not depend on merge order"
+        );
+        assert_eq!(reg_fwd.counter("st.ops"), 8);
+        assert_eq!(
+            reg_fwd.histogram("st.free_latency_cycles").unwrap().count(),
+            6
+        );
+    }
+
+    #[test]
+    fn scratch_mirrors_registry_accessors() {
+        let mut schema = MetricSchema::new();
+        let c = schema.intern("c");
+        let h = schema.intern("h");
+        let mut s = ScratchRegistry::for_schema(&schema);
+        assert_eq!(s.counter(c), 0);
+        assert!(s.histogram(h).is_none());
+        s.add(c, 2);
+        s.set(c, 9);
+        s.record(h, 31);
+        assert_eq!(s.counter(c), 9);
+        assert_eq!(s.histogram(h).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn scratch_grows_for_late_interned_ids() {
+        let mut schema = MetricSchema::new();
+        let early = schema.intern("early");
+        let mut s = ScratchRegistry::for_schema(&schema);
+        let late = schema.intern("late");
+        s.add(early, 1);
+        s.add(late, 2);
+        assert_eq!(s.counter(late), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a histogram")]
+    fn add_on_histogram_slot_panics() {
+        let mut schema = MetricSchema::new();
+        let id = schema.intern("x");
+        let mut s = ScratchRegistry::for_schema(&schema);
+        s.record(id, 1);
+        s.add(id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter")]
+    fn record_on_counter_slot_panics() {
+        let mut schema = MetricSchema::new();
+        let id = schema.intern("x");
+        let mut s = ScratchRegistry::for_schema(&schema);
+        s.add(id, 1);
+        s.record(id, 1);
+    }
+}

@@ -38,23 +38,30 @@ impl MetricsRegistry {
 
     /// Adds `n` to the counter named `key`, creating it at zero first.
     ///
+    /// Re-recording an existing key allocates nothing; only a key's first
+    /// touch copies the name into the map.
+    ///
     /// # Panics
     /// If `key` already names a histogram.
     pub fn add(&mut self, key: &str, n: u64) {
-        match self
-            .metrics
-            .entry(key.to_string())
-            .or_insert(Metric::Counter(0))
-        {
-            Metric::Counter(c) => *c += n,
-            Metric::Histogram(_) => panic!("metric '{key}' is a histogram, not a counter"),
+        match self.metrics.get_mut(key) {
+            Some(Metric::Counter(c)) => *c += n,
+            Some(Metric::Histogram(_)) => {
+                panic!("metric '{key}' is a histogram, not a counter")
+            }
+            None => {
+                self.insert_owned(key, Metric::Counter(n));
+            }
         }
     }
 
     /// Sets the counter named `key` to exactly `n` (for gauges sampled once
     /// per run, e.g. outstanding garbage at teardown).
     pub fn set(&mut self, key: &str, n: u64) {
-        self.metrics.insert(key.to_string(), Metric::Counter(n));
+        match self.metrics.get_mut(key) {
+            Some(m) => *m = Metric::Counter(n),
+            None => self.insert_owned(key, Metric::Counter(n)),
+        }
     }
 
     /// Records one sample into the histogram named `key`, creating it empty
@@ -68,26 +75,40 @@ impl MetricsRegistry {
 
     /// Records `n` identical samples into the histogram named `key`.
     pub fn record_n(&mut self, key: &str, value: u64, n: u64) {
-        match self
-            .metrics
-            .entry(key.to_string())
-            .or_insert_with(|| Metric::Histogram(LogHistogram::new()))
-        {
-            Metric::Histogram(h) => h.record_n(value, n),
-            Metric::Counter(_) => panic!("metric '{key}' is a counter, not a histogram"),
+        match self.metrics.get_mut(key) {
+            Some(Metric::Histogram(h)) => h.record_n(value, n),
+            Some(Metric::Counter(_)) => {
+                panic!("metric '{key}' is a counter, not a histogram")
+            }
+            None => {
+                let mut h = LogHistogram::new();
+                h.record_n(value, n);
+                self.insert_owned(key, Metric::Histogram(h));
+            }
         }
     }
 
     /// Merges an existing histogram into the one named `key`.
     pub fn record_hist(&mut self, key: &str, hist: &LogHistogram) {
-        match self
-            .metrics
-            .entry(key.to_string())
-            .or_insert_with(|| Metric::Histogram(LogHistogram::new()))
-        {
-            Metric::Histogram(h) => h.merge(hist),
-            Metric::Counter(_) => panic!("metric '{key}' is a counter, not a histogram"),
+        match self.metrics.get_mut(key) {
+            Some(Metric::Histogram(h)) => h.merge(hist),
+            Some(Metric::Counter(_)) => {
+                panic!("metric '{key}' is a counter, not a histogram")
+            }
+            None => {
+                let mut h = LogHistogram::new();
+                h.merge(hist);
+                self.insert_owned(key, Metric::Histogram(h));
+            }
         }
+    }
+
+    /// The cold half of every record path: a key's *first* touch copies
+    /// the name into the map. Everything hotter goes through `get_mut`
+    /// above, or skips strings entirely via [`crate::ScratchRegistry`].
+    #[cold]
+    fn insert_owned(&mut self, key: &str, metric: Metric) {
+        self.metrics.insert(String::from(key), metric); // alloc-gate: allow — one-time key registration.
     }
 
     /// The counter named `key`, or 0 if absent.

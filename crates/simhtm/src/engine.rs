@@ -136,8 +136,14 @@ impl HtmEngine {
         self.fail(cpu, tx, AbortCode::Preempted)
     }
 
-    fn admit_line(&self, cpu: &mut Cpu, tx: &mut Tx, addr: Addr, off: u64) -> Result<(), Abort> {
-        let line = addr.offset(off).line();
+    fn admit_line(&self, cpu: &mut Cpu, tx: &mut Tx, line: u64) -> Result<(), Abort> {
+        // Consecutive accesses overwhelmingly land on the line just
+        // admitted (fields of one node); the memo skips the set probe for
+        // those. A memo hit implies the line is already in `lines`, so the
+        // capacity check (and its RNG draw) was already skipped before.
+        if line == tx.last_line {
+            return Ok(());
+        }
         if tx.lines.insert(line) {
             let lines = tx.footprint_lines();
             if !self.config.capacity.admits(cpu, lines) {
@@ -145,6 +151,7 @@ impl HtmEngine {
             }
             cpu.publish_footprint(lines);
         }
+        tx.last_line = line;
         Ok(())
     }
 
@@ -164,7 +171,8 @@ impl HtmEngine {
     /// (opacity), just like cache-coherence-based HTM.
     pub fn tx_read(&self, cpu: &mut Cpu, tx: &mut Tx, addr: Addr, off: u64) -> Result<Word, Abort> {
         debug_assert!(!tx.dead, "read on dead transaction");
-        cpu.charge_mem(addr.offset(off).line());
+        let line = addr.offset(off).line();
+        cpu.charge_mem(line);
         cpu.charge(cpu.costs.tx_load);
         cpu.counters.tx_loads += 1;
         self.maybe_spurious(cpu, tx)?;
@@ -174,7 +182,7 @@ impl HtmEngine {
             return Ok(v);
         }
 
-        let stripe = self.stripes.index_of(addr, off);
+        let stripe = self.stripes.index_of_line(line);
         let s1 = self.stripes.read(stripe);
         if s1.locked() || s1.version() > tx.rv {
             return Err(self.fail(cpu, tx, AbortCode::Conflict));
@@ -189,7 +197,7 @@ impl HtmEngine {
         // use-after-free when the heap's oracle is armed.
         self.heap.note_speculative_read(cpu.thread_id, addr, off);
         tx.record_read_stripe(stripe);
-        self.admit_line(cpu, tx, addr, off)?;
+        self.admit_line(cpu, tx, line)?;
         Ok(value)
     }
 
@@ -203,12 +211,13 @@ impl HtmEngine {
         value: Word,
     ) -> Result<(), Abort> {
         debug_assert!(!tx.dead, "write on dead transaction");
-        cpu.charge_mem(addr.offset(off).line());
+        let line = addr.offset(off).line();
+        cpu.charge_mem(line);
         cpu.charge(cpu.costs.tx_store);
         cpu.counters.tx_stores += 1;
         self.maybe_spurious(cpu, tx)?;
         tx.buffer_write(addr, off, value);
-        self.admit_line(cpu, tx, addr, off)
+        self.admit_line(cpu, tx, line)
     }
 
     /// Transactional compare-and-swap: reads `addr + off` and, if it equals
@@ -252,41 +261,50 @@ impl HtmEngine {
 
         // Lock the write stripes in sorted order (livelock-free for the
         // real-thread stress tests; in the discrete-event simulator a
-        // commit is atomic and these locks are never observed).
-        let mut write_stripes: Vec<u32> = tx
-            .writes
-            .iter()
-            .map(|&(addr, off, _)| self.stripes.index_of(addr, off))
-            .collect();
-        write_stripes.sort_unstable();
-        write_stripes.dedup();
+        // commit is atomic and these locks are never observed). The stripe
+        // scratch lives in the descriptor, so a recycled `Tx` commits
+        // without touching the allocator; because locking walks the sorted
+        // slice front-to-back, "what we hold" is always a prefix and a
+        // separate `locked` list is unnecessary.
+        tx.write_stripes.clear();
+        let stripes = &self.stripes;
+        tx.write_stripes.extend(
+            tx.writes
+                .iter()
+                .map(|&(addr, off, _)| stripes.index_of(addr, off)),
+        );
+        tx.write_stripes.sort_unstable();
+        tx.write_stripes.dedup();
 
-        let mut locked: Vec<u32> = Vec::with_capacity(write_stripes.len());
-        for &s in &write_stripes {
+        let mut locked = 0;
+        while locked < tx.write_stripes.len() {
             // A blind write to a stripe whose version advanced is still
             // serializable; only a *locked* stripe is a conflict. Writes to
             // lines the transaction also read are covered by read-set
             // validation below.
+            let s = tx.write_stripes[locked];
             let seen = self.stripes.read(s);
             if seen.locked() || !self.stripes.try_lock(s, seen) {
-                for &l in &locked {
+                for &l in &tx.write_stripes[..locked] {
                     let v = self.stripes.read(l).version();
                     self.stripes.release(l, v);
                 }
                 return Err(self.fail(cpu, tx, AbortCode::Conflict));
             }
-            locked.push(s);
+            locked += 1;
         }
 
         let wv = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
 
         // Validate the read set unless nobody committed since we began.
+        // Every write stripe is locked at this point, so ownership is a
+        // binary search of the full sorted slice.
         if wv != tx.rv + 1 {
             for &s in &tx.read_stripes {
                 let v = self.stripes.read(s);
-                let own = locked.binary_search(&s).is_ok();
+                let own = tx.write_stripes.binary_search(&s).is_ok();
                 if (v.locked() && !own) || v.version() > tx.rv {
-                    for &l in &locked {
+                    for &l in &tx.write_stripes {
                         let ver = self.stripes.read(l).version();
                         self.stripes.release(l, ver);
                     }
@@ -297,11 +315,11 @@ impl HtmEngine {
 
         // Publish the write buffer; these are real stores with real
         // coherence traffic.
-        let writes: Vec<_> = tx.writes.drain(..).collect();
-        for (addr, off, value) in writes {
+        for &(addr, off, value) in &tx.writes {
             self.heap.store(cpu, addr, off, value);
         }
-        for &s in &locked {
+        tx.writes.clear();
+        for &s in &tx.write_stripes {
             self.stripes.release(s, wv);
         }
         self.finish_commit(cpu, tx);
@@ -385,12 +403,37 @@ impl HtmEngine {
             .heap
             .block_len(addr)
             .unwrap_or_else(|| panic!("free_object of unknown address {addr:?}"));
-        let mut stripes: Vec<u32> = (0..block)
-            .map(|off| self.stripes.index_of(addr, off))
-            .collect();
-        stripes.sort_unstable();
-        stripes.dedup();
-        for &s in &stripes {
+        // One stripe per *line*, not per word: consecutive words share a
+        // line, so walking line numbers does 1/8th the hashing. Objects are
+        // at most a few lines, so a stack buffer covers every real free;
+        // the heap spill only triggers for pathological block sizes. The
+        // engine is `&self` across OS threads, so the scratch cannot live
+        // in the engine itself.
+        let first = addr.line();
+        let last = addr.offset(block.saturating_sub(1)).line();
+        let n_lines = (last - first + 1) as usize;
+        let mut buf = [0u32; 64];
+        let mut spill: Vec<u32>;
+        let slots: &mut [u32] = if n_lines <= buf.len() {
+            &mut buf[..n_lines]
+        } else {
+            spill = vec![0; n_lines];
+            &mut spill
+        };
+        for (slot, line) in slots.iter_mut().zip(first..=last) {
+            *slot = self.stripes.index_of_line(line);
+        }
+        slots.sort_unstable();
+        // Manual dedup-in-place (slices have no `dedup`).
+        let mut n = 0;
+        for i in 0..slots.len() {
+            if n == 0 || slots[i] != slots[n - 1] {
+                slots[n] = slots[i];
+                n += 1;
+            }
+        }
+        let stripes = &slots[..n];
+        for &s in stripes {
             loop {
                 let seen = self.stripes.read(s);
                 if !seen.locked() && self.stripes.try_lock(s, seen) {
@@ -401,7 +444,7 @@ impl HtmEngine {
         }
         self.heap.free(cpu, addr);
         let wv = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        for &s in &stripes {
+        for &s in stripes {
             self.stripes.release(s, wv);
         }
     }

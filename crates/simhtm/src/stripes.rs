@@ -41,29 +41,45 @@ pub struct StripeTable {
     mask: u64,
 }
 
+/// The smallest table `StripeTable::new` will build. Requesting fewer
+/// stripes (including `size = 0`) silently gets this floor: the index math
+/// needs a non-empty power-of-two table, and anything smaller than a
+/// cache-line's worth of locks would alias every address onto a handful of
+/// stripes and turn the simulator into a single global lock.
+pub const MIN_STRIPES: usize = 64;
+
 impl StripeTable {
-    /// Creates a table with `size` stripes (rounded up to a power of two).
+    /// Creates a table with `size` stripes, rounded up to a power of two
+    /// and floored at [`MIN_STRIPES`]. `size = 0` is therefore accepted and
+    /// yields the minimum table, never an empty one.
     pub fn new(size: usize) -> Self {
-        let size = size.next_power_of_two().max(64);
+        let size = size.next_power_of_two().max(MIN_STRIPES);
         Self {
             stripes: (0..size).map(|_| AtomicU64::new(0)).collect(),
             mask: size as u64 - 1,
         }
     }
 
-    /// Number of stripes.
+    /// Number of stripes (always a power of two, at least [`MIN_STRIPES`]).
     pub fn len(&self) -> usize {
         self.stripes.len()
     }
 
-    /// Whether the table is empty (never true in practice).
+    /// Whether the table is empty. Never true: `new` floors the size at
+    /// [`MIN_STRIPES`]. Kept for the `len`/`is_empty` container convention.
     pub fn is_empty(&self) -> bool {
         self.stripes.is_empty()
     }
 
     /// The stripe index covering `addr + off`.
     pub fn index_of(&self, addr: Addr, off: u64) -> u32 {
-        let line = addr.offset(off).line();
+        self.index_of_line(addr.offset(off).line())
+    }
+
+    /// The stripe index covering cache line `line` (the hot-path form:
+    /// callers that already walk whole lines skip the per-word address
+    /// arithmetic).
+    pub fn index_of_line(&self, line: u64) -> u32 {
         let h = line.wrapping_mul(0x9e3779b97f4a7c15);
         ((h >> 32) & self.mask) as u32
     }
@@ -114,11 +130,37 @@ mod tests {
     #[test]
     fn same_line_same_stripe() {
         let t = StripeTable::new(1024);
-        let a = Addr::from_index(0 + 1);
-        // Words 1..8 share line 0.
-        for off in 0..6 {
-            assert_eq!(t.index_of(a, 0), t.index_of(a, off));
+        // Cover a full line including both boundary words: words 0..8 are
+        // line 0, words 8..16 are line 1.
+        let a = Addr::from_index(0);
+        let line0 = t.index_of(a, 0);
+        for off in 0..8 {
+            assert_eq!(t.index_of(a, off), line0, "word {off} left line 0");
         }
+        let line1 = t.index_of(a, 8);
+        for off in 8..16 {
+            assert_eq!(t.index_of(a, off), line1, "word {off} left line 1");
+        }
+        assert_ne!(line0, line1, "adjacent lines must hash independently");
+        assert_eq!(t.index_of_line(0), line0);
+        assert_eq!(t.index_of_line(1), line1);
+    }
+
+    #[test]
+    fn size_floor_and_rounding() {
+        // `size = 0` is accepted and floored, never an empty table.
+        let zero = StripeTable::new(0);
+        assert_eq!(zero.len(), MIN_STRIPES);
+        assert!(!zero.is_empty());
+        // Sub-floor requests get the same floor; larger ones round up to
+        // the next power of two.
+        assert_eq!(StripeTable::new(1).len(), MIN_STRIPES);
+        assert_eq!(StripeTable::new(MIN_STRIPES).len(), MIN_STRIPES);
+        assert_eq!(StripeTable::new(65).len(), 128);
+        assert_eq!(StripeTable::new(1000).len(), 1024);
+        // The floored table still indexes in range.
+        let idx = zero.index_of(Addr::from_index(12345), 0);
+        assert!((idx as usize) < zero.len());
     }
 
     #[test]

@@ -21,6 +21,13 @@ pub struct Tx {
     pub(crate) writes: Vec<(Addr, u64, Word)>,
     /// Distinct cache lines touched (capacity footprint).
     pub(crate) lines: U64Set,
+    /// Memo of the most recently admitted cache line (`u64::MAX` = none):
+    /// consecutive same-line accesses skip the `lines` probe entirely.
+    pub(crate) last_line: u64,
+    /// Commit-time scratch: the distinct write stripes, sorted. Rebuilt by
+    /// every writing commit but the backing allocation is recycled across
+    /// `reset`, like the other descriptor buffers.
+    pub(crate) write_stripes: Vec<u32>,
     /// Set after an abort; the descriptor can no longer be used.
     pub(crate) dead: bool,
 }
@@ -34,6 +41,8 @@ impl Tx {
             write_map: U64Map::with_capacity(16),
             writes: Vec::with_capacity(16),
             lines: U64Set::with_capacity(64),
+            last_line: u64::MAX,
+            write_stripes: Vec::with_capacity(16),
             dead: false,
         }
     }
@@ -46,6 +55,8 @@ impl Tx {
         self.write_map.clear();
         self.writes.clear();
         self.lines.clear();
+        self.last_line = u64::MAX;
+        self.write_stripes.clear();
         self.dead = false;
     }
 
@@ -128,6 +139,29 @@ mod tests {
         assert!(tx.is_read_only());
         tx.buffer_write(Addr::from_index(2), 0, 1);
         assert!(!tx.is_read_only());
+    }
+
+    #[test]
+    fn reset_keeps_buffer_capacity() {
+        let mut tx = Tx::new(0);
+        // Outgrow every initial capacity so the next reservation is a real
+        // reallocation, then check a reset recycles it instead of freeing.
+        for i in 0..256u64 {
+            tx.record_read_stripe(i as u32);
+            tx.buffer_write(Addr::from_index(i * 8), 0, i);
+            tx.write_stripes.push(i as u32);
+        }
+        let writes_cap = tx.writes.capacity();
+        let stripes_cap = tx.read_stripes.capacity();
+        let commit_cap = tx.write_stripes.capacity();
+        assert!(writes_cap >= 256 && stripes_cap >= 256 && commit_cap >= 256);
+        tx.reset(1);
+        assert_eq!(tx.pending_writes(), 0);
+        assert_eq!(tx.read_set_len(), 0);
+        assert!(tx.write_stripes.is_empty());
+        assert_eq!(tx.writes.capacity(), writes_cap);
+        assert_eq!(tx.read_stripes.capacity(), stripes_cap);
+        assert_eq!(tx.write_stripes.capacity(), commit_cap);
     }
 
     #[test]

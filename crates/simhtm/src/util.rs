@@ -8,11 +8,20 @@
 //! and reuse their storage across segments.
 
 /// A set of `u64` keys (any value, including 0).
+///
+/// Occupancy lives in a separate bitmap (`live`), not in the slot values:
+/// `clear` only wipes the bitmap — one word per 64 slots — so segment reset
+/// stays cheap even after a large transaction has grown the table (capacity
+/// never shrinks, and with sentinel-in-slot encoding one big scan segment
+/// would tax every later reset with a full-capacity memset).
 #[derive(Debug)]
 pub struct U64Set {
-    /// Stored as `key + 1` so that 0 means "empty"; keys are word indices
-    /// or line numbers, far below `u64::MAX`, so the shift cannot wrap.
+    /// Stored as `key + 1` (keys are word indices or line numbers, far
+    /// below `u64::MAX`); meaningful only where the live bit is set, stale
+    /// values from previous generations are never read.
     slots: Vec<u64>,
+    /// One occupancy bit per slot.
+    live: Vec<u64>,
     mask: usize,
     len: usize,
 }
@@ -28,6 +37,7 @@ impl U64Set {
         let size = (cap * 2).next_power_of_two().max(16);
         Self {
             slots: vec![0; size],
+            live: vec![0; size.div_ceil(64)],
             mask: size - 1,
             len: 0,
         }
@@ -46,7 +56,7 @@ impl U64Set {
     /// Removes all keys, keeping capacity.
     pub fn clear(&mut self) {
         if self.len > 0 {
-            self.slots.fill(0);
+            self.live.fill(0);
             self.len = 0;
         }
     }
@@ -60,13 +70,14 @@ impl U64Set {
         let stored = key + 1;
         let mut i = (fib_hash(key) >> 32) as usize & self.mask;
         loop {
-            let s = self.slots[i];
-            if s == 0 {
+            let (w, b) = (i >> 6, 1u64 << (i & 63));
+            if self.live[w] & b == 0 {
                 self.slots[i] = stored;
+                self.live[w] |= b;
                 self.len += 1;
                 return true;
             }
-            if s == stored {
+            if self.slots[i] == stored {
                 return false;
             }
             i = (i + 1) & self.mask;
@@ -78,11 +89,10 @@ impl U64Set {
         let stored = key + 1;
         let mut i = (fib_hash(key) >> 32) as usize & self.mask;
         loop {
-            let s = self.slots[i];
-            if s == 0 {
+            if self.live[i >> 6] & (1u64 << (i & 63)) == 0 {
                 return false;
             }
-            if s == stored {
+            if self.slots[i] == stored {
                 return true;
             }
             i = (i + 1) & self.mask;
@@ -91,16 +101,21 @@ impl U64Set {
 
     /// Iterates over the keys (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        self.slots.iter().filter(|&&s| s != 0).map(|&s| s - 1)
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.live[i >> 6] & (1u64 << (i & 63)) != 0)
+            .map(|(_, &s)| s - 1)
     }
 
     fn grow(&mut self) {
         let new_size = self.slots.len() * 2;
-        let old = std::mem::replace(&mut self.slots, vec![0; new_size]);
-        self.mask = self.slots.len() - 1;
+        let old_slots = std::mem::replace(&mut self.slots, vec![0; new_size]);
+        let old_live = std::mem::replace(&mut self.live, vec![0; new_size.div_ceil(64)]);
+        self.mask = new_size - 1;
         self.len = 0;
-        for s in old {
-            if s != 0 {
+        for (i, s) in old_slots.into_iter().enumerate() {
+            if old_live[i >> 6] & (1u64 << (i & 63)) != 0 {
                 self.insert(s - 1);
             }
         }
@@ -108,10 +123,15 @@ impl U64Set {
 }
 
 /// A map from `u64` keys (any value) to `u32` values.
+///
+/// Same live-bitmap occupancy scheme as [`U64Set`]: `clear` wipes one word
+/// per 64 slots instead of the whole key array.
 #[derive(Debug)]
 pub struct U64Map {
     keys: Vec<u64>,
     values: Vec<u32>,
+    /// One occupancy bit per slot.
+    live: Vec<u64>,
     mask: usize,
     len: usize,
 }
@@ -123,6 +143,7 @@ impl U64Map {
         Self {
             keys: vec![0; size],
             values: vec![0; size],
+            live: vec![0; size.div_ceil(64)],
             mask: size - 1,
             len: 0,
         }
@@ -141,7 +162,7 @@ impl U64Map {
     /// Removes all entries, keeping capacity.
     pub fn clear(&mut self) {
         if self.len > 0 {
-            self.keys.fill(0);
+            self.live.fill(0);
             self.len = 0;
         }
     }
@@ -151,11 +172,10 @@ impl U64Map {
         let stored = key + 1;
         let mut i = (fib_hash(key) >> 32) as usize & self.mask;
         loop {
-            let s = self.keys[i];
-            if s == 0 {
+            if self.live[i >> 6] & (1u64 << (i & 63)) == 0 {
                 return None;
             }
-            if s == stored {
+            if self.keys[i] == stored {
                 return Some(self.values[i]);
             }
             i = (i + 1) & self.mask;
@@ -171,14 +191,15 @@ impl U64Map {
         let stored = key + 1;
         let mut i = (fib_hash(key) >> 32) as usize & self.mask;
         loop {
-            let s = self.keys[i];
-            if s == 0 {
+            let (w, b) = (i >> 6, 1u64 << (i & 63));
+            if self.live[w] & b == 0 {
                 self.keys[i] = stored;
                 self.values[i] = value;
+                self.live[w] |= b;
                 self.len += 1;
                 return;
             }
-            if s == stored {
+            if self.keys[i] == stored {
                 self.values[i] = value;
                 return;
             }
@@ -190,10 +211,11 @@ impl U64Map {
         let new_size = self.keys.len() * 2;
         let old_keys = std::mem::replace(&mut self.keys, vec![0; new_size]);
         let old_values = std::mem::replace(&mut self.values, vec![0; new_size]);
-        self.mask = self.keys.len() - 1;
+        let old_live = std::mem::replace(&mut self.live, vec![0; new_size.div_ceil(64)]);
+        self.mask = new_size - 1;
         self.len = 0;
-        for (s, v) in old_keys.into_iter().zip(old_values) {
-            if s != 0 {
+        for (i, (s, v)) in old_keys.into_iter().zip(old_values).enumerate() {
+            if old_live[i >> 6] & (1u64 << (i & 63)) != 0 {
                 self.insert(s - 1, v);
             }
         }
@@ -281,5 +303,44 @@ mod tests {
         m.clear();
         assert_eq!(m.get(3), None);
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn set_clear_does_not_resurrect_stale_slots() {
+        // Clear only wipes the live bitmap; the slot array keeps stale key
+        // bytes. None of them may be visible afterwards, insertion must
+        // overwrite them, and repeated fill/clear cycles must stay exact.
+        let mut s = U64Set::with_capacity(4);
+        for round in 0..3u64 {
+            for i in 0..100 {
+                assert!(s.insert(round * 1000 + i), "round {round} key {i}");
+            }
+            for i in 0..100 {
+                assert!(s.contains(round * 1000 + i));
+            }
+            s.clear();
+            assert!(s.is_empty());
+            for i in 0..100 {
+                assert!(!s.contains(round * 1000 + i), "stale key resurfaced");
+            }
+        }
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn map_clear_does_not_resurrect_stale_entries() {
+        let mut m = U64Map::with_capacity(4);
+        for round in 0..3u64 {
+            for i in 0..100 {
+                m.insert(round * 1000 + i, i as u32);
+            }
+            m.clear();
+            assert!(m.is_empty());
+            for i in 0..100 {
+                assert_eq!(m.get(round * 1000 + i), None, "stale entry resurfaced");
+            }
+        }
+        m.insert(5, 77);
+        assert_eq!(m.get(5), Some(77));
     }
 }
